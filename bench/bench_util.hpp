@@ -1,0 +1,101 @@
+// Shared helpers for the figure-regeneration harnesses.
+//
+// Every bench binary prints the rows/series of one table or figure from the
+// paper's evaluation (§5). Absolute numbers differ from the paper's 2004-era
+// Pentium 4 testbed; EXPERIMENTS.md records the shape comparison. Knobs:
+//   LMC_BENCH_BUDGET_S   per-run wall-clock budget (default varies)
+//   LMC_BENCH_MAX_DEPTH  cap on the depth sweep
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mc/global_mc.hpp"
+#include "mc/local_mc.hpp"
+#include "protocols/paxos.hpp"
+
+namespace lmc::bench {
+
+inline double env_f(const char* name, double dflt) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : dflt;
+}
+
+inline std::uint32_t env_u(const char* name, std::uint32_t dflt) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<std::uint32_t>(std::atoi(v)) : dflt;
+}
+
+/// The §5.1 benchmark system: Paxos among three nodes, one node proposes
+/// one value ("the example state space").
+inline SystemConfig one_proposal_paxos(bool bug = false) {
+  paxos::DriverConfig d;
+  d.proposers = {0};
+  d.max_proposals = 1;
+  return paxos::make_config(3, paxos::CoreOptions{0, bug}, d);
+}
+
+/// The §5.2 scalability workload: two separate nodes propose.
+inline SystemConfig two_proposal_paxos() {
+  paxos::DriverConfig d;
+  d.proposers = {0, 1};
+  d.max_proposals = 1;
+  return paxos::make_config(3, paxos::CoreOptions{}, d);
+}
+
+struct Row {
+  std::uint32_t depth = 0;
+  double bdfs = -1, gen = -1, opt = -1;  ///< -1: not run / budget exceeded
+};
+
+inline void print_header(const char* title, const char* metric) {
+  std::printf("# %s\n", title);
+  std::printf("# metric: %s ('-' = budget exceeded before completing the bounded space)\n",
+              metric);
+  std::printf("%8s %14s %14s %14s\n", "depth", "B-DFS", "LMC-GEN", "LMC-OPT");
+}
+
+inline void print_cell(double v, const char* fmt) {
+  if (v < 0)
+    std::printf(" %13s", "-");
+  else
+    std::printf(fmt, v);
+}
+
+inline void print_row(const Row& r, const char* fmt) {
+  std::printf("%8u", r.depth);
+  print_cell(r.bdfs, fmt);
+  print_cell(r.gen, fmt);
+  print_cell(r.opt, fmt);
+  std::printf("\n");
+}
+
+/// Run B-DFS to `depth` with a budget; stats valid only if completed.
+inline GlobalMcStats run_bdfs(const SystemConfig& cfg, const Invariant* inv,
+                              std::uint32_t depth, double budget_s) {
+  GlobalMcOptions opt;
+  opt.max_depth = depth;
+  opt.time_budget_s = budget_s;
+  GlobalModelChecker mc(cfg, inv, opt);
+  mc.run_from_initial();
+  return mc.stats();
+}
+
+/// Run LMC (GEN or OPT) to total depth `depth` with a budget.
+inline LocalMcStats run_lmc(const SystemConfig& cfg, const Invariant* inv, std::uint32_t depth,
+                            double budget_s, bool use_projection,
+                            bool enable_system_states = true, bool enable_soundness = true) {
+  LocalMcOptions opt;
+  opt.max_total_depth = depth;
+  opt.time_budget_s = budget_s;
+  opt.use_projection = use_projection;
+  opt.enable_system_states = enable_system_states;
+  opt.enable_soundness = enable_soundness;
+  LocalModelChecker mc(cfg, inv, opt);
+  mc.run_from_initial();
+  return mc.stats();
+}
+
+}  // namespace lmc::bench

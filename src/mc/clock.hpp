@@ -1,0 +1,13 @@
+// Monotonic wall-clock helper shared by the checkers' budget logic.
+#pragma once
+
+#include <chrono>
+
+namespace lmc {
+
+inline double now_s() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+}  // namespace lmc

@@ -1,0 +1,42 @@
+#include "mc/dot_export.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace lmc {
+
+namespace {
+std::string short_hash(Hash64 h) {
+  std::ostringstream os;
+  os << std::hex << std::setw(6) << std::setfill('0') << (h & 0xffffffu);
+  return os.str();
+}
+}  // namespace
+
+std::string to_dot(const LocalStore& store, const MonotonicNetwork& net) {
+  std::ostringstream os;
+  os << "digraph lmc {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n";
+  for (NodeId n = 0; n < store.num_nodes(); ++n) {
+    os << "  subgraph cluster_n" << n << " {\n    label=\"node " << n << "\";\n";
+    for (std::uint32_t i = 0; i < store.size(n); ++i) {
+      const NodeStateRec& r = store.rec(n, i);
+      os << "    s" << n << "_" << i << " [label=\"#" << i << " d=" << r.depth << "\\n"
+         << short_hash(r.hash) << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  for (NodeId n = 0; n < store.num_nodes(); ++n) {
+    for (std::uint32_t i = 0; i < store.size(n); ++i) {
+      for (const Pred& p : store.rec(n, i).preds) {
+        os << "  s" << n << "_" << p.pred_idx << " -> s" << n << "_" << i << " [label=\""
+           << (p.is_message ? "m:" : "i:") << short_hash(p.ev_hash) << "\"";
+        if (!p.is_message) os << ", style=dashed";
+        os << "];\n";
+      }
+    }
+  }
+  os << "  // shared network I+: " << net.size() << " messages\n}\n";
+  return os.str();
+}
+
+}  // namespace lmc

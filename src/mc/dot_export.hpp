@@ -1,0 +1,16 @@
+// Graphviz export of the local checker's per-node state graphs — the LS_n
+// sets with predecessor edges — for documentation and debugging.
+#pragma once
+
+#include <string>
+
+#include "mc/local_store.hpp"
+#include "net/monotonic_network.hpp"
+
+namespace lmc {
+
+/// Render the traversed node states and predecessor edges as a DOT digraph,
+/// one cluster per node. Edge labels carry the event kind and a short hash.
+std::string to_dot(const LocalStore& store, const MonotonicNetwork& net);
+
+}  // namespace lmc

@@ -1,0 +1,197 @@
+#include "mc/global_mc.hpp"
+
+#include <algorithm>
+
+#include "mc/clock.hpp"
+
+namespace lmc {
+
+GlobalModelChecker::GlobalModelChecker(const SystemConfig& cfg, const Invariant* invariant,
+                                       GlobalMcOptions opt)
+    : cfg_(cfg), invariant_(invariant), opt_(opt) {}
+
+Hash64 GlobalModelChecker::state_hash(const State& s) const {
+  Hash64 h = 0x9e3779b97f4a7c15ULL;
+  for (const Blob& b : s.nodes) h = hash_combine(h, hash_blob(b));
+  return hash_combine(h, s.net.hash());
+}
+
+Hash64 GlobalModelChecker::system_hash(const State& s) const {
+  Hash64 h = 0x9e3779b97f4a7c15ULL;
+  for (const Blob& b : s.nodes) h = hash_combine(h, hash_blob(b));
+  return h;
+}
+
+void GlobalModelChecker::collect_system(const State& s) {
+  std::vector<Hash64> tuple;
+  tuple.reserve(s.nodes.size());
+  for (const Blob& b : s.nodes) tuple.push_back(hash_blob(b));
+  Hash64 h = 0x9e3779b97f4a7c15ULL;
+  for (Hash64 nh : tuple) h = hash_combine(h, nh);
+  sys_tuples_.emplace(h, std::move(tuple));
+}
+
+bool GlobalModelChecker::budget_exceeded() {
+  if (stats_.transitions >= opt_.max_transitions) return true;
+  if ((++budget_probe_ & 0x3ff) == 0) {
+    if (now_s() > deadline_) return true;
+    if (opt_.cancel != nullptr && opt_.cancel->load(std::memory_order_relaxed)) return true;
+  }
+  return false;
+}
+
+void GlobalModelChecker::record_violation(const State& s, std::uint32_t depth,
+                                          const std::string& what,
+                                          const std::vector<std::string>& trace) {
+  GlobalViolation v;
+  v.system_state = s.nodes;
+  v.invariant = what;
+  v.trace = trace;
+  v.depth = depth;
+  violations_.push_back(std::move(v));
+  ++stats_.violations;
+  if (opt_.stop_on_violation) stop_ = true;
+}
+
+void GlobalModelChecker::on_new_state(const State& s, std::uint32_t depth,
+                                      std::vector<std::string>& trace) {
+  ++stats_.unique_states;
+  stats_.max_depth_reached = std::max(stats_.max_depth_reached, depth);
+  if (opt_.collect_system_states) collect_system(s);
+  if (opt_.check_invariants && invariant_ != nullptr) {
+    ++stats_.invariant_checks;
+    SystemStateView view;
+    view.reserve(s.nodes.size());
+    for (const Blob& b : s.nodes) view.push_back(&b);
+    if (!invariant_->holds(cfg_, view)) record_violation(s, depth, invariant_->name(), trace);
+  }
+}
+
+void GlobalModelChecker::dfs(State& s, std::uint32_t depth, std::vector<std::string>& trace) {
+  if (stop_ || depth >= opt_.max_depth) return;
+  if (budget_exceeded()) {
+    stats_.completed = false;
+    stop_ = true;
+    return;
+  }
+
+  // Enumerate enabled events: one delivery per in-flight message, plus each
+  // node's enabled internal events (HM and HA of Fig. 5).
+  const std::size_t n_msgs = s.net.size();
+  for (std::size_t i = 0; i < n_msgs && !stop_; ++i) {
+    const Message m = s.net.messages()[i];
+    State next;
+    next.nodes = s.nodes;
+    next.net = s.net;
+    next.net.take(i);
+    ExecResult r = exec_message(cfg_, m.dst, s.nodes[m.dst], m);
+    ++stats_.transitions;
+    if (r.assert_failed) {
+      ++stats_.local_assert_failures;
+      if (opt_.assert_is_violation)
+        record_violation(s, depth, "local_assert: " + r.assert_msg, trace);
+      continue;  // successor is not explored
+    }
+    next.nodes[m.dst] = std::move(r.state);
+    stats_.dup_msgs_suppressed += next.net.add_all(std::move(r.sent));
+
+    Hash64 h = state_hash(next);
+    auto it = visited_.find(h);
+    bool expand = false;
+    if (it == visited_.end()) {
+      visited_.emplace(h, depth + 1);
+      trace.push_back("deliver " + to_string(m));
+      on_new_state(next, depth + 1, trace);
+      expand = true;
+    } else if (depth + 1 < it->second) {
+      // Reached an old state by a shorter path: re-expand so the depth
+      // bound does not hide states (iterative-deepening correctness).
+      it->second = depth + 1;
+      trace.push_back("deliver " + to_string(m));
+      ++stats_.revisits;
+      expand = true;
+    } else {
+      ++stats_.revisits;
+    }
+    if (expand) {
+      std::size_t extra = next.net.bytes();
+      for (const Blob& b : next.nodes) extra += b.capacity();
+      stack_bytes_ += extra;
+      stats_.peak_bytes = std::max(stats_.peak_bytes, stack_bytes_ + visited_.size() * 16);
+      dfs(next, depth + 1, trace);
+      stack_bytes_ -= extra;
+      trace.pop_back();
+    }
+  }
+
+  for (NodeId n = 0; n < cfg_.num_nodes && !stop_; ++n) {
+    for (const InternalEvent& ev : internal_events_of(cfg_, n, s.nodes[n])) {
+      if (stop_) break;
+      State next;
+      next.nodes = s.nodes;
+      next.net = s.net;
+      ExecResult r = exec_internal(cfg_, n, s.nodes[n], ev);
+      ++stats_.transitions;
+      if (r.assert_failed) {
+        ++stats_.local_assert_failures;
+        if (opt_.assert_is_violation)
+          record_violation(s, depth, "local_assert: " + r.assert_msg, trace);
+        continue;
+      }
+      next.nodes[n] = std::move(r.state);
+      stats_.dup_msgs_suppressed += next.net.add_all(std::move(r.sent));
+
+      Hash64 h = state_hash(next);
+      auto it = visited_.find(h);
+      bool expand = false;
+      if (it == visited_.end()) {
+        visited_.emplace(h, depth + 1);
+        trace.push_back("node " + std::to_string(n) + " " + to_string(ev));
+        on_new_state(next, depth + 1, trace);
+        expand = true;
+      } else if (depth + 1 < it->second) {
+        it->second = depth + 1;
+        trace.push_back("node " + std::to_string(n) + " " + to_string(ev));
+        ++stats_.revisits;
+        expand = true;
+      } else {
+        ++stats_.revisits;
+      }
+      if (expand) {
+        std::size_t extra = next.net.bytes();
+        for (const Blob& b : next.nodes) extra += b.capacity();
+        stack_bytes_ += extra;
+        stats_.peak_bytes = std::max(stats_.peak_bytes, stack_bytes_ + visited_.size() * 16);
+        dfs(next, depth + 1, trace);
+        stack_bytes_ -= extra;
+        trace.pop_back();
+      }
+    }
+  }
+}
+
+void GlobalModelChecker::run(const std::vector<Blob>& nodes, const Network& net) {
+  const double t0 = now_s();
+  deadline_ = t0 + opt_.time_budget_s;
+  stats_ = GlobalMcStats{};
+  stats_.completed = true;  // cleared if a budget trips
+  visited_.clear();
+  sys_tuples_.clear();
+  violations_.clear();
+  stop_ = false;
+  stack_bytes_ = 0;
+
+  State start{nodes, net};
+  visited_.emplace(state_hash(start), 0);
+  std::vector<std::string> trace;
+  on_new_state(start, 0, trace);
+  dfs(start, 0, trace);
+
+  if (opt_.stop_on_violation && !violations_.empty()) stats_.completed = false;
+  stats_.elapsed_s = now_s() - t0;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, visited_.size() * 16);
+}
+
+void GlobalModelChecker::run_from_initial() { run(initial_states(cfg_), Network{}); }
+
+}  // namespace lmc

@@ -1,0 +1,97 @@
+// Global model checking baseline: bounded depth-first search (B-DFS, §3.2)
+// over global states (L, I). This is the approach LMC is measured against in
+// Figures 10-12: every network change creates a fresh global state, so the
+// exponential explosion arrives at shallow depths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mc/invariant.hpp"
+#include "mc/stats.hpp"
+#include "net/network.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace lmc {
+
+struct GlobalMcOptions {
+  std::uint32_t max_depth = 1u << 30;
+  std::uint64_t max_transitions = std::numeric_limits<std::uint64_t>::max();
+  double time_budget_s = std::numeric_limits<double>::infinity();
+  /// Cooperative cancellation (e.g. by RacingChecker when the other
+  /// checker finishes first). Checked alongside the budgets.
+  const std::atomic<bool>* cancel = nullptr;
+  bool stop_on_violation = false;
+  /// Local assertion failures are real bugs under global MC (every visited
+  /// state is valid, §3.2); set false to silently discard instead.
+  bool assert_is_violation = true;
+  bool check_invariants = true;
+  /// Record every distinct *system* state seen (projection of global
+  /// states) as its per-node hash tuple; used by the LMC completeness
+  /// cross-check.
+  bool collect_system_states = false;
+};
+
+/// A violation found by B-DFS; sound by construction (§3.2).
+struct GlobalViolation {
+  std::vector<Blob> system_state;        ///< node states at the violation
+  std::string invariant;                 ///< invariant name or "local_assert: ..."
+  std::vector<std::string> trace;        ///< event path from the start state
+  std::uint32_t depth = 0;
+};
+
+class GlobalModelChecker {
+ public:
+  GlobalModelChecker(const SystemConfig& cfg, const Invariant* invariant, GlobalMcOptions opt);
+
+  /// Explore from an explicit start state (live snapshot or initial state).
+  void run(const std::vector<Blob>& nodes, const Network& net);
+
+  /// Explore from the protocol's initial (pre-init) state, empty network.
+  void run_from_initial();
+
+  const GlobalMcStats& stats() const { return stats_; }
+  const std::vector<GlobalViolation>& violations() const { return violations_; }
+
+  /// Distinct system states as per-node hash tuples, keyed by combined hash
+  /// (only if collect_system_states).
+  const std::unordered_map<Hash64, std::vector<Hash64>>& system_state_tuples() const {
+    return sys_tuples_;
+  }
+
+ private:
+  struct State {
+    std::vector<Blob> nodes;
+    Network net;
+  };
+
+  Hash64 state_hash(const State& s) const;
+  Hash64 system_hash(const State& s) const;
+  void collect_system(const State& s);
+  void dfs(State& s, std::uint32_t depth, std::vector<std::string>& trace);
+  bool budget_exceeded();
+  void on_new_state(const State& s, std::uint32_t depth, std::vector<std::string>& trace);
+  void record_violation(const State& s, std::uint32_t depth, const std::string& what,
+                        const std::vector<std::string>& trace);
+
+  const SystemConfig& cfg_;
+  const Invariant* invariant_;
+  GlobalMcOptions opt_;
+
+  std::unordered_map<Hash64, std::uint32_t> visited_;  // state hash -> min depth seen
+  std::unordered_map<Hash64, std::vector<Hash64>> sys_tuples_;
+  GlobalMcStats stats_;
+  std::vector<GlobalViolation> violations_;
+  std::size_t stack_bytes_ = 0;
+  bool stop_ = false;
+  double deadline_ = std::numeric_limits<double>::infinity();
+  std::uint64_t budget_probe_ = 0;
+};
+
+}  // namespace lmc

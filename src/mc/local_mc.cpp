@@ -1,0 +1,530 @@
+#include "mc/local_mc.hpp"
+
+#include <algorithm>
+
+#include "mc/clock.hpp"
+#include "mc/parallel_local_mc.hpp"
+
+namespace lmc {
+
+namespace {
+
+bool history_contains(const std::vector<Hash64>& hist, Hash64 h) {
+  return std::binary_search(hist.begin(), hist.end(), h);
+}
+
+void history_insert(std::vector<Hash64>& hist, Hash64 h) {
+  hist.insert(std::upper_bound(hist.begin(), hist.end(), h), h);
+}
+
+}  // namespace
+
+LocalModelChecker::LocalModelChecker(const SystemConfig& cfg, const Invariant* invariant,
+                                     LocalMcOptions opt)
+    : cfg_(cfg), invariant_(invariant), opt_(opt), store_(cfg.num_nodes) {}
+
+const LocalViolation* LocalModelChecker::first_confirmed() const {
+  for (const LocalViolation& v : violations_)
+    if (v.confirmed) return &v;
+  return nullptr;
+}
+
+std::uint32_t LocalModelChecker::expand_bound() const {
+  return std::min(opt_.max_chain_depth, opt_.max_total_depth);
+}
+
+bool LocalModelChecker::budget_exceeded() const {
+  if (stats_.transitions >= opt_.max_transitions || now_s() > deadline_) return true;
+  return opt_.cancel != nullptr && opt_.cancel->load(std::memory_order_relaxed);
+}
+
+void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
+                                 const std::vector<Message>& in_flight) {
+  store_ = LocalStore(cfg_.num_nodes);
+  net_ = MonotonicNetwork{};
+  events_.clear();
+  initial_hashes_.clear();
+  initial_nodes_ = nodes;
+  initial_msgs_ = in_flight;
+  internal_scan_.assign(cfg_.num_nodes, 0);
+  proj_.assign(cfg_.num_nodes, {});
+  mapped_.assign(cfg_.num_nodes, {});
+  node_gens_.assign(cfg_.num_nodes, {});
+  pred_edges_.assign(cfg_.num_nodes, 0);
+  feas_cache_.clear();
+  deferred_.clear();
+  stats_ = LocalMcStats{};
+  violations_.clear();
+  stop_ = false;
+
+  const bool projecting = invariant_ != nullptr && invariant_->has_projection();
+  for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
+    NodeStateRec rec;
+    rec.blob = nodes[n];
+    rec.hash = hash_blob(rec.blob);
+    rec.depth = 0;
+    store_.add(n, std::move(rec));
+    ++stats_.node_states;
+    if (projecting) {
+      Projection p = invariant_->project(cfg_, n, nodes[n]);
+      if (!p.empty()) mapped_[n].push_back(0);
+      proj_[n].push_back(std::move(p));
+    }
+  }
+  // Snapshot in-flight messages seed I+ and are available to soundness
+  // verification without any generating event.
+  for (const Message& m : in_flight) {
+    Hash64 h = m.hash();
+    initial_hashes_.push_back(h);
+    if (net_.add(m)) {
+      EventRecord er;
+      er.is_message = true;
+      er.msg = m;
+      events_.emplace(h, std::move(er));
+    }
+  }
+}
+
+bool LocalModelChecker::collect_tasks(std::vector<Task>& tasks) {
+  tasks.clear();
+  const std::uint32_t bound = expand_bound();
+
+  // Network events: each message in I+ on every not-yet-tried state of its
+  // destination (the per-message cursor of §4.2).
+  const std::size_t n_msgs = net_.size();
+  for (std::size_t i = 0; i < n_msgs; ++i) {
+    MonotonicNetwork::Entry& e = net_.at(i);
+    const NodeId d = e.msg.dst;
+    const std::uint32_t limit = store_.size(d);
+    for (std::uint32_t idx = static_cast<std::uint32_t>(e.next_state); idx < limit; ++idx) {
+      const NodeStateRec& rec = store_.rec(d, idx);
+      if (rec.depth >= bound) continue;
+      if (history_contains(rec.history, e.hash)) {
+        ++stats_.history_skips;
+        continue;
+      }
+      tasks.push_back(Task{true, i, d, idx});
+    }
+    e.next_state = limit;
+  }
+
+  // Internal events: scan states added since the last round.
+  for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
+    const std::uint32_t limit = store_.size(n);
+    for (std::uint32_t idx = internal_scan_[n]; idx < limit; ++idx) {
+      if (store_.rec(n, idx).depth >= bound) continue;
+      tasks.push_back(Task{false, 0, n, idx});
+    }
+    internal_scan_[n] = limit;
+  }
+  return !tasks.empty();
+}
+
+void LocalModelChecker::execute_tasks(const std::vector<Task>& tasks,
+                                      std::vector<std::vector<Exec>>& results) {
+  results.assign(tasks.size(), {});
+  parallel_for(tasks.size(), opt_.num_threads, [&](std::size_t i) {
+    const Task& t = tasks[i];
+    if (t.is_message) {
+      const MonotonicNetwork::Entry& e = net_.at(t.net_idx);
+      Exec ex;
+      ex.is_message = true;
+      ex.ev_hash = e.hash;
+      ex.node = t.node;
+      ex.pred_idx = t.state_idx;
+      ex.result = exec_message(cfg_, t.node, store_.rec(t.node, t.state_idx).blob, e.msg);
+      results[i].push_back(std::move(ex));
+    } else {
+      const Blob& state = store_.rec(t.node, t.state_idx).blob;
+      for (const InternalEvent& ev : internal_events_of(cfg_, t.node, state)) {
+        Exec ex;
+        ex.is_message = false;
+        ex.ev_hash = ev.hash(t.node);
+        ex.node = t.node;
+        ex.pred_idx = t.state_idx;
+        ex.ev = ev;
+        ex.result = exec_internal(cfg_, t.node, state, ev);
+        results[i].push_back(std::move(ex));
+      }
+    }
+  });
+}
+
+void LocalModelChecker::apply_exec(const Exec& e) {
+  ++stats_.transitions;
+  if (e.result.assert_failed) {
+    ++stats_.local_assert_discards;
+    // §4.2 "Local assertions": by default treat the assert as marking the
+    // node state invalid (usually an unexpected delivery made possible by
+    // the conservative I+ policy) and discard it; under IgnoreViolation,
+    // keep exploring the successor — a real protocol bug will eventually
+    // manifest as a system-invariant violation.
+    if (opt_.assert_policy == LocalMcOptions::AssertPolicy::DiscardState) return;
+  }
+
+  // addNextState (Fig. 9): register generated messages in I+ first.
+  std::vector<Hash64> gen;
+  gen.reserve(e.result.sent.size());
+  for (const Message& m : e.result.sent) {
+    Hash64 h = m.hash();
+    gen.push_back(h);
+    node_gens_[e.node].insert(h);
+    if (net_.add(m)) {
+      EventRecord er;
+      er.is_message = true;
+      er.msg = m;
+      events_.emplace(h, std::move(er));
+    }
+  }
+  if (!e.is_message) {
+    EventRecord er;
+    er.is_message = false;
+    er.node = e.node;
+    er.ev = e.ev;
+    events_.emplace(e.ev_hash, std::move(er));
+  }
+
+  NodeStateRec& pred = store_.rec(e.node, e.pred_idx);
+  const Hash64 h2 = hash_blob(e.result.state);
+  if (h2 == pred.hash) {
+    // No-op transition. If it generated messages (a stateless relay), keep
+    // it as a self-loop so soundness verification can account for the
+    // generation (see NodeStateRec::self_loops).
+    if (!gen.empty()) {
+      pred.self_loops.push_back(Pred{e.pred_idx, e.is_message, e.ev_hash, std::move(gen)});
+      ++pred_edges_[e.node];
+    }
+    return;
+  }
+
+  const std::uint32_t existing = store_.find(e.node, h2);
+  if (existing != UINT32_MAX) {
+    // Known state reached by a new path: extend its predecessor set. The
+    // history is intentionally not merged (paper's simplification).
+    store_.rec(e.node, existing)
+        .preds.push_back(Pred{e.pred_idx, e.is_message, e.ev_hash, std::move(gen)});
+    ++pred_edges_[e.node];
+    return;
+  }
+
+  NodeStateRec rec;
+  rec.blob = e.result.state;
+  rec.hash = h2;
+  rec.depth = pred.depth + 1;
+  rec.history = pred.history;
+  if (e.is_message) history_insert(rec.history, e.ev_hash);
+  rec.preds.push_back(Pred{e.pred_idx, e.is_message, e.ev_hash, std::move(gen)});
+  ++pred_edges_[e.node];
+  const std::uint32_t idx = store_.add(e.node, std::move(rec));
+  ++stats_.node_states;
+  stats_.max_chain_depth_reached = std::max(stats_.max_chain_depth_reached, pred.depth + 1);
+
+  if (invariant_ != nullptr && invariant_->has_projection()) {
+    Projection p = invariant_->project(cfg_, e.node, store_.rec(e.node, idx).blob);
+    if (!p.empty()) mapped_[e.node].push_back(idx);
+    proj_[e.node].push_back(std::move(p));
+  }
+
+  if (opt_.enable_system_states && invariant_ != nullptr && !stop_) {
+    const double t0 = now_s();
+    check_combinations(e.node, idx);
+    stats_.system_state_s += now_s() - t0;
+  }
+}
+
+bool LocalModelChecker::combo_violates(const std::vector<std::uint32_t>& combo) const {
+  if (invariant_->has_projection()) {
+    for (NodeId i = 0; i < cfg_.num_nodes; ++i)
+      if (invariant_->projection_self_violates(proj_[i][combo[i]])) return true;
+    for (NodeId i = 0; i < cfg_.num_nodes; ++i)
+      for (NodeId j = i + 1; j < cfg_.num_nodes; ++j)
+        if (invariant_->projections_conflict(proj_[i][combo[i]], proj_[j][combo[j]])) return true;
+    return false;
+  }
+  SystemStateView view(cfg_.num_nodes);
+  for (NodeId i = 0; i < cfg_.num_nodes; ++i) view[i] = &store_.rec(i, combo[i]).blob;
+  return !invariant_->holds(cfg_, view);
+}
+
+void LocalModelChecker::check_one_combination(std::vector<std::uint32_t>& combo) {
+  // System-state creation and soundness can dwarf exploration (Fig. 13);
+  // honor the wall-clock budget from inside the combination loops too.
+  if ((++combo_probe_ & 0xff) == 0 && budget_exceeded()) {
+    stats_.completed = false;
+    stop_ = true;
+    return;
+  }
+  std::uint64_t depth_sum = 0;
+  for (NodeId i = 0; i < cfg_.num_nodes; ++i) depth_sum += store_.rec(i, combo[i]).depth;
+  if (depth_sum > opt_.max_total_depth) return;
+  stats_.max_total_depth_reached =
+      std::max<std::uint32_t>(stats_.max_total_depth_reached,
+                              static_cast<std::uint32_t>(depth_sum));
+  ++stats_.system_states;
+  ++stats_.invariant_checks;
+  if (combo_violates(combo)) handle_prelim_violation(combo);
+}
+
+bool LocalModelChecker::member_feasible(NodeId n, std::uint32_t idx) {
+  // Signature: the verdict only changes when what the OTHER nodes can
+  // generate grows (or a new path to idx appears — approximated by the
+  // node's pred-edge growth being reflected in its own gens; conservative
+  // refreshes on any growth of the key below keep this sound).
+  std::uint64_t sig = initial_hashes_.size();
+  for (NodeId m = 0; m < cfg_.num_nodes; ++m)
+    sig += (m == n) ? pred_edges_[n] : node_gens_[m].size();
+  const std::uint64_t key = (static_cast<std::uint64_t>(n) << 32) | idx;
+  auto it = feas_cache_.find(key);
+  if (it != feas_cache_.end() && (it->second.feasible || it->second.sig == sig))
+    return it->second.feasible;
+
+  std::unordered_set<Hash64> other_avail;
+  for (NodeId m = 0; m < cfg_.num_nodes; ++m)
+    if (m != n) other_avail.insert(node_gens_[m].begin(), node_gens_[m].end());
+  SoundnessVerifier verifier(store_, initial_hashes_, opt_.soundness);
+  const bool feasible = verifier.target_feasible(n, idx, other_avail);
+  feas_cache_[key] = FeasEntry{feasible, sig};
+  return feasible;
+}
+
+void LocalModelChecker::handle_prelim_violation(const std::vector<std::uint32_t>& combo,
+                                                const std::vector<bool>* fixed) {
+  ++stats_.prelim_violations;
+  if (!opt_.enable_soundness) return;  // Fig. 13 "system-state" variant: count only
+
+  // Per-member pre-check: a combination whose members cannot individually
+  // be reached even with maximal help from the other nodes is unsound —
+  // skip the joint search entirely (cached; kills the bulk of the
+  // preliminary violations near a bug, cf. §5.4).
+  for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
+    if (fixed != nullptr && !(*fixed)[i]) continue;
+    if (!member_feasible(i, combo[i])) {
+      ++stats_.unsound_violations;
+      ++stats_.feasibility_skips;
+      return;
+    }
+  }
+
+  ++stats_.soundness_calls;
+  const double t0 = now_s();
+  SoundnessOptions so = opt_.soundness;
+  const bool quick = so.quick_expansions != 0;
+  if (quick) so.max_schedules = std::min(so.max_schedules, so.quick_expansions);
+  SoundnessVerifier verifier(store_, initial_hashes_, so);
+  SoundnessResult res = verifier.verify(combo, fixed);
+  stats_.soundness_s += now_s() - t0;
+  stats_.sequences_checked += res.schedules_checked;
+
+  if (!res.sound) {
+    if (quick && res.truncated) {
+      // Undecided at the quick cap: defer the expensive refutation/search
+      // to phase 2 (after exploration), so unsound floods cannot starve
+      // the exploration that produces the genuinely sound combinations.
+      if (deferred_.size() < opt_.soundness.max_deferred) {
+        Deferred d;
+        d.combo = combo;
+        if (fixed != nullptr) {
+          d.fixed = *fixed;
+          d.has_mask = true;
+        }
+        deferred_.push_back(std::move(d));
+        ++stats_.soundness_deferred;
+      } else {
+        stats_.deferred_dropped = true;
+      }
+      return;
+    }
+    if (res.truncated) ++stats_.seq_enum_truncated;
+    ++stats_.unsound_violations;
+    return;
+  }
+  record_confirmed(combo, std::move(res));
+}
+
+void LocalModelChecker::record_confirmed(const std::vector<std::uint32_t>& combo,
+                                         SoundnessResult res) {
+  ++stats_.confirmed_violations;
+  LocalViolation v;
+  v.combo = res.final_combo.empty() ? combo : res.final_combo;
+  v.invariant = invariant_->name();
+  v.confirmed = true;
+  v.witness = std::move(res.schedule);
+  for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
+    const NodeStateRec& r = store_.rec(i, v.combo[i]);
+    v.state_hashes.push_back(r.hash);
+    v.system_state.push_back(r.blob);
+  }
+  violations_.push_back(std::move(v));
+  if (opt_.stop_on_confirmed) stop_ = true;
+}
+
+void LocalModelChecker::process_deferred() {
+  if (deferred_.empty() || !opt_.enable_soundness) return;
+  SoundnessVerifier verifier(store_, initial_hashes_, opt_.soundness);
+  for (const Deferred& d : deferred_) {
+    if (stop_ || now_s() > deadline_) {
+      stats_.completed = false;
+      break;
+    }
+    ++stats_.deferred_processed;
+    ++stats_.soundness_calls;
+    const double t0 = now_s();
+    SoundnessResult res = verifier.verify(d.combo, d.has_mask ? &d.fixed : nullptr);
+    stats_.soundness_s += now_s() - t0;
+    stats_.sequences_checked += res.schedules_checked;
+    if (res.sound) {
+      record_confirmed(d.combo, std::move(res));
+    } else {
+      if (res.truncated) ++stats_.seq_enum_truncated;
+      ++stats_.unsound_violations;
+    }
+  }
+  deferred_.clear();
+}
+
+void LocalModelChecker::check_initial_combination() {
+  if (!opt_.enable_system_states || invariant_ == nullptr) return;
+  std::vector<std::uint32_t> combo(cfg_.num_nodes, 0);
+  const double t0 = now_s();
+  if (opt_.use_projection && invariant_->has_projection()) {
+    // LMC-OPT materializes a system state only when projections flag a
+    // possible violation (keeps "OPT creates zero system states" exact on
+    // correct protocols, Fig. 11) — the live state included.
+    if (combo_violates(combo)) check_one_combination(combo);
+  } else {
+    check_one_combination(combo);
+  }
+  stats_.system_state_s += now_s() - t0;
+}
+
+void LocalModelChecker::check_combinations(NodeId n, std::uint32_t idx) {
+  // Iterate combinations that include the NEW state (n, idx); combinations
+  // of previously seen states were checked in earlier rounds (§4.2).
+  std::vector<std::uint32_t> combo(cfg_.num_nodes, 0);
+  combo[n] = idx;
+
+  std::vector<NodeId> others;
+  for (NodeId m = 0; m < cfg_.num_nodes; ++m)
+    if (m != n) others.push_back(m);
+
+  const bool opt_mode = opt_.use_projection && invariant_->has_projection();
+  if (!opt_mode) {
+    // LMC-GEN: full incremental Cartesian product over the other nodes.
+    std::uint64_t made = 0;
+    std::vector<std::uint32_t> pos(others.size(), 0);
+    while (!stop_) {
+      if (made++ >= opt_.max_system_states_per_step) {
+        ++stats_.combo_truncated;
+        return;
+      }
+      for (std::size_t k = 0; k < others.size(); ++k) combo[others[k]] = pos[k];
+      check_one_combination(combo);
+      std::size_t k = 0;
+      for (; k < others.size(); ++k) {
+        if (++pos[k] < store_.size(others[k])) break;
+        pos[k] = 0;
+      }
+      if (k == others.size()) break;
+    }
+    return;
+  }
+
+  // LMC-OPT: invariant-specific creation. Unmapped states (empty
+  // projection — e.g. Paxos states with no chosen value) never participate
+  // (§4.2). A violation witnessed by projections is decided by one
+  // self-violating state or one conflicting pair, so only those states are
+  // pinned; the bystander nodes stay FREE in soundness verification, which
+  // parks them on a co-reachable completion (see SoundnessVerifier::verify).
+  const Projection& p = proj_[n][idx];
+  if (p.empty()) return;
+
+  if (invariant_->projection_self_violates(p)) {
+    std::vector<bool> fixed(cfg_.num_nodes, false);
+    fixed[n] = true;
+    check_masked_violation(combo, fixed);
+    return;
+  }
+
+  for (NodeId m : others) {
+    if (stop_) return;
+    for (std::uint32_t j : mapped_[m]) {
+      if (stop_) return;
+      if (!invariant_->projections_conflict(p, proj_[m][j]) &&
+          !invariant_->projection_self_violates(proj_[m][j]))
+        continue;
+      combo[m] = j;
+      std::vector<bool> fixed(cfg_.num_nodes, false);
+      fixed[n] = true;
+      fixed[m] = true;
+      check_masked_violation(combo, fixed);
+    }
+    combo[m] = 0;
+  }
+}
+
+void LocalModelChecker::check_masked_violation(const std::vector<std::uint32_t>& combo,
+                                               const std::vector<bool>& fixed) {
+  if ((++combo_probe_ & 0xff) == 0 && budget_exceeded()) {
+    stats_.completed = false;
+    stop_ = true;
+    return;
+  }
+  std::uint64_t depth_sum = 0;
+  for (NodeId i = 0; i < cfg_.num_nodes; ++i)
+    if (fixed[i]) depth_sum += store_.rec(i, combo[i]).depth;
+  if (depth_sum > opt_.max_total_depth) return;
+  stats_.max_total_depth_reached = std::max<std::uint32_t>(
+      stats_.max_total_depth_reached, static_cast<std::uint32_t>(depth_sum));
+  ++stats_.system_states;
+  ++stats_.invariant_checks;
+  handle_prelim_violation(combo, &fixed);
+}
+
+void LocalModelChecker::refresh_memory_stats() {
+  stats_.stored_bytes = std::max(stats_.stored_bytes, store_.bytes() + net_.bytes());
+}
+
+void LocalModelChecker::run(const std::vector<Blob>& nodes,
+                            const std::vector<Message>& in_flight) {
+  const double t0 = now_s();
+  deadline_ = t0 + opt_.time_budget_s;
+  init_run(nodes, in_flight);
+  check_initial_combination();
+
+  std::vector<Task> tasks;
+  std::vector<std::vector<Exec>> results;
+  stats_.completed = true;
+  while (!stop_) {
+    if (budget_exceeded()) {
+      stats_.completed = false;
+      break;
+    }
+    if (!collect_tasks(tasks)) break;  // fixpoint: exploration exhausted
+    execute_tasks(tasks, results);
+    for (const auto& group : results) {
+      for (const Exec& e : group) {
+        if (stop_) break;
+        apply_exec(e);
+        if (budget_exceeded()) {
+          stats_.completed = false;
+          stop_ = true;
+          break;
+        }
+      }
+      if (stop_) break;
+    }
+    refresh_memory_stats();
+  }
+  // Phase 2: re-verify the combinations the quick pass could not decide.
+  if (!stop_) process_deferred();
+  if (stop_ && !violations_.empty()) stats_.completed = false;
+
+  stats_.dup_msgs_suppressed = net_.suppressed();
+  stats_.messages_in_iplus = net_.size();
+  refresh_memory_stats();
+  stats_.elapsed_s = now_s() - t0;
+}
+
+void LocalModelChecker::run_from_initial() { run(initial_states(cfg_), {}); }
+
+}  // namespace lmc

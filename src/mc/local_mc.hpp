@@ -1,0 +1,184 @@
+// The local model checker (LMC) — the paper's contribution (§4).
+//
+// The checker never stores global or system states. It stores:
+//  * LS_n — the set of traversed local states of each node n, and
+//  * I+   — one shared, monotonically growing network of every message any
+//           transition ever generated.
+// Exploration proceeds in rounds (Fig. 9): every message in I+ is executed
+// on every not-yet-tried state of its destination node, and every state's
+// enabled internal events are executed once. New states record predecessor
+// pointers (event hash + generated-message hashes). System states are
+// materialized only transiently, to check the invariant; a preliminary
+// violation is confirmed by SoundnessVerifier before being reported.
+//
+// Variants (Figures 10-13):
+//  * LMC-GEN: use_projection = false — every combination containing the new
+//    node state is created and checked;
+//  * LMC-OPT: use_projection = true — invariant-specific creation: only node
+//    states mapped by the invariant's projection participate, and only
+//    conflicting combinations are built (§4.2 "System states");
+//  * LMC-explore: enable_system_states = false (Fig. 13);
+//  * LMC-OPT-system-state: enable_soundness = false (Fig. 13).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mc/invariant.hpp"
+#include "mc/local_store.hpp"
+#include "mc/soundness.hpp"
+#include "mc/stats.hpp"
+#include "net/monotonic_network.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace lmc {
+
+struct LocalMcOptions {
+  /// Expand a node state only while its chain depth is below this.
+  std::uint32_t max_chain_depth = std::numeric_limits<std::uint32_t>::max();
+  /// Check combinations only when the sum of chain depths is at most this
+  /// (the Depth axis of Figures 10-13); also bounds expansion.
+  std::uint32_t max_total_depth = std::numeric_limits<std::uint32_t>::max();
+  std::uint64_t max_transitions = std::numeric_limits<std::uint64_t>::max();
+  double time_budget_s = std::numeric_limits<double>::infinity();
+  /// Cooperative cancellation (e.g. by RacingChecker). Checked with budgets.
+  const std::atomic<bool>* cancel = nullptr;
+  bool stop_on_confirmed = true;
+
+  bool enable_system_states = true;  ///< false = LMC-explore (Fig. 13)
+  bool enable_soundness = true;      ///< false = LMC-*-system-state (Fig. 13)
+  bool use_projection = false;       ///< true = LMC-OPT (requires invariant projection)
+
+  /// §4.2 "Local assertions" offers two policies for a failed local assert:
+  /// discard the node state as invalid (the paper's choice and our default
+  /// — the usual cause is an unexpected delivery that I+'s conservative
+  /// policy made possible), or ignore the assert and keep the successor
+  /// state (a protocol bug will eventually violate a system invariant).
+  enum class AssertPolicy { DiscardState, IgnoreViolation };
+  AssertPolicy assert_policy = AssertPolicy::DiscardState;
+
+  /// Threads for handler execution within a round (1 = sequential). Results
+  /// are merged in deterministic task order, so exploration is identical
+  /// for any thread count.
+  unsigned num_threads = 1;
+
+  /// Safety cap on combinations materialized per new node state (GEN).
+  std::uint64_t max_system_states_per_step = std::numeric_limits<std::uint64_t>::max();
+
+  SoundnessOptions soundness;
+};
+
+/// A (preliminary or confirmed) invariant violation on a system state.
+struct LocalViolation {
+  std::vector<std::uint32_t> combo;   ///< per node: index into LS_n
+  std::vector<Hash64> state_hashes;   ///< per node: state hash
+  std::vector<Blob> system_state;     ///< per node: serialized state
+  std::string invariant;
+  bool confirmed = false;             ///< passed soundness verification
+  Schedule witness;                   ///< feasible total order (if confirmed)
+};
+
+class LocalModelChecker {
+ public:
+  LocalModelChecker(const SystemConfig& cfg, const Invariant* invariant, LocalMcOptions opt);
+
+  /// findBugs(liveState, invariant) — explore from a live snapshot.
+  void run(const std::vector<Blob>& nodes, const std::vector<Message>& in_flight);
+
+  /// Explore from the protocol's initial states, empty network.
+  void run_from_initial();
+
+  const LocalMcStats& stats() const { return stats_; }
+  const std::vector<LocalViolation>& violations() const { return violations_; }
+  /// First confirmed violation, or nullptr.
+  const LocalViolation* first_confirmed() const;
+
+  const LocalStore& store() const { return store_; }
+  const MonotonicNetwork& iplus() const { return net_; }
+  const EventTable& events() const { return events_; }
+  const std::vector<Hash64>& initial_in_flight_hashes() const { return initial_hashes_; }
+  const std::vector<Blob>& initial_nodes() const { return initial_nodes_; }
+  const std::vector<Message>& initial_in_flight() const { return initial_msgs_; }
+
+ private:
+  struct Task {
+    bool is_message = false;
+    std::size_t net_idx = 0;     ///< message tasks: entry in I+
+    NodeId node = 0;
+    std::uint32_t state_idx = 0;
+  };
+  struct Exec {
+    bool is_message = false;
+    Hash64 ev_hash = 0;
+    NodeId node = 0;
+    std::uint32_t pred_idx = 0;
+    ExecResult result;
+    InternalEvent ev;  ///< internal tasks: the executed event
+  };
+
+  void init_run(const std::vector<Blob>& nodes, const std::vector<Message>& in_flight);
+  bool collect_tasks(std::vector<Task>& tasks);
+  void execute_tasks(const std::vector<Task>& tasks, std::vector<std::vector<Exec>>& results);
+  void apply_exec(const Exec& e);
+  void check_initial_combination();
+  void check_combinations(NodeId n, std::uint32_t idx);
+  void check_one_combination(std::vector<std::uint32_t>& combo);
+  void check_masked_violation(const std::vector<std::uint32_t>& combo,
+                              const std::vector<bool>& fixed);
+  bool combo_violates(const std::vector<std::uint32_t>& combo) const;
+  void handle_prelim_violation(const std::vector<std::uint32_t>& combo,
+                               const std::vector<bool>* fixed = nullptr);
+  std::uint32_t expand_bound() const;
+  bool budget_exceeded() const;
+  void refresh_memory_stats();
+
+  const SystemConfig& cfg_;
+  const Invariant* invariant_;
+  LocalMcOptions opt_;
+
+  LocalStore store_;
+  MonotonicNetwork net_;
+  EventTable events_;
+  std::vector<Hash64> initial_hashes_;
+  std::vector<Blob> initial_nodes_;
+  std::vector<Message> initial_msgs_;
+  std::vector<std::uint32_t> internal_scan_;   ///< per node: next state to scan for HA
+  std::vector<std::vector<Projection>> proj_;  ///< per node, parallel to LS_n (when projecting)
+  std::vector<std::vector<std::uint32_t>> mapped_;  ///< per node: states with non-empty projection
+
+  bool member_feasible(NodeId n, std::uint32_t idx);
+  void record_confirmed(const std::vector<std::uint32_t>& combo, SoundnessResult res);
+  void process_deferred();
+
+  struct Deferred {
+    std::vector<std::uint32_t> combo;
+    std::vector<bool> fixed;
+    bool has_mask = false;
+  };
+  std::vector<Deferred> deferred_;
+
+  LocalMcStats stats_;
+  std::vector<LocalViolation> violations_;
+  bool stop_ = false;
+  double deadline_ = std::numeric_limits<double>::infinity();
+  std::uint64_t combo_probe_ = 0;
+
+  /// Message hashes each node's recorded transitions can generate; feeds
+  /// the per-member feasibility pre-check (see SoundnessVerifier).
+  std::vector<std::unordered_set<Hash64>> node_gens_;
+  /// Pred/self-loop edges recorded per node (feasibility cache signature:
+  /// a new edge anywhere in the node's graph can open new paths).
+  std::vector<std::uint64_t> pred_edges_;
+  struct FeasEntry {
+    bool feasible = false;
+    std::uint64_t sig = 0;  ///< availability signature the verdict was computed at
+  };
+  std::unordered_map<std::uint64_t, FeasEntry> feas_cache_;
+};
+
+}  // namespace lmc

@@ -1,0 +1,31 @@
+#include "mc/parallel_local_mc.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace lmc {
+
+void parallel_for(std::size_t n, unsigned threads, const std::function<void(std::size_t)>& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  unsigned workers = threads;
+  if (workers > n) workers = static_cast<unsigned>(n);
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace lmc

@@ -1,0 +1,21 @@
+// Deterministic parallel execution helper for the local checker.
+//
+// §1 (contributions): "Having the exploration, system state creation, and
+// soundness verification decoupled, the model checking process can be
+// embarrassingly parallelized." Handler executions within a round are
+// independent — they read immutable node states and produce results that
+// are merged sequentially in task order, so an LMC run is bit-identical
+// regardless of thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace lmc {
+
+/// Run fn(0..n-1), distributing indices over `threads` workers.
+/// threads <= 1 degenerates to a plain loop. fn must be thread-safe for
+/// distinct indices; results must be written to per-index slots.
+void parallel_for(std::size_t n, unsigned threads, const std::function<void(std::size_t)>& fn);
+
+}  // namespace lmc

@@ -1,0 +1,73 @@
+#include "mc/racing.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "mc/clock.hpp"
+#include "net/network.hpp"
+
+namespace lmc {
+
+RacingResult race_checkers(const SystemConfig& cfg, const Invariant* invariant,
+                           const std::vector<Blob>& nodes,
+                           const std::vector<Message>& in_flight, RacingOptions opt) {
+  const double t0 = now_s();
+  std::atomic<bool> cancel_global{false};
+  std::atomic<bool> cancel_local{false};
+  // 0 = undecided; 1 = global won; 2 = local won.
+  std::atomic<int> decided{0};
+
+  opt.global.cancel = &cancel_global;
+  opt.global.stop_on_violation = true;
+  opt.local.cancel = &cancel_local;
+  opt.local.stop_on_confirmed = true;
+
+  GlobalModelChecker global(cfg, invariant, opt.global);
+  LocalModelChecker local(cfg, invariant, opt.local);
+
+  auto claim = [&](int who) {
+    int expected = 0;
+    if (decided.compare_exchange_strong(expected, who)) {
+      if (who == 1)
+        cancel_local.store(true, std::memory_order_relaxed);
+      else
+        cancel_global.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+
+  bool global_won = false, local_won = false;
+  std::thread tg([&] {
+    global.run(nodes, Network{in_flight});
+    // Decisive iff it found a violation or exhausted its bounded space.
+    if (global.stats().violations > 0 || global.stats().completed) global_won = claim(1);
+  });
+  std::thread tl([&] {
+    local.run(nodes, in_flight);
+    if (local.stats().confirmed_violations > 0 || local.stats().completed) local_won = claim(2);
+  });
+  tg.join();
+  tl.join();
+
+  RacingResult res;
+  res.global_stats = global.stats();
+  res.local_stats = local.stats();
+  res.elapsed_s = now_s() - t0;
+  if (global_won) {
+    res.winner = RacingResult::Winner::Global;
+    if (!global.violations().empty()) {
+      res.found = true;
+      res.global_violation = global.violations().front();
+    }
+  } else if (local_won) {
+    res.winner = RacingResult::Winner::Local;
+    if (const LocalViolation* v = local.first_confirmed()) {
+      res.found = true;
+      res.local_violation = *v;
+    }
+  }
+  return res;
+}
+
+}  // namespace lmc

@@ -1,0 +1,44 @@
+// Racing checker — the paper's §4.3 suggestion made concrete: "Perhaps, one
+// solution could be running both local and global model checker in parallel
+// and use the result of the one that finishes sooner."
+//
+// Local checking wins when preliminary violations are rare (it skips the
+// cost of validating every visited state); global checking wins when the
+// state is riddled with (or close to) violations, because every state it
+// visits is valid by construction. The race hedges: both run concurrently
+// on their own threads; the first to produce a CONFIRMED verdict — a sound
+// violation, or completing its bounded space cleanly — cancels the other.
+#pragma once
+
+#include <optional>
+
+#include "mc/global_mc.hpp"
+#include "mc/local_mc.hpp"
+
+namespace lmc {
+
+struct RacingOptions {
+  GlobalMcOptions global;
+  LocalMcOptions local;
+};
+
+struct RacingResult {
+  enum class Winner { Global, Local, Neither };
+  Winner winner = Winner::Neither;
+
+  bool found = false;                      ///< a violation was confirmed
+  std::optional<GlobalViolation> global_violation;
+  std::optional<LocalViolation> local_violation;
+
+  GlobalMcStats global_stats;
+  LocalMcStats local_stats;
+  double elapsed_s = 0.0;
+};
+
+/// Run both checkers from the same start state; first decisive finisher
+/// wins and cancels the other. `nodes`/`in_flight` as in the checkers' run.
+RacingResult race_checkers(const SystemConfig& cfg, const Invariant* invariant,
+                           const std::vector<Blob>& nodes,
+                           const std::vector<Message>& in_flight, RacingOptions opt);
+
+}  // namespace lmc

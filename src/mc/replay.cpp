@@ -1,0 +1,82 @@
+#include "mc/replay.hpp"
+
+#include <sstream>
+
+namespace lmc {
+
+ReplayResult replay_schedule(const SystemConfig& cfg, const std::vector<Blob>& start_nodes,
+                             const std::vector<Message>& in_flight, const Schedule& schedule,
+                             const EventTable& events,
+                             const std::vector<Hash64>& expected_hashes) {
+  ReplayResult out;
+  std::vector<Blob> nodes = start_nodes;
+  Network net{in_flight};
+
+  std::size_t step_no = 0;
+  for (const ScheduleStep& step : schedule) {
+    ++step_no;
+    auto it = events.find(step.ev_hash);
+    if (it == events.end()) {
+      out.error = "step " + std::to_string(step_no) + ": unknown event hash";
+      return out;
+    }
+    const EventRecord& er = it->second;
+    if (er.is_message != step.is_message) {
+      out.error = "step " + std::to_string(step_no) + ": event kind mismatch";
+      return out;
+    }
+
+    ExecResult r;
+    if (er.is_message) {
+      // The message must actually be in flight — this is where an unsound
+      // schedule would be caught red-handed.
+      const auto& msgs = net.messages();
+      std::size_t pos = msgs.size();
+      for (std::size_t i = 0; i < msgs.size(); ++i)
+        if (msgs[i].hash() == step.ev_hash) {
+          pos = i;
+          break;
+        }
+      if (pos == msgs.size()) {
+        out.error = "step " + std::to_string(step_no) + ": message not in flight: " +
+                    to_string(er.msg);
+        return out;
+      }
+      Message m = net.take(pos);
+      if (m.dst != step.node) {
+        out.error = "step " + std::to_string(step_no) + ": destination mismatch";
+        return out;
+      }
+      r = exec_message(cfg, m.dst, nodes[m.dst], m);
+      out.log.push_back("deliver " + to_string(m));
+    } else {
+      if (er.node != step.node) {
+        out.error = "step " + std::to_string(step_no) + ": node mismatch";
+        return out;
+      }
+      r = exec_internal(cfg, er.node, nodes[er.node], er.ev);
+      out.log.push_back("node " + std::to_string(er.node) + " " + to_string(er.ev));
+    }
+    if (r.assert_failed) {
+      out.error = "step " + std::to_string(step_no) + ": local assert: " + r.assert_msg;
+      return out;
+    }
+    nodes[step.node] = std::move(r.state);
+    net.add_all(std::move(r.sent));
+  }
+
+  if (!expected_hashes.empty()) {
+    for (NodeId n = 0; n < nodes.size(); ++n) {
+      if (hash_blob(nodes[n]) != expected_hashes[n]) {
+        out.error = "final state of node " + std::to_string(n) + " differs from the violation";
+        out.final_nodes = std::move(nodes);
+        return out;
+      }
+    }
+  }
+  out.ok = true;
+  out.final_nodes = std::move(nodes);
+  return out;
+}
+
+}  // namespace lmc

@@ -1,0 +1,34 @@
+// Replay validator: turns a confirmed soundness schedule back into real
+// handler executions on the global model (live snapshot + real network with
+// consume-on-deliver semantics). This is the machine-checked witness behind
+// every bug LMC reports: if the replay reproduces the violating system
+// state, the bug is certainly reachable in a real run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/local_store.hpp"
+#include "net/network.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace lmc {
+
+struct ReplayResult {
+  bool ok = false;
+  std::string error;                 ///< first divergence, when !ok
+  std::vector<Blob> final_nodes;     ///< node states after the replay
+  std::vector<std::string> log;      ///< one line per executed event
+};
+
+/// Execute `schedule` from (start_nodes, in_flight) through the real
+/// handlers. Fails if a scheduled message is not actually in flight when
+/// delivered, an event is unknown, a local assertion fires, or the final
+/// per-node state hashes differ from `expected_hashes` (pass empty to skip
+/// the final comparison).
+ReplayResult replay_schedule(const SystemConfig& cfg, const std::vector<Blob>& start_nodes,
+                             const std::vector<Message>& in_flight, const Schedule& schedule,
+                             const EventTable& events,
+                             const std::vector<Hash64>& expected_hashes);
+
+}  // namespace lmc

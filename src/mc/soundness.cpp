@@ -1,0 +1,463 @@
+#include "mc/soundness.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace lmc {
+
+SoundnessVerifier::SoundnessVerifier(const LocalStore& store,
+                                     std::vector<Hash64> initial_in_flight, SoundnessOptions opt)
+    : store_(store), initial_in_flight_(std::move(initial_in_flight)), opt_(opt) {}
+
+std::vector<SoundnessVerifier::NodeSeq> SoundnessVerifier::enumerate_sequences(
+    NodeId n, std::uint32_t idx, bool* truncated) const {
+  std::vector<NodeSeq> out;
+  // Backward DFS over predecessor pointers. `path` holds the events from
+  // the target back towards the root; a completed path (a state with no
+  // predecessors, i.e. the live/initial state) is reversed into a sequence.
+  std::vector<SeqEv> path;
+  std::vector<std::uint32_t> on_path;  // state indices, for cycle pruning
+
+  struct Frame {
+    std::uint32_t idx;
+    std::size_t next_pred;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({idx, 0});
+  on_path.push_back(idx);
+
+  while (!stack.empty()) {
+    if (out.size() >= opt_.max_sequences_per_node) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
+    Frame& f = stack.back();
+    const NodeStateRec& rec = store_.rec(n, f.idx);
+
+    if (rec.preds.empty()) {
+      // Root reached: emit the path, oldest event first.
+      NodeSeq seq;
+      seq.root = f.idx;
+      seq.evs.assign(path.rbegin(), path.rend());
+      out.push_back(std::move(seq));
+      stack.pop_back();
+      on_path.pop_back();
+      if (!path.empty()) path.pop_back();
+      continue;
+    }
+
+    if (f.next_pred >= rec.preds.size()) {
+      stack.pop_back();
+      on_path.pop_back();
+      if (!path.empty()) path.pop_back();
+      continue;
+    }
+
+    const Pred& p = rec.preds[f.next_pred++];
+    // Prune edges that revisit a state already on this path (covers the
+    // paper's self-references and longer cycles); also cap path length.
+    bool cyclic = false;
+    for (std::uint32_t s : on_path)
+      if (s == p.pred_idx) {
+        cyclic = true;
+        break;
+      }
+    if (cyclic || path.size() >= opt_.max_seq_len) {
+      if (path.size() >= opt_.max_seq_len && truncated != nullptr) *truncated = true;
+      continue;
+    }
+
+    // The edge leads *to* the current frame's state.
+    path.push_back(SeqEv{p.is_message, p.ev_hash, &p.gen, f.idx});
+    stack.push_back({p.pred_idx, 0});
+    on_path.push_back(p.pred_idx);
+  }
+
+  return out;
+}
+
+bool SoundnessVerifier::is_sequence_valid(const std::vector<const NodeSeq*>& seqs,
+                                          Schedule* schedule) const {
+  // Multiset of available message hashes; seeded with the snapshot's
+  // in-flight messages (they exist without any event generating them).
+  std::unordered_map<Hash64, std::uint32_t> net;
+  for (Hash64 h : initial_in_flight_) ++net[h];
+
+  const std::size_t n_nodes = seqs.size();
+  std::vector<std::size_t> ptr(n_nodes, 0);
+  const std::size_t scheduled_at_entry = schedule != nullptr ? schedule->size() : 0;
+  // Self-loops already fired, keyed by (node, state, ordinal).
+  std::unordered_set<std::uint64_t> fired;
+
+  auto state_at = [&](std::size_t n) -> std::uint32_t {
+    const NodeSeq& s = *seqs[n];
+    return ptr[n] == 0 ? s.root : s.evs[ptr[n] - 1].state_after;
+  };
+
+  bool done = false;
+  while (!done) {
+    // Phase 1: greedily advance the per-node sequences (Fig. 9's
+    // isSequenceValid). Feasibility is confluent, so any enabled-first
+    // order works.
+    bool advanced = true;
+    while (advanced) {
+      advanced = false;
+      for (std::size_t n = 0; n < n_nodes; ++n) {
+        while (ptr[n] < seqs[n]->size()) {
+          const SeqEv& ev = seqs[n]->evs[ptr[n]];
+          if (ev.is_message) {
+            auto it = net.find(ev.ev_hash);
+            if (it == net.end() || it->second == 0) break;  // not yet generated
+            --it->second;
+          }
+          for (Hash64 g : *ev.gen) ++net[g];
+          if (schedule != nullptr)
+            schedule->push_back({static_cast<NodeId>(n), ev.is_message, ev.ev_hash});
+          ++ptr[n];
+          advanced = true;
+        }
+      }
+    }
+
+    done = true;
+    for (std::size_t n = 0; n < n_nodes; ++n)
+      if (ptr[n] != seqs[n]->size()) done = false;
+    if (done) break;
+
+    // Phase 2 (extension over the paper; see NodeStateRec::self_loops):
+    // stuck — try firing one recorded no-op transition of some node's
+    // current state to generate the missing messages.
+    bool fired_one = false;
+    for (std::size_t n = 0; n < n_nodes && !fired_one; ++n) {
+      const std::uint32_t st = state_at(n);
+      const NodeStateRec& rec = store_.rec(static_cast<NodeId>(n), st);
+      for (std::size_t k = 0; k < rec.self_loops.size(); ++k) {
+        const Pred& sl = rec.self_loops[k];
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(n) << 40) ^ (static_cast<std::uint64_t>(st) << 8) ^ k;
+        if (fired.count(key)) continue;
+        if (sl.is_message) {
+          auto it = net.find(sl.ev_hash);
+          if (it == net.end() || it->second == 0) continue;
+          --it->second;
+        }
+        for (Hash64 g : sl.gen) ++net[g];
+        if (schedule != nullptr)
+          schedule->push_back({static_cast<NodeId>(n), sl.is_message, sl.ev_hash});
+        fired.insert(key);
+        fired_one = true;
+        break;
+      }
+    }
+    if (!fired_one) break;  // truly stuck
+  }
+
+  for (std::size_t n = 0; n < n_nodes; ++n)
+    if (ptr[n] != seqs[n]->size()) {
+      if (schedule != nullptr) schedule->resize(scheduled_at_entry);
+      return false;
+    }
+  return true;
+}
+
+namespace {
+
+/// One forward transition inside a node's relevant sub-DAG.
+struct FwdEdge {
+  std::uint32_t to = 0;
+  bool is_message = false;
+  Hash64 ev_hash = 0;
+  const std::vector<Hash64>* gen = nullptr;
+  bool self_loop = false;
+};
+
+struct SubGraph {
+  // Forward adjacency restricted to states on some root->target path
+  // (fixed nodes) or the whole traversed graph (free nodes).
+  std::unordered_map<std::uint32_t, std::vector<FwdEdge>> out;
+  std::unordered_set<std::uint32_t> states;
+  std::uint32_t root = 0;
+  std::uint32_t target = 0;
+  bool fixed = true;  ///< must end exactly on `target`
+  bool target_reachable = false;
+};
+
+/// Backward closure of `target` over predecessor pointers, then the forward
+/// edges among those states (plus recorded self-loops).
+SubGraph build_subgraph(const LocalStore& store, NodeId n, std::uint32_t target) {
+  SubGraph g;
+  g.target = target;
+  std::vector<std::uint32_t> work{target};
+  g.states.insert(target);
+  while (!work.empty()) {
+    std::uint32_t s = work.back();
+    work.pop_back();
+    for (const Pred& p : store.rec(n, s).preds)
+      if (g.states.insert(p.pred_idx).second) work.push_back(p.pred_idx);
+  }
+  for (std::uint32_t s : g.states) {
+    const NodeStateRec& rec = store.rec(n, s);
+    if (rec.preds.empty()) g.root = s;  // the live/initial state
+    for (const Pred& p : rec.preds)
+      if (g.states.count(p.pred_idx))
+        g.out[p.pred_idx].push_back(FwdEdge{s, p.is_message, p.ev_hash, &p.gen, false});
+    for (const Pred& sl : rec.self_loops)
+      g.out[s].push_back(FwdEdge{s, sl.is_message, sl.ev_hash, &sl.gen, true});
+  }
+  return g;
+}
+
+/// The entire traversed graph of node n — used for free (unconstrained)
+/// nodes, which may end anywhere.
+SubGraph build_full_graph(const LocalStore& store, NodeId n) {
+  SubGraph g;
+  g.fixed = false;
+  for (std::uint32_t s = 0; s < store.size(n); ++s) {
+    g.states.insert(s);
+    const NodeStateRec& rec = store.rec(n, s);
+    if (rec.preds.empty()) g.root = s;
+    for (const Pred& p : rec.preds)
+      g.out[p.pred_idx].push_back(FwdEdge{s, p.is_message, p.ev_hash, &p.gen, false});
+    for (const Pred& sl : rec.self_loops)
+      g.out[s].push_back(FwdEdge{s, sl.is_message, sl.ev_hash, &sl.gen, true});
+  }
+  g.target = g.root;
+  g.target_reachable = true;
+  return g;
+}
+
+/// Drop message edges whose hash nothing can generate, then drop states
+/// that can no longer reach the target; iterate to a fixpoint.
+void prune_subgraphs(std::vector<SubGraph>& graphs, const std::vector<Hash64>& initial) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::unordered_set<Hash64> available(initial.begin(), initial.end());
+    for (const SubGraph& g : graphs)
+      for (const auto& [src, edges] : g.out)
+        for (const FwdEdge& e : edges)
+          for (Hash64 h : *e.gen) available.insert(h);
+
+    for (SubGraph& g : graphs) {
+      // Remove unavailable message edges.
+      for (auto& [src, edges] : g.out) {
+        auto it = std::remove_if(edges.begin(), edges.end(), [&](const FwdEdge& e) {
+          return e.is_message && !available.count(e.ev_hash);
+        });
+        if (it != edges.end()) {
+          edges.erase(it, edges.end());
+          changed = true;
+        }
+      }
+      if (!g.fixed) continue;  // free nodes may end anywhere: no target pruning
+      // Keep only states that can still reach the target (backward BFS over
+      // the surviving forward edges).
+      std::unordered_set<std::uint32_t> reaches{g.target};
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (const auto& [src, edges] : g.out) {
+          if (reaches.count(src)) continue;
+          for (const FwdEdge& e : edges)
+            if (!e.self_loop && reaches.count(e.to)) {
+              reaches.insert(src);
+              grew = true;
+              break;
+            }
+        }
+      }
+      for (auto it = g.out.begin(); it != g.out.end();) {
+        if (!reaches.count(it->first)) {
+          it = g.out.erase(it);
+          changed = true;
+          continue;
+        }
+        auto& edges = it->second;
+        auto drop = std::remove_if(edges.begin(), edges.end(), [&](const FwdEdge& e) {
+          return !e.self_loop && !reaches.count(e.to);
+        });
+        if (drop != edges.end()) {
+          edges.erase(drop, edges.end());
+          changed = true;
+        }
+        ++it;
+      }
+      g.target_reachable = reaches.count(g.root) != 0 || g.root == g.target;
+      g.states = std::move(reaches);
+    }
+  }
+}
+
+/// Joint DFS over (positions, net multiset). Returns true and fills
+/// `schedule` when every node parks on its target.
+class JointSearch {
+ public:
+  JointSearch(const std::vector<SubGraph>& graphs, const std::vector<Hash64>& initial,
+              std::uint64_t max_expansions)
+      : graphs_(graphs), max_expansions_(max_expansions) {
+    for (Hash64 h : initial) ++net_[h];
+  }
+
+  bool run(std::vector<std::uint32_t> start, Schedule* schedule) {
+    pos_ = std::move(start);
+    return dfs(schedule);
+  }
+
+  std::uint64_t expansions() const { return expansions_; }
+  bool truncated() const { return truncated_; }
+
+ private:
+  Hash64 joint_hash() const {
+    Hash64 h = 0x51ed270b9a3bULL;
+    for (std::uint32_t p : pos_) h = hash_combine(h, p);
+    Hash64 nh = 0;
+    for (const auto& [k, c] : net_)
+      if (c != 0) nh = hash_combine_unordered(nh, hash_combine(k, c));
+    return hash_combine(h, nh);
+  }
+
+  bool at_goal() const {
+    for (std::size_t n = 0; n < graphs_.size(); ++n)
+      if (graphs_[n].fixed && pos_[n] != graphs_[n].target) return false;
+    return true;
+  }
+
+ public:
+  const std::vector<std::uint32_t>& positions() const { return pos_; }
+
+ private:
+
+  bool dfs(Schedule* schedule) {
+    if (at_goal()) return true;
+    if (expansions_ >= max_expansions_) {
+      truncated_ = true;
+      return false;
+    }
+    if (!visited_.insert(joint_hash()).second) return false;
+    ++expansions_;
+
+    for (std::size_t n = 0; n < graphs_.size(); ++n) {
+      auto it = graphs_[n].out.find(pos_[n]);
+      if (it == graphs_[n].out.end()) continue;
+      for (const FwdEdge& e : it->second) {
+        if (e.is_message) {
+          auto nit = net_.find(e.ev_hash);
+          if (nit == net_.end() || nit->second == 0) continue;
+        }
+        if (e.self_loop) {
+          // Fire only when it contributes a message we do not have yet;
+          // bounds re-firing without tracking per-path state.
+          bool contributes = false;
+          for (Hash64 g : *e.gen)
+            if (net_[g] == 0) contributes = true;
+          if (!contributes) continue;
+        }
+        // Apply.
+        const std::uint32_t old_pos = pos_[n];
+        if (e.is_message) --net_[e.ev_hash];
+        for (Hash64 g : *e.gen) ++net_[g];
+        pos_[n] = e.to;
+        if (schedule != nullptr)
+          schedule->push_back({static_cast<NodeId>(n), e.is_message, e.ev_hash});
+
+        if (dfs(schedule)) return true;
+
+        // Undo.
+        if (schedule != nullptr) schedule->pop_back();
+        pos_[n] = old_pos;
+        for (Hash64 g : *e.gen) --net_[g];
+        if (e.is_message) ++net_[e.ev_hash];
+      }
+    }
+    return false;
+  }
+
+  const std::vector<SubGraph>& graphs_;
+  std::uint64_t max_expansions_;
+  std::vector<std::uint32_t> pos_;
+  std::unordered_map<Hash64, std::uint32_t> net_;
+  std::unordered_set<Hash64> visited_;
+  std::uint64_t expansions_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+bool SoundnessVerifier::target_feasible(NodeId n, std::uint32_t target,
+                                        const std::unordered_set<Hash64>& other_avail) const {
+  SubGraph g = build_subgraph(store_, n, target);
+  if (target == g.root) return true;
+  // Prune under maximal help: everything other nodes could ever generate is
+  // assumed available, plus what this subgraph's own surviving edges make.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::unordered_set<Hash64> avail = other_avail;
+    for (Hash64 h : initial_in_flight_) avail.insert(h);
+    for (const auto& [src, edges] : g.out)
+      for (const FwdEdge& e : edges)
+        for (Hash64 h : *e.gen) avail.insert(h);
+
+    for (auto& [src, edges] : g.out) {
+      auto it = std::remove_if(edges.begin(), edges.end(), [&](const FwdEdge& e) {
+        return e.is_message && !avail.count(e.ev_hash);
+      });
+      if (it != edges.end()) {
+        edges.erase(it, edges.end());
+        changed = true;
+      }
+    }
+  }
+  // Target still reachable from the root over surviving edges?
+  std::unordered_set<std::uint32_t> reached{g.root};
+  std::vector<std::uint32_t> work{g.root};
+  while (!work.empty()) {
+    std::uint32_t s = work.back();
+    work.pop_back();
+    if (s == target) return true;
+    auto it = g.out.find(s);
+    if (it == g.out.end()) continue;
+    for (const FwdEdge& e : it->second)
+      if (!e.self_loop && reached.insert(e.to).second) work.push_back(e.to);
+  }
+  return reached.count(target) != 0;
+}
+
+SoundnessResult SoundnessVerifier::verify(const std::vector<std::uint32_t>& combo,
+                                          const std::vector<bool>* fixed) const {
+  SoundnessResult res;
+  const std::uint32_t n_nodes = store_.num_nodes();
+
+  std::vector<SubGraph> graphs;
+  graphs.reserve(n_nodes);
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    if (fixed == nullptr || (*fixed)[n])
+      graphs.push_back(build_subgraph(store_, n, combo[n]));
+    else
+      graphs.push_back(build_full_graph(store_, n));
+  }
+
+  prune_subgraphs(graphs, initial_in_flight_);
+  std::vector<std::uint32_t> start(n_nodes);
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    res.sequences_enumerated += graphs[n].states.size();
+    if (graphs[n].fixed && combo[n] != graphs[n].root && !graphs[n].target_reachable)
+      return res;  // provably unsound: no surviving root->target path
+    start[n] = graphs[n].root;
+  }
+
+  JointSearch search(graphs, initial_in_flight_, opt_.max_schedules);
+  Schedule sched;
+  const bool found = search.run(std::move(start), &sched);
+  res.schedules_checked = search.expansions();
+  res.truncated = search.truncated();
+  if (found) {
+    res.sound = true;
+    res.schedule = std::move(sched);
+    res.final_combo = search.positions();
+  }
+  return res;
+}
+
+}  // namespace lmc

@@ -1,0 +1,39 @@
+#include "mc/system_state.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace lmc {
+
+Hash64 system_state_hash(const std::vector<Hash64>& node_hashes) {
+  Hash64 h = 0x9e3779b97f4a7c15ULL;
+  for (Hash64 nh : node_hashes) h = hash_combine(h, nh);
+  return h;
+}
+
+Hash64 system_state_hash_of(const std::vector<Blob>& nodes) {
+  Hash64 h = 0x9e3779b97f4a7c15ULL;
+  for (const Blob& b : nodes) h = hash_combine(h, hash_blob(b));
+  return h;
+}
+
+SystemStateView make_view(const std::vector<Blob>& nodes) {
+  SystemStateView v;
+  v.reserve(nodes.size());
+  for (const Blob& b : nodes) v.push_back(&b);
+  return v;
+}
+
+std::string format_system_state(const std::vector<Hash64>& node_hashes) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < node_hashes.size(); ++i) {
+    if (i) os << ", ";
+    os << "n" << i << "=0x" << std::hex << std::setw(8) << std::setfill('0')
+       << (node_hashes[i] & 0xffffffffu) << std::dec;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace lmc

@@ -1,0 +1,26 @@
+// Small utilities over transient system states, shared by both checkers
+// and the cross-check tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/invariant.hpp"
+#include "runtime/hash.hpp"
+#include "runtime/types.hpp"
+
+namespace lmc {
+
+/// Canonical identity of a system state: ordered combination of the
+/// per-node blob hashes. Both checkers use this, so their visited system
+/// states are directly comparable.
+Hash64 system_state_hash(const std::vector<Hash64>& node_hashes);
+Hash64 system_state_hash_of(const std::vector<Blob>& nodes);
+
+/// Non-owning view over owned blobs (for Invariant::holds).
+SystemStateView make_view(const std::vector<Blob>& nodes);
+
+/// Hex rendering for logs/bug reports.
+std::string format_system_state(const std::vector<Hash64>& node_hashes);
+
+}  // namespace lmc

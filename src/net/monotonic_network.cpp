@@ -1,0 +1,41 @@
+#include "net/monotonic_network.hpp"
+
+namespace lmc {
+
+bool MonotonicNetwork::add(Message m) {
+  Hash64 h = m.hash();
+  if (index_.count(h)) {
+    ++suppressed_;
+    return false;
+  }
+  index_.emplace(h, entries_.size());
+  entries_.push_back(Entry{std::move(m), h, 0});
+  return true;
+}
+
+std::size_t MonotonicNetwork::add_all(const std::vector<Message>& msgs) {
+  std::size_t before = suppressed_;
+  for (const Message& m : msgs) add(m);
+  return suppressed_ - before;
+}
+
+const Message* MonotonicNetwork::find(Hash64 h) const {
+  auto it = index_.find(h);
+  if (it == index_.end()) return nullptr;
+  return &entries_[it->second].msg;
+}
+
+std::vector<Hash64> MonotonicNetwork::all_hashes() const {
+  std::vector<Hash64> v;
+  v.reserve(entries_.size());
+  for (const Entry& e : entries_) v.push_back(e.hash);
+  return v;
+}
+
+std::size_t MonotonicNetwork::bytes() const {
+  std::size_t b = entries_.size() * (sizeof(Entry) + sizeof(Hash64) + 2 * sizeof(std::size_t));
+  for (const Entry& e : entries_) b += e.msg.payload.capacity();
+  return b;
+}
+
+}  // namespace lmc

@@ -1,0 +1,51 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lmc {
+
+Network::Network(std::vector<Message> msgs) {
+  for (Message& m : msgs) add(std::move(m));
+}
+
+bool Network::add(Message m) {
+  Hash64 h = m.hash();
+  if (contains_hash(h)) return false;
+  msgs_.push_back(std::move(m));
+  hashes_.push_back(h);
+  return true;
+}
+
+std::size_t Network::add_all(std::vector<Message> msgs) {
+  std::size_t suppressed = 0;
+  for (Message& m : msgs)
+    if (!add(std::move(m))) ++suppressed;
+  return suppressed;
+}
+
+Message Network::take(std::size_t i) {
+  if (i >= msgs_.size()) throw std::out_of_range("Network::take");
+  Message m = std::move(msgs_[i]);
+  msgs_.erase(msgs_.begin() + static_cast<std::ptrdiff_t>(i));
+  hashes_.erase(hashes_.begin() + static_cast<std::ptrdiff_t>(i));
+  return m;
+}
+
+Hash64 Network::hash() const {
+  Hash64 h = 0;
+  for (Hash64 mh : hashes_) h = hash_combine_unordered(h, mh);
+  return mix64(h);
+}
+
+std::size_t Network::bytes() const {
+  std::size_t b = msgs_.size() * (sizeof(Message) + sizeof(Hash64));
+  for (const Message& m : msgs_) b += m.payload.capacity();
+  return b;
+}
+
+bool Network::contains_hash(Hash64 h) const {
+  return std::find(hashes_.begin(), hashes_.end(), h) != hashes_.end();
+}
+
+}  // namespace lmc

@@ -1,0 +1,48 @@
+// The classic network state `I`: the set of in-flight messages that is part
+// of every global state in global model checking (§3.1). Delivery removes
+// the message; sending inserts it. Duplicate sends (identical content) are
+// suppressed, mirroring the paper's duplicate-message limit of zero (§4.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/hash.hpp"
+#include "runtime/message.hpp"
+
+namespace lmc {
+
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::vector<Message> msgs);
+
+  /// Insert a message; returns false if an identical message (same content
+  /// hash) is already in flight and was therefore suppressed.
+  bool add(Message m);
+
+  /// Insert a batch (a handler's `c` set); returns #suppressed.
+  std::size_t add_all(std::vector<Message> msgs);
+
+  /// Remove and return the i-th in-flight message (a delivery event).
+  Message take(std::size_t i);
+
+  const std::vector<Message>& messages() const { return msgs_; }
+  std::size_t size() const { return msgs_.size(); }
+  bool empty() const { return msgs_.empty(); }
+
+  /// Order-independent content hash of the in-flight set; feeds the global
+  /// state identity hash.
+  Hash64 hash() const;
+
+  /// Approximate heap footprint, for the Fig. 12 memory accounting.
+  std::size_t bytes() const;
+
+  bool contains_hash(Hash64 h) const;
+
+ private:
+  std::vector<Message> msgs_;
+  std::vector<Hash64> hashes_;  // parallel to msgs_
+};
+
+}  // namespace lmc

@@ -1,0 +1,17 @@
+#include "net/sim_transport.hpp"
+
+namespace lmc {
+
+SimTransport::SimTransport(Options opt) : opt_(opt), rng_(opt.seed) {}
+
+std::optional<double> SimTransport::delivery_delay(const Message& m) {
+  ++sent_;
+  if (m.src != m.dst && unit_(rng_) < opt_.drop_prob) {
+    ++dropped_;
+    return std::nullopt;
+  }
+  double span = opt_.latency_max - opt_.latency_min;
+  return opt_.latency_min + span * unit_(rng_);
+}
+
+}  // namespace lmc

@@ -1,0 +1,44 @@
+// Lossy best-effort transport policy for live (simulated) deployments.
+//
+// The paper's testbed runs nodes over UDP and randomly drops 30% of
+// non-loopback messages "to allow rare states to be also created" (§5.5).
+// We reproduce that as a seeded policy object: given a message, either
+// return a delivery delay or decide the message is lost. The discrete-event
+// LiveRunner owns the clock and queues; this class owns only randomness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+
+#include "runtime/message.hpp"
+
+namespace lmc {
+
+class SimTransport {
+ public:
+  struct Options {
+    double drop_prob = 0.3;      ///< loss probability for non-loopback messages
+    double latency_min = 0.010;  ///< seconds
+    double latency_max = 0.050;  ///< seconds
+    std::uint64_t seed = 1;
+  };
+
+  explicit SimTransport(Options opt);
+
+  /// Delay until delivery, or nullopt if the message is dropped.
+  /// Loopback (src == dst) messages are never dropped, as in the paper.
+  std::optional<double> delivery_delay(const Message& m);
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  Options opt_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace lmc

@@ -1,0 +1,27 @@
+#include "online/crystalball.hpp"
+
+namespace lmc {
+
+CrystalBallResult CrystalBall::run() {
+  CrystalBallResult out;
+  for (double t = opt_.period; t <= opt_.max_live_time + 1e-9; t += opt_.period) {
+    live_.run_until(t);
+    Snapshot snap = live_.snapshot();
+    LocalModelChecker mc(cfg_, invariant_, opt_.mc);
+    mc.run(snap.nodes, snap.in_flight);
+    ++out.runs;
+    out.last_stats = mc.stats();
+    if (const LocalViolation* v = mc.first_confirmed()) {
+      out.found = true;
+      out.live_time = snap.time;
+      out.checker_elapsed_s = mc.stats().elapsed_s;
+      out.violation = *v;
+      out.snapshot = std::move(snap);
+      return out;
+    }
+  }
+  out.live_time = live_.now();
+  return out;
+}
+
+}  // namespace lmc

@@ -1,0 +1,144 @@
+#include "online/live_runner.hpp"
+
+#include <algorithm>
+
+namespace lmc {
+
+AppDriver first_enabled_driver() {
+  return [](NodeId, const std::vector<InternalEvent>& enabled,
+            std::mt19937_64&) -> std::optional<InternalEvent> {
+    if (enabled.empty()) return std::nullopt;
+    return enabled.front();
+  };
+}
+
+AppDriver fault_injecting_driver(double p, std::uint32_t fault_kind) {
+  return [p, fault_kind](NodeId, const std::vector<InternalEvent>& enabled,
+                         std::mt19937_64& rng) -> std::optional<InternalEvent> {
+    if (enabled.empty()) return std::nullopt;
+    const InternalEvent* fault = nullptr;
+    const InternalEvent* other = nullptr;
+    for (const InternalEvent& e : enabled) {
+      if (e.kind == fault_kind && fault == nullptr) fault = &e;
+      if (e.kind != fault_kind && other == nullptr) other = &e;
+    }
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    if (fault != nullptr && unit(rng) < p) return *fault;
+    if (other != nullptr) return *other;
+    return std::nullopt;
+  };
+}
+
+namespace {
+struct HeapCmp {
+  // std::push_heap builds a max-heap; invert for earliest-first.
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+};
+}  // namespace
+
+LiveRunner::LiveRunner(const SystemConfig& cfg, LiveOptions opt, AppDriver driver)
+    : cfg_(cfg), opt_(opt), driver_(std::move(driver)),
+      transport_([&] {
+        auto t = opt.transport;
+        t.seed = opt.seed * 0x9e3779b97f4a7c15ULL + 1;
+        return t;
+      }()),
+      rng_(opt.seed) {
+  nodes_ = initial_states(cfg_);
+  // First app tick per node at a small random offset, so init orders vary
+  // across seeds just as process start-up does on a real testbed.
+  std::uniform_real_distribution<double> jitter(0.0, 0.1);
+  for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
+    QEv ev;
+    ev.t = jitter(rng_);
+    ev.is_app = true;
+    ev.node = n;
+    push(std::move(ev));
+  }
+}
+
+void LiveRunner::push(QEv ev) {
+  ev.seq = seq_++;
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), HeapCmp{});
+}
+
+void LiveRunner::send_out(std::vector<Message> msgs) {
+  for (Message& m : msgs) {
+    if (auto delay = transport_.delivery_delay(m)) {
+      double t = now_ + *delay;
+      if (opt_.fifo_per_pair) {
+        // TCP-like in-order delivery between a pair: never overtake the
+        // previously scheduled delivery on the same (src, dst).
+        double& last = last_delivery_[{m.src, m.dst}];
+        t = std::max(t, last + 1e-9);
+        last = t;
+      }
+      QEv ev;
+      ev.t = t;
+      ev.is_app = false;
+      ev.node = m.dst;
+      ev.msg = std::move(m);
+      push(std::move(ev));
+    }
+  }
+}
+
+void LiveRunner::dispatch(const QEv& ev) {
+  if (ev.is_app) {
+    const std::vector<InternalEvent> enabled = internal_events_of(cfg_, ev.node, nodes_[ev.node]);
+    if (auto pick = driver_(ev.node, enabled, rng_)) {
+      ++app_events_;
+      ExecResult r = exec_internal(cfg_, ev.node, nodes_[ev.node], *pick);
+      if (r.assert_failed) {
+        ++assert_failures_;
+      } else {
+        nodes_[ev.node] = std::move(r.state);
+        send_out(std::move(r.sent));
+      }
+    }
+    // Sleep a random time, then tick again (§5.5: 0..60 s).
+    std::uniform_real_distribution<double> sleep(opt_.app_min, opt_.app_max);
+    QEv next;
+    next.t = now_ + std::max(1e-3, sleep(rng_));
+    next.is_app = true;
+    next.node = ev.node;
+    push(std::move(next));
+    return;
+  }
+
+  ++delivered_;
+  ExecResult r = exec_message(cfg_, ev.node, nodes_[ev.node], ev.msg);
+  if (r.assert_failed) {
+    ++assert_failures_;
+    return;
+  }
+  nodes_[ev.node] = std::move(r.state);
+  send_out(std::move(r.sent));
+}
+
+void LiveRunner::run_until(double t) {
+  while (!heap_.empty() && heap_.front().t <= t) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+    QEv ev = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = ev.t;
+    dispatch(ev);
+  }
+  now_ = t;
+}
+
+Snapshot LiveRunner::snapshot() const {
+  Snapshot s;
+  s.time = now_;
+  s.nodes = nodes_;
+  for (const QEv& ev : heap_)
+    if (!ev.is_app) s.in_flight.push_back(ev.msg);
+  return s;
+}
+
+}  // namespace lmc

@@ -1,0 +1,92 @@
+// Discrete-event simulation of a live deployment — our substitute for the
+// paper's three-node UDP testbed (§5.5): nodes run the real protocol
+// handlers, the transport drops 30% of non-loopback messages, and an
+// application driver fires internal events (proposals, fault-detector
+// triggers) at random intervals. Fully deterministic under a seed, so the
+// §5.5/§5.6 bug hunts are reproducible.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "net/sim_transport.hpp"
+#include "online/snapshot.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace lmc {
+
+/// Picks which enabled internal event (if any) the application fires at an
+/// app tick. The default driver fires the first enabled event — init first,
+/// then whatever the protocol's test driver enables.
+using AppDriver = std::function<std::optional<InternalEvent>(
+    NodeId node, const std::vector<InternalEvent>& enabled, std::mt19937_64& rng)>;
+
+AppDriver first_enabled_driver();
+
+/// §5.6 driver: "the application instead of proposing a value triggers the
+/// fault detector with the probability of 0.1" — fires a fault event with
+/// probability p when one is enabled, otherwise the first non-fault event.
+AppDriver fault_injecting_driver(double p, std::uint32_t fault_kind);
+
+struct LiveOptions {
+  std::uint64_t seed = 1;
+  SimTransport::Options transport;   ///< 30% drops by default
+  double app_min = 0.0;              ///< min sleep between app events (§5.5: 0 s)
+  double app_max = 60.0;             ///< max sleep (§5.5: 60 s)
+  /// TCP-like per-(src,dst) FIFO delivery: random latencies still decide
+  /// cross-pair interleavings, but messages between the same pair never
+  /// overtake each other (§4.3 discusses TCP as usually being simulated
+  /// rather than stacked under the protocol).
+  bool fifo_per_pair = false;
+};
+
+class LiveRunner {
+ public:
+  LiveRunner(const SystemConfig& cfg, LiveOptions opt, AppDriver driver);
+
+  /// Process all events with timestamp <= t.
+  void run_until(double t);
+
+  double now() const { return now_; }
+  Snapshot snapshot() const;
+  const std::vector<Blob>& nodes() const { return nodes_; }
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t app_events() const { return app_events_; }
+  std::uint64_t assert_failures() const { return assert_failures_; }
+  const SimTransport& transport() const { return transport_; }
+
+ private:
+  struct QEv {
+    double t = 0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break for equal timestamps
+    bool is_app = false;
+    NodeId node = 0;
+    Message msg;
+  };
+
+  void push(QEv ev);
+  void dispatch(const QEv& ev);
+  void send_out(std::vector<Message> msgs);
+
+  const SystemConfig& cfg_;
+  LiveOptions opt_;
+  AppDriver driver_;
+  SimTransport transport_;
+  std::mt19937_64 rng_;
+
+  std::vector<Blob> nodes_;
+  std::vector<QEv> heap_;  ///< min-heap by (t, seq)
+  std::map<std::pair<NodeId, NodeId>, double> last_delivery_;  ///< fifo_per_pair
+  std::uint64_t seq_ = 0;
+  double now_ = 0.0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t app_events_ = 0;
+  std::uint64_t assert_failures_ = 0;
+};
+
+}  // namespace lmc

@@ -1,0 +1,29 @@
+#include "online/snapshot.hpp"
+
+namespace lmc {
+
+Blob Snapshot::encode() const {
+  Writer w;
+  w.u64(static_cast<std::uint64_t>(time * 1e6));  // microsecond fixed-point
+  w.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (const Blob& b : nodes) w.bytes(b);
+  w.u32(static_cast<std::uint32_t>(in_flight.size()));
+  for (const Message& m : in_flight) m.serialize(w);
+  return std::move(w).take();
+}
+
+Snapshot Snapshot::decode(const Blob& b) {
+  Reader r(b);
+  Snapshot s;
+  s.time = static_cast<double>(r.u64()) / 1e6;
+  std::uint32_t n = r.u32();
+  s.nodes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) s.nodes.push_back(r.bytes());
+  n = r.u32();
+  s.in_flight.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) s.in_flight.push_back(Message::deserialize(r));
+  r.expect_exhausted();
+  return s;
+}
+
+}  // namespace lmc

@@ -1,0 +1,27 @@
+// Live-system snapshots: the whole-service-stack state capture that seeds
+// each online model-checking run (§3.3, §4.2 "save and restore the whole
+// service stack"). A snapshot is the node blobs plus the in-flight messages
+// at capture time; it round-trips through bytes so it can be shipped or
+// archived.
+#pragma once
+
+#include <vector>
+
+#include "runtime/message.hpp"
+#include "runtime/serialize.hpp"
+#include "runtime/types.hpp"
+
+namespace lmc {
+
+struct Snapshot {
+  double time = 0.0;                 ///< live (simulated) capture time
+  std::vector<Blob> nodes;           ///< serialized full service stacks
+  std::vector<Message> in_flight;    ///< messages sent but not yet delivered
+
+  Blob encode() const;
+  static Snapshot decode(const Blob& b);
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+}  // namespace lmc

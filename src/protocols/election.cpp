@@ -1,0 +1,123 @@
+#include "protocols/election.hpp"
+
+namespace lmc::election {
+
+namespace {
+Blob encode_id(std::uint32_t id) {
+  Writer w;
+  w.u32(id);
+  return std::move(w).take();
+}
+std::uint32_t decode_id(const Blob& b) {
+  Reader r(b);
+  std::uint32_t id = r.u32();
+  r.expect_exhausted();
+  return id;
+}
+}  // namespace
+
+void ElectionNode::candidate_up(Context& ctx) {
+  if (participant_) return;
+  participant_ = true;
+  ctx.send(next(), kMsgCandidate, encode_id(self_));
+}
+
+void ElectionNode::handle_message(const Message& m, Context& ctx) {
+  if (!initialized_) return;  // lossy network: pre-init delivery is lost
+  switch (m.type) {
+    case kMsgCandidate: {
+      const std::uint32_t c = decode_id(m.payload);
+      ctx.local_assert(c < n_, "election: candidate id out of range");
+      if (c == self_) {
+        // Our id survived the whole ring: we win.
+        if (!leader_self_) {
+          leader_self_ = true;
+          known_leader_ = self_;
+          for (NodeId d = 0; d < n_; ++d)
+            if (d != self_) ctx.send(d, kMsgElected, encode_id(self_));
+        }
+      } else if (c > self_) {
+        ctx.send(next(), kMsgCandidate, encode_id(c));
+        participant_ = true;
+      } else {
+        // c < self: the correct protocol swallows the smaller id and
+        // candidates up itself; the buggy one ALSO forwards it.
+        if (opt_.bug_forward_smaller) ctx.send(next(), kMsgCandidate, encode_id(c));
+        candidate_up(ctx);
+      }
+      break;
+    }
+    case kMsgElected: {
+      known_leader_ = decode_id(m.payload);
+      break;
+    }
+    default:
+      ctx.local_assert(false, "election: unknown message type");
+  }
+}
+
+std::vector<InternalEvent> ElectionNode::enabled_internal_events() const {
+  if (!initialized_) return {InternalEvent{kEvInit, {}}};
+  if (opt_.starters.count(self_) && !participant_) return {InternalEvent{kEvStart, {}}};
+  return {};
+}
+
+void ElectionNode::handle_internal(const InternalEvent& ev, Context& ctx) {
+  switch (ev.kind) {
+    case kEvInit:
+      ctx.local_assert(!initialized_, "election: double init");
+      initialized_ = true;
+      break;
+    case kEvStart:
+      ctx.local_assert(initialized_, "election: start before init");
+      candidate_up(ctx);
+      break;
+    default:
+      ctx.local_assert(false, "election: unknown internal event");
+  }
+}
+
+void ElectionNode::serialize(Writer& w) const {
+  w.b(initialized_);
+  w.b(participant_);
+  w.b(leader_self_);
+  w.i64(known_leader_);
+}
+
+void ElectionNode::deserialize(Reader& r) {
+  initialized_ = r.b();
+  participant_ = r.b();
+  leader_self_ = r.b();
+  known_leader_ = r.i64();
+}
+
+SystemConfig make_config(std::uint32_t n, Options opt) {
+  SystemConfig cfg;
+  cfg.num_nodes = n;
+  cfg.factory = [opt](NodeId self, std::uint32_t num) {
+    return std::make_unique<ElectionNode>(self, num, opt);
+  };
+  return cfg;
+}
+
+bool leader_flag_of(const Blob& state) {
+  Reader r(state);
+  r.b();  // initialized
+  r.b();  // participant
+  return r.b();
+}
+
+bool SingleLeaderInvariant::holds(const SystemConfig&, const SystemStateView& sys) const {
+  int leaders = 0;
+  for (const Blob* b : sys)
+    if (leader_flag_of(*b)) ++leaders;
+  return leaders <= 1;
+}
+
+Projection SingleLeaderInvariant::project(const SystemConfig&, NodeId n,
+                                          const Blob& state) const {
+  if (!leader_flag_of(state)) return {};
+  return {{n, 1}};
+}
+
+}  // namespace lmc::election

@@ -1,0 +1,89 @@
+// Chang-Roberts ring leader election — a compact, chatty protocol (every
+// election circulates the ring) that stresses exactly the regime LMC is
+// built for: lots of parallel in-flight messages whose interleavings a
+// global checker must enumerate.
+//
+//   START (internal): a node becomes a candidate and sends its id clockwise.
+//   CANDIDATE(c):  c > self  -> forward clockwise;
+//                  c < self  -> swallow (and candidate up if not already);
+//                  c == self -> the node's own id survived the full ring:
+//                               it is the leader, broadcast ELECTED.
+//   ELECTED(l): record the leader.
+//
+// Invariant: at most one node ever considers itself leader. The projection
+// marks self-leaders, and two of them conflict — a *pairwise* violation
+// with a custom conflict rule (same key, same value!), exercising the
+// OPT machinery differently from Paxos's same-key-different-value rule.
+//
+// Injectable bug (`bug_forward_smaller`): the swallow branch is missing —
+// smaller candidate ids are forwarded too (the classic lost `else`), so a
+// smaller node's id can survive the ring and produce a second leader.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "mc/invariant.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace lmc::election {
+
+constexpr std::uint32_t kMsgCandidate = 1;  ///< payload: candidate id
+constexpr std::uint32_t kMsgElected = 2;    ///< payload: leader id
+constexpr std::uint32_t kEvInit = 1;
+constexpr std::uint32_t kEvStart = 2;
+
+struct Options {
+  /// Nodes allowed to spontaneously start an election.
+  std::set<std::uint32_t> starters;
+  /// BUG: forward candidate ids smaller than our own instead of swallowing.
+  bool bug_forward_smaller = false;
+  bool operator==(const Options&) const = default;
+};
+
+class ElectionNode final : public StateMachine {
+ public:
+  ElectionNode(NodeId self, std::uint32_t n, Options opt) : self_(self), n_(n), opt_(opt) {}
+
+  void handle_message(const Message& m, Context& ctx) override;
+  std::vector<InternalEvent> enabled_internal_events() const override;
+  void handle_internal(const InternalEvent& ev, Context& ctx) override;
+  void serialize(Writer& w) const override;
+  void deserialize(Reader& r) override;
+
+  bool is_leader() const { return leader_self_; }
+  std::int64_t known_leader() const { return known_leader_; }
+
+ private:
+  NodeId next() const { return (self_ + 1) % n_; }
+  void candidate_up(Context& ctx);
+
+  NodeId self_;
+  std::uint32_t n_;
+  Options opt_;
+
+  bool initialized_ = false;
+  bool participant_ = false;     ///< our own id is circulating
+  bool leader_self_ = false;     ///< we won
+  std::int64_t known_leader_ = -1;
+};
+
+SystemConfig make_config(std::uint32_t n, Options opt);
+
+/// Decode the self-leader flag from a serialized ElectionNode.
+bool leader_flag_of(const Blob& state);
+
+/// "At most one leader": two node states that BOTH believe they are leader
+/// conflict, regardless of key values — a custom pairwise rule.
+class SingleLeaderInvariant final : public Invariant {
+ public:
+  std::string name() const override { return "election.single_leader"; }
+  bool holds(const SystemConfig& cfg, const SystemStateView& sys) const override;
+  bool has_projection() const override { return true; }
+  Projection project(const SystemConfig& cfg, NodeId n, const Blob& state) const override;
+  bool projections_conflict(const Projection& a, const Projection& b) const override {
+    return !a.empty() && !b.empty();  // both mapped == both leaders
+  }
+};
+
+}  // namespace lmc::election

@@ -1,0 +1,212 @@
+#include "protocols/onepaxos.hpp"
+
+namespace lmc::onepaxos {
+
+namespace {
+Blob encode_iv(paxos::Index i, paxos::Value v) {
+  Writer w;
+  w.u64(i);
+  w.u64(v);
+  return std::move(w).take();
+}
+std::pair<paxos::Index, paxos::Value> decode_iv(const Blob& b) {
+  Reader r(b);
+  paxos::Index i = r.u64();
+  paxos::Value v = r.u64();
+  r.expect_exhausted();
+  return {i, v};
+}
+}  // namespace
+
+void OnePaxosNode::refresh_config(Context& ctx) {
+  const ConfigView cfg = read_config(util_);
+  if (cfg.leader.has_value()) {
+    const bool becoming_leader = *cfg.leader == self_ && leader_ != self_;
+    leader_ = *cfg.leader;
+    if (becoming_leader) {
+      // The correct code path of §5.6: a *new* leader obtains the active
+      // acceptor from the PaxosUtility, falling back to the protocol
+      // default. (A node that already believes it is the leader never gets
+      // here — it keeps its cached value, which is what the ++ bug
+      // poisons.)
+      acceptor_ = cfg.acceptor.value_or(default_acceptor());
+      if (acceptor_ == self_ && n_ > 1) {
+        // Leader and acceptor must be separate nodes: replace the acceptor.
+        const NodeId backup = (self_ + 1) % n_;
+        util_.propose(next_log_index(util_), encode_entry(EntryKind::AcceptorChange, backup),
+                      ctx);
+        acceptor_ = backup;
+      }
+    } else if (cfg.acceptor.has_value()) {
+      acceptor_ = *cfg.acceptor;
+    }
+  } else if (cfg.acceptor.has_value()) {
+    acceptor_ = *cfg.acceptor;
+  }
+}
+
+void OnePaxosNode::handle_message(const Message& m, Context& ctx) {
+  if (!initialized_) return;  // lossy network: pre-init delivery is lost
+  switch (m.type) {
+    case kMsgPropose: {
+      // Single-acceptor accept: the leader addressed us, so act as the
+      // acceptor (the leader is authoritative about routing in 1Paxos).
+      const auto [index, value] = decode_iv(m.payload);
+      auto it = accepted_.find(index);
+      if (it == accepted_.end()) {
+        accepted_.emplace(index, value);
+        for (NodeId d = 0; d < n_; ++d) ctx.send(d, kMsgLearn, encode_iv(index, value));
+      } else {
+        // Insisting proposer: re-announce the already accepted value (the
+        // repeated-Chosen pattern of §4.2, bounded by dedup in the checker).
+        for (NodeId d = 0; d < n_; ++d) ctx.send(d, kMsgLearn, encode_iv(index, it->second));
+      }
+      return;
+    }
+    case kMsgLearn: {
+      const auto [index, value] = decode_iv(m.payload);
+      chosen_.emplace(index, value);  // sticky: first learn wins locally
+      return;
+    }
+    default:
+      break;
+  }
+  if (m.type >= kUtilBase && m.type < kUtilBase + paxos::kTypeCount) {
+    util_.handle_message(m, ctx);
+    refresh_config(ctx);
+    return;
+  }
+  ctx.local_assert(false, "1paxos: unknown message type");
+}
+
+paxos::Index OnePaxosNode::pick_index() const {
+  paxos::Index i = 0;
+  while (chosen_.count(i)) ++i;
+  return i;
+}
+
+std::vector<InternalEvent> OnePaxosNode::enabled_internal_events() const {
+  if (!initialized_) return {InternalEvent{kEvInit, {}}};
+  std::vector<InternalEvent> evs;
+  if (believes_leader() && proposals_made_ < opt_.max_proposals) {
+    Writer w;
+    w.u64(pick_index());
+    evs.push_back(InternalEvent{kEvPropose, std::move(w).take()});
+  }
+  if (!believes_leader() && leader_faults_ < opt_.max_leader_faults)
+    evs.push_back(InternalEvent{kEvSuspectLeader, {}});
+  if (believes_leader() && acceptor_faults_ < opt_.max_acceptor_faults)
+    evs.push_back(InternalEvent{kEvSuspectAcceptor, {}});
+  return evs;
+}
+
+void OnePaxosNode::handle_internal(const InternalEvent& ev, Context& ctx) {
+  switch (ev.kind) {
+    case kEvInit: {
+      ctx.local_assert(!initialized_, "1paxos: double init");
+      initialized_ = true;
+      // members.begin() is the initial leader...
+      leader_ = 0;
+      // ...and the acceptor is the second member — unless the developer
+      // wrote *(members.begin()++), which evaluates to the FIRST member
+      // (§5.6). The acceptor then silently equals the leader.
+      acceptor_ = opt_.bug_postincrement_init ? 0 : default_acceptor();
+      break;
+    }
+    case kEvPropose: {
+      ctx.local_assert(believes_leader(), "1paxos: propose by non-leader");
+      if (!believes_leader()) return;
+      Reader r(ev.arg);
+      const paxos::Index index = r.u64();
+      ++proposals_made_;
+      // §5.6: "Since N1 considers itself to be the leader, according to the
+      // protocol, it does not refer to PaxosUtility to get the acceptor Id"
+      // — the cached acceptor_ is used as-is.
+      ctx.send(acceptor_, kMsgPropose, encode_iv(index, self_ + 1));
+      break;
+    }
+    case kEvSuspectLeader: {
+      ctx.local_assert(initialized_, "1paxos: fault before init");
+      if (believes_leader()) return;
+      ++leader_faults_;
+      // Campaign: insert a LeaderChange entry into the PaxosUtility.
+      util_.propose(next_log_index(util_), encode_entry(EntryKind::LeaderChange, self_), ctx);
+      break;
+    }
+    case kEvSuspectAcceptor: {
+      if (!believes_leader()) return;
+      ++acceptor_faults_;
+      const NodeId backup = (acceptor_ + 1) % n_;
+      util_.propose(next_log_index(util_), encode_entry(EntryKind::AcceptorChange, backup), ctx);
+      break;
+    }
+    default:
+      ctx.local_assert(false, "1paxos: unknown internal event");
+  }
+}
+
+void OnePaxosNode::serialize(Writer& w) const {
+  w.b(initialized_);
+  w.u32(leader_);
+  w.u32(acceptor_);
+  w.u32(proposals_made_);
+  w.u32(leader_faults_);
+  w.u32(acceptor_faults_);
+  w.u32(static_cast<std::uint32_t>(accepted_.size()));
+  for (const auto& [i, v] : accepted_) {
+    w.u64(i);
+    w.u64(v);
+  }
+  w.u32(static_cast<std::uint32_t>(chosen_.size()));
+  for (const auto& [i, v] : chosen_) {
+    w.u64(i);
+    w.u64(v);
+  }
+  util_.serialize(w);
+}
+
+void OnePaxosNode::deserialize(Reader& r) {
+  initialized_ = r.b();
+  leader_ = r.u32();
+  acceptor_ = r.u32();
+  proposals_made_ = r.u32();
+  leader_faults_ = r.u32();
+  acceptor_faults_ = r.u32();
+  accepted_.clear();
+  chosen_.clear();
+  std::uint32_t n = r.u32();
+  for (std::uint32_t k = 0; k < n; ++k) {
+    paxos::Index i = r.u64();
+    accepted_.emplace(i, r.u64());
+  }
+  n = r.u32();
+  for (std::uint32_t k = 0; k < n; ++k) {
+    paxos::Index i = r.u64();
+    chosen_.emplace(i, r.u64());
+  }
+  util_.deserialize(r);
+}
+
+SystemConfig make_config(std::uint32_t n, Options opt) {
+  SystemConfig cfg;
+  cfg.num_nodes = n;
+  cfg.factory = [opt](NodeId self, std::uint32_t num) {
+    return std::make_unique<OnePaxosNode>(self, num, opt);
+  };
+  return cfg;
+}
+
+std::map<paxos::Index, paxos::Value> chosen_map_of(const SystemConfig& cfg, NodeId n,
+                                                   const Blob& state) {
+  auto machine = machine_from_blob(cfg, n, state);
+  return static_cast<const OnePaxosNode&>(*machine).chosen_map();
+}
+
+std::unique_ptr<paxos::AgreementInvariant> make_agreement_invariant() {
+  return std::make_unique<paxos::AgreementInvariant>(
+      [](const SystemConfig& cfg, NodeId n, const Blob& state) {
+        return chosen_map_of(cfg, n, state);
+      });
+}
+
+}  // namespace lmc::onepaxos

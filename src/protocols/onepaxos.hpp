@@ -1,0 +1,103 @@
+// 1Paxos (§5.6): an efficient Multi-Paxos variant with a SINGLE active
+// acceptor. The global leader sends proposals straight to the acceptor (no
+// prepare phase); the acceptor's accept is decisive (majority of one) and is
+// broadcast as a Learn. Upon suspicion, a node campaigns by inserting a
+// LeaderChange entry into the PaxosUtility log (full Paxos among all nodes);
+// on becoming leader it obtains the active acceptor from the utility log,
+// falling back to the protocol's default (the second member) when the log
+// has no AcceptorChange entry. The leader and acceptor roles must live on
+// two separate nodes.
+//
+// Injectable bug (`bug_postincrement_init`): the original developer wrote
+//     acceptor = *(members.begin()++);   // post-increment: returns begin()
+// instead of
+//     acceptor = *(++members.begin());
+// so every node's *cached* initial acceptor equals the initial leader (the
+// first member). A node that still believes it is the leader "does not refer
+// to PaxosUtility to get the acceptor Id" (§5.6) and uses that poisoned
+// cache — proposing to itself, accepting its own value, and choosing a value
+// no other node chose.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "mc/invariant.hpp"
+#include "protocols/paxos.hpp"
+#include "protocols/paxos_utility.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace lmc::onepaxos {
+
+// Main-layer message types; the embedded utility Paxos owns [kUtilBase,
+// kUtilBase + 4).
+constexpr std::uint32_t kMsgPropose = 10;  ///< leader -> acceptor {index, value}
+constexpr std::uint32_t kMsgLearn = 11;    ///< acceptor -> all {index, value}
+constexpr std::uint32_t kUtilBase = 100;
+
+constexpr std::uint32_t kEvInit = 1;
+constexpr std::uint32_t kEvPropose = 2;       ///< application proposal
+constexpr std::uint32_t kEvSuspectLeader = 3; ///< fault detector: campaign for leadership
+constexpr std::uint32_t kEvSuspectAcceptor = 4;  ///< leader replaces the acceptor
+
+struct Options {
+  bool bug_postincrement_init = false;  ///< the §5.6 "++" bug
+  std::uint32_t max_proposals = 1;      ///< per-node application proposals
+  std::uint32_t max_leader_faults = 1;  ///< per-node leader-suspicion budget
+  std::uint32_t max_acceptor_faults = 0;
+  bool operator==(const Options&) const = default;
+};
+
+class OnePaxosNode final : public StateMachine {
+ public:
+  OnePaxosNode(NodeId self, std::uint32_t n, Options opt)
+      : self_(self), n_(n), opt_(opt),
+        util_(self, n, paxos::CoreOptions{kUtilBase, false}) {}
+
+  void handle_message(const Message& m, Context& ctx) override;
+  std::vector<InternalEvent> enabled_internal_events() const override;
+  void handle_internal(const InternalEvent& ev, Context& ctx) override;
+  void serialize(Writer& w) const override;
+  void deserialize(Reader& r) override;
+
+  bool initialized() const { return initialized_; }
+  NodeId leader() const { return leader_; }
+  NodeId acceptor() const { return acceptor_; }
+  bool believes_leader() const { return initialized_ && leader_ == self_; }
+  const std::map<paxos::Index, paxos::Value>& chosen_map() const { return chosen_; }
+  const paxos::PaxosCore& utility() const { return util_; }
+
+ private:
+  /// The correctly written fallback used on the leader-change path.
+  NodeId default_acceptor() const { return n_ > 1 ? 1 : 0; }
+  /// Re-derive leader/acceptor from the learned utility log after every
+  /// utility message (§5.6: roles are defined by the last log entries).
+  void refresh_config(Context& ctx);
+  paxos::Index pick_index() const;
+
+  NodeId self_;
+  std::uint32_t n_;
+  Options opt_;
+
+  bool initialized_ = false;
+  NodeId leader_ = 0;
+  NodeId acceptor_ = 0;  ///< cached; poisoned by the ++ bug at init
+  std::uint32_t proposals_made_ = 0;
+  std::uint32_t leader_faults_ = 0;
+  std::uint32_t acceptor_faults_ = 0;
+  std::map<paxos::Index, paxos::Value> accepted_;  ///< single-acceptor log
+  std::map<paxos::Index, paxos::Value> chosen_;    ///< learner output
+  paxos::PaxosCore util_;                          ///< PaxosUtility layer
+};
+
+SystemConfig make_config(std::uint32_t n, Options opt);
+
+/// Decode an OnePaxosNode blob and return its chosen map (for the shared
+/// agreement invariant).
+std::map<paxos::Index, paxos::Value> chosen_map_of(const SystemConfig& cfg, NodeId n,
+                                                   const Blob& state);
+
+/// Paxos agreement invariant over 1Paxos chosen values.
+std::unique_ptr<paxos::AgreementInvariant> make_agreement_invariant();
+
+}  // namespace lmc::onepaxos

@@ -1,0 +1,102 @@
+#include "protocols/paxos.hpp"
+
+namespace lmc::paxos {
+
+void PaxosNode::handle_message(const Message& m, Context& ctx) {
+  if (!initialized_) return;  // best-effort network: pre-init delivery is lost
+  if (!core_.handle_message(m, ctx)) ctx.local_assert(false, "paxos: unknown message type");
+}
+
+Index PaxosNode::pick_index() const {
+  // §4.2 test driver: prefer a recent index not yet (locally) chosen —
+  // "where not all the nodes have learned the proposal yet" — otherwise a
+  // new index (live mode) or the lowest chosen index (bounded checker mode;
+  // see DriverConfig::allow_fresh_index).
+  if (auto idx = core_.first_unchosen_known_index()) return *idx;
+  if (driver_.allow_fresh_index) return core_.fresh_index();
+  if (!core_.chosen_map().empty()) return core_.chosen_map().begin()->first;
+  return 0;
+}
+
+std::vector<InternalEvent> PaxosNode::enabled_internal_events() const {
+  if (!initialized_) return {InternalEvent{kEvInit, {}}};
+  if (driver_.proposers.count(self_) && proposals_made_ < driver_.max_proposals) {
+    Writer w;
+    w.u64(pick_index());
+    return {InternalEvent{kEvPropose, std::move(w).take()}};
+  }
+  return {};
+}
+
+void PaxosNode::handle_internal(const InternalEvent& ev, Context& ctx) {
+  switch (ev.kind) {
+    case kEvInit:
+      ctx.local_assert(!initialized_, "paxos: double init");
+      initialized_ = true;
+      break;
+    case kEvPropose: {
+      ctx.local_assert(initialized_, "paxos: propose before init");
+      if (!initialized_) return;
+      Reader r(ev.arg);
+      const Index index = r.u64();
+      ++proposals_made_;
+      core_.propose(index, self_ + 1, ctx);  // value = node id (§5.5)
+      break;
+    }
+    default:
+      ctx.local_assert(false, "paxos: unknown internal event");
+  }
+}
+
+void PaxosNode::serialize(Writer& w) const {
+  w.b(initialized_);
+  w.u32(proposals_made_);
+  core_.serialize(w);
+}
+
+void PaxosNode::deserialize(Reader& r) {
+  initialized_ = r.b();
+  proposals_made_ = r.u32();
+  core_.deserialize(r);
+}
+
+SystemConfig make_config(std::uint32_t n, CoreOptions core_opt, DriverConfig driver) {
+  SystemConfig cfg;
+  cfg.num_nodes = n;
+  cfg.factory = [core_opt, driver](NodeId self, std::uint32_t num) {
+    return std::make_unique<PaxosNode>(self, num, core_opt, driver);
+  };
+  return cfg;
+}
+
+std::map<Index, Value> chosen_map_of(const SystemConfig& cfg, NodeId n, const Blob& state) {
+  auto machine = machine_from_blob(cfg, n, state);
+  return static_cast<const PaxosNode&>(*machine).core().chosen_map();
+}
+
+bool AgreementInvariant::holds(const SystemConfig& cfg, const SystemStateView& sys) const {
+  std::map<Index, Value> agreed;
+  for (NodeId n = 0; n < sys.size(); ++n) {
+    for (const auto& [i, v] : extract_(cfg, n, *sys[n])) {
+      auto [it, inserted] = agreed.emplace(i, v);
+      if (!inserted && it->second != v) return false;
+    }
+  }
+  return true;
+}
+
+Projection AgreementInvariant::project(const SystemConfig& cfg, NodeId n,
+                                       const Blob& state) const {
+  Projection p;
+  for (const auto& [i, v] : extract_(cfg, n, state)) p.emplace_back(i, v);
+  return p;  // std::map iteration order keeps keys sorted
+}
+
+std::unique_ptr<AgreementInvariant> make_agreement_invariant() {
+  return std::make_unique<AgreementInvariant>(
+      [](const SystemConfig& cfg, NodeId n, const Blob& state) {
+        return chosen_map_of(cfg, n, state);
+      });
+}
+
+}  // namespace lmc::paxos

@@ -1,0 +1,316 @@
+#include "protocols/paxos_core.hpp"
+
+#include <algorithm>
+
+namespace lmc::paxos {
+
+// --- message codecs --------------------------------------------------------
+
+Blob PrepareMsg::encode() const {
+  Writer w;
+  w.u64(index);
+  w.u64(ballot);
+  return std::move(w).take();
+}
+
+PrepareMsg PrepareMsg::decode(const Blob& b) {
+  Reader r(b);
+  PrepareMsg m;
+  m.index = r.u64();
+  m.ballot = r.u64();
+  r.expect_exhausted();
+  return m;
+}
+
+Blob PrepareResponseMsg::encode() const {
+  Writer w;
+  w.u64(index);
+  w.u64(ballot);
+  w.b(ok);
+  w.b(has_accepted);
+  w.u64(accepted_ballot);
+  w.u64(accepted_value);
+  return std::move(w).take();
+}
+
+PrepareResponseMsg PrepareResponseMsg::decode(const Blob& b) {
+  Reader r(b);
+  PrepareResponseMsg m;
+  m.index = r.u64();
+  m.ballot = r.u64();
+  m.ok = r.b();
+  m.has_accepted = r.b();
+  m.accepted_ballot = r.u64();
+  m.accepted_value = r.u64();
+  r.expect_exhausted();
+  return m;
+}
+
+Blob AcceptMsg::encode() const {
+  Writer w;
+  w.u64(index);
+  w.u64(ballot);
+  w.u64(value);
+  return std::move(w).take();
+}
+
+AcceptMsg AcceptMsg::decode(const Blob& b) {
+  Reader r(b);
+  AcceptMsg m;
+  m.index = r.u64();
+  m.ballot = r.u64();
+  m.value = r.u64();
+  r.expect_exhausted();
+  return m;
+}
+
+Blob LearnMsg::encode() const {
+  Writer w;
+  w.u64(index);
+  w.u64(ballot);
+  w.u64(value);
+  return std::move(w).take();
+}
+
+LearnMsg LearnMsg::decode(const Blob& b) {
+  Reader r(b);
+  LearnMsg m;
+  m.index = r.u64();
+  m.ballot = r.u64();
+  m.value = r.u64();
+  r.expect_exhausted();
+  return m;
+}
+
+// --- sending ---------------------------------------------------------------
+
+void PaxosCore::send(Context& ctx, NodeId dst, std::uint32_t type, Blob payload) const {
+  ctx.send(dst, opt_.type_base + type, std::move(payload));
+}
+
+void PaxosCore::broadcast(Context& ctx, std::uint32_t type, const Blob& payload) const {
+  // Loopback included: the paper's event count (3 Prepare messages for 3
+  // nodes) counts the self-addressed message as a network message.
+  for (NodeId d = 0; d < n_; ++d) send(ctx, d, type, payload);
+}
+
+// --- proposer --------------------------------------------------------------
+
+void PaxosCore::propose(Index index, Value value, Context& ctx) {
+  ProposerSlot& slot = proposer_[index];
+  slot.round += 1;
+  slot.ballot = make_ballot(slot.round, self_);
+  slot.value = value;
+  slot.promises.clear();
+  slot.has_adopted = false;
+  slot.adopted_ballot = 0;
+  slot.adopted_value = 0;
+  slot.accept_sent = false;
+  broadcast(ctx, kPrepare, PrepareMsg{index, slot.ballot}.encode());
+}
+
+void PaxosCore::on_prepare_response(const Message& m, Context& ctx) {
+  const PrepareResponseMsg resp = PrepareResponseMsg::decode(m.payload);
+  auto it = proposer_.find(resp.index);
+  if (it == proposer_.end()) return;
+  ProposerSlot& slot = it->second;
+  if (resp.ballot != slot.ballot || slot.accept_sent) return;  // stale round
+  if (!resp.ok) return;  // rejected; a retry is driven by a new propose event
+  slot.promises.insert(m.src);
+
+  if (opt_.bug_last_response) {
+    // BUG (§5.5): blindly track the latest response — including dropping a
+    // previously adopted value when this response carries none.
+    slot.has_adopted = resp.has_accepted;
+    slot.adopted_ballot = resp.accepted_ballot;
+    slot.adopted_value = resp.accepted_value;
+  } else if (resp.has_accepted &&
+             (!slot.has_adopted || resp.accepted_ballot > slot.adopted_ballot)) {
+    slot.has_adopted = true;
+    slot.adopted_ballot = resp.accepted_ballot;
+    slot.adopted_value = resp.accepted_value;
+  }
+
+  if (slot.promises.size() >= majority() && !slot.accept_sent) {
+    slot.accept_sent = true;
+    const Value v = slot.has_adopted ? slot.adopted_value : slot.value;
+    broadcast(ctx, kAccept, AcceptMsg{resp.index, slot.ballot, v}.encode());
+  }
+}
+
+// --- acceptor ---------------------------------------------------------------
+
+void PaxosCore::on_prepare(const Message& m, Context& ctx) {
+  const PrepareMsg prep = PrepareMsg::decode(m.payload);
+  AcceptorSlot& slot = acceptor_[prep.index];
+  PrepareResponseMsg resp;
+  resp.index = prep.index;
+  resp.ballot = prep.ballot;
+  if (prep.ballot > slot.promised) {
+    slot.promised = prep.ballot;
+    resp.ok = true;
+    resp.has_accepted = slot.has_accepted;
+    resp.accepted_ballot = slot.accepted_ballot;
+    resp.accepted_value = slot.accepted_value;
+  } else {
+    resp.ok = false;
+  }
+  send(ctx, m.src, kPrepareResponse, resp.encode());
+}
+
+void PaxosCore::on_accept(const Message& m, Context& ctx) {
+  const AcceptMsg acc = AcceptMsg::decode(m.payload);
+  AcceptorSlot& slot = acceptor_[acc.index];
+  if (acc.ballot < slot.promised) return;  // promised a higher ballot: reject
+  slot.promised = acc.ballot;
+  slot.has_accepted = true;
+  slot.accepted_ballot = acc.ballot;
+  slot.accepted_value = acc.value;
+  broadcast(ctx, kLearn, LearnMsg{acc.index, acc.ballot, acc.value}.encode());
+}
+
+// --- learner ----------------------------------------------------------------
+
+void PaxosCore::on_learn(const Message& m, Context&) {
+  const LearnMsg learn = LearnMsg::decode(m.payload);
+  LearnTally& tally = learner_[learn.index][learn.ballot];
+  tally.value = learn.value;
+  tally.acceptors.insert(m.src);
+  if (tally.acceptors.size() >= majority() && !chosen_.count(learn.index))
+    chosen_.emplace(learn.index, learn.value);
+}
+
+// --- dispatch ----------------------------------------------------------------
+
+bool PaxosCore::handle_message(const Message& m, Context& ctx) {
+  if (m.type < opt_.type_base || m.type >= opt_.type_base + kTypeCount) return false;
+  switch (m.type - opt_.type_base) {
+    case kPrepare: on_prepare(m, ctx); break;
+    case kPrepareResponse: on_prepare_response(m, ctx); break;
+    case kAccept: on_accept(m, ctx); break;
+    case kLearn: on_learn(m, ctx); break;
+    default: return false;
+  }
+  return true;
+}
+
+// --- queries -----------------------------------------------------------------
+
+std::optional<Value> PaxosCore::chosen(Index index) const {
+  auto it = chosen_.find(index);
+  if (it == chosen_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Index> PaxosCore::first_unchosen_known_index() const {
+  std::set<Index> known;
+  for (const auto& [i, _] : proposer_) known.insert(i);
+  for (const auto& [i, slot] : acceptor_)
+    if (slot.has_accepted) known.insert(i);
+  for (const auto& [i, _] : learner_) known.insert(i);
+  for (Index i : known)
+    if (!chosen_.count(i)) return i;
+  return std::nullopt;
+}
+
+Index PaxosCore::fresh_index() const {
+  Index next = 0;
+  auto bump = [&next](Index i) { next = std::max(next, i + 1); };
+  for (const auto& [i, _] : proposer_) bump(i);
+  for (const auto& [i, _] : acceptor_) bump(i);
+  for (const auto& [i, _] : learner_) bump(i);
+  for (const auto& [i, _] : chosen_) bump(i);
+  return next;
+}
+
+// --- serialization ------------------------------------------------------------
+
+void PaxosCore::serialize(Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(proposer_.size()));
+  for (const auto& [i, s] : proposer_) {
+    w.u64(i);
+    w.u32(s.round);
+    w.u64(s.ballot);
+    w.u64(s.value);
+    write_u32_set(w, s.promises);
+    w.b(s.has_adopted);
+    w.u64(s.adopted_ballot);
+    w.u64(s.adopted_value);
+    w.b(s.accept_sent);
+  }
+  w.u32(static_cast<std::uint32_t>(acceptor_.size()));
+  for (const auto& [i, s] : acceptor_) {
+    w.u64(i);
+    w.u64(s.promised);
+    w.b(s.has_accepted);
+    w.u64(s.accepted_ballot);
+    w.u64(s.accepted_value);
+  }
+  w.u32(static_cast<std::uint32_t>(learner_.size()));
+  for (const auto& [i, tallies] : learner_) {
+    w.u64(i);
+    w.u32(static_cast<std::uint32_t>(tallies.size()));
+    for (const auto& [b, t] : tallies) {
+      w.u64(b);
+      w.u64(t.value);
+      write_u32_set(w, t.acceptors);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(chosen_.size()));
+  for (const auto& [i, v] : chosen_) {
+    w.u64(i);
+    w.u64(v);
+  }
+}
+
+void PaxosCore::deserialize(Reader& r) {
+  proposer_.clear();
+  acceptor_.clear();
+  learner_.clear();
+  chosen_.clear();
+  std::uint32_t n = r.u32();
+  for (std::uint32_t k = 0; k < n; ++k) {
+    Index i = r.u64();
+    ProposerSlot s;
+    s.round = r.u32();
+    s.ballot = r.u64();
+    s.value = r.u64();
+    s.promises = read_u32_set(r);
+    s.has_adopted = r.b();
+    s.adopted_ballot = r.u64();
+    s.adopted_value = r.u64();
+    s.accept_sent = r.b();
+    proposer_.emplace(i, std::move(s));
+  }
+  n = r.u32();
+  for (std::uint32_t k = 0; k < n; ++k) {
+    Index i = r.u64();
+    AcceptorSlot s;
+    s.promised = r.u64();
+    s.has_accepted = r.b();
+    s.accepted_ballot = r.u64();
+    s.accepted_value = r.u64();
+    acceptor_.emplace(i, s);
+  }
+  n = r.u32();
+  for (std::uint32_t k = 0; k < n; ++k) {
+    Index i = r.u64();
+    std::uint32_t nt = r.u32();
+    auto& tallies = learner_[i];
+    for (std::uint32_t t = 0; t < nt; ++t) {
+      Ballot b = r.u64();
+      LearnTally tally;
+      tally.value = r.u64();
+      tally.acceptors = read_u32_set(r);
+      tallies.emplace(b, std::move(tally));
+    }
+  }
+  n = r.u32();
+  for (std::uint32_t k = 0; k < n; ++k) {
+    Index i = r.u64();
+    Value v = r.u64();
+    chosen_.emplace(i, v);
+  }
+}
+
+}  // namespace lmc::paxos

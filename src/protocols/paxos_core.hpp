@@ -1,0 +1,164 @@
+// Multi-instance Paxos core: proposer, acceptor and learner roles on every
+// node (§5 "In usual implementations of Paxos, each node implements three
+// roles"). The core is an embeddable component rather than a StateMachine:
+// PaxosNode wraps it directly for the §5.1-5.5 experiments, and OnePaxosNode
+// embeds a second instance as its PaxosUtility configuration service (§5.6)
+// — the multi-layer service-stack case that made the authors add whole-stack
+// (de)serialization to MaceMC.
+//
+// Message flow per proposal (index i):
+//   propose -> Prepare*N -> PrepareResponse*N -> Accept*N (at majority)
+//           -> each acceptor broadcasts Learn*N -> chosen at majority.
+// Ballots are (round << 8) | node, so ballots are unique and totally
+// ordered across proposers.
+//
+// Injectable bug (§5.5, first reported for the WiDS Paxos implementation):
+// with `bug_last_response` the proposer adopts the accepted value carried by
+// the *last* PrepareResponse instead of the one with the highest accepted
+// ballot — including forgetting a previously adopted value when the last
+// response carries none. Whether the bug manifests depends purely on message
+// interleaving, which is exactly what the model checker explores.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "runtime/context.hpp"
+#include "runtime/message.hpp"
+#include "runtime/serialize.hpp"
+#include "runtime/types.hpp"
+
+namespace lmc::paxos {
+
+using Index = std::uint64_t;
+using Ballot = std::uint64_t;
+using Value = std::uint64_t;
+
+constexpr Ballot make_ballot(std::uint32_t round, NodeId node) {
+  return (static_cast<Ballot>(round) << 8) | node;
+}
+
+/// Message types, relative to the instance's type_base.
+enum MsgType : std::uint32_t {
+  kPrepare = 0,
+  kPrepareResponse = 1,
+  kAccept = 2,
+  kLearn = 3,
+  kTypeCount = 4,
+};
+
+struct PrepareMsg {
+  Index index = 0;
+  Ballot ballot = 0;
+  Blob encode() const;
+  static PrepareMsg decode(const Blob& b);
+};
+
+struct PrepareResponseMsg {
+  Index index = 0;
+  Ballot ballot = 0;       ///< the ballot being answered
+  bool ok = false;         ///< promise granted
+  bool has_accepted = false;
+  Ballot accepted_ballot = 0;
+  Value accepted_value = 0;
+  Blob encode() const;
+  static PrepareResponseMsg decode(const Blob& b);
+};
+
+struct AcceptMsg {
+  Index index = 0;
+  Ballot ballot = 0;
+  Value value = 0;
+  Blob encode() const;
+  static AcceptMsg decode(const Blob& b);
+};
+
+struct LearnMsg {
+  Index index = 0;
+  Ballot ballot = 0;
+  Value value = 0;
+  Blob encode() const;
+  static LearnMsg decode(const Blob& b);
+};
+
+struct CoreOptions {
+  std::uint32_t type_base = 0;     ///< message-type namespace offset
+  bool bug_last_response = false;  ///< inject the §5.5 WiDS bug
+  bool operator==(const CoreOptions&) const = default;
+};
+
+class PaxosCore {
+ public:
+  PaxosCore(NodeId self, std::uint32_t num_nodes, CoreOptions opt)
+      : self_(self), n_(num_nodes), opt_(opt) {}
+
+  /// Start (or retry with a higher ballot) a proposal for `index`.
+  void propose(Index index, Value value, Context& ctx);
+
+  /// Dispatch a message whose type is within [type_base, type_base+4).
+  /// Returns false if the type does not belong to this instance.
+  bool handle_message(const Message& m, Context& ctx);
+
+  /// Learner output: value chosen at this node for `index`, if any.
+  std::optional<Value> chosen(Index index) const;
+  const std::map<Index, Value>& chosen_map() const { return chosen_; }
+
+  /// Driver helper (§4.2 test driver): the smallest index this node knows
+  /// about (proposed/accepted) that it has not seen chosen; nullopt if all
+  /// known indexes are chosen locally.
+  std::optional<Index> first_unchosen_known_index() const;
+  /// One past the largest index this node knows about ("a new index").
+  Index fresh_index() const;
+
+  std::uint32_t majority() const { return n_ / 2 + 1; }
+
+  void serialize(Writer& w) const;
+  void deserialize(Reader& r);
+
+  bool operator==(const PaxosCore&) const = default;
+
+ private:
+  struct ProposerSlot {
+    std::uint32_t round = 0;
+    Ballot ballot = 0;
+    Value value = 0;  ///< the node's own proposed value
+    std::set<std::uint32_t> promises;
+    bool has_adopted = false;
+    Ballot adopted_ballot = 0;
+    Value adopted_value = 0;
+    bool accept_sent = false;
+    bool operator==(const ProposerSlot&) const = default;
+  };
+  struct AcceptorSlot {
+    Ballot promised = 0;
+    bool has_accepted = false;
+    Ballot accepted_ballot = 0;
+    Value accepted_value = 0;
+    bool operator==(const AcceptorSlot&) const = default;
+  };
+  struct LearnTally {
+    Value value = 0;
+    std::set<std::uint32_t> acceptors;
+    bool operator==(const LearnTally&) const = default;
+  };
+
+  void on_prepare(const Message& m, Context& ctx);
+  void on_prepare_response(const Message& m, Context& ctx);
+  void on_accept(const Message& m, Context& ctx);
+  void on_learn(const Message& m, Context& ctx);
+  void send(Context& ctx, NodeId dst, std::uint32_t type, Blob payload) const;
+  void broadcast(Context& ctx, std::uint32_t type, const Blob& payload) const;
+
+  NodeId self_;
+  std::uint32_t n_;
+  CoreOptions opt_;
+
+  std::map<Index, ProposerSlot> proposer_;
+  std::map<Index, AcceptorSlot> acceptor_;
+  std::map<Index, std::map<Ballot, LearnTally>> learner_;
+  std::map<Index, Value> chosen_;  ///< sticky: first majority wins locally
+};
+
+}  // namespace lmc::paxos

@@ -1,0 +1,23 @@
+#include "protocols/paxos_utility.hpp"
+
+namespace lmc::onepaxos {
+
+ConfigView read_config(const paxos::PaxosCore& util) {
+  ConfigView v;
+  for (const auto& [idx, value] : util.chosen_map()) {
+    (void)idx;  // ascending map order: later entries overwrite earlier ones
+    switch (entry_kind(value)) {
+      case EntryKind::LeaderChange: v.leader = entry_node(value); break;
+      case EntryKind::AcceptorChange: v.acceptor = entry_node(value); break;
+    }
+  }
+  return v;
+}
+
+paxos::Index next_log_index(const paxos::PaxosCore& util) {
+  paxos::Index i = 0;
+  while (util.chosen_map().count(i)) ++i;
+  return i;
+}
+
+}  // namespace lmc::onepaxos

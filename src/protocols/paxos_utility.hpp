@@ -1,0 +1,43 @@
+// PaxosUtility (§5.6): the auxiliary consensus service 1Paxos uses to
+// uniquely identify the global leader and the active acceptor. Following the
+// paper's experiment, it is "implemented using Paxos itself": the utility is
+// an embedded PaxosCore instance whose chosen values form a configuration
+// log of LeaderChange/AcceptorChange entries. The current leader (acceptor)
+// is the node named by the last LeaderChange (AcceptorChange) entry in the
+// locally learned log.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "protocols/paxos_core.hpp"
+
+namespace lmc::onepaxos {
+
+enum class EntryKind : std::uint32_t { LeaderChange = 1, AcceptorChange = 2 };
+
+/// Config-log entries are encoded as Paxos values: (kind << 32) | node.
+constexpr paxos::Value encode_entry(EntryKind k, NodeId node) {
+  return (static_cast<paxos::Value>(k) << 32) | node;
+}
+constexpr EntryKind entry_kind(paxos::Value v) {
+  return static_cast<EntryKind>(v >> 32);
+}
+constexpr NodeId entry_node(paxos::Value v) {
+  return static_cast<NodeId>(v & 0xffffffffu);
+}
+
+/// View of the locally learned configuration log.
+struct ConfigView {
+  std::optional<NodeId> leader;    ///< last LeaderChange entry, if any
+  std::optional<NodeId> acceptor;  ///< last AcceptorChange entry, if any
+};
+
+/// Scan a utility core's chosen map (ascending log positions).
+ConfigView read_config(const paxos::PaxosCore& util);
+
+/// First log position with no locally chosen entry (where a new entry is
+/// proposed).
+paxos::Index next_log_index(const paxos::PaxosCore& util);
+
+}  // namespace lmc::onepaxos

@@ -1,0 +1,156 @@
+#include "protocols/randtree.hpp"
+
+#include <algorithm>
+
+namespace lmc::randtree {
+
+namespace {
+Blob encode_id(std::uint32_t id) {
+  Writer w;
+  w.u32(id);
+  return std::move(w).take();
+}
+std::uint32_t decode_id(const Blob& b) {
+  Reader r(b);
+  std::uint32_t id = r.u32();
+  r.expect_exhausted();
+  return id;
+}
+}  // namespace
+
+void RandTreeNode::on_join(NodeId joiner, Context& ctx) {
+  if (children_.size() < opt_.max_children) {
+    // Adopt: existing children gain a sibling; the joiner learns its
+    // siblings (the current children) from the reply.
+    for (std::uint32_t c : children_) ctx.send(c, kMsgSiblingUpdate, encode_id(joiner));
+    Writer w;
+    write_u32_set(w, children_);
+    ctx.send(joiner, kMsgJoinReply, std::move(w).take());
+    children_.insert(joiner);
+    return;
+  }
+  // Full: push the join down to the smallest child.
+  const NodeId target = *children_.begin();
+  if (opt_.bug_notify_on_forward) {
+    // BUG: notify children of a "new sibling" that is in fact being
+    // forwarded into one child's subtree — that child will later adopt the
+    // joiner, ending up with it in both children and siblings.
+    for (std::uint32_t c : children_) ctx.send(c, kMsgSiblingUpdate, encode_id(joiner));
+  }
+  ctx.send(target, kMsgJoin, encode_id(joiner));
+}
+
+void RandTreeNode::handle_message(const Message& m, Context& ctx) {
+  if (!initialized_) return;  // lossy network: pre-init delivery is lost
+  switch (m.type) {
+    case kMsgJoin: {
+      ctx.local_assert(joined_, "randtree: join request at unjoined node");
+      if (!joined_) return;
+      on_join(decode_id(m.payload), ctx);
+      break;
+    }
+    case kMsgJoinReply: {
+      ctx.local_assert(!joined_, "randtree: duplicate join reply");
+      if (joined_) return;
+      joined_ = true;
+      parent_ = m.src;
+      Reader r(m.payload);
+      siblings_ = read_u32_set(r);
+      break;
+    }
+    case kMsgSiblingUpdate: {
+      // May legitimately arrive before our own JoinReply (reordering), so
+      // no joined-state assertion here.
+      siblings_.insert(decode_id(m.payload));
+      break;
+    }
+    default:
+      ctx.local_assert(false, "randtree: unknown message type");
+  }
+}
+
+std::vector<InternalEvent> RandTreeNode::enabled_internal_events() const {
+  if (!initialized_) return {InternalEvent{kEvInit, {}}};
+  if (self_ != 0 && !joined_ && !join_sent_) return {InternalEvent{kEvJoin, {}}};
+  return {};
+}
+
+void RandTreeNode::handle_internal(const InternalEvent& ev, Context& ctx) {
+  switch (ev.kind) {
+    case kEvInit:
+      ctx.local_assert(!initialized_, "randtree: double init");
+      initialized_ = true;
+      if (self_ == 0) joined_ = true;  // node 0 is the root
+      break;
+    case kEvJoin:
+      ctx.local_assert(initialized_ && !joined_ && !join_sent_, "randtree: bad join event");
+      join_sent_ = true;
+      ctx.send(0, kMsgJoin, encode_id(self_));
+      break;
+    default:
+      ctx.local_assert(false, "randtree: unknown internal event");
+  }
+}
+
+void RandTreeNode::serialize(Writer& w) const {
+  w.b(initialized_);
+  w.b(joined_);
+  w.b(join_sent_);
+  w.i64(parent_);
+  write_u32_set(w, children_);
+  write_u32_set(w, siblings_);
+}
+
+void RandTreeNode::deserialize(Reader& r) {
+  initialized_ = r.b();
+  joined_ = r.b();
+  join_sent_ = r.b();
+  parent_ = r.i64();
+  children_ = read_u32_set(r);
+  siblings_ = read_u32_set(r);
+}
+
+SystemConfig make_config(std::uint32_t n, Options opt) {
+  SystemConfig cfg;
+  cfg.num_nodes = n;
+  cfg.factory = [opt](NodeId self, std::uint32_t num) {
+    return std::make_unique<RandTreeNode>(self, num, opt);
+  };
+  return cfg;
+}
+
+NodeView view_of(const Blob& state) {
+  Reader r(state);
+  NodeView v;
+  r.b();  // initialized
+  v.joined = r.b();
+  r.b();  // join_sent
+  r.i64();
+  v.children = read_u32_set(r);
+  v.siblings = read_u32_set(r);
+  return v;
+}
+
+namespace {
+bool disjoint(const std::set<std::uint32_t>& a, const std::set<std::uint32_t>& b) {
+  for (std::uint32_t x : a)
+    if (b.count(x)) return false;
+  return true;
+}
+}  // namespace
+
+bool DisjointInvariant::holds(const SystemConfig&, const SystemStateView& sys) const {
+  for (const Blob* b : sys) {
+    NodeView v = view_of(*b);
+    if (!disjoint(v.children, v.siblings)) return false;
+  }
+  return true;
+}
+
+Projection DisjointInvariant::project(const SystemConfig&, NodeId n, const Blob& state) const {
+  NodeView v = view_of(state);
+  if (disjoint(v.children, v.siblings)) return {};
+  return {{n, 1}};
+}
+
+}  // namespace lmc::randtree

@@ -1,0 +1,93 @@
+// RandTree: the random-overlay-tree service from the Mace suite that the
+// paper uses to illustrate per-node invariants (§4.1: "in all node states
+// the children and siblings must be disjoint sets").
+//
+// Nodes join by contacting the root (node 0). A parent with spare capacity
+// adopts the joiner, tells its existing children about their new sibling,
+// and replies with the joiner's sibling set; a full parent forwards the
+// join request down to its smallest child.
+//
+// Injectable bug (`bug_notify_on_forward`): the parent sends the
+// SiblingUpdate notifications even when it merely *forwards* the join — a
+// copy-paste error. The forwarded joiner later becomes a child of the
+// subtree node that also received the bogus sibling notification, putting
+// the same node in both `children` and `siblings`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+
+#include "mc/invariant.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace lmc::randtree {
+
+constexpr std::uint32_t kMsgJoin = 1;           ///< payload: joiner id
+constexpr std::uint32_t kMsgJoinReply = 2;      ///< payload: sibling set
+constexpr std::uint32_t kMsgSiblingUpdate = 3;  ///< payload: new sibling id
+constexpr std::uint32_t kEvInit = 1;
+constexpr std::uint32_t kEvJoin = 2;
+
+struct Options {
+  std::uint32_t max_children = 2;
+  bool bug_notify_on_forward = false;
+  bool operator==(const Options&) const = default;
+};
+
+class RandTreeNode final : public StateMachine {
+ public:
+  RandTreeNode(NodeId self, std::uint32_t n, Options opt) : self_(self), n_(n), opt_(opt) {}
+
+  void handle_message(const Message& m, Context& ctx) override;
+  std::vector<InternalEvent> enabled_internal_events() const override;
+  void handle_internal(const InternalEvent& ev, Context& ctx) override;
+  void serialize(Writer& w) const override;
+  void deserialize(Reader& r) override;
+
+  bool joined() const { return joined_; }
+  std::int64_t parent() const { return parent_; }
+  const std::set<std::uint32_t>& children() const { return children_; }
+  const std::set<std::uint32_t>& siblings() const { return siblings_; }
+
+ private:
+  void on_join(NodeId joiner, Context& ctx);
+
+  NodeId self_;
+  std::uint32_t n_;
+  Options opt_;
+
+  bool initialized_ = false;
+  bool joined_ = false;
+  bool join_sent_ = false;
+  std::int64_t parent_ = -1;
+  std::set<std::uint32_t> children_;
+  std::set<std::uint32_t> siblings_;
+};
+
+SystemConfig make_config(std::uint32_t n, Options opt);
+
+/// Decoded view of the fields the invariant needs.
+struct NodeView {
+  bool joined = false;
+  std::set<std::uint32_t> children;
+  std::set<std::uint32_t> siblings;
+};
+NodeView view_of(const Blob& state);
+
+/// §4.1's per-node invariant: children and siblings are disjoint. Because
+/// it is checkable on each node state alone, its projection marks only
+/// violating states (empty otherwise), and LMC-OPT skips every clean state.
+class DisjointInvariant final : public Invariant {
+ public:
+  std::string name() const override { return "randtree.children_siblings_disjoint"; }
+  bool holds(const SystemConfig& cfg, const SystemStateView& sys) const override;
+  bool has_projection() const override { return true; }
+  Projection project(const SystemConfig& cfg, NodeId n, const Blob& state) const override;
+  bool projection_self_violates(const Projection& p) const override { return !p.empty(); }
+  bool projections_conflict(const Projection&, const Projection&) const override {
+    return false;  // purely per-node
+  }
+};
+
+}  // namespace lmc::randtree

@@ -1,0 +1,90 @@
+#include "protocols/tree.hpp"
+
+namespace lmc::tree {
+
+Topology fig2_topology() {
+  Topology t;
+  t.children = {{1, 2}, {3}, {4}, {}, {}};
+  t.origin = 0;
+  t.target = 4;
+  return t;
+}
+
+void TreeNode::handle_message(const Message& m, Context& ctx) {
+  if (m.type != kMsgForward) {
+    ctx.local_assert(false, "tree: unexpected message type");
+    return;
+  }
+  if (self_ == topo_->target) {
+    status_ = Status::Received;
+    return;
+  }
+  for (NodeId c : topo_->children[self_]) ctx.send(c, kMsgForward, {});
+}
+
+std::vector<InternalEvent> TreeNode::enabled_internal_events() const {
+  if (self_ == topo_->origin && status_ == Status::Idle)
+    return {InternalEvent{kEvSend, {}}};
+  return {};
+}
+
+void TreeNode::handle_internal(const InternalEvent& ev, Context& ctx) {
+  if (ev.kind != kEvSend || self_ != topo_->origin || status_ != Status::Idle) {
+    ctx.local_assert(false, "tree: unexpected internal event");
+    return;
+  }
+  status_ = Status::Sent;
+  for (NodeId c : topo_->children[self_]) ctx.send(c, kMsgForward, {});
+}
+
+void TreeNode::serialize(Writer& w) const { w.u8(static_cast<std::uint8_t>(status_)); }
+
+void TreeNode::deserialize(Reader& r) { status_ = static_cast<Status>(r.u8()); }
+
+SystemConfig make_config(const Topology& topo) {
+  SystemConfig cfg;
+  cfg.num_nodes = topo.num_nodes();
+  cfg.factory = [&topo](NodeId self, std::uint32_t) {
+    return std::make_unique<TreeNode>(self, topo);
+  };
+  return cfg;
+}
+
+Status status_of(const Blob& state) {
+  Reader r(state);
+  return static_cast<Status>(r.u8());
+}
+
+bool CausalDeliveryInvariant::holds(const SystemConfig&, const SystemStateView& sys) const {
+  const bool sent = status_of(*sys[topo_->origin]) != Status::Idle;
+  const bool received = status_of(*sys[topo_->target]) == Status::Received;
+  return sent || !received;
+}
+
+Projection CausalDeliveryInvariant::project(const SystemConfig&, NodeId n,
+                                            const Blob& state) const {
+  // key 0: origin's sent flag; key 1: target's received flag. Nodes that
+  // are neither are never part of a violation and stay unmapped.
+  if (n == topo_->origin)
+    return {{0, status_of(state) != Status::Idle ? 1u : 0u}};
+  if (n == topo_->target)
+    return {{1, status_of(state) == Status::Received ? 1u : 0u}};
+  return {};
+}
+
+bool CausalDeliveryInvariant::projections_conflict(const Projection& a,
+                                                   const Projection& b) const {
+  auto value_of = [](const Projection& p, std::uint64_t key) -> const std::uint64_t* {
+    for (const auto& [k, v] : p)
+      if (k == key) return &v;
+    return nullptr;
+  };
+  const std::uint64_t* a_sent = value_of(a, 0);
+  const std::uint64_t* b_recv = value_of(b, 1);
+  if (a_sent != nullptr && b_recv != nullptr && *a_sent == 0 && *b_recv == 1) return true;
+  const std::uint64_t* b_sent = value_of(b, 0);
+  const std::uint64_t* a_recv = value_of(a, 1);
+  return b_sent != nullptr && a_recv != nullptr && *b_sent == 0 && *a_recv == 1;
+}
+
+}  // namespace lmc::tree

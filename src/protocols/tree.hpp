@@ -1,0 +1,82 @@
+// The didactic distributed tree of §2 (Fig. 2-4).
+//
+// A static tree overlay: the origin node fires one internal "send" event,
+// creating a message addressed (logically) to the target; every node that
+// receives the message forwards it to its children; the target flips to
+// "received". Only the origin and the target change local state, so the
+// system-state space is tiny (4 states) while the global-state space blows
+// up with every network change (12 states in Fig. 3) — the contrast the
+// paper opens with.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mc/invariant.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace lmc::tree {
+
+/// Node status rendered as '-', 's', 'r' in the paper's figures.
+enum class Status : std::uint8_t { Idle = 0, Sent = 1, Received = 2 };
+
+/// Static topology: children[n] lists the children of node n.
+struct Topology {
+  std::vector<std::vector<NodeId>> children;
+  NodeId origin = 0;
+  NodeId target = 0;
+
+  std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(children.size()); }
+};
+
+/// The 5-node tree of Fig. 2: 0 -> {1, 2}, 1 -> {3}, 2 -> {4};
+/// node 0 initiates, node 4 is the destination.
+Topology fig2_topology();
+
+constexpr std::uint32_t kMsgForward = 1;   ///< the forwarded payload message
+constexpr std::uint32_t kEvSend = 1;       ///< origin's internal send event
+
+class TreeNode final : public StateMachine {
+ public:
+  TreeNode(NodeId self, const Topology& topo) : self_(self), topo_(&topo) {}
+
+  void handle_message(const Message& m, Context& ctx) override;
+  std::vector<InternalEvent> enabled_internal_events() const override;
+  void handle_internal(const InternalEvent& ev, Context& ctx) override;
+  void serialize(Writer& w) const override;
+  void deserialize(Reader& r) override;
+
+  Status status() const { return status_; }
+
+ private:
+  NodeId self_;
+  const Topology* topo_;
+  Status status_ = Status::Idle;
+};
+
+/// SystemConfig factory over a topology (which must outlive the config).
+SystemConfig make_config(const Topology& topo);
+
+/// Decode just the status byte from a serialized TreeNode.
+Status status_of(const Blob& state);
+
+/// "Causal delivery" invariant: the target can be in Received only if the
+/// origin is in Sent — the invariant the invalid "----r" combination of
+/// Fig. 4 preliminarily violates before soundness verification rejects it.
+class CausalDeliveryInvariant final : public Invariant {
+ public:
+  explicit CausalDeliveryInvariant(const Topology& topo) : topo_(&topo) {}
+
+  std::string name() const override { return "tree.causal_delivery"; }
+  bool holds(const SystemConfig& cfg, const SystemStateView& sys) const override;
+
+  bool has_projection() const override { return true; }
+  Projection project(const SystemConfig& cfg, NodeId n, const Blob& state) const override;
+  bool projections_conflict(const Projection& a, const Projection& b) const override;
+
+ private:
+  const Topology* topo_;
+};
+
+}  // namespace lmc::tree

@@ -1,0 +1,136 @@
+#include "protocols/twophase.hpp"
+
+namespace lmc::twophase {
+
+void TwoPhaseNode::decide(Decision d, Context&) {
+  if (decision_ == Decision::None) decision_ = d;
+}
+
+void TwoPhaseNode::handle_message(const Message& m, Context& ctx) {
+  if (!initialized_) return;  // lossy network: pre-init delivery is lost
+  switch (m.type) {
+    case kMsgVoteRequest: {
+      if (voted_) return;  // duplicate request (idempotent)
+      voted_ = true;
+      if (opt_.no_voters.count(self_)) {
+        ctx.send(m.src, kMsgVoteNo, {});
+        // A participant voting No knows the outcome: unilateral abort
+        // (standard presumed-abort behaviour).
+        decide(Decision::Aborted, ctx);
+      } else {
+        ctx.send(m.src, kMsgVoteYes, {});
+      }
+      break;
+    }
+    case kMsgVoteYes: {
+      ctx.local_assert(coordinator(), "2pc: vote at non-coordinator");
+      if (!coordinator() || decision_sent_) return;
+      yes_.insert(m.src);
+      const bool all_yes = yes_.size() == n_;
+      const bool majority_yes = yes_.size() >= n_ / 2 + 1;
+      if (all_yes || (opt_.bug_commit_on_majority && majority_yes)) {
+        // BUG (when flagged): a lagging No voter may already have aborted.
+        decision_sent_ = true;
+        for (NodeId d = 0; d < n_; ++d) ctx.send(d, kMsgGlobalCommit, {});
+      }
+      break;
+    }
+    case kMsgVoteNo: {
+      ctx.local_assert(coordinator(), "2pc: vote at non-coordinator");
+      if (!coordinator() || decision_sent_) return;
+      no_.insert(m.src);
+      decision_sent_ = true;
+      for (NodeId d = 0; d < n_; ++d) ctx.send(d, kMsgGlobalAbort, {});
+      break;
+    }
+    case kMsgGlobalCommit:
+      decide(Decision::Committed, ctx);
+      break;
+    case kMsgGlobalAbort:
+      decide(Decision::Aborted, ctx);
+      break;
+    default:
+      ctx.local_assert(false, "2pc: unknown message type");
+  }
+}
+
+std::vector<InternalEvent> TwoPhaseNode::enabled_internal_events() const {
+  if (!initialized_) return {InternalEvent{kEvInit, {}}};
+  if (coordinator() && !begun_) return {InternalEvent{kEvBegin, {}}};
+  return {};
+}
+
+void TwoPhaseNode::handle_internal(const InternalEvent& ev, Context& ctx) {
+  switch (ev.kind) {
+    case kEvInit:
+      ctx.local_assert(!initialized_, "2pc: double init");
+      initialized_ = true;
+      break;
+    case kEvBegin:
+      ctx.local_assert(coordinator() && !begun_, "2pc: bad begin");
+      if (!coordinator() || begun_) return;
+      begun_ = true;
+      for (NodeId d = 0; d < n_; ++d) ctx.send(d, kMsgVoteRequest, {});
+      break;
+    default:
+      ctx.local_assert(false, "2pc: unknown internal event");
+  }
+}
+
+void TwoPhaseNode::serialize(Writer& w) const {
+  w.b(initialized_);
+  w.b(begun_);
+  w.b(voted_);
+  write_u32_set(w, yes_);
+  write_u32_set(w, no_);
+  w.b(decision_sent_);
+  w.u8(static_cast<std::uint8_t>(decision_));
+}
+
+void TwoPhaseNode::deserialize(Reader& r) {
+  initialized_ = r.b();
+  begun_ = r.b();
+  voted_ = r.b();
+  yes_ = read_u32_set(r);
+  no_ = read_u32_set(r);
+  decision_sent_ = r.b();
+  decision_ = static_cast<Decision>(r.u8());
+}
+
+SystemConfig make_config(std::uint32_t n, Options opt) {
+  SystemConfig cfg;
+  cfg.num_nodes = n;
+  cfg.factory = [opt](NodeId self, std::uint32_t num) {
+    return std::make_unique<TwoPhaseNode>(self, num, opt);
+  };
+  return cfg;
+}
+
+Decision decision_of(const Blob& state) {
+  Reader r(state);
+  r.b();  // initialized
+  r.b();  // begun
+  r.b();  // voted
+  read_u32_set(r);
+  read_u32_set(r);
+  r.b();  // decision_sent
+  return static_cast<Decision>(r.u8());
+}
+
+bool AtomicityInvariant::holds(const SystemConfig&, const SystemStateView& sys) const {
+  bool committed = false, aborted = false;
+  for (const Blob* b : sys) {
+    Decision d = decision_of(*b);
+    committed = committed || d == Decision::Committed;
+    aborted = aborted || d == Decision::Aborted;
+  }
+  return !(committed && aborted);
+}
+
+Projection AtomicityInvariant::project(const SystemConfig&, NodeId, const Blob& state) const {
+  Decision d = decision_of(state);
+  if (d == Decision::None) return {};
+  return {{0, static_cast<std::uint64_t>(d)}};
+}
+
+}  // namespace lmc::twophase

@@ -1,0 +1,58 @@
+// Handler execution context: collects the set `c` of messages a handler
+// sends (Fig. 5) and records local-assertion outcomes (§4.2 "Local
+// assertions"). Handlers must be deterministic: any nondeterminism has to be
+// captured in the event itself so a re-execution replays identically.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "runtime/message.hpp"
+#include "runtime/types.hpp"
+
+namespace lmc {
+
+class Context {
+ public:
+  explicit Context(NodeId self) : self_(self) {}
+
+  NodeId self() const { return self_; }
+
+  /// Queue a message for the network (the handler's `c` set).
+  void send(NodeId dst, std::uint32_t type, Blob payload) {
+    Message m;
+    m.dst = dst;
+    m.src = self_;
+    m.type = type;
+    m.payload = std::move(payload);
+    sent_.push_back(std::move(m));
+  }
+
+  void send(Message m) { sent_.push_back(std::move(m)); }
+
+  /// Developer-style local assertion. In LMC a failure marks the node state
+  /// invalid (it is discarded); in global MC, where every state is valid, a
+  /// failure is a real bug. Live runs treat it as fatal.
+  void local_assert(bool cond, std::string_view what = {}) {
+    if (!cond && !assert_failed_) {
+      assert_failed_ = true;
+      assert_msg_ = std::string(what);
+    }
+  }
+
+  bool assert_failed() const { return assert_failed_; }
+  const std::string& assert_message() const { return assert_msg_; }
+
+  const std::vector<Message>& sent() const { return sent_; }
+  std::vector<Message> take_sent() && { return std::move(sent_); }
+
+ private:
+  NodeId self_;
+  std::vector<Message> sent_;
+  bool assert_failed_ = false;
+  std::string assert_msg_;
+};
+
+}  // namespace lmc

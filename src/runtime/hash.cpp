@@ -1,0 +1,14 @@
+#include "runtime/hash.hpp"
+
+namespace lmc {
+
+Hash64 hash_bytes(const std::uint8_t* p, std::size_t n) {
+  Hash64 h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return mix64(h);
+}
+
+}  // namespace lmc

@@ -1,0 +1,37 @@
+// 64-bit hashing for state/message/event identity.
+//
+// The checker treats two node states (or messages) as identical iff their
+// hashes are equal (same trade MaceMC makes). We use FNV-1a over the
+// serialized bytes with a splitmix64 finalizer for avalanche, and a
+// boost-style combiner for composite identities.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/types.hpp"
+
+namespace lmc {
+
+/// splitmix64 finalizer: full-avalanche mix of a 64-bit value.
+constexpr Hash64 mix64(Hash64 x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a byte range, then mixed.
+Hash64 hash_bytes(const std::uint8_t* p, std::size_t n);
+
+inline Hash64 hash_blob(const Blob& b) { return hash_bytes(b.data(), b.size()); }
+
+/// Order-dependent combiner (h receives v).
+constexpr Hash64 hash_combine(Hash64 h, Hash64 v) {
+  return mix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+/// Order-independent combiner for sets (commutative + associative).
+constexpr Hash64 hash_combine_unordered(Hash64 h, Hash64 v) { return h + mix64(v); }
+
+}  // namespace lmc

@@ -1,0 +1,64 @@
+#include "runtime/message.hpp"
+
+#include <sstream>
+
+namespace lmc {
+
+Hash64 Message::hash() const {
+  Hash64 h = hash_blob(payload);
+  h = hash_combine(h, dst);
+  h = hash_combine(h, src);
+  h = hash_combine(h, type);
+  return h;
+}
+
+void Message::serialize(Writer& w) const {
+  w.u32(dst);
+  w.u32(src);
+  w.u32(type);
+  w.bytes(payload);
+}
+
+Message Message::deserialize(Reader& r) {
+  Message m;
+  m.dst = r.u32();
+  m.src = r.u32();
+  m.type = r.u32();
+  m.payload = r.bytes();
+  return m;
+}
+
+Hash64 InternalEvent::hash(NodeId node) const {
+  Hash64 h = hash_blob(arg);
+  h = hash_combine(h, kind);
+  h = hash_combine(h, node);
+  // Distinguish internal events from messages that would otherwise collide.
+  return hash_combine(h, 0x1157ULL);
+}
+
+void InternalEvent::serialize(Writer& w) const {
+  w.u32(kind);
+  w.bytes(arg);
+}
+
+InternalEvent InternalEvent::deserialize(Reader& r) {
+  InternalEvent e;
+  e.kind = r.u32();
+  e.arg = r.bytes();
+  return e;
+}
+
+std::string to_string(const Message& m) {
+  std::ostringstream os;
+  os << "msg{" << m.src << "->" << m.dst << " type=" << m.type << " |payload|=" << m.payload.size()
+     << "}";
+  return os.str();
+}
+
+std::string to_string(const InternalEvent& e) {
+  std::ostringstream os;
+  os << "internal{kind=" << e.kind << " |arg|=" << e.arg.size() << "}";
+  return os.str();
+}
+
+}  // namespace lmc

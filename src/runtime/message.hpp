@@ -1,0 +1,54 @@
+// Network messages and internal (node-local) events — the two event kinds of
+// the Fig. 5 system model. A message is a pair (destination, content) where
+// the content carries the sender and an opaque protocol payload.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "runtime/hash.hpp"
+#include "runtime/serialize.hpp"
+#include "runtime/types.hpp"
+
+namespace lmc {
+
+/// An in-flight network message: the (N, M) pair of the paper's model.
+/// `type` is a protocol-defined tag; `payload` the serialized body.
+struct Message {
+  NodeId dst = 0;
+  NodeId src = 0;
+  std::uint32_t type = 0;
+  Blob payload;
+
+  /// Identity hash over the full content (dst, src, type, payload).
+  /// Two messages with equal hashes are treated as duplicates by the
+  /// checkers (paper §4.2, duplicate-message limit 0).
+  Hash64 hash() const;
+
+  void serialize(Writer& w) const;
+  static Message deserialize(Reader& r);
+
+  bool operator==(const Message&) const = default;
+};
+
+/// A node-local event (timer firing, application/test-driver call).
+/// `kind` is protocol-defined; `arg` optional serialized argument.
+struct InternalEvent {
+  std::uint32_t kind = 0;
+  Blob arg;
+
+  /// Identity hash; includes the node so the "same" timer on two nodes is
+  /// two distinct events in soundness verification.
+  Hash64 hash(NodeId node) const;
+
+  void serialize(Writer& w) const;
+  static InternalEvent deserialize(Reader& r);
+
+  bool operator==(const InternalEvent&) const = default;
+};
+
+/// Human-readable rendering used in logs and bug reports.
+std::string to_string(const Message& m);
+std::string to_string(const InternalEvent& e);
+
+}  // namespace lmc

@@ -1,0 +1,4 @@
+#include "runtime/serialize.hpp"
+
+// Header-only for now; this TU anchors the library and keeps room for
+// out-of-line growth (e.g., a schema-versioned format).

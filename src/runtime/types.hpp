@@ -1,0 +1,18 @@
+// Core identifier and blob types shared by every LMC module.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lmc {
+
+/// Node identifier (index into the membership, dense 0..N-1).
+using NodeId = std::uint32_t;
+
+/// 64-bit state/event/message identity used throughout the checker.
+using Hash64 = std::uint64_t;
+
+/// Serialized state or payload bytes.
+using Blob = std::vector<std::uint8_t>;
+
+}  // namespace lmc

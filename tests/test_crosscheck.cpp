@@ -1,0 +1,101 @@
+// Cross-checker properties (DESIGN.md §7): for a family of protocols,
+//  1. completeness — every node state inside any system state the GLOBAL
+//     checker visits is also traversed by LMC;
+//  2. verifier completeness — globally reached system states are valid by
+//     construction, so the soundness verifier must accept them;
+//  3. verifier soundness — combinations the verifier accepts replay through
+//     the real handlers to exactly the claimed states.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mc/global_mc.hpp"
+#include "mc/local_mc.hpp"
+#include "mc/replay.hpp"
+#include "mc/soundness.hpp"
+#include "protocols/paxos.hpp"
+#include "protocols/randtree.hpp"
+#include "protocols/tree.hpp"
+
+namespace lmc {
+namespace {
+
+struct Scenario {
+  std::string name;
+  SystemConfig cfg;
+};
+
+// Keep the topology alive for the tree scenario.
+const tree::Topology& shared_topo() {
+  static tree::Topology t = tree::fig2_topology();
+  return t;
+}
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> v;
+  v.push_back({"tree", tree::make_config(shared_topo())});
+  v.push_back({"randtree", randtree::make_config(4, randtree::Options{})});
+  v.push_back({"randtree_bug", randtree::make_config(4, randtree::Options{2, true})});
+  v.push_back({"paxos_1p", paxos::make_config(3, paxos::CoreOptions{},
+                                              paxos::DriverConfig{{0}, 1})});
+  v.push_back({"paxos_1p_bug", paxos::make_config(3, paxos::CoreOptions{0, true},
+                                                  paxos::DriverConfig{{0}, 1})});
+  return v;
+}
+
+class CrossCheck : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrossCheck, GlobalStatesAreLmcCombinations) {
+  Scenario sc = scenarios()[GetParam()];
+
+  GlobalMcOptions gopt;
+  gopt.collect_system_states = true;
+  gopt.assert_is_violation = false;  // buggy variants may trip local asserts
+  gopt.max_transitions = 5'000'000;
+  gopt.time_budget_s = 120;
+  GlobalModelChecker g(sc.cfg, nullptr, gopt);
+  g.run_from_initial();
+  ASSERT_TRUE(g.stats().completed) << sc.name;
+
+  LocalMcOptions lopt;
+  lopt.enable_system_states = false;
+  lopt.time_budget_s = 120;
+  LocalModelChecker l(sc.cfg, nullptr, lopt);
+  l.run_from_initial();
+  ASSERT_TRUE(l.stats().completed) << sc.name;
+
+  // 1. Completeness of the local exploration.
+  for (const auto& [h, tuple] : g.system_state_tuples()) {
+    (void)h;
+    for (NodeId n = 0; n < sc.cfg.num_nodes; ++n)
+      ASSERT_NE(l.store().find(n, tuple[n]), UINT32_MAX)
+          << sc.name << ": node " << n << " state reached globally but not locally";
+  }
+
+  // 2. Verifier completeness + 3. soundness, on a sample of global states.
+  SoundnessVerifier verifier(l.store(), l.initial_in_flight_hashes(), {});
+  std::size_t sampled = 0;
+  for (const auto& [h, tuple] : g.system_state_tuples()) {
+    (void)h;
+    if (++sampled % 7 != 0) continue;  // every 7th state keeps runtime sane
+    std::vector<std::uint32_t> combo;
+    for (NodeId n = 0; n < sc.cfg.num_nodes; ++n) combo.push_back(l.store().find(n, tuple[n]));
+    SoundnessResult res = verifier.verify(combo);
+    ASSERT_TRUE(res.sound) << sc.name << ": globally reachable state rejected as unsound";
+
+    std::vector<Hash64> expected;
+    for (NodeId n = 0; n < sc.cfg.num_nodes; ++n) expected.push_back(tuple[n]);
+    ReplayResult rep = replay_schedule(sc.cfg, l.initial_nodes(), l.initial_in_flight(),
+                                       res.schedule, l.events(), expected);
+    ASSERT_TRUE(rep.ok) << sc.name << ": " << rep.error;
+  }
+  EXPECT_GT(sampled, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, CrossCheck, ::testing::Values(0u, 1u, 2u, 3u, 4u),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return scenarios()[info.param].name;
+                         });
+
+}  // namespace
+}  // namespace lmc

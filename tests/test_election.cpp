@@ -1,0 +1,162 @@
+// Chang-Roberts ring election: protocol behaviour, the single-leader
+// invariant (custom pairwise conflict: two leaders conflict regardless of
+// values), and the missing-swallow bug under both checkers.
+#include <gtest/gtest.h>
+
+#include "mc/global_mc.hpp"
+#include "mc/local_mc.hpp"
+#include "mc/replay.hpp"
+#include "protocols/election.hpp"
+
+namespace lmc {
+namespace {
+
+using election::Options;
+
+void run_sync(const SystemConfig& cfg, std::vector<Blob>& nodes,
+              const std::set<std::uint32_t>& starters) {
+  std::vector<Message> q;
+  for (NodeId n = 0; n < cfg.num_nodes; ++n) {
+    ExecResult r = exec_internal(cfg, n, nodes[n], {election::kEvInit, {}});
+    ASSERT_FALSE(r.assert_failed);
+    nodes[n] = std::move(r.state);
+  }
+  for (std::uint32_t s : starters) {
+    ExecResult r = exec_internal(cfg, s, nodes[s], {election::kEvStart, {}});
+    ASSERT_FALSE(r.assert_failed);
+    nodes[s] = std::move(r.state);
+    for (Message& m : r.sent) q.push_back(std::move(m));
+  }
+  while (!q.empty()) {
+    Message m = q.front();
+    q.erase(q.begin());
+    ExecResult rr = exec_message(cfg, m.dst, nodes[m.dst], m);
+    ASSERT_FALSE(rr.assert_failed) << rr.assert_msg;
+    nodes[m.dst] = std::move(rr.state);
+    for (Message& out : rr.sent) q.push_back(std::move(out));
+  }
+}
+
+int count_leaders(const std::vector<Blob>& nodes) {
+  int leaders = 0;
+  for (const Blob& b : nodes)
+    if (election::leader_flag_of(b)) ++leaders;
+  return leaders;
+}
+
+TEST(Election, HighestIdWins) {
+  SystemConfig cfg = election::make_config(4, Options{{0}, false});
+  auto nodes = initial_states(cfg);
+  run_sync(cfg, nodes, {0});
+  EXPECT_EQ(count_leaders(nodes), 1);
+  EXPECT_TRUE(election::leader_flag_of(nodes[3]));  // max id
+  // Everyone learned the leader.
+  for (NodeId n = 0; n < 4; ++n) {
+    auto m = machine_from_blob(cfg, n, nodes[n]);
+    EXPECT_EQ(static_cast<const election::ElectionNode&>(*m).known_leader(), 3);
+  }
+}
+
+TEST(Election, ConcurrentStartsStillOneLeader) {
+  SystemConfig cfg = election::make_config(4, Options{{0, 1, 2}, false});
+  auto nodes = initial_states(cfg);
+  run_sync(cfg, nodes, {0, 1, 2});
+  EXPECT_EQ(count_leaders(nodes), 1);
+  EXPECT_TRUE(election::leader_flag_of(nodes[3]));
+}
+
+TEST(Election, BuggyVariantElectsTwoLeadersInSyncRun) {
+  SystemConfig cfg = election::make_config(3, Options{{0}, true});
+  auto nodes = initial_states(cfg);
+  run_sync(cfg, nodes, {0});
+  // The un-swallowed id 0 circles back to node 0, which also wins.
+  EXPECT_GE(count_leaders(nodes), 2);
+}
+
+TEST(Election, LmcCleanOnCorrectVariant) {
+  SystemConfig cfg = election::make_config(3, Options{{0, 1}, false});
+  election::SingleLeaderInvariant inv;
+  LocalMcOptions opt;
+  opt.use_projection = true;
+  opt.time_budget_s = 60;
+  LocalModelChecker mc(cfg, &inv, opt);
+  mc.run_from_initial();
+  EXPECT_TRUE(mc.stats().completed);
+  EXPECT_EQ(mc.stats().confirmed_violations, 0u);
+}
+
+TEST(Election, LmcFindsTwoLeaderBugWithWitness) {
+  SystemConfig cfg = election::make_config(3, Options{{0}, true});
+  election::SingleLeaderInvariant inv;
+  LocalMcOptions opt;
+  opt.use_projection = true;
+  opt.time_budget_s = 60;
+  LocalModelChecker mc(cfg, &inv, opt);
+  mc.run_from_initial();
+  ASSERT_GE(mc.stats().confirmed_violations, 1u);
+  const LocalViolation* v = mc.first_confirmed();
+  ASSERT_NE(v, nullptr);
+  int leaders = 0;
+  for (const Blob& b : v->system_state)
+    if (election::leader_flag_of(b)) ++leaders;
+  EXPECT_GE(leaders, 2);
+
+  ReplayResult rep = replay_schedule(cfg, mc.initial_nodes(), mc.initial_in_flight(),
+                                     v->witness, mc.events(), v->state_hashes);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(Election, GlobalCheckerAgrees) {
+  election::SingleLeaderInvariant inv;
+  GlobalMcOptions opt;
+  opt.time_budget_s = 60;
+  opt.max_transitions = 3'000'000;
+
+  SystemConfig good = election::make_config(3, Options{{0, 1}, false});
+  GlobalModelChecker g(good, &inv, opt);
+  g.run_from_initial();
+  EXPECT_TRUE(g.stats().completed);
+  EXPECT_EQ(g.stats().violations, 0u);
+
+  opt.stop_on_violation = true;
+  SystemConfig bad = election::make_config(3, Options{{0}, true});
+  GlobalModelChecker b(bad, &inv, opt);
+  b.run_from_initial();
+  EXPECT_GE(b.stats().violations, 1u);
+}
+
+TEST(Election, CustomConflictRuleSemantics) {
+  election::SingleLeaderInvariant inv;
+  Projection leader_a{{0, 1}};
+  Projection leader_b{{2, 1}};
+  EXPECT_TRUE(inv.projections_conflict(leader_a, leader_b));
+  EXPECT_FALSE(inv.projections_conflict(leader_a, {}));
+  EXPECT_FALSE(inv.projections_conflict({}, {}));
+  EXPECT_FALSE(inv.projection_self_violates(leader_a));
+}
+
+// Ring-size sweep for both variants.
+class ElectionSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ElectionSweep, CorrectCleanBuggyCaught) {
+  const std::uint32_t n = GetParam();
+  election::SingleLeaderInvariant inv;
+  LocalMcOptions opt;
+  opt.use_projection = true;
+  opt.time_budget_s = 120;
+
+  SystemConfig good = election::make_config(n, Options{{0}, false});
+  LocalModelChecker a(good, &inv, opt);
+  a.run_from_initial();
+  EXPECT_EQ(a.stats().confirmed_violations, 0u);
+
+  SystemConfig bad = election::make_config(n, Options{{0}, true});
+  LocalModelChecker b(bad, &inv, opt);
+  b.run_from_initial();
+  EXPECT_GE(b.stats().confirmed_violations, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, ElectionSweep, ::testing::Values(2u, 3u, 4u));
+
+}  // namespace
+}  // namespace lmc

@@ -1,0 +1,201 @@
+// Online model checking: live-runner determinism, snapshots, and the
+// CrystalBall loop rediscovering the §5.5 and §5.6 bugs end-to-end.
+#include <gtest/gtest.h>
+
+#include "online/crystalball.hpp"
+#include "online/live_runner.hpp"
+#include "online/snapshot.hpp"
+#include "protocols/onepaxos.hpp"
+#include "protocols/paxos.hpp"
+
+namespace lmc {
+namespace {
+
+SystemConfig live_paxos_cfg(bool bug) {
+  paxos::DriverConfig d;
+  d.proposers = {0, 1, 2};
+  d.max_proposals = 3;
+  d.allow_fresh_index = true;  // live driver proposes for new indexes (§5.5)
+  return paxos::make_config(3, paxos::CoreOptions{0, bug}, d);
+}
+
+SystemConfig checker_paxos_cfg(bool bug) {
+  paxos::DriverConfig d;
+  d.proposers = {0, 1, 2};
+  d.max_proposals = 4;          // at least one more proposal per node
+  d.allow_fresh_index = false;  // bounded checker driver
+  return paxos::make_config(3, paxos::CoreOptions{0, bug}, d);
+}
+
+LiveOptions live_opts(std::uint64_t seed) {
+  LiveOptions o;
+  o.seed = seed;
+  o.transport.drop_prob = 0.3;  // §5.5: 30% of non-loopback messages dropped
+  o.app_min = 0.0;
+  o.app_max = 60.0;  // propose, then sleep 0..60 s
+  return o;
+}
+
+TEST(LiveRunner, DeterministicUnderSeed) {
+  SystemConfig cfg = live_paxos_cfg(false);
+  LiveRunner a(cfg, live_opts(7), first_enabled_driver());
+  LiveRunner b(cfg, live_opts(7), first_enabled_driver());
+  a.run_until(300);
+  b.run_until(300);
+  EXPECT_EQ(a.nodes(), b.nodes());
+  EXPECT_EQ(a.delivered(), b.delivered());
+  EXPECT_EQ(a.snapshot().in_flight.size(), b.snapshot().in_flight.size());
+}
+
+TEST(LiveRunner, DifferentSeedsDiverge) {
+  SystemConfig cfg = live_paxos_cfg(false);
+  LiveRunner a(cfg, live_opts(7), first_enabled_driver());
+  LiveRunner b(cfg, live_opts(8), first_enabled_driver());
+  a.run_until(300);
+  b.run_until(300);
+  EXPECT_NE(a.nodes(), b.nodes());
+}
+
+TEST(LiveRunner, ProgressAndDropsHappen) {
+  SystemConfig cfg = live_paxos_cfg(false);
+  LiveRunner r(cfg, live_opts(3), first_enabled_driver());
+  r.run_until(600);
+  EXPECT_GT(r.app_events(), 3u);        // inits + proposals fired
+  EXPECT_GT(r.delivered(), 0u);
+  EXPECT_GT(r.transport().dropped(), 0u);
+  EXPECT_EQ(r.assert_failures(), 0u);
+  // Consensus actually happens live: someone chose something.
+  bool any_chosen = false;
+  for (NodeId n = 0; n < 3; ++n)
+    if (!paxos::chosen_map_of(cfg, n, r.nodes()[n]).empty()) any_chosen = true;
+  EXPECT_TRUE(any_chosen);
+}
+
+TEST(LiveRunner, CorrectPaxosStaysConsistentForLong) {
+  SystemConfig cfg = live_paxos_cfg(false);
+  auto inv = paxos::make_agreement_invariant();
+  LiveRunner r(cfg, live_opts(11), first_enabled_driver());
+  for (double t = 60; t <= 1200; t += 60) {
+    r.run_until(t);
+    SystemStateView view;
+    for (const Blob& b : r.nodes()) view.push_back(&b);
+    ASSERT_TRUE(inv->holds(cfg, view)) << "live agreement broken at t=" << t;
+  }
+}
+
+TEST(Snapshot, EncodeDecodeRoundTrip) {
+  SystemConfig cfg = live_paxos_cfg(false);
+  LiveRunner r(cfg, live_opts(5), first_enabled_driver());
+  r.run_until(120);
+  Snapshot s = r.snapshot();
+  Snapshot back = Snapshot::decode(s.encode());
+  EXPECT_EQ(s, back);
+}
+
+TEST(CrystalBall, FindsWidsBugOnline) {
+  // §5.5 end-to-end: live buggy Paxos + periodic LMC restarts. The paper
+  // detected the bug after 1150 s of live time; we assert detection within
+  // a comparable horizon (simulated time, wall cost is milliseconds).
+  SystemConfig live_cfg = live_paxos_cfg(true);
+  SystemConfig mc_cfg = checker_paxos_cfg(true);
+  auto inv = paxos::make_agreement_invariant();
+  LiveRunner live(live_cfg, live_opts(1), first_enabled_driver());
+
+  CrystalBallOptions opt;
+  opt.period = 60;
+  opt.max_live_time = 3600;
+  opt.mc.max_total_depth = 16;
+  opt.mc.use_projection = true;
+  opt.mc.time_budget_s = 10;
+  CrystalBall cb(mc_cfg, inv.get(), live, opt);
+  CrystalBallResult res = cb.run();
+
+  ASSERT_TRUE(res.found) << "WiDS bug must surface within an hour of live time";
+  EXPECT_GT(res.live_time, 0.0);
+  EXPECT_TRUE(res.violation.confirmed);
+  EXPECT_FALSE(res.violation.witness.empty());
+}
+
+TEST(CrystalBall, CleanOnCorrectPaxos) {
+  SystemConfig live_cfg = live_paxos_cfg(false);
+  SystemConfig mc_cfg = checker_paxos_cfg(false);
+  auto inv = paxos::make_agreement_invariant();
+  LiveRunner live(live_cfg, live_opts(1), first_enabled_driver());
+
+  CrystalBallOptions opt;
+  opt.period = 60;
+  opt.max_live_time = 900;  // 15 checker runs
+  opt.mc.max_total_depth = 14;
+  opt.mc.use_projection = true;
+  opt.mc.time_budget_s = 10;
+  CrystalBall cb(mc_cfg, inv.get(), live, opt);
+  CrystalBallResult res = cb.run();
+  EXPECT_FALSE(res.found);
+  EXPECT_EQ(res.runs, 15);
+}
+
+TEST(CrystalBall, FindsPlusPlusBugIn1Paxos) {
+  // §5.6 end-to-end: fault-detector-driven 1Paxos with the ++ bug. The
+  // paper found it in 225 s of live time.
+  onepaxos::Options live_opt;
+  live_opt.bug_postincrement_init = true;
+  live_opt.max_proposals = 3;
+  live_opt.max_leader_faults = 2;
+  SystemConfig live_cfg = onepaxos::make_config(3, live_opt);
+
+  onepaxos::Options mc_opt = live_opt;
+  mc_opt.max_proposals = 4;
+  SystemConfig mc_cfg = onepaxos::make_config(3, mc_opt);
+
+  auto inv = onepaxos::make_agreement_invariant();
+  LiveOptions lo = live_opts(2);
+  LiveRunner live(live_cfg, lo, fault_injecting_driver(0.1, onepaxos::kEvSuspectLeader));
+
+  CrystalBallOptions opt;
+  opt.period = 60;
+  opt.max_live_time = 3600;
+  opt.mc.max_total_depth = 12;
+  opt.mc.use_projection = true;
+  opt.mc.time_budget_s = 10;
+  CrystalBall cb(mc_cfg, inv.get(), live, opt);
+  CrystalBallResult res = cb.run();
+  ASSERT_TRUE(res.found) << "1Paxos ++ bug must surface within an hour of live time";
+  EXPECT_TRUE(res.violation.confirmed);
+}
+
+TEST(CrystalBall, NoBugIn1PaxosWithoutInjection) {
+  onepaxos::Options o;
+  o.max_proposals = 3;
+  o.max_leader_faults = 2;
+  SystemConfig live_cfg = onepaxos::make_config(3, o);
+  onepaxos::Options mo = o;
+  mo.max_proposals = 4;
+  SystemConfig mc_cfg = onepaxos::make_config(3, mo);
+  auto inv = onepaxos::make_agreement_invariant();
+  LiveRunner live(live_cfg, live_opts(2), fault_injecting_driver(0.1, onepaxos::kEvSuspectLeader));
+
+  CrystalBallOptions opt;
+  opt.period = 60;
+  opt.max_live_time = 600;
+  opt.mc.max_total_depth = 10;
+  opt.mc.use_projection = true;
+  opt.mc.time_budget_s = 10;
+  CrystalBall cb(mc_cfg, inv.get(), live, opt);
+  EXPECT_FALSE(cb.run().found);
+}
+
+TEST(FaultDriver, FiresFaultsAtConfiguredRate) {
+  std::mt19937_64 rng(3);
+  AppDriver d = fault_injecting_driver(0.5, 99);
+  std::vector<InternalEvent> enabled{InternalEvent{99, {}}, InternalEvent{1, {}}};
+  int faults = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto pick = d(0, enabled, rng);
+    ASSERT_TRUE(pick.has_value());
+    if (pick->kind == 99) ++faults;
+  }
+  EXPECT_NEAR(faults / 2000.0, 0.5, 0.06);
+}
+
+}  // namespace
+}  // namespace lmc

@@ -1,0 +1,332 @@
+// PaxosCore protocol unit tests: roles, quorum logic, value adoption, the
+// injected §5.5 bug, serialization, and the driver helpers.
+#include <gtest/gtest.h>
+
+#include "protocols/paxos.hpp"
+#include "protocols/paxos_core.hpp"
+
+namespace lmc::paxos {
+namespace {
+
+Message mk(NodeId dst, NodeId src, std::uint32_t type, Blob payload) {
+  Message m;
+  m.dst = dst;
+  m.src = src;
+  m.type = type;
+  m.payload = std::move(payload);
+  return m;
+}
+
+struct CoreFixture : ::testing::Test {
+  static constexpr std::uint32_t N = 3;
+  PaxosCore node(NodeId id, bool bug = false) { return PaxosCore(id, N, CoreOptions{0, bug}); }
+};
+
+TEST_F(CoreFixture, BallotOrderingAndUniqueness) {
+  EXPECT_LT(make_ballot(1, 0), make_ballot(1, 1));
+  EXPECT_LT(make_ballot(1, 2), make_ballot(2, 0));
+  EXPECT_NE(make_ballot(3, 1), make_ballot(3, 2));
+}
+
+TEST_F(CoreFixture, ProposeBroadcastsPrepareToAll) {
+  PaxosCore p = node(0);
+  Context ctx(0);
+  p.propose(0, 42, ctx);
+  ASSERT_EQ(ctx.sent().size(), 3u);  // includes loopback
+  for (NodeId d = 0; d < 3; ++d) {
+    EXPECT_EQ(ctx.sent()[d].dst, d);
+    EXPECT_EQ(ctx.sent()[d].type, kPrepare);
+    PrepareMsg pm = PrepareMsg::decode(ctx.sent()[d].payload);
+    EXPECT_EQ(pm.index, 0u);
+    EXPECT_EQ(pm.ballot, make_ballot(1, 0));
+  }
+}
+
+TEST_F(CoreFixture, AcceptorPromisesHigherBallotOnly) {
+  PaxosCore a = node(1);
+  Context ctx(1);
+  a.handle_message(mk(1, 0, kPrepare, PrepareMsg{0, make_ballot(2, 0)}.encode()), ctx);
+  ASSERT_EQ(ctx.sent().size(), 1u);
+  auto resp = PrepareResponseMsg::decode(ctx.sent()[0].payload);
+  EXPECT_TRUE(resp.ok);
+  EXPECT_FALSE(resp.has_accepted);
+
+  // A lower ballot is rejected.
+  Context ctx2(1);
+  a.handle_message(mk(1, 2, kPrepare, PrepareMsg{0, make_ballot(1, 2)}.encode()), ctx2);
+  auto resp2 = PrepareResponseMsg::decode(ctx2.sent()[0].payload);
+  EXPECT_FALSE(resp2.ok);
+}
+
+TEST_F(CoreFixture, AcceptorReportsAcceptedValueInPromise) {
+  PaxosCore a = node(1);
+  Context c1(1);
+  a.handle_message(mk(1, 0, kAccept, AcceptMsg{0, make_ballot(1, 0), 77}.encode()), c1);
+  // Learn broadcast to everyone.
+  EXPECT_EQ(c1.sent().size(), 3u);
+  EXPECT_EQ(c1.sent()[0].type, kLearn);
+
+  Context c2(1);
+  a.handle_message(mk(1, 2, kPrepare, PrepareMsg{0, make_ballot(2, 2)}.encode()), c2);
+  auto resp = PrepareResponseMsg::decode(c2.sent()[0].payload);
+  EXPECT_TRUE(resp.ok);
+  EXPECT_TRUE(resp.has_accepted);
+  EXPECT_EQ(resp.accepted_value, 77u);
+  EXPECT_EQ(resp.accepted_ballot, make_ballot(1, 0));
+}
+
+TEST_F(CoreFixture, AcceptorRejectsAcceptBelowPromise) {
+  PaxosCore a = node(1);
+  Context c1(1);
+  a.handle_message(mk(1, 0, kPrepare, PrepareMsg{0, make_ballot(5, 0)}.encode()), c1);
+  Context c2(1);
+  a.handle_message(mk(1, 2, kAccept, AcceptMsg{0, make_ballot(1, 2), 9}.encode()), c2);
+  EXPECT_TRUE(c2.sent().empty());  // silently ignored
+}
+
+TEST_F(CoreFixture, ProposerSendsAcceptAtMajority) {
+  PaxosCore p = node(0);
+  Context ctx(0);
+  p.propose(0, 42, ctx);
+  const Ballot b = make_ballot(1, 0);
+
+  Context c1(0);
+  p.handle_message(
+      mk(0, 1, kPrepareResponse, PrepareResponseMsg{0, b, true, false, 0, 0}.encode()), c1);
+  EXPECT_TRUE(c1.sent().empty());  // 1 of 3: no majority yet
+
+  Context c2(0);
+  p.handle_message(
+      mk(0, 2, kPrepareResponse, PrepareResponseMsg{0, b, true, false, 0, 0}.encode()), c2);
+  ASSERT_EQ(c2.sent().size(), 3u);  // majority: Accept broadcast
+  auto acc = AcceptMsg::decode(c2.sent()[0].payload);
+  EXPECT_EQ(acc.value, 42u);  // nothing previously accepted: own value
+
+  Context c3(0);
+  p.handle_message(
+      mk(0, 0, kPrepareResponse, PrepareResponseMsg{0, b, true, false, 0, 0}.encode()), c3);
+  EXPECT_TRUE(c3.sent().empty());  // third response: Accept not re-sent
+}
+
+TEST_F(CoreFixture, ProposerAdoptsHighestBallotAcceptedValue) {
+  PaxosCore p = node(0);
+  Context ctx(0);
+  p.propose(0, 42, ctx);
+  const Ballot b = make_ballot(1, 0);
+
+  Context c1(0);
+  p.handle_message(mk(0, 1, kPrepareResponse,
+                      PrepareResponseMsg{0, b, true, true, make_ballot(1, 1), 111}.encode()),
+                   c1);
+  Context c2(0);
+  p.handle_message(mk(0, 2, kPrepareResponse,
+                      PrepareResponseMsg{0, b, true, true, make_ballot(2, 2), 222}.encode()),
+                   c2);
+  ASSERT_EQ(c2.sent().size(), 3u);
+  EXPECT_EQ(AcceptMsg::decode(c2.sent()[0].payload).value, 222u);  // higher accepted ballot wins
+}
+
+TEST_F(CoreFixture, HighestBallotWinsRegardlessOfArrivalOrder) {
+  // Same two responses, reversed order: the correct proposer still adopts
+  // the higher-ballot value.
+  PaxosCore p = node(0);
+  Context ctx(0);
+  p.propose(0, 42, ctx);
+  const Ballot b = make_ballot(1, 0);
+  Context c1(0);
+  p.handle_message(mk(0, 2, kPrepareResponse,
+                      PrepareResponseMsg{0, b, true, true, make_ballot(2, 2), 222}.encode()),
+                   c1);
+  Context c2(0);
+  p.handle_message(mk(0, 1, kPrepareResponse,
+                      PrepareResponseMsg{0, b, true, true, make_ballot(1, 1), 111}.encode()),
+                   c2);
+  EXPECT_EQ(AcceptMsg::decode(c2.sent()[0].payload).value, 222u);
+}
+
+TEST_F(CoreFixture, BuggyProposerUsesLastResponse) {
+  // The §5.5 bug: the value of the LAST PrepareResponse wins — and a
+  // response with no accepted value erases a previously adopted one.
+  PaxosCore p = node(0, /*bug=*/true);
+  Context ctx(0);
+  p.propose(0, 42, ctx);
+  const Ballot b = make_ballot(1, 0);
+
+  Context c1(0);
+  p.handle_message(mk(0, 1, kPrepareResponse,
+                      PrepareResponseMsg{0, b, true, true, make_ballot(1, 1), 111}.encode()),
+                   c1);
+  Context c2(0);
+  p.handle_message(
+      mk(0, 2, kPrepareResponse, PrepareResponseMsg{0, b, true, false, 0, 0}.encode()), c2);
+  ASSERT_EQ(c2.sent().size(), 3u);
+  // BUG MANIFESTS: adopted value 111 was forgotten; own value proposed.
+  EXPECT_EQ(AcceptMsg::decode(c2.sent()[0].payload).value, 42u);
+}
+
+TEST_F(CoreFixture, BuggyProposerCorrectWhenValueArrivesLast) {
+  PaxosCore p = node(0, /*bug=*/true);
+  Context ctx(0);
+  p.propose(0, 42, ctx);
+  const Ballot b = make_ballot(1, 0);
+  Context c1(0);
+  p.handle_message(
+      mk(0, 2, kPrepareResponse, PrepareResponseMsg{0, b, true, false, 0, 0}.encode()), c1);
+  Context c2(0);
+  p.handle_message(mk(0, 1, kPrepareResponse,
+                      PrepareResponseMsg{0, b, true, true, make_ballot(1, 1), 111}.encode()),
+                   c2);
+  // In THIS interleaving the bug is latent — exactly why it needs a model
+  // checker to find.
+  EXPECT_EQ(AcceptMsg::decode(c2.sent()[0].payload).value, 111u);
+}
+
+TEST_F(CoreFixture, LearnerChoosesAtMajorityOfAcceptors) {
+  PaxosCore l = node(2);
+  const Ballot b = make_ballot(1, 0);
+  Context c1(2);
+  l.handle_message(mk(2, 0, kLearn, LearnMsg{0, b, 42}.encode()), c1);
+  EXPECT_FALSE(l.chosen(0).has_value());
+  Context c2(2);
+  l.handle_message(mk(2, 1, kLearn, LearnMsg{0, b, 42}.encode()), c2);
+  ASSERT_TRUE(l.chosen(0).has_value());
+  EXPECT_EQ(*l.chosen(0), 42u);
+}
+
+TEST_F(CoreFixture, LearnerNeedsDistinctAcceptorsSameBallot) {
+  PaxosCore l = node(2);
+  const Ballot b = make_ballot(1, 0);
+  Context c(2);
+  // Same acceptor twice: no choice.
+  l.handle_message(mk(2, 0, kLearn, LearnMsg{0, b, 42}.encode()), c);
+  l.handle_message(mk(2, 0, kLearn, LearnMsg{0, b, 42}.encode()), c);
+  EXPECT_FALSE(l.chosen(0).has_value());
+  // Different ballot doesn't combine with b.
+  l.handle_message(mk(2, 1, kLearn, LearnMsg{0, make_ballot(2, 1), 42}.encode()), c);
+  EXPECT_FALSE(l.chosen(0).has_value());
+}
+
+TEST_F(CoreFixture, ChosenIsSticky) {
+  PaxosCore l = node(2);
+  Context c(2);
+  const Ballot b1 = make_ballot(1, 0), b2 = make_ballot(2, 1);
+  l.handle_message(mk(2, 0, kLearn, LearnMsg{0, b1, 42}.encode()), c);
+  l.handle_message(mk(2, 1, kLearn, LearnMsg{0, b1, 42}.encode()), c);
+  l.handle_message(mk(2, 0, kLearn, LearnMsg{0, b2, 99}.encode()), c);
+  l.handle_message(mk(2, 1, kLearn, LearnMsg{0, b2, 99}.encode()), c);
+  EXPECT_EQ(*l.chosen(0), 42u);  // first local choice wins
+}
+
+TEST_F(CoreFixture, StalePrepareResponseIgnored) {
+  PaxosCore p = node(0);
+  Context ctx(0);
+  p.propose(0, 42, ctx);
+  // Response for a different (old) ballot.
+  Context c(0);
+  p.handle_message(mk(0, 1, kPrepareResponse,
+                      PrepareResponseMsg{0, make_ballot(9, 1), true, false, 0, 0}.encode()),
+                   c);
+  Context c2(0);
+  p.handle_message(mk(0, 2, kPrepareResponse,
+                      PrepareResponseMsg{0, make_ballot(1, 0), true, false, 0, 0}.encode()),
+                   c2);
+  EXPECT_TRUE(c2.sent().empty());  // only ONE valid response so far
+}
+
+TEST_F(CoreFixture, ReProposeBumpsBallot) {
+  PaxosCore p = node(1);
+  Context c1(1);
+  p.propose(5, 7, c1);
+  Context c2(1);
+  p.propose(5, 7, c2);
+  auto m1 = PrepareMsg::decode(c1.sent()[0].payload);
+  auto m2 = PrepareMsg::decode(c2.sent()[0].payload);
+  EXPECT_GT(m2.ballot, m1.ballot);
+}
+
+TEST_F(CoreFixture, SerializationRoundTrip) {
+  PaxosCore p = node(0);
+  Context ctx(0);
+  p.propose(0, 42, ctx);
+  const Ballot b = make_ballot(1, 0);
+  Context c1(0);
+  p.handle_message(mk(0, 1, kPrepareResponse,
+                      PrepareResponseMsg{0, b, true, true, make_ballot(1, 1), 7}.encode()),
+                   c1);
+  Context c2(0);
+  p.handle_message(mk(0, 0, kLearn, LearnMsg{3, b, 9}.encode()), c2);
+
+  Writer w;
+  p.serialize(w);
+  PaxosCore q = node(0);
+  Reader r(w.data());
+  q.deserialize(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(p, q);
+
+  Writer w2;
+  q.serialize(w2);
+  EXPECT_EQ(w.data(), w2.data()) << "serialization must be deterministic";
+}
+
+TEST_F(CoreFixture, DriverIndexHelpers) {
+  PaxosCore p = node(0);
+  EXPECT_FALSE(p.first_unchosen_known_index().has_value());
+  EXPECT_EQ(p.fresh_index(), 0u);
+
+  Context ctx(0);
+  p.propose(2, 42, ctx);
+  ASSERT_TRUE(p.first_unchosen_known_index().has_value());
+  EXPECT_EQ(*p.first_unchosen_known_index(), 2u);
+  EXPECT_EQ(p.fresh_index(), 3u);
+
+  // Once chosen locally, the index no longer demands attention.
+  const Ballot b = make_ballot(1, 0);
+  Context c(0);
+  p.handle_message(mk(0, 0, kLearn, LearnMsg{2, b, 5}.encode()), c);
+  p.handle_message(mk(0, 1, kLearn, LearnMsg{2, b, 5}.encode()), c);
+  EXPECT_FALSE(p.first_unchosen_known_index().has_value());
+}
+
+TEST_F(CoreFixture, TypeBaseNamespacing) {
+  PaxosCore p(0, 3, CoreOptions{100, false});
+  Context ctx(0);
+  p.propose(0, 1, ctx);
+  EXPECT_EQ(ctx.sent()[0].type, 100u + kPrepare);
+  // A message outside the namespace is not consumed.
+  Context c(0);
+  EXPECT_FALSE(p.handle_message(mk(0, 1, 3, {}), c));
+  EXPECT_FALSE(p.handle_message(mk(0, 1, 104, {}), c));
+}
+
+// Parameterized sweep: one clean proposal among N nodes always converges to
+// the proposer's value once all messages are delivered in order.
+class CleanProposal : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CleanProposal, AllNodesChooseProposersValue) {
+  const std::uint32_t n = GetParam();
+  std::vector<PaxosCore> nodes;
+  for (NodeId i = 0; i < n; ++i) nodes.emplace_back(i, n, CoreOptions{});
+
+  // Synchronous in-order delivery of every message.
+  std::vector<Message> queue;
+  Context ctx(0);
+  nodes[0].propose(0, 7, ctx);
+  for (const Message& m : ctx.sent()) queue.push_back(m);
+  while (!queue.empty()) {
+    Message m = queue.front();
+    queue.erase(queue.begin());
+    Context c(m.dst);
+    nodes[m.dst].handle_message(m, c);
+    for (const Message& out : c.sent()) queue.push_back(out);
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    ASSERT_TRUE(nodes[i].chosen(0).has_value()) << "node " << i;
+    EXPECT_EQ(*nodes[i].chosen(0), 7u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CleanProposal, ::testing::Values(1, 2, 3, 4, 5, 7, 9));
+
+}  // namespace
+}  // namespace lmc::paxos

@@ -1,0 +1,253 @@
+// Model checking Paxos: the §5.1 one-proposal space (global vs local,
+// completeness cross-check), and the §5.5 WiDS-bug hunt from a live state.
+#include <gtest/gtest.h>
+
+#include "mc/global_mc.hpp"
+#include "mc/local_mc.hpp"
+#include "mc/replay.hpp"
+#include "protocols/paxos.hpp"
+
+namespace lmc {
+namespace {
+
+using paxos::DriverConfig;
+
+SystemConfig one_proposal_cfg(bool bug = false, std::set<NodeId> proposers = {0}) {
+  return paxos::make_config(3, paxos::CoreOptions{0, bug},
+                            DriverConfig{std::move(proposers), 1});
+}
+
+// Deliver one message matching (dst, type) from the in-flight vector;
+// returns false if absent. Used to hand-build live states.
+bool deliver_one(const SystemConfig& cfg, std::vector<Blob>& nodes,
+                 std::vector<Message>& flight, NodeId dst, std::uint32_t type) {
+  for (std::size_t i = 0; i < flight.size(); ++i) {
+    if (flight[i].dst == dst && flight[i].type == type) {
+      Message m = flight[i];
+      flight.erase(flight.begin() + static_cast<std::ptrdiff_t>(i));
+      ExecResult r = exec_message(cfg, dst, nodes[dst], m);
+      EXPECT_FALSE(r.assert_failed);
+      nodes[dst] = std::move(r.state);
+      for (Message& out : r.sent) flight.push_back(std::move(out));
+      return true;
+    }
+  }
+  return false;
+}
+
+void fire_internal(const SystemConfig& cfg, std::vector<Blob>& nodes,
+                   std::vector<Message>& flight, NodeId n, std::size_t which = 0) {
+  auto evs = internal_events_of(cfg, n, nodes[n]);
+  ASSERT_LT(which, evs.size());
+  ExecResult r = exec_internal(cfg, n, nodes[n], evs[which]);
+  ASSERT_FALSE(r.assert_failed);
+  nodes[n] = std::move(r.state);
+  for (Message& out : r.sent) flight.push_back(std::move(out));
+}
+
+TEST(PaxosMc, LocalCompletesOneProposalSpace) {
+  SystemConfig cfg = one_proposal_cfg();
+  auto inv = paxos::make_agreement_invariant();
+  LocalMcOptions opt;
+  LocalModelChecker mc(cfg, inv.get(), opt);
+  mc.run_from_initial();
+  const auto& st = mc.stats();
+  EXPECT_TRUE(st.completed);
+  EXPECT_EQ(st.confirmed_violations, 0u);
+  EXPECT_EQ(st.prelim_violations, 0u) << "correct Paxos: no combo should even look bad";
+  // The proposer sees 10 events in a real run (init, propose, Prepare,
+  // 3 PrepareResponses, Accept, 3 Learns), but the deepest chain of
+  // DISTINCT states is 8: the post-majority PrepareResponse is a no-op, and
+  // an Accept arriving without the loopback Prepare leaves the same
+  // acceptor state (promised is set either way), shortening first-discovery
+  // depth.
+  EXPECT_GE(st.max_chain_depth_reached, 8u);
+  EXPECT_LE(st.max_chain_depth_reached, 10u);
+  EXPECT_GT(st.node_states, 10u);
+  EXPECT_GT(st.transitions, 0u);
+}
+
+TEST(PaxosMc, OptCreatesZeroSystemStatesOnCorrectPaxos) {
+  // Fig. 11: "The number of system states explored by LMC-OPT is zero."
+  SystemConfig cfg = one_proposal_cfg();
+  auto inv = paxos::make_agreement_invariant();
+  LocalMcOptions opt;
+  opt.use_projection = true;
+  LocalModelChecker mc(cfg, inv.get(), opt);
+  mc.run_from_initial();
+  EXPECT_TRUE(mc.stats().completed);
+  EXPECT_EQ(mc.stats().system_states, 0u);
+  EXPECT_EQ(mc.stats().confirmed_violations, 0u);
+}
+
+TEST(PaxosMc, GlobalCompletesAndAgreesWithLocal) {
+  SystemConfig cfg = one_proposal_cfg();
+  auto inv = paxos::make_agreement_invariant();
+
+  GlobalMcOptions gopt;
+  gopt.collect_system_states = true;
+  gopt.max_transitions = 20'000'000;
+  gopt.time_budget_s = 300;
+  GlobalModelChecker g(cfg, inv.get(), gopt);
+  g.run_from_initial();
+  ASSERT_TRUE(g.stats().completed) << "global exploration must finish this small space";
+  EXPECT_EQ(g.stats().violations, 0u);
+
+  LocalModelChecker l(cfg, inv.get(), {});
+  l.run_from_initial();
+
+  // The paper's headline ratios: far fewer transitions (§5.1 reports 132x)
+  // and far fewer stored states.
+  EXPECT_LT(l.stats().transitions * 10, g.stats().transitions);
+  EXPECT_LT(l.stats().node_states * 10, g.stats().unique_states);
+
+  // Completeness cross-check: every node state in any globally visited
+  // system state was traversed by LMC.
+  for (const auto& [h, tuple] : g.system_state_tuples()) {
+    (void)h;
+    for (NodeId n = 0; n < cfg.num_nodes; ++n)
+      ASSERT_NE(l.store().find(n, tuple[n]), UINT32_MAX);
+  }
+}
+
+// Builds the §5.5 live state: node0 proposed v1 for index 0; node0 and
+// node1 accepted it; only node0 learned it (Learn messages to the others
+// were "dropped"). Returns nodes; in-flight is left empty.
+std::vector<Blob> build_5_5_live_state(const SystemConfig& cfg) {
+  std::vector<Blob> nodes = initial_states(cfg);
+  std::vector<Message> flight;
+  for (NodeId n = 0; n < 3; ++n) fire_internal(cfg, nodes, flight, n);  // init x3
+  fire_internal(cfg, nodes, flight, 0);                                 // node0 proposes
+  for (NodeId n = 0; n < 3; ++n)
+    EXPECT_TRUE(deliver_one(cfg, nodes, flight, n, paxos::kPrepare));
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(deliver_one(cfg, nodes, flight, 0, paxos::kPrepareResponse));
+  // Accept reaches node0 and node1 only.
+  EXPECT_TRUE(deliver_one(cfg, nodes, flight, 0, paxos::kAccept));
+  EXPECT_TRUE(deliver_one(cfg, nodes, flight, 1, paxos::kAccept));
+  // node0 learns from both acceptors; everyone else's Learns are dropped.
+  EXPECT_TRUE(deliver_one(cfg, nodes, flight, 0, paxos::kLearn));
+  EXPECT_TRUE(deliver_one(cfg, nodes, flight, 0, paxos::kLearn));
+
+  auto chosen0 = paxos::chosen_map_of(cfg, 0, nodes[0]);
+  EXPECT_EQ(chosen0.size(), 1u);
+  EXPECT_EQ(chosen0[0], 1u);  // v1 = node0's id + 1
+  EXPECT_TRUE(paxos::chosen_map_of(cfg, 1, nodes[1]).empty());
+  EXPECT_TRUE(paxos::chosen_map_of(cfg, 2, nodes[2]).empty());
+  return nodes;
+}
+
+TEST(PaxosMc, WidsBugFoundFromLiveState) {
+  // §5.5 setup: node0 (N1) spent its proposal in the live run; the checker
+  // explores node1's (N2's) proposal for the same index. LMC-OPT is the
+  // variant the paper uses for the buggy experiments (Fig. 13).
+  SystemConfig cfg = one_proposal_cfg(/*bug=*/true, /*proposers=*/{0, 1});
+  auto inv = paxos::make_agreement_invariant();
+  std::vector<Blob> live = build_5_5_live_state(cfg);
+
+  LocalMcOptions opt;
+  opt.max_total_depth = 18;
+  opt.use_projection = true;
+  opt.time_budget_s = 60;
+  LocalModelChecker mc(cfg, inv.get(), opt);
+  mc.run(live, {});
+
+  ASSERT_GE(mc.stats().confirmed_violations, 1u) << "the WiDS bug must be rediscovered";
+  const LocalViolation* v = mc.first_confirmed();
+  ASSERT_NE(v, nullptr);
+
+  // The violating system state pits v1 (node0's choice) against v2/v3.
+  std::map<std::uint64_t, std::uint64_t> values;
+  bool conflict = false;
+  for (NodeId n = 0; n < 3; ++n)
+    for (const auto& [i, val] : paxos::chosen_map_of(cfg, n, v->system_state[n])) {
+      auto [it, fresh] = values.emplace(i, val);
+      if (!fresh && it->second != val) conflict = true;
+    }
+  EXPECT_TRUE(conflict);
+
+  // Machine-checked witness: replay the schedule through the real handlers.
+  ReplayResult rep = replay_schedule(cfg, mc.initial_nodes(), mc.initial_in_flight(),
+                                     v->witness, mc.events(), v->state_hashes);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(PaxosMc, WidsBugNotFoundInCorrectPaxosFromSameState) {
+  // Identical live state and driver, but the bug flag off: no violation.
+  SystemConfig cfg = one_proposal_cfg(/*bug=*/false, /*proposers=*/{0, 1});
+  auto inv = paxos::make_agreement_invariant();
+  std::vector<Blob> live = build_5_5_live_state(cfg);
+
+  LocalMcOptions opt;
+  opt.max_total_depth = 18;
+  opt.use_projection = true;
+  opt.time_budget_s = 60;
+  LocalModelChecker mc(cfg, inv.get(), opt);
+  mc.run(live, {});
+  EXPECT_EQ(mc.stats().confirmed_violations, 0u);
+  // Correct Paxos maps every node state to the same chosen value, so OPT
+  // never even materializes a conflicting combination.
+  EXPECT_EQ(mc.stats().system_states, 0u);
+}
+
+TEST(PaxosMc, ParallelRunIsDeterministic) {
+  SystemConfig cfg = one_proposal_cfg();
+  auto inv = paxos::make_agreement_invariant();
+
+  LocalMcOptions seq;
+  LocalModelChecker a(cfg, inv.get(), seq);
+  a.run_from_initial();
+
+  LocalMcOptions par = seq;
+  par.num_threads = 4;
+  LocalModelChecker b(cfg, inv.get(), par);
+  b.run_from_initial();
+
+  EXPECT_EQ(a.stats().transitions, b.stats().transitions);
+  EXPECT_EQ(a.stats().node_states, b.stats().node_states);
+  EXPECT_EQ(a.stats().system_states, b.stats().system_states);
+  ASSERT_EQ(a.store().num_nodes(), b.store().num_nodes());
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_EQ(a.store().size(n), b.store().size(n));
+    for (std::uint32_t i = 0; i < a.store().size(n); ++i)
+      EXPECT_EQ(a.store().rec(n, i).hash, b.store().rec(n, i).hash);
+  }
+}
+
+TEST(PaxosMc, DepthSweepGrowsMonotonically) {
+  SystemConfig cfg = one_proposal_cfg();
+  auto inv = paxos::make_agreement_invariant();
+  std::uint64_t prev = 0;
+  for (std::uint32_t d : {4u, 8u, 12u, 16u, 22u}) {
+    LocalMcOptions opt;
+    opt.max_total_depth = d;
+    LocalModelChecker mc(cfg, inv.get(), opt);
+    mc.run_from_initial();
+    EXPECT_GE(mc.stats().node_states, prev);
+    prev = mc.stats().node_states;
+  }
+}
+
+TEST(PaxosMc, TwoProposerSpaceIsMuchLarger) {
+  // §5.2's scalability workload: two proposers. Bounded identically, the
+  // two-proposer space must dwarf the one-proposer space.
+  auto inv = paxos::make_agreement_invariant();
+
+  SystemConfig cfg1 = one_proposal_cfg();
+  LocalMcOptions opt;
+  opt.max_total_depth = 12;
+  opt.enable_system_states = false;  // compare exploration effort only
+  opt.time_budget_s = 60;
+  LocalModelChecker a(cfg1, inv.get(), opt);
+  a.run_from_initial();
+
+  SystemConfig cfg2 = one_proposal_cfg(false, {0, 1});
+  LocalModelChecker b(cfg2, inv.get(), opt);
+  b.run_from_initial();
+
+  EXPECT_GT(b.stats().node_states, a.stats().node_states);
+  EXPECT_GT(b.stats().transitions, a.stats().transitions);
+}
+
+}  // namespace
+}  // namespace lmc

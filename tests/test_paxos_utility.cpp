@@ -1,0 +1,66 @@
+// PaxosUtility helpers: entry encoding and configuration-log reading.
+#include <gtest/gtest.h>
+
+#include "protocols/paxos_utility.hpp"
+
+namespace lmc::onepaxos {
+namespace {
+
+TEST(PaxosUtility, EntryEncodingRoundTrip) {
+  for (NodeId n : {0u, 1u, 2u, 0xffffffu}) {
+    paxos::Value lc = encode_entry(EntryKind::LeaderChange, n);
+    EXPECT_EQ(entry_kind(lc), EntryKind::LeaderChange);
+    EXPECT_EQ(entry_node(lc), n);
+    paxos::Value ac = encode_entry(EntryKind::AcceptorChange, n);
+    EXPECT_EQ(entry_kind(ac), EntryKind::AcceptorChange);
+    EXPECT_EQ(entry_node(ac), n);
+    EXPECT_NE(lc, ac);
+  }
+}
+
+// Drive a utility core's learner directly to install chosen entries.
+void install(paxos::PaxosCore& core, paxos::Index idx, paxos::Value v) {
+  Context c(0);
+  paxos::LearnMsg learn{idx, paxos::make_ballot(1, 0), v};
+  for (NodeId src : {0u, 1u}) {  // majority of 3
+    Message m;
+    m.dst = 0;
+    m.src = src;
+    m.type = 100 + paxos::kLearn;
+    m.payload = learn.encode();
+    core.handle_message(m, c);
+  }
+}
+
+TEST(PaxosUtility, EmptyLogHasNoRoles) {
+  paxos::PaxosCore core(0, 3, paxos::CoreOptions{100, false});
+  ConfigView v = read_config(core);
+  EXPECT_FALSE(v.leader.has_value());
+  EXPECT_FALSE(v.acceptor.has_value());
+  EXPECT_EQ(next_log_index(core), 0u);
+}
+
+TEST(PaxosUtility, LastEntryWins) {
+  paxos::PaxosCore core(0, 3, paxos::CoreOptions{100, false});
+  install(core, 0, encode_entry(EntryKind::LeaderChange, 1));
+  install(core, 1, encode_entry(EntryKind::AcceptorChange, 2));
+  install(core, 2, encode_entry(EntryKind::LeaderChange, 2));
+  ConfigView v = read_config(core);
+  ASSERT_TRUE(v.leader.has_value());
+  EXPECT_EQ(*v.leader, 2u);  // the later LeaderChange overrides the first
+  ASSERT_TRUE(v.acceptor.has_value());
+  EXPECT_EQ(*v.acceptor, 2u);
+  EXPECT_EQ(next_log_index(core), 3u);
+}
+
+TEST(PaxosUtility, NextLogIndexSkipsChosenPrefix) {
+  paxos::PaxosCore core(0, 3, paxos::CoreOptions{100, false});
+  install(core, 0, encode_entry(EntryKind::LeaderChange, 1));
+  EXPECT_EQ(next_log_index(core), 1u);
+  // A hole: index 2 chosen but 1 not — proposals go to the hole.
+  install(core, 2, encode_entry(EntryKind::LeaderChange, 2));
+  EXPECT_EQ(next_log_index(core), 1u);
+}
+
+}  // namespace
+}  // namespace lmc::onepaxos

@@ -1,0 +1,72 @@
+// RacingChecker (§4.3's "run both and use the sooner"): verdict agreement,
+// cancellation, and winner plausibility on contrasting workloads.
+#include <gtest/gtest.h>
+
+#include "mc/racing.hpp"
+#include "protocols/election.hpp"
+#include "protocols/paxos.hpp"
+#include "protocols/twophase.hpp"
+
+namespace lmc {
+namespace {
+
+TEST(Racing, CleanProtocolNoViolationEitherWay) {
+  SystemConfig cfg = paxos::make_config(3, paxos::CoreOptions{},
+                                        paxos::DriverConfig{{0}, 1});
+  auto inv = paxos::make_agreement_invariant();
+  RacingOptions opt;
+  opt.global.time_budget_s = 120;
+  opt.local.time_budget_s = 120;
+  opt.local.use_projection = true;
+  RacingResult res = race_checkers(cfg, inv.get(), initial_states(cfg), {}, opt);
+  EXPECT_FALSE(res.found);
+  EXPECT_NE(res.winner, RacingResult::Winner::Neither) << "someone must finish this tiny space";
+}
+
+TEST(Racing, BuggyProtocolFoundByWhicheverWins) {
+  SystemConfig cfg = twophase::make_config(3, twophase::Options{{2}, true});
+  twophase::AtomicityInvariant inv;
+  RacingOptions opt;
+  opt.global.time_budget_s = 120;
+  opt.local.time_budget_s = 120;
+  opt.local.use_projection = true;
+  RacingResult res = race_checkers(cfg, &inv, initial_states(cfg), {}, opt);
+  ASSERT_TRUE(res.found);
+  if (res.winner == RacingResult::Winner::Global) {
+    ASSERT_TRUE(res.global_violation.has_value());
+    EXPECT_EQ(res.global_violation->invariant, "twophase.atomicity");
+  } else {
+    ASSERT_TRUE(res.local_violation.has_value());
+    EXPECT_TRUE(res.local_violation->confirmed);
+  }
+}
+
+TEST(Racing, LoserIsCancelled) {
+  // A big space with a generous budget: whoever wins, the loser must not
+  // run to its full budget (cancellation cuts it short).
+  SystemConfig cfg = election::make_config(4, election::Options{{0, 1, 2, 3}, false});
+  election::SingleLeaderInvariant inv;
+  RacingOptions opt;
+  opt.global.time_budget_s = 300;
+  opt.local.time_budget_s = 300;
+  opt.local.use_projection = true;
+  RacingResult res = race_checkers(cfg, &inv, initial_states(cfg), {}, opt);
+  EXPECT_LT(res.elapsed_s, 200.0);
+  EXPECT_FALSE(res.found);
+}
+
+TEST(Racing, AgreesWithStandaloneCheckers) {
+  for (bool bug : {false, true}) {
+    SystemConfig cfg = election::make_config(3, election::Options{{0}, bug});
+    election::SingleLeaderInvariant inv;
+    RacingOptions opt;
+    opt.global.time_budget_s = 120;
+    opt.local.time_budget_s = 120;
+    opt.local.use_projection = true;
+    RacingResult res = race_checkers(cfg, &inv, initial_states(cfg), {}, opt);
+    EXPECT_EQ(res.found, bug) << "bug=" << bug;
+  }
+}
+
+}  // namespace
+}  // namespace lmc

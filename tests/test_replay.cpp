@@ -1,0 +1,126 @@
+// Replay validator: success and every failure mode.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mc/replay.hpp"
+#include "protocols/tree.hpp"
+
+namespace lmc {
+namespace {
+
+struct ReplayFixture : ::testing::Test {
+  tree::Topology topo = tree::fig2_topology();
+  SystemConfig cfg = tree::make_config(topo);
+  std::vector<Blob> start = initial_states(cfg);
+
+  EventTable events;
+  Message fwd01, fwd02, fwd24;
+  InternalEvent send{tree::kEvSend, {}};
+  Hash64 send_hash = 0;
+
+  void SetUp() override {
+    auto mk = [](NodeId dst, NodeId src) {
+      Message m;
+      m.dst = dst;
+      m.src = src;
+      m.type = tree::kMsgForward;
+      return m;
+    };
+    fwd01 = mk(1, 0);
+    fwd02 = mk(2, 0);
+    fwd24 = mk(4, 2);
+    for (const Message& m : {fwd01, fwd02, fwd24}) {
+      EventRecord er;
+      er.is_message = true;
+      er.msg = m;
+      events.emplace(m.hash(), er);
+    }
+    send_hash = send.hash(0);
+    EventRecord er;
+    er.is_message = false;
+    er.node = 0;
+    er.ev = send;
+    events.emplace(send_hash, er);
+  }
+};
+
+TEST_F(ReplayFixture, EmptyScheduleSucceeds) {
+  ReplayResult r = replay_schedule(cfg, start, {}, {}, events, {});
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.final_nodes, start);
+}
+
+TEST_F(ReplayFixture, FullCausalChainReplays) {
+  Schedule sched{
+      {0, false, send_hash},        // origin sends
+      {2, true, fwd02.hash()},      // relay 2 forwards
+      {4, true, fwd24.hash()},      // target receives
+  };
+  ReplayResult r = replay_schedule(cfg, start, {}, sched, events, {});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(tree::status_of(r.final_nodes[0]), tree::Status::Sent);
+  EXPECT_EQ(tree::status_of(r.final_nodes[4]), tree::Status::Received);
+  EXPECT_EQ(r.log.size(), 3u);
+}
+
+TEST_F(ReplayFixture, DeliveryBeforeGenerationFails) {
+  Schedule sched{{4, true, fwd24.hash()}};  // nothing generated it
+  ReplayResult r = replay_schedule(cfg, start, {}, sched, events, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not in flight"), std::string::npos) << r.error;
+}
+
+TEST_F(ReplayFixture, InitialInFlightEnablesDelivery) {
+  Schedule sched{{4, true, fwd24.hash()}};
+  ReplayResult r = replay_schedule(cfg, start, {fwd24}, sched, events, {});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(tree::status_of(r.final_nodes[4]), tree::Status::Received);
+}
+
+TEST_F(ReplayFixture, UnknownEventHashFails) {
+  Schedule sched{{0, false, 0xdeadbeefULL}};
+  ReplayResult r = replay_schedule(cfg, start, {}, sched, events, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown event"), std::string::npos);
+}
+
+TEST_F(ReplayFixture, FinalHashMismatchDetected) {
+  Schedule sched{{0, false, send_hash}};
+  std::vector<Hash64> wrong(5, 0x1234);
+  ReplayResult r = replay_schedule(cfg, start, {}, sched, events, wrong);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("differs"), std::string::npos);
+}
+
+TEST_F(ReplayFixture, FinalHashMatchAccepted) {
+  Schedule sched{{0, false, send_hash}};
+  ExecResult ex = exec_internal(cfg, 0, start[0], send);
+  std::vector<Hash64> expected;
+  expected.push_back(hash_blob(ex.state));
+  for (NodeId n = 1; n < 5; ++n) expected.push_back(hash_blob(start[n]));
+  ReplayResult r = replay_schedule(cfg, start, {}, sched, events, expected);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST_F(ReplayFixture, EventKindMismatchFails) {
+  // Schedule claims the send event is a message.
+  Schedule sched{{0, true, send_hash}};
+  ReplayResult r = replay_schedule(cfg, start, {}, sched, events, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("kind mismatch"), std::string::npos);
+}
+
+TEST_F(ReplayFixture, SameMessageNotDeliverableTwice) {
+  Schedule sched{
+      {0, false, send_hash},
+      {2, true, fwd02.hash()},
+      {2, true, fwd02.hash()},  // consumed already
+  };
+  ReplayResult r = replay_schedule(cfg, start, {}, sched, events, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not in flight"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmc

@@ -1,0 +1,173 @@
+// Unit + property tests for the Writer/Reader byte serialization — state
+// identity depends on these bytes being deterministic and exact.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "runtime/serialize.hpp"
+
+namespace lmc {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.b(true);
+  w.b(false);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-42);
+  w.i64(-1234567890123LL);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, StringRoundTrip) {
+  Writer w;
+  w.str("");
+  w.str("hello");
+  w.str(std::string(1000, 'x'));
+  Reader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), std::string(1000, 'x'));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, BytesRoundTrip) {
+  Writer w;
+  Blob b{1, 2, 3, 255, 0};
+  w.bytes(b);
+  w.bytes({});
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), b);
+  EXPECT_EQ(r.bytes(), Blob{});
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, UnderflowThrows) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.data());
+  r.u8();
+  r.u8();
+  EXPECT_THROW(r.u8(), SerializeError);
+}
+
+TEST(Serialize, TruncatedStringThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow
+  Reader r(w.data());
+  EXPECT_THROW(r.str(), SerializeError);
+}
+
+TEST(Serialize, ExpectExhaustedThrowsOnTrailing) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r(w.data());
+  r.u32();
+  EXPECT_THROW(r.expect_exhausted(), SerializeError);
+  r.u32();
+  EXPECT_NO_THROW(r.expect_exhausted());
+}
+
+TEST(Serialize, SetHelpersRoundTrip) {
+  std::set<std::uint32_t> s{5, 1, 99, 7};
+  Writer w;
+  write_u32_set(w, s);
+  Reader r(w.data());
+  EXPECT_EQ(read_u32_set(r), s);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, U64VecRoundTrip) {
+  std::vector<std::uint64_t> v{0, 1, ~0ULL, 42};
+  Writer w;
+  write_u64_vec(w, v);
+  Reader r(w.data());
+  EXPECT_EQ(read_u64_vec(r), v);
+}
+
+TEST(Serialize, VecHelperRoundTrip) {
+  std::vector<std::uint32_t> v{10, 20, 30};
+  Writer w;
+  w.vec(v, [](Writer& ww, std::uint32_t x) { ww.u32(x); });
+  Reader r(w.data());
+  auto got = r.vec<std::uint32_t>([](Reader& rr) { return rr.u32(); });
+  EXPECT_EQ(got, v);
+}
+
+TEST(Serialize, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Serialize, DeterministicBytes) {
+  auto emit = [] {
+    Writer w;
+    w.u64(7);
+    w.str("abc");
+    w.bytes({9, 9});
+    return std::move(w).take();
+  };
+  EXPECT_EQ(emit(), emit());
+}
+
+// Property: random mixed-type payloads round-trip exactly.
+class SerializeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializeFuzz, RandomRoundTrip) {
+  std::mt19937_64 rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<int> kinds;
+    Writer w;
+    std::vector<std::uint64_t> vals;
+    std::vector<std::string> strs;
+    int n = 1 + static_cast<int>(rng() % 20);
+    for (int i = 0; i < n; ++i) {
+      int kind = static_cast<int>(rng() % 4);
+      kinds.push_back(kind);
+      switch (kind) {
+        case 0: vals.push_back(rng() & 0xff); w.u8(static_cast<std::uint8_t>(vals.back())); break;
+        case 1: vals.push_back(rng() & 0xffffffff); w.u32(static_cast<std::uint32_t>(vals.back())); break;
+        case 2: vals.push_back(rng()); w.u64(vals.back()); break;
+        case 3: {
+          std::string s(rng() % 32, char('a' + rng() % 26));
+          strs.push_back(s);
+          w.str(s);
+          break;
+        }
+      }
+    }
+    Reader r(w.data());
+    std::size_t vi = 0, si = 0;
+    for (int kind : kinds) {
+      switch (kind) {
+        case 0: EXPECT_EQ(r.u8(), vals[vi++]); break;
+        case 1: EXPECT_EQ(r.u32(), vals[vi++]); break;
+        case 2: EXPECT_EQ(r.u64(), vals[vi++]); break;
+        case 3: EXPECT_EQ(r.str(), strs[si++]); break;
+      }
+    }
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeFuzz, ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace lmc

@@ -1,0 +1,91 @@
+// The runtime execution funnel: Context, blob round-trips, exec helpers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocols/tree.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace lmc {
+namespace {
+
+TEST(Context, CollectsSentMessages) {
+  Context ctx(3);
+  ctx.send(1, 7, {9, 9});
+  ctx.send(2, 8, {});
+  ASSERT_EQ(ctx.sent().size(), 2u);
+  EXPECT_EQ(ctx.sent()[0].src, 3u);
+  EXPECT_EQ(ctx.sent()[0].dst, 1u);
+  EXPECT_EQ(ctx.sent()[0].type, 7u);
+  EXPECT_EQ(ctx.sent()[0].payload, (Blob{9, 9}));
+  EXPECT_EQ(ctx.self(), 3u);
+}
+
+TEST(Context, LocalAssertLatchesFirstFailure) {
+  Context ctx(0);
+  ctx.local_assert(true, "fine");
+  EXPECT_FALSE(ctx.assert_failed());
+  ctx.local_assert(false, "first");
+  ctx.local_assert(false, "second");
+  EXPECT_TRUE(ctx.assert_failed());
+  EXPECT_EQ(ctx.assert_message(), "first");
+}
+
+struct FunnelFixture : ::testing::Test {
+  tree::Topology topo = tree::fig2_topology();
+  SystemConfig cfg = tree::make_config(topo);
+};
+
+TEST_F(FunnelFixture, InitialStatesOnePerNode) {
+  auto nodes = initial_states(cfg);
+  ASSERT_EQ(nodes.size(), cfg.num_nodes);
+  for (NodeId n = 1; n < cfg.num_nodes; ++n) EXPECT_EQ(nodes[n], nodes[0]);
+}
+
+TEST_F(FunnelFixture, BlobRoundTripIsIdentity) {
+  auto nodes = initial_states(cfg);
+  auto m = machine_from_blob(cfg, 0, nodes[0]);
+  EXPECT_EQ(machine_to_blob(*m), nodes[0]);
+}
+
+TEST_F(FunnelFixture, TruncatedBlobThrows) {
+  Blob empty;
+  EXPECT_THROW(machine_from_blob(cfg, 0, empty), SerializeError);
+}
+
+TEST_F(FunnelFixture, TrailingBytesThrow) {
+  auto nodes = initial_states(cfg);
+  Blob padded = nodes[0];
+  padded.push_back(0xff);
+  EXPECT_THROW(machine_from_blob(cfg, 0, padded), SerializeError);
+}
+
+TEST_F(FunnelFixture, ExecDoesNotMutateInput) {
+  auto nodes = initial_states(cfg);
+  Blob before = nodes[0];
+  ExecResult r = exec_internal(cfg, 0, nodes[0], {tree::kEvSend, {}});
+  EXPECT_EQ(nodes[0], before);
+  EXPECT_NE(r.state, before);
+}
+
+TEST_F(FunnelFixture, ExecIsDeterministic) {
+  auto nodes = initial_states(cfg);
+  ExecResult a = exec_internal(cfg, 0, nodes[0], {tree::kEvSend, {}});
+  ExecResult b = exec_internal(cfg, 0, nodes[0], {tree::kEvSend, {}});
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.sent, b.sent);
+}
+
+TEST_F(FunnelFixture, AssertFailureSurfacesInExecResult) {
+  auto nodes = initial_states(cfg);
+  Message bogus;
+  bogus.dst = 0;
+  bogus.src = 1;
+  bogus.type = 999;
+  ExecResult r = exec_message(cfg, 0, nodes[0], bogus);
+  EXPECT_TRUE(r.assert_failed);
+  EXPECT_FALSE(r.assert_msg.empty());
+}
+
+}  // namespace
+}  // namespace lmc

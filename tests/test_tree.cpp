@@ -1,0 +1,196 @@
+// The §2 tree example end-to-end: global vs local exploration, the Fig. 4
+// system-state counts, and the invalid "----r" combination being caught by
+// soundness verification.
+#include <gtest/gtest.h>
+
+#include "mc/global_mc.hpp"
+#include "mc/local_mc.hpp"
+#include "mc/soundness.hpp"
+#include "protocols/tree.hpp"
+
+namespace lmc {
+namespace {
+
+using tree::Status;
+
+struct TreeFixture : ::testing::Test {
+  tree::Topology topo = tree::fig2_topology();
+  SystemConfig cfg = tree::make_config(topo);
+  tree::CausalDeliveryInvariant inv{topo};
+};
+
+TEST_F(TreeFixture, ProtocolBasics) {
+  auto nodes = initial_states(cfg);
+  ASSERT_EQ(nodes.size(), 5u);
+  for (const Blob& b : nodes) EXPECT_EQ(tree::status_of(b), Status::Idle);
+
+  // Origin's send event is the only enabled internal event in the system.
+  EXPECT_EQ(internal_events_of(cfg, 0, nodes[0]).size(), 1u);
+  for (NodeId n = 1; n < 5; ++n) EXPECT_TRUE(internal_events_of(cfg, n, nodes[n]).empty());
+
+  ExecResult r = exec_internal(cfg, 0, nodes[0], {tree::kEvSend, {}});
+  EXPECT_EQ(tree::status_of(r.state), Status::Sent);
+  ASSERT_EQ(r.sent.size(), 2u);  // to children 1 and 2
+  EXPECT_EQ(r.sent[0].dst, 1u);
+  EXPECT_EQ(r.sent[1].dst, 2u);
+  // Send event no longer enabled afterwards.
+  EXPECT_TRUE(internal_events_of(cfg, 0, r.state).empty());
+}
+
+TEST_F(TreeFixture, IntermediateForwardsWithoutStateChange) {
+  auto nodes = initial_states(cfg);
+  Message m;
+  m.dst = 2;
+  m.src = 0;
+  m.type = tree::kMsgForward;
+  ExecResult r = exec_message(cfg, 2, nodes[2], m);
+  EXPECT_EQ(r.state, nodes[2]);  // relay: no local change
+  ASSERT_EQ(r.sent.size(), 1u);
+  EXPECT_EQ(r.sent[0].dst, 4u);
+}
+
+TEST_F(TreeFixture, TargetReceives) {
+  auto nodes = initial_states(cfg);
+  Message m;
+  m.dst = 4;
+  m.src = 2;
+  m.type = tree::kMsgForward;
+  ExecResult r = exec_message(cfg, 4, nodes[4], m);
+  EXPECT_EQ(tree::status_of(r.state), Status::Received);
+  EXPECT_TRUE(r.sent.empty());
+}
+
+TEST_F(TreeFixture, GlobalExplorationCoversSpace) {
+  GlobalMcOptions opt;
+  opt.collect_system_states = true;
+  GlobalModelChecker mc(cfg, &inv, opt);
+  mc.run_from_initial();
+  const auto& st = mc.stats();
+  EXPECT_TRUE(st.completed);
+  EXPECT_EQ(st.violations, 0u);  // causal delivery can't be violated in real runs
+  // Deduplicated global states: strictly more than the 4 system states —
+  // the network component multiplies them (Fig. 3 shows 12 with duplicates).
+  EXPECT_GT(st.unique_states, 4u);
+  // Exactly 4 distinct system states: {--,s-} x {-,r} on origin/target.
+  EXPECT_EQ(mc.system_state_tuples().size(), 3u)
+      << "global exploration reaches only the 3 VALID system states";
+}
+
+TEST_F(TreeFixture, LocalExplorationCreatesFourSystemStates) {
+  LocalMcOptions opt;
+  LocalModelChecker mc(cfg, &inv, opt);
+  mc.run_from_initial();
+  const auto& st = mc.stats();
+  EXPECT_TRUE(st.completed);
+  // Fig. 4: node 0 has states {-, s}, node 4 has {-, r}, others only {-}:
+  // 7 node states in total, 4 system states created.
+  EXPECT_EQ(st.node_states, 7u);
+  EXPECT_EQ(st.system_states, 4u);
+  // The combination "----r" is invalid: preliminary violation, rejected by
+  // soundness verification, never reported.
+  EXPECT_EQ(st.prelim_violations, 1u);
+  EXPECT_EQ(st.unsound_violations, 1u);
+  EXPECT_EQ(st.confirmed_violations, 0u);
+  EXPECT_TRUE(mc.violations().empty());
+}
+
+TEST_F(TreeFixture, LocalTransitionsFewerThanGlobal) {
+  GlobalModelChecker g(cfg, &inv, {});
+  g.run_from_initial();
+  LocalModelChecker l(cfg, &inv, {});
+  l.run_from_initial();
+  EXPECT_LT(l.stats().transitions, g.stats().transitions);
+}
+
+TEST_F(TreeFixture, CompletenessCrossCheck) {
+  // Every system state the global checker visits must be a combination of
+  // node states LMC traversed.
+  GlobalMcOptions gopt;
+  gopt.collect_system_states = true;
+  GlobalModelChecker g(cfg, &inv, gopt);
+  g.run_from_initial();
+
+  LocalModelChecker l(cfg, &inv, {});
+  l.run_from_initial();
+
+  for (const auto& [combined, tuple] : g.system_state_tuples()) {
+    (void)combined;
+    for (NodeId n = 0; n < cfg.num_nodes; ++n)
+      EXPECT_NE(l.store().find(n, tuple[n]), UINT32_MAX)
+          << "node " << n << " state from global run missing in LMC";
+  }
+}
+
+TEST_F(TreeFixture, SoundnessAcceptsValidCombination) {
+  LocalModelChecker l(cfg, &inv, {});
+  l.run_from_initial();
+  const LocalStore& store = l.store();
+
+  // Find node 0's Sent state and node 4's Received state.
+  auto find_status = [&](NodeId n, Status s) -> std::uint32_t {
+    for (std::uint32_t i = 0; i < store.size(n); ++i)
+      if (tree::status_of(store.rec(n, i).blob) == s) return i;
+    return UINT32_MAX;
+  };
+  std::uint32_t sent = find_status(0, Status::Sent);
+  std::uint32_t received = find_status(4, Status::Received);
+  ASSERT_NE(sent, UINT32_MAX);
+  ASSERT_NE(received, UINT32_MAX);
+
+  SoundnessVerifier v(store, l.initial_in_flight_hashes(), {});
+  // Valid: "s---r" (needs the self-loop extension for node 2's relay).
+  std::vector<std::uint32_t> valid{sent, 0, 0, 0, received};
+  EXPECT_TRUE(v.verify(valid).sound);
+  // Invalid: "----r" — node 4 received before node 0 sent.
+  std::vector<std::uint32_t> invalid{0, 0, 0, 0, received};
+  EXPECT_FALSE(v.verify(invalid).sound);
+  // Trivially valid: the initial combination (empty schedules).
+  std::vector<std::uint32_t> initial{0, 0, 0, 0, 0};
+  auto res = v.verify(initial);
+  EXPECT_TRUE(res.sound);
+  EXPECT_TRUE(res.schedule.empty());
+}
+
+TEST_F(TreeFixture, OptVariantMatchesGen) {
+  LocalMcOptions gen;
+  LocalModelChecker lg(cfg, &inv, gen);
+  lg.run_from_initial();
+
+  LocalMcOptions optv;
+  optv.use_projection = true;
+  LocalModelChecker lo(cfg, &inv, optv);
+  lo.run_from_initial();
+
+  // Identical exploration (node states / transitions)...
+  EXPECT_EQ(lo.stats().node_states, lg.stats().node_states);
+  EXPECT_EQ(lo.stats().transitions, lg.stats().transitions);
+  // ...same verdicts...
+  EXPECT_EQ(lo.stats().confirmed_violations, lg.stats().confirmed_violations);
+  EXPECT_EQ(lo.stats().unsound_violations, lg.stats().unsound_violations);
+  // ...but OPT materializes fewer system states (only conflicting combos).
+  EXPECT_LT(lo.stats().system_states, lg.stats().system_states);
+}
+
+TEST_F(TreeFixture, DepthBoundZeroBlocksExploration) {
+  LocalMcOptions opt;
+  opt.max_total_depth = 0;
+  LocalModelChecker l(cfg, &inv, opt);
+  l.run_from_initial();
+  EXPECT_EQ(l.stats().node_states, 5u);  // just the initial states
+  EXPECT_EQ(l.stats().transitions, 0u);
+}
+
+TEST_F(TreeFixture, DepthSweepMonotonic) {
+  std::uint64_t prev_states = 0;
+  for (std::uint32_t d = 1; d <= 4; ++d) {
+    LocalMcOptions opt;
+    opt.max_total_depth = d;
+    LocalModelChecker l(cfg, &inv, opt);
+    l.run_from_initial();
+    EXPECT_GE(l.stats().node_states, prev_states);
+    prev_states = l.stats().node_states;
+  }
+}
+
+}  // namespace
+}  // namespace lmc

@@ -1,0 +1,201 @@
+// Two-phase commit: protocol behaviour, the atomicity invariant, and the
+// commit-on-majority bug under both checkers.
+#include <gtest/gtest.h>
+
+#include "mc/global_mc.hpp"
+#include "mc/local_mc.hpp"
+#include "mc/replay.hpp"
+#include "protocols/twophase.hpp"
+
+namespace lmc {
+namespace {
+
+using twophase::Decision;
+using twophase::Options;
+
+void run_sync(const SystemConfig& cfg, std::vector<Blob>& nodes) {
+  std::vector<Message> q;
+  for (NodeId n = 0; n < cfg.num_nodes; ++n) {
+    ExecResult r = exec_internal(cfg, n, nodes[n], {twophase::kEvInit, {}});
+    ASSERT_FALSE(r.assert_failed);
+    nodes[n] = std::move(r.state);
+  }
+  ExecResult r = exec_internal(cfg, 0, nodes[0], {twophase::kEvBegin, {}});
+  ASSERT_FALSE(r.assert_failed);
+  nodes[0] = std::move(r.state);
+  for (Message& m : r.sent) q.push_back(std::move(m));
+  while (!q.empty()) {
+    Message m = q.front();
+    q.erase(q.begin());
+    ExecResult rr = exec_message(cfg, m.dst, nodes[m.dst], m);
+    ASSERT_FALSE(rr.assert_failed) << rr.assert_msg;
+    nodes[m.dst] = std::move(rr.state);
+    for (Message& out : rr.sent) q.push_back(std::move(out));
+  }
+}
+
+TEST(TwoPhase, AllYesCommitsEverywhere) {
+  SystemConfig cfg = twophase::make_config(3, Options{});
+  auto nodes = initial_states(cfg);
+  run_sync(cfg, nodes);
+  for (const Blob& b : nodes) EXPECT_EQ(twophase::decision_of(b), Decision::Committed);
+}
+
+TEST(TwoPhase, OneNoAbortsEverywhere) {
+  SystemConfig cfg = twophase::make_config(3, Options{{2}, false});
+  auto nodes = initial_states(cfg);
+  run_sync(cfg, nodes);
+  for (const Blob& b : nodes) EXPECT_EQ(twophase::decision_of(b), Decision::Aborted);
+}
+
+TEST(TwoPhase, InvariantSemantics) {
+  SystemConfig cfg = twophase::make_config(2, Options{});
+  twophase::AtomicityInvariant inv;
+  auto committed = [&] {
+    auto nodes = initial_states(cfg);
+    run_sync(cfg, nodes);
+    return nodes[0];
+  }();
+  SystemConfig abort_cfg = twophase::make_config(2, Options{{1}, false});
+  auto aborted = [&] {
+    auto nodes = initial_states(abort_cfg);
+    std::vector<Message> q;
+    for (NodeId n = 0; n < 2; ++n) {
+      ExecResult r = exec_internal(abort_cfg, n, nodes[n], {twophase::kEvInit, {}});
+      nodes[n] = std::move(r.state);
+    }
+    ExecResult r = exec_internal(abort_cfg, 0, nodes[0], {twophase::kEvBegin, {}});
+    nodes[0] = std::move(r.state);
+    for (Message& m : r.sent) q.push_back(std::move(m));
+    while (!q.empty()) {
+      Message m = q.front();
+      q.erase(q.begin());
+      ExecResult rr = exec_message(abort_cfg, m.dst, nodes[m.dst], m);
+      nodes[m.dst] = std::move(rr.state);
+      for (Message& out : rr.sent) q.push_back(std::move(out));
+    }
+    return nodes[1];
+  }();
+
+  SystemStateView mixed{&committed, &aborted};
+  EXPECT_FALSE(inv.holds(cfg, mixed));
+  SystemStateView same{&committed, &committed};
+  EXPECT_TRUE(inv.holds(cfg, same));
+
+  EXPECT_FALSE(inv.project(cfg, 0, committed).empty());
+  EXPECT_TRUE(inv.projections_conflict(inv.project(cfg, 0, committed),
+                                       inv.project(cfg, 1, aborted)));
+}
+
+TEST(TwoPhase, CorrectProtocolCleanUnderLmc) {
+  for (Options o : {Options{}, Options{{2}, false}, Options{{1, 2}, false}}) {
+    SystemConfig cfg = twophase::make_config(3, o);
+    twophase::AtomicityInvariant inv;
+    LocalMcOptions opt;
+    opt.use_projection = true;
+    opt.time_budget_s = 60;
+    LocalModelChecker mc(cfg, &inv, opt);
+    mc.run_from_initial();
+    EXPECT_TRUE(mc.stats().completed);
+    EXPECT_EQ(mc.stats().confirmed_violations, 0u);
+  }
+}
+
+TEST(TwoPhase, MajorityBugFoundAndReplayable) {
+  // 3 nodes, node 2 votes No: the buggy coordinator commits at 2 yes votes
+  // while node 2 aborted unilaterally.
+  SystemConfig cfg = twophase::make_config(3, Options{{2}, true});
+  twophase::AtomicityInvariant inv;
+  LocalMcOptions opt;
+  opt.use_projection = true;
+  opt.time_budget_s = 60;
+  LocalModelChecker mc(cfg, &inv, opt);
+  mc.run_from_initial();
+  ASSERT_GE(mc.stats().confirmed_violations, 1u);
+  const LocalViolation* v = mc.first_confirmed();
+  ASSERT_NE(v, nullptr);
+
+  bool committed = false, aborted = false;
+  for (const Blob& b : v->system_state) {
+    committed = committed || twophase::decision_of(b) == Decision::Committed;
+    aborted = aborted || twophase::decision_of(b) == Decision::Aborted;
+  }
+  EXPECT_TRUE(committed && aborted);
+
+  ReplayResult rep = replay_schedule(cfg, mc.initial_nodes(), mc.initial_in_flight(),
+                                     v->witness, mc.events(), v->state_hashes);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(TwoPhase, BugNeedsANoVoter) {
+  // All-yes with the buggy coordinator: commit at majority is premature but
+  // harmless — nobody aborts.
+  SystemConfig cfg = twophase::make_config(3, Options{{}, true});
+  twophase::AtomicityInvariant inv;
+  LocalMcOptions opt;
+  opt.use_projection = true;
+  opt.time_budget_s = 60;
+  LocalModelChecker mc(cfg, &inv, opt);
+  mc.run_from_initial();
+  EXPECT_TRUE(mc.stats().completed);
+  EXPECT_EQ(mc.stats().confirmed_violations, 0u);
+}
+
+TEST(TwoPhase, GlobalCheckerAgreesOnBug) {
+  SystemConfig cfg = twophase::make_config(3, Options{{2}, true});
+  twophase::AtomicityInvariant inv;
+  GlobalMcOptions opt;
+  opt.stop_on_violation = true;
+  opt.time_budget_s = 60;
+  GlobalModelChecker mc(cfg, &inv, opt);
+  mc.run_from_initial();
+  EXPECT_GE(mc.stats().violations, 1u);
+}
+
+TEST(TwoPhase, SerializationRoundTrip) {
+  SystemConfig cfg = twophase::make_config(3, Options{{2}, false});
+  auto nodes = initial_states(cfg);
+  run_sync(cfg, nodes);
+  for (NodeId n = 0; n < 3; ++n) {
+    auto m = machine_from_blob(cfg, n, nodes[n]);
+    EXPECT_EQ(machine_to_blob(*m), nodes[n]);
+  }
+}
+
+// Parameterized: vary system size and No-voter placement; correct protocol
+// always clean, buggy protocol always caught (when a No voter exists).
+struct TwoPhaseCase {
+  std::uint32_t n;
+  std::uint32_t no_voter;
+};
+
+class TwoPhaseSweep : public ::testing::TestWithParam<TwoPhaseCase> {};
+
+TEST_P(TwoPhaseSweep, BuggyCaughtCorrectClean) {
+  const auto [n, no_voter] = GetParam();
+  twophase::AtomicityInvariant inv;
+
+  SystemConfig good = twophase::make_config(n, Options{{no_voter}, false});
+  LocalMcOptions opt;
+  opt.use_projection = true;
+  opt.time_budget_s = 120;
+  LocalModelChecker a(good, &inv, opt);
+  a.run_from_initial();
+  EXPECT_EQ(a.stats().confirmed_violations, 0u);
+
+  SystemConfig bad = twophase::make_config(n, Options{{no_voter}, true});
+  LocalModelChecker b(bad, &inv, opt);
+  b.run_from_initial();
+  EXPECT_GE(b.stats().confirmed_violations, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TwoPhaseSweep,
+                         ::testing::Values(TwoPhaseCase{3, 1}, TwoPhaseCase{3, 2},
+                                           TwoPhaseCase{4, 3}, TwoPhaseCase{5, 2}),
+                         [](const ::testing::TestParamInfo<TwoPhaseCase>& info) {
+                           return "n" + std::to_string(info.param.n) + "_novoter" +
+                                  std::to_string(info.param.no_voter);
+                         });
+
+}  // namespace
+}  // namespace lmc
