@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bug_paxos_5_5.dir/bench_bug_paxos_5_5.cpp.o"
+  "CMakeFiles/bench_bug_paxos_5_5.dir/bench_bug_paxos_5_5.cpp.o.d"
+  "bench_bug_paxos_5_5"
+  "bench_bug_paxos_5_5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bug_paxos_5_5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

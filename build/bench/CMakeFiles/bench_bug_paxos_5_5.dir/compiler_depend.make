@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_bug_paxos_5_5.
+# This may be replaced when dependencies are built.

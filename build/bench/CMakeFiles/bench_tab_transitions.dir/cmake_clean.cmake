@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_transitions.dir/bench_tab_transitions.cpp.o"
+  "CMakeFiles/bench_tab_transitions.dir/bench_tab_transitions.cpp.o.d"
+  "bench_tab_transitions"
+  "bench_tab_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onepaxos_bughunt.dir/onepaxos_bughunt.cpp.o"
+  "CMakeFiles/onepaxos_bughunt.dir/onepaxos_bughunt.cpp.o.d"
+  "onepaxos_bughunt"
+  "onepaxos_bughunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onepaxos_bughunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

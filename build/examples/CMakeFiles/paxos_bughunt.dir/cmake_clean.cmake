@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxos_bughunt.dir/paxos_bughunt.cpp.o"
+  "CMakeFiles/paxos_bughunt.dir/paxos_bughunt.cpp.o.d"
+  "paxos_bughunt"
+  "paxos_bughunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxos_bughunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

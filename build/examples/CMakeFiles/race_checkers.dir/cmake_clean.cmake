@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_checkers.dir/race_checkers.cpp.o"
+  "CMakeFiles/race_checkers.dir/race_checkers.cpp.o.d"
+  "race_checkers"
+  "race_checkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randtree_check.dir/randtree_check.cpp.o"
+  "CMakeFiles/randtree_check.dir/randtree_check.cpp.o.d"
+  "randtree_check"
+  "randtree_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randtree_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

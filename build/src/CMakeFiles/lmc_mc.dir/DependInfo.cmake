@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/dot_export.cpp" "src/CMakeFiles/lmc_mc.dir/mc/dot_export.cpp.o" "gcc" "src/CMakeFiles/lmc_mc.dir/mc/dot_export.cpp.o.d"
+  "/root/repo/src/mc/global_mc.cpp" "src/CMakeFiles/lmc_mc.dir/mc/global_mc.cpp.o" "gcc" "src/CMakeFiles/lmc_mc.dir/mc/global_mc.cpp.o.d"
+  "/root/repo/src/mc/local_mc.cpp" "src/CMakeFiles/lmc_mc.dir/mc/local_mc.cpp.o" "gcc" "src/CMakeFiles/lmc_mc.dir/mc/local_mc.cpp.o.d"
+  "/root/repo/src/mc/parallel_local_mc.cpp" "src/CMakeFiles/lmc_mc.dir/mc/parallel_local_mc.cpp.o" "gcc" "src/CMakeFiles/lmc_mc.dir/mc/parallel_local_mc.cpp.o.d"
+  "/root/repo/src/mc/racing.cpp" "src/CMakeFiles/lmc_mc.dir/mc/racing.cpp.o" "gcc" "src/CMakeFiles/lmc_mc.dir/mc/racing.cpp.o.d"
+  "/root/repo/src/mc/replay.cpp" "src/CMakeFiles/lmc_mc.dir/mc/replay.cpp.o" "gcc" "src/CMakeFiles/lmc_mc.dir/mc/replay.cpp.o.d"
+  "/root/repo/src/mc/soundness.cpp" "src/CMakeFiles/lmc_mc.dir/mc/soundness.cpp.o" "gcc" "src/CMakeFiles/lmc_mc.dir/mc/soundness.cpp.o.d"
+  "/root/repo/src/mc/system_state.cpp" "src/CMakeFiles/lmc_mc.dir/mc/system_state.cpp.o" "gcc" "src/CMakeFiles/lmc_mc.dir/mc/system_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmc_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

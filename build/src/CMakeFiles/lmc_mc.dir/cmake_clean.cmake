@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmc_mc.dir/mc/dot_export.cpp.o"
+  "CMakeFiles/lmc_mc.dir/mc/dot_export.cpp.o.d"
+  "CMakeFiles/lmc_mc.dir/mc/global_mc.cpp.o"
+  "CMakeFiles/lmc_mc.dir/mc/global_mc.cpp.o.d"
+  "CMakeFiles/lmc_mc.dir/mc/local_mc.cpp.o"
+  "CMakeFiles/lmc_mc.dir/mc/local_mc.cpp.o.d"
+  "CMakeFiles/lmc_mc.dir/mc/parallel_local_mc.cpp.o"
+  "CMakeFiles/lmc_mc.dir/mc/parallel_local_mc.cpp.o.d"
+  "CMakeFiles/lmc_mc.dir/mc/racing.cpp.o"
+  "CMakeFiles/lmc_mc.dir/mc/racing.cpp.o.d"
+  "CMakeFiles/lmc_mc.dir/mc/replay.cpp.o"
+  "CMakeFiles/lmc_mc.dir/mc/replay.cpp.o.d"
+  "CMakeFiles/lmc_mc.dir/mc/soundness.cpp.o"
+  "CMakeFiles/lmc_mc.dir/mc/soundness.cpp.o.d"
+  "CMakeFiles/lmc_mc.dir/mc/system_state.cpp.o"
+  "CMakeFiles/lmc_mc.dir/mc/system_state.cpp.o.d"
+  "liblmc_mc.a"
+  "liblmc_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmc_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmc_net.dir/net/monotonic_network.cpp.o"
+  "CMakeFiles/lmc_net.dir/net/monotonic_network.cpp.o.d"
+  "CMakeFiles/lmc_net.dir/net/network.cpp.o"
+  "CMakeFiles/lmc_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/lmc_net.dir/net/sim_transport.cpp.o"
+  "CMakeFiles/lmc_net.dir/net/sim_transport.cpp.o.d"
+  "liblmc_net.a"
+  "liblmc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmc_online.dir/online/crystalball.cpp.o"
+  "CMakeFiles/lmc_online.dir/online/crystalball.cpp.o.d"
+  "CMakeFiles/lmc_online.dir/online/live_runner.cpp.o"
+  "CMakeFiles/lmc_online.dir/online/live_runner.cpp.o.d"
+  "CMakeFiles/lmc_online.dir/online/snapshot.cpp.o"
+  "CMakeFiles/lmc_online.dir/online/snapshot.cpp.o.d"
+  "liblmc_online.a"
+  "liblmc_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmc_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

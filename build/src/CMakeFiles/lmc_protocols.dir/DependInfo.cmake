@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/election.cpp" "src/CMakeFiles/lmc_protocols.dir/protocols/election.cpp.o" "gcc" "src/CMakeFiles/lmc_protocols.dir/protocols/election.cpp.o.d"
+  "/root/repo/src/protocols/onepaxos.cpp" "src/CMakeFiles/lmc_protocols.dir/protocols/onepaxos.cpp.o" "gcc" "src/CMakeFiles/lmc_protocols.dir/protocols/onepaxos.cpp.o.d"
+  "/root/repo/src/protocols/paxos.cpp" "src/CMakeFiles/lmc_protocols.dir/protocols/paxos.cpp.o" "gcc" "src/CMakeFiles/lmc_protocols.dir/protocols/paxos.cpp.o.d"
+  "/root/repo/src/protocols/paxos_core.cpp" "src/CMakeFiles/lmc_protocols.dir/protocols/paxos_core.cpp.o" "gcc" "src/CMakeFiles/lmc_protocols.dir/protocols/paxos_core.cpp.o.d"
+  "/root/repo/src/protocols/paxos_utility.cpp" "src/CMakeFiles/lmc_protocols.dir/protocols/paxos_utility.cpp.o" "gcc" "src/CMakeFiles/lmc_protocols.dir/protocols/paxos_utility.cpp.o.d"
+  "/root/repo/src/protocols/randtree.cpp" "src/CMakeFiles/lmc_protocols.dir/protocols/randtree.cpp.o" "gcc" "src/CMakeFiles/lmc_protocols.dir/protocols/randtree.cpp.o.d"
+  "/root/repo/src/protocols/tree.cpp" "src/CMakeFiles/lmc_protocols.dir/protocols/tree.cpp.o" "gcc" "src/CMakeFiles/lmc_protocols.dir/protocols/tree.cpp.o.d"
+  "/root/repo/src/protocols/twophase.cpp" "src/CMakeFiles/lmc_protocols.dir/protocols/twophase.cpp.o" "gcc" "src/CMakeFiles/lmc_protocols.dir/protocols/twophase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lmc_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmc_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

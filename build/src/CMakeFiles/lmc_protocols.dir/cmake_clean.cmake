@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmc_protocols.dir/protocols/election.cpp.o"
+  "CMakeFiles/lmc_protocols.dir/protocols/election.cpp.o.d"
+  "CMakeFiles/lmc_protocols.dir/protocols/onepaxos.cpp.o"
+  "CMakeFiles/lmc_protocols.dir/protocols/onepaxos.cpp.o.d"
+  "CMakeFiles/lmc_protocols.dir/protocols/paxos.cpp.o"
+  "CMakeFiles/lmc_protocols.dir/protocols/paxos.cpp.o.d"
+  "CMakeFiles/lmc_protocols.dir/protocols/paxos_core.cpp.o"
+  "CMakeFiles/lmc_protocols.dir/protocols/paxos_core.cpp.o.d"
+  "CMakeFiles/lmc_protocols.dir/protocols/paxos_utility.cpp.o"
+  "CMakeFiles/lmc_protocols.dir/protocols/paxos_utility.cpp.o.d"
+  "CMakeFiles/lmc_protocols.dir/protocols/randtree.cpp.o"
+  "CMakeFiles/lmc_protocols.dir/protocols/randtree.cpp.o.d"
+  "CMakeFiles/lmc_protocols.dir/protocols/tree.cpp.o"
+  "CMakeFiles/lmc_protocols.dir/protocols/tree.cpp.o.d"
+  "CMakeFiles/lmc_protocols.dir/protocols/twophase.cpp.o"
+  "CMakeFiles/lmc_protocols.dir/protocols/twophase.cpp.o.d"
+  "liblmc_protocols.a"
+  "liblmc_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmc_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblmc_protocols.a"
+)

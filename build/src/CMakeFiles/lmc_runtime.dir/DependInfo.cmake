@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/hash.cpp" "src/CMakeFiles/lmc_runtime.dir/runtime/hash.cpp.o" "gcc" "src/CMakeFiles/lmc_runtime.dir/runtime/hash.cpp.o.d"
+  "/root/repo/src/runtime/message.cpp" "src/CMakeFiles/lmc_runtime.dir/runtime/message.cpp.o" "gcc" "src/CMakeFiles/lmc_runtime.dir/runtime/message.cpp.o.d"
+  "/root/repo/src/runtime/serialize.cpp" "src/CMakeFiles/lmc_runtime.dir/runtime/serialize.cpp.o" "gcc" "src/CMakeFiles/lmc_runtime.dir/runtime/serialize.cpp.o.d"
+  "/root/repo/src/runtime/state_machine.cpp" "src/CMakeFiles/lmc_runtime.dir/runtime/state_machine.cpp.o" "gcc" "src/CMakeFiles/lmc_runtime.dir/runtime/state_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmc_runtime.dir/runtime/hash.cpp.o"
+  "CMakeFiles/lmc_runtime.dir/runtime/hash.cpp.o.d"
+  "CMakeFiles/lmc_runtime.dir/runtime/message.cpp.o"
+  "CMakeFiles/lmc_runtime.dir/runtime/message.cpp.o.d"
+  "CMakeFiles/lmc_runtime.dir/runtime/serialize.cpp.o"
+  "CMakeFiles/lmc_runtime.dir/runtime/serialize.cpp.o.d"
+  "CMakeFiles/lmc_runtime.dir/runtime/state_machine.cpp.o"
+  "CMakeFiles/lmc_runtime.dir/runtime/state_machine.cpp.o.d"
+  "liblmc_runtime.a"
+  "liblmc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_election.dir/test_election.cpp.o"
+  "CMakeFiles/test_election.dir/test_election.cpp.o.d"
+  "test_election"
+  "test_election.pdb"
+  "test_election[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

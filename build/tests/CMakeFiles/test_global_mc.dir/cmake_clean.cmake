@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_global_mc.dir/test_global_mc.cpp.o"
+  "CMakeFiles/test_global_mc.dir/test_global_mc.cpp.o.d"
+  "test_global_mc"
+  "test_global_mc.pdb"
+  "test_global_mc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_global_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

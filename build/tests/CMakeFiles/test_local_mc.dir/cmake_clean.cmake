@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_mc.dir/test_local_mc.cpp.o"
+  "CMakeFiles/test_local_mc.dir/test_local_mc.cpp.o.d"
+  "test_local_mc"
+  "test_local_mc.pdb"
+  "test_local_mc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_onepaxos.dir/test_onepaxos.cpp.o"
+  "CMakeFiles/test_onepaxos.dir/test_onepaxos.cpp.o.d"
+  "test_onepaxos"
+  "test_onepaxos.pdb"
+  "test_onepaxos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_onepaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

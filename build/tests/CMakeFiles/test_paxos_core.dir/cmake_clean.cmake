@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paxos_core.dir/test_paxos_core.cpp.o"
+  "CMakeFiles/test_paxos_core.dir/test_paxos_core.cpp.o.d"
+  "test_paxos_core"
+  "test_paxos_core.pdb"
+  "test_paxos_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paxos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paxos_utility.dir/test_paxos_utility.cpp.o"
+  "CMakeFiles/test_paxos_utility.dir/test_paxos_utility.cpp.o.d"
+  "test_paxos_utility"
+  "test_paxos_utility.pdb"
+  "test_paxos_utility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paxos_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

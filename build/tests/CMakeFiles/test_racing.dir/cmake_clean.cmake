@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_racing.dir/test_racing.cpp.o"
+  "CMakeFiles/test_racing.dir/test_racing.cpp.o.d"
+  "test_racing"
+  "test_racing.pdb"
+  "test_racing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_racing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

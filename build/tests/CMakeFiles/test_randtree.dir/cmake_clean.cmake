@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_randtree.dir/test_randtree.cpp.o"
+  "CMakeFiles/test_randtree.dir/test_randtree.cpp.o.d"
+  "test_randtree"
+  "test_randtree.pdb"
+  "test_randtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_randtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twophase.dir/test_twophase.cpp.o"
+  "CMakeFiles/test_twophase.dir/test_twophase.cpp.o.d"
+  "test_twophase"
+  "test_twophase.pdb"
+  "test_twophase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twophase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

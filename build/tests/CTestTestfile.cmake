@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_hash[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_paxos_core[1]_include.cmake")
+include("/root/repo/build/tests/test_paxos_mc[1]_include.cmake")
+include("/root/repo/build/tests/test_soundness[1]_include.cmake")
+include("/root/repo/build/tests/test_randtree[1]_include.cmake")
+include("/root/repo/build/tests/test_onepaxos[1]_include.cmake")
+include("/root/repo/build/tests/test_local_mc[1]_include.cmake")
+include("/root/repo/build/tests/test_replay[1]_include.cmake")
+include("/root/repo/build/tests/test_online[1]_include.cmake")
+include("/root/repo/build/tests/test_state_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_global_mc[1]_include.cmake")
+include("/root/repo/build/tests/test_crosscheck[1]_include.cmake")
+include("/root/repo/build/tests/test_invariant[1]_include.cmake")
+include("/root/repo/build/tests/test_paxos_utility[1]_include.cmake")
+include("/root/repo/build/tests/test_twophase[1]_include.cmake")
+include("/root/repo/build/tests/test_election[1]_include.cmake")
+include("/root/repo/build/tests/test_options[1]_include.cmake")
+include("/root/repo/build/tests/test_racing[1]_include.cmake")
