@@ -98,4 +98,70 @@ inline LocalMcStats run_lmc(const SystemConfig& cfg, const Invariant* inv, std::
   return mc.stats();
 }
 
+/// One flat JSON object emitted as a single line ("JSON lines" output, one
+/// record per checker run/period), so bench results can be piped straight
+/// into jq or a plotting script without a parser in the repo.
+class JsonLine {
+ public:
+  JsonLine& kv(const char* k, std::uint64_t v) {
+    sep();
+    buf_ += '"';
+    buf_ += k;
+    buf_ += "\":";
+    buf_ += std::to_string(v);
+    return *this;
+  }
+  JsonLine& kv(const char* k, int v) { return kv(k, static_cast<std::uint64_t>(v)); }
+  JsonLine& kv(const char* k, double v) {
+    sep();
+    char num[64];
+    std::snprintf(num, sizeof num, "%.6g", v);
+    buf_ += '"';
+    buf_ += k;
+    buf_ += "\":";
+    buf_ += num;
+    return *this;
+  }
+  JsonLine& kv(const char* k, bool v) {
+    sep();
+    buf_ += '"';
+    buf_ += k;
+    buf_ += "\":";
+    buf_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonLine& kv(const char* k, const char* v) {
+    sep();
+    buf_ += '"';
+    buf_ += k;
+    buf_ += "\":\"";
+    for (const char* p = v; *p != '\0'; ++p) {
+      if (*p == '"' || *p == '\\') buf_ += '\\';
+      buf_ += *p;
+    }
+    buf_ += '"';
+    return *this;
+  }
+  JsonLine& kv(const char* k, const std::string& v) { return kv(k, v.c_str()); }
+
+  /// The LocalMcStats fields every bench record cares about.
+  JsonLine& stats(const LocalMcStats& s) {
+    kv("transitions", s.transitions);
+    kv("node_states", s.node_states);
+    kv("messages_in_iplus", s.messages_in_iplus);
+    kv("confirmed_violations", s.confirmed_violations);
+    kv("soundness_calls", s.soundness_calls);
+    kv("elapsed_s", s.elapsed_s);
+    return *this;
+  }
+
+  void print() const { std::printf("{%s}\n", buf_.c_str()); }
+
+ private:
+  void sep() {
+    if (!buf_.empty()) buf_ += ',';
+  }
+  std::string buf_;
+};
+
 }  // namespace lmc::bench

@@ -4,6 +4,7 @@
 
 #include "mc/clock.hpp"
 #include "mc/parallel_local_mc.hpp"
+#include "persist/exec_cache.hpp"
 
 namespace lmc {
 
@@ -34,7 +35,15 @@ std::uint32_t LocalModelChecker::expand_bound() const {
 }
 
 bool LocalModelChecker::budget_exceeded() const {
-  if (stats_.transitions >= opt_.max_transitions || now_s() > deadline_) return true;
+  return stats_.transitions >= opt_.max_transitions || hard_budget_exceeded();
+}
+
+// Time/cancel only. The combination-sweep probes use this deliberately: a
+// transition-budget stop must happen at a task-group boundary (probes fire
+// at data-dependent points, which would make the stop — and therefore a
+// checkpoint taken there — non-reproducible on resume).
+bool LocalModelChecker::hard_budget_exceeded() const {
+  if (now_s() > deadline_) return true;
   return opt_.cancel != nullptr && opt_.cancel->load(std::memory_order_relaxed);
 }
 
@@ -43,9 +52,7 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
   store_ = LocalStore(cfg_.num_nodes);
   net_ = MonotonicNetwork{};
   events_.clear();
-  initial_hashes_.clear();
-  initial_nodes_ = nodes;
-  initial_msgs_ = in_flight;
+  epochs_.clear();
   internal_scan_.assign(cfg_.num_nodes, 0);
   proj_.assign(cfg_.num_nodes, {});
   mapped_.assign(cfg_.num_nodes, {});
@@ -53,17 +60,22 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
   pred_edges_.assign(cfg_.num_nodes, 0);
   feas_cache_.clear();
   deferred_.clear();
+  pending_tasks_.clear();
   stats_ = LocalMcStats{};
   violations_.clear();
   stop_ = false;
+  base_elapsed_s_ = 0.0;
 
+  CheckerEpoch ep;
+  ep.nodes = nodes;
+  ep.msgs = in_flight;
   const bool projecting = invariant_ != nullptr && invariant_->has_projection();
   for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
     NodeStateRec rec;
     rec.blob = nodes[n];
     rec.hash = hash_blob(rec.blob);
     rec.depth = 0;
-    store_.add(n, std::move(rec));
+    ep.roots.push_back(store_.add(n, std::move(rec)));
     ++stats_.node_states;
     if (projecting) {
       Projection p = invariant_->project(cfg_, n, nodes[n]);
@@ -75,7 +87,7 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
   // verification without any generating event.
   for (const Message& m : in_flight) {
     Hash64 h = m.hash();
-    initial_hashes_.push_back(h);
+    ep.in_flight.push_back(h);
     if (net_.add(m)) {
       EventRecord er;
       er.is_message = true;
@@ -83,6 +95,100 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
       events_.emplace(h, std::move(er));
     }
   }
+  epochs_.push_back(std::move(ep));
+  initialized_ = true;
+}
+
+// Warm start: fold a new live snapshot into the existing stores. Snapshot
+// states already in LS_n contribute nothing new (the common case when the
+// live system idles); fresh ones become depth-0 roots with no predecessors
+// and empty history — exactly how init_run seeds epoch 0. In-flight
+// messages pass through I+'s duplicate suppression, so a message observed
+// in-flight over several periods is executed against each destination state
+// ONCE across all periods. This, plus the surviving per-message cursors, is
+// where warm runs beat cold re-derivation on transitions.
+void LocalModelChecker::merge_snapshot(const std::vector<Blob>& nodes,
+                                       const std::vector<Message>& in_flight) {
+  ++stats_.warm_merges;
+  CheckerEpoch ep;
+  ep.nodes = nodes;
+  ep.msgs = in_flight;
+  std::vector<std::pair<NodeId, std::uint32_t>> fresh;
+  const bool projecting = invariant_ != nullptr && invariant_->has_projection();
+  for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
+    const Hash64 h = hash_blob(nodes[n]);
+    std::uint32_t idx = store_.find(n, h);
+    if (idx == UINT32_MAX) {
+      NodeStateRec rec;
+      rec.blob = nodes[n];
+      rec.hash = h;
+      rec.depth = 0;
+      idx = store_.add(n, std::move(rec));
+      ++stats_.node_states;
+      ++stats_.warm_new_roots;
+      fresh.emplace_back(n, idx);
+      if (projecting) {
+        Projection p = invariant_->project(cfg_, n, nodes[n]);
+        if (!p.empty()) mapped_[n].push_back(idx);
+        proj_[n].push_back(std::move(p));
+      }
+    } else {
+      ++stats_.warm_root_hits;
+    }
+    ep.roots.push_back(idx);
+  }
+  for (const Message& m : in_flight) {
+    Hash64 h = m.hash();
+    ep.in_flight.push_back(h);
+    if (net_.add(m)) {
+      EventRecord er;
+      er.is_message = true;
+      er.msg = m;
+      events_.emplace(h, std::move(er));
+    } else {
+      ++stats_.warm_msgs_reused;
+    }
+  }
+  epochs_.push_back(std::move(ep));
+
+  // Fresh roots are new node states: check their combinations like any
+  // other (after the epoch is registered — soundness must see its seed).
+  if (opt_.enable_system_states && invariant_ != nullptr) {
+    for (const auto& [n, idx] : fresh) {
+      if (stop_) break;
+      const double t0 = now_s();
+      check_combinations(n, idx);
+      stats_.system_state_s += now_s() - t0;
+    }
+  }
+}
+
+std::vector<EpochSeed> LocalModelChecker::epoch_seeds() const {
+  std::vector<EpochSeed> seeds;
+  seeds.reserve(epochs_.size());
+  for (const CheckerEpoch& e : epochs_) seeds.push_back(EpochSeed{e.roots, e.in_flight});
+  return seeds;
+}
+
+std::size_t LocalModelChecker::total_in_flight() const {
+  std::size_t n = 0;
+  for (const CheckerEpoch& e : epochs_) n += e.in_flight.size();
+  return n;
+}
+
+const std::vector<Hash64>& LocalModelChecker::initial_in_flight_hashes() const {
+  static const std::vector<Hash64> empty;
+  return epochs_.empty() ? empty : epochs_.front().in_flight;
+}
+
+const std::vector<Blob>& LocalModelChecker::initial_nodes() const {
+  static const std::vector<Blob> empty;
+  return epochs_.empty() ? empty : epochs_.front().nodes;
+}
+
+const std::vector<Message>& LocalModelChecker::initial_in_flight() const {
+  static const std::vector<Message> empty;
+  return epochs_.empty() ? empty : epochs_.front().msgs;
 }
 
 bool LocalModelChecker::collect_tasks(std::vector<Task>& tasks) {
@@ -123,8 +229,10 @@ bool LocalModelChecker::collect_tasks(std::vector<Task>& tasks) {
 void LocalModelChecker::execute_tasks(const std::vector<Task>& tasks,
                                       std::vector<std::vector<Exec>>& results) {
   results.assign(tasks.size(), {});
+  ExecCache* cache = opt_.exec_cache;
   parallel_for(tasks.size(), opt_.num_threads, [&](std::size_t i) {
     const Task& t = tasks[i];
+    const NodeStateRec& rec = store_.rec(t.node, t.state_idx);
     if (t.is_message) {
       const MonotonicNetwork::Entry& e = net_.at(t.net_idx);
       Exec ex;
@@ -132,18 +240,27 @@ void LocalModelChecker::execute_tasks(const std::vector<Task>& tasks,
       ex.ev_hash = e.hash;
       ex.node = t.node;
       ex.pred_idx = t.state_idx;
-      ex.result = exec_message(cfg_, t.node, store_.rec(t.node, t.state_idx).blob, e.msg);
+      if (cache != nullptr && cache->lookup(e.hash, rec.hash, ex.result)) {
+        ex.cached = true;
+      } else {
+        ex.result = exec_message(cfg_, t.node, rec.blob, e.msg);
+        if (cache != nullptr) cache->insert(e.hash, rec.hash, ex.result);
+      }
       results[i].push_back(std::move(ex));
     } else {
-      const Blob& state = store_.rec(t.node, t.state_idx).blob;
-      for (const InternalEvent& ev : internal_events_of(cfg_, t.node, state)) {
+      for (const InternalEvent& ev : internal_events_of(cfg_, t.node, rec.blob)) {
         Exec ex;
         ex.is_message = false;
         ex.ev_hash = ev.hash(t.node);
         ex.node = t.node;
         ex.pred_idx = t.state_idx;
         ex.ev = ev;
-        ex.result = exec_internal(cfg_, t.node, state, ev);
+        if (cache != nullptr && cache->lookup(ex.ev_hash, rec.hash, ex.result)) {
+          ex.cached = true;
+        } else {
+          ex.result = exec_internal(cfg_, t.node, rec.blob, ev);
+          if (cache != nullptr) cache->insert(ex.ev_hash, rec.hash, ex.result);
+        }
         results[i].push_back(std::move(ex));
       }
     }
@@ -151,7 +268,12 @@ void LocalModelChecker::execute_tasks(const std::vector<Task>& tasks,
 }
 
 void LocalModelChecker::apply_exec(const Exec& e) {
-  ++stats_.transitions;
+  // A cached replay is not a handler execution: it is exactly the work the
+  // warm start avoided. Everything downstream treats it identically.
+  if (e.cached)
+    ++stats_.warm_pairs_skipped;
+  else
+    ++stats_.transitions;
   if (e.result.assert_failed) {
     ++stats_.local_assert_discards;
     // §4.2 "Local assertions": by default treat the assert as marking the
@@ -249,7 +371,7 @@ bool LocalModelChecker::combo_violates(const std::vector<std::uint32_t>& combo) 
 void LocalModelChecker::check_one_combination(std::vector<std::uint32_t>& combo) {
   // System-state creation and soundness can dwarf exploration (Fig. 13);
   // honor the wall-clock budget from inside the combination loops too.
-  if ((++combo_probe_ & 0xff) == 0 && budget_exceeded()) {
+  if ((++combo_probe_ & 0xff) == 0 && hard_budget_exceeded()) {
     stats_.completed = false;
     stop_ = true;
     return;
@@ -270,7 +392,7 @@ bool LocalModelChecker::member_feasible(NodeId n, std::uint32_t idx) {
   // generate grows (or a new path to idx appears — approximated by the
   // node's pred-edge growth being reflected in its own gens; conservative
   // refreshes on any growth of the key below keep this sound).
-  std::uint64_t sig = initial_hashes_.size();
+  std::uint64_t sig = total_in_flight();
   for (NodeId m = 0; m < cfg_.num_nodes; ++m)
     sig += (m == n) ? pred_edges_[n] : node_gens_[m].size();
   const std::uint64_t key = (static_cast<std::uint64_t>(n) << 32) | idx;
@@ -281,7 +403,7 @@ bool LocalModelChecker::member_feasible(NodeId n, std::uint32_t idx) {
   std::unordered_set<Hash64> other_avail;
   for (NodeId m = 0; m < cfg_.num_nodes; ++m)
     if (m != n) other_avail.insert(node_gens_[m].begin(), node_gens_[m].end());
-  SoundnessVerifier verifier(store_, initial_hashes_, opt_.soundness);
+  SoundnessVerifier verifier = SoundnessVerifier::with_epochs(store_, epoch_seeds(), opt_.soundness);
   const bool feasible = verifier.target_feasible(n, idx, other_avail);
   feas_cache_[key] = FeasEntry{feasible, sig};
   return feasible;
@@ -310,7 +432,7 @@ void LocalModelChecker::handle_prelim_violation(const std::vector<std::uint32_t>
   SoundnessOptions so = opt_.soundness;
   const bool quick = so.quick_expansions != 0;
   if (quick) so.max_schedules = std::min(so.max_schedules, so.quick_expansions);
-  SoundnessVerifier verifier(store_, initial_hashes_, so);
+  SoundnessVerifier verifier = SoundnessVerifier::with_epochs(store_, epoch_seeds(), so);
   SoundnessResult res = verifier.verify(combo, fixed);
   stats_.soundness_s += now_s() - t0;
   stats_.sequences_checked += res.schedules_checked;
@@ -349,6 +471,7 @@ void LocalModelChecker::record_confirmed(const std::vector<std::uint32_t>& combo
   v.invariant = invariant_->name();
   v.confirmed = true;
   v.witness = std::move(res.schedule);
+  v.epoch = res.epoch;
   for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
     const NodeStateRec& r = store_.rec(i, v.combo[i]);
     v.state_hashes.push_back(r.hash);
@@ -360,7 +483,7 @@ void LocalModelChecker::record_confirmed(const std::vector<std::uint32_t>& combo
 
 void LocalModelChecker::process_deferred() {
   if (deferred_.empty() || !opt_.enable_soundness) return;
-  SoundnessVerifier verifier(store_, initial_hashes_, opt_.soundness);
+  SoundnessVerifier verifier = SoundnessVerifier::with_epochs(store_, epoch_seeds(), opt_.soundness);
   for (const Deferred& d : deferred_) {
     if (stop_ || now_s() > deadline_) {
       stats_.completed = false;
@@ -382,9 +505,9 @@ void LocalModelChecker::process_deferred() {
   deferred_.clear();
 }
 
-void LocalModelChecker::check_initial_combination() {
+void LocalModelChecker::check_snapshot_combination(const std::vector<std::uint32_t>& roots) {
   if (!opt_.enable_system_states || invariant_ == nullptr) return;
-  std::vector<std::uint32_t> combo(cfg_.num_nodes, 0);
+  std::vector<std::uint32_t> combo = roots;
   const double t0 = now_s();
   if (opt_.use_projection && invariant_->has_projection()) {
     // LMC-OPT materializes a system state only when projections flag a
@@ -464,7 +587,7 @@ void LocalModelChecker::check_combinations(NodeId n, std::uint32_t idx) {
 
 void LocalModelChecker::check_masked_violation(const std::vector<std::uint32_t>& combo,
                                                const std::vector<bool>& fixed) {
-  if ((++combo_probe_ & 0xff) == 0 && budget_exceeded()) {
+  if ((++combo_probe_ & 0xff) == 0 && hard_budget_exceeded()) {
     stats_.completed = false;
     stop_ = true;
     return;
@@ -484,16 +607,64 @@ void LocalModelChecker::refresh_memory_stats() {
   stats_.stored_bytes = std::max(stats_.stored_bytes, store_.bytes() + net_.bytes());
 }
 
-void LocalModelChecker::run(const std::vector<Blob>& nodes,
-                            const std::vector<Message>& in_flight) {
-  const double t0 = now_s();
-  deadline_ = t0 + opt_.time_budget_s;
-  init_run(nodes, in_flight);
-  check_initial_combination();
+void LocalModelChecker::finalize_stats() {
+  stats_.dup_msgs_suppressed = net_.suppressed();
+  stats_.messages_in_iplus = net_.size();
+  refresh_memory_stats();
+  stats_.elapsed_s = base_elapsed_s_ + (now_s() - run_t0_);
+}
 
+void LocalModelChecker::maybe_auto_checkpoint() {
+  if (opt_.checkpoint_every_s <= 0.0 || opt_.checkpoint_path.empty() || stop_) return;
+  const double now = now_s();
+  if (now - last_checkpoint_s_ < opt_.checkpoint_every_s) return;
+  last_checkpoint_s_ = now;
+  ++stats_.checkpoints_written;  // before encoding: the file must carry it
+  finalize_stats();
+  save_checkpoint(opt_.checkpoint_path);
+}
+
+// Apply one round's executions. Budget stops happen at task-group
+// boundaries ONLY: the tail of the round (whose cursors already advanced at
+// collect time) is captured in pending_tasks_, so a checkpoint taken after
+// the stop resumes by re-executing exactly those tasks, in order — the
+// resumed exploration is indistinguishable from an uninterrupted one. A
+// confirmed-violation stop (stop_on_confirmed) drops the remainder of its
+// own group, matching the non-checkpoint semantics.
+void LocalModelChecker::apply_round(const std::vector<Task>& tasks,
+                                    const std::vector<std::vector<Exec>>& results) {
+  for (std::size_t g = 0; g < results.size(); ++g) {
+    for (const Exec& e : results[g]) {
+      if (stop_) break;
+      apply_exec(e);
+    }
+    if (!stop_ && budget_exceeded()) {
+      stats_.completed = false;
+      stop_ = true;
+    }
+    if (stop_) {
+      pending_tasks_.assign(tasks.begin() + static_cast<std::ptrdiff_t>(g) + 1, tasks.end());
+      break;
+    }
+  }
+}
+
+void LocalModelChecker::run_rounds() {
+  last_checkpoint_s_ = now_s();
+  stats_.completed = true;
   std::vector<Task> tasks;
   std::vector<std::vector<Exec>> results;
-  stats_.completed = true;
+
+  // Resume path: finish the round that was interrupted (its cursors had
+  // already advanced past these tasks when the checkpoint was taken).
+  if (!pending_tasks_.empty() && !stop_) {
+    tasks = std::move(pending_tasks_);
+    pending_tasks_.clear();
+    execute_tasks(tasks, results);
+    apply_round(tasks, results);
+    refresh_memory_stats();
+  }
+
   while (!stop_) {
     if (budget_exceeded()) {
       stats_.completed = false;
@@ -501,30 +672,146 @@ void LocalModelChecker::run(const std::vector<Blob>& nodes,
     }
     if (!collect_tasks(tasks)) break;  // fixpoint: exploration exhausted
     execute_tasks(tasks, results);
-    for (const auto& group : results) {
-      for (const Exec& e : group) {
-        if (stop_) break;
-        apply_exec(e);
-        if (budget_exceeded()) {
-          stats_.completed = false;
-          stop_ = true;
-          break;
-        }
-      }
-      if (stop_) break;
-    }
+    apply_round(tasks, results);
     refresh_memory_stats();
+    maybe_auto_checkpoint();
   }
   // Phase 2: re-verify the combinations the quick pass could not decide.
   if (!stop_) process_deferred();
   if (stop_ && !violations_.empty()) stats_.completed = false;
+  finalize_stats();
+}
 
-  stats_.dup_msgs_suppressed = net_.suppressed();
-  stats_.messages_in_iplus = net_.size();
-  refresh_memory_stats();
-  stats_.elapsed_s = now_s() - t0;
+void LocalModelChecker::run(const std::vector<Blob>& nodes,
+                            const std::vector<Message>& in_flight) {
+  run_t0_ = now_s();
+  deadline_ = run_t0_ + opt_.time_budget_s;
+  init_run(nodes, in_flight);
+  check_snapshot_combination(epochs_.front().roots);
+  run_rounds();
 }
 
 void LocalModelChecker::run_from_initial() { run(initial_states(cfg_), {}); }
+
+void LocalModelChecker::run_warm(const std::vector<Blob>& nodes,
+                                 const std::vector<Message>& in_flight) {
+  if (!initialized_) {
+    run(nodes, in_flight);
+    return;
+  }
+  run_t0_ = now_s();
+  deadline_ = run_t0_ + opt_.time_budget_s;  // time budget is per call
+  base_elapsed_s_ = stats_.elapsed_s;        // wall clock accumulates
+  stop_ = false;
+  merge_snapshot(nodes, in_flight);
+  check_snapshot_combination(epochs_.back().roots);
+  run_rounds();
+}
+
+void LocalModelChecker::run_resumed(const std::string& path) {
+  load_checkpoint(path);
+  run_t0_ = now_s();
+  // Whatever wall clock the interrupted run already consumed counts against
+  // the budget (inf - x == inf keeps unbounded runs unbounded).
+  deadline_ = run_t0_ + (opt_.time_budget_s - base_elapsed_s_);
+  run_rounds();
+}
+
+// --- persistence -----------------------------------------------------------
+
+CheckerImage LocalModelChecker::make_image() const {
+  CheckerImage img;
+  img.num_nodes = cfg_.num_nodes;
+  img.store = store_;
+  img.net_entries.assign(net_.entries().begin(), net_.entries().end());
+  img.net_suppressed = net_.suppressed();
+  img.events = events_;
+  img.epochs = epochs_;
+  img.node_gens.resize(cfg_.num_nodes);
+  for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
+    img.node_gens[n].assign(node_gens_[n].begin(), node_gens_[n].end());
+    std::sort(img.node_gens[n].begin(), img.node_gens[n].end());
+  }
+  img.pred_edges = pred_edges_;
+  img.internal_scan = internal_scan_;
+  img.stats = stats_;
+  img.deferred.reserve(deferred_.size());
+  for (const Deferred& d : deferred_) {
+    DeferredCombo dc;
+    dc.combo = d.combo;
+    dc.fixed.assign(d.fixed.begin(), d.fixed.end());
+    dc.has_mask = d.has_mask;
+    img.deferred.push_back(std::move(dc));
+  }
+  img.violations = violations_;
+  img.pending.reserve(pending_tasks_.size());
+  for (const Task& t : pending_tasks_)
+    img.pending.push_back(PendingTask{t.is_message, t.net_idx, t.node, t.state_idx});
+  return img;
+}
+
+Blob LocalModelChecker::checkpoint_bytes() const { return encode_checkpoint(make_image()); }
+
+void LocalModelChecker::save_checkpoint(const std::string& path) const {
+  write_checkpoint_file(path, checkpoint_bytes());
+}
+
+void LocalModelChecker::load_checkpoint_bytes(const Blob& data) {
+  CheckerImage img = decode_checkpoint(data);
+  if (img.num_nodes != cfg_.num_nodes)
+    throw CheckpointError("checkpoint: node count mismatch (file " +
+                          std::to_string(img.num_nodes) + ", config " +
+                          std::to_string(cfg_.num_nodes) + ")");
+
+  store_ = std::move(img.store);
+  net_ = MonotonicNetwork::restore(std::move(img.net_entries), img.net_suppressed);
+  events_ = std::move(img.events);
+  epochs_ = std::move(img.epochs);
+  internal_scan_ = std::move(img.internal_scan);
+  node_gens_.assign(cfg_.num_nodes, {});
+  for (NodeId n = 0; n < cfg_.num_nodes; ++n)
+    node_gens_[n].insert(img.node_gens[n].begin(), img.node_gens[n].end());
+  pred_edges_ = std::move(img.pred_edges);
+  stats_ = img.stats;
+  deferred_.clear();
+  deferred_.reserve(img.deferred.size());
+  for (const DeferredCombo& dc : img.deferred) {
+    Deferred d;
+    d.combo = dc.combo;
+    d.fixed.assign(dc.fixed.begin(), dc.fixed.end());
+    d.has_mask = dc.has_mask;
+    deferred_.push_back(std::move(d));
+  }
+  violations_ = std::move(img.violations);
+  pending_tasks_.clear();
+  pending_tasks_.reserve(img.pending.size());
+  for (const PendingTask& t : img.pending)
+    pending_tasks_.push_back(
+        Task{t.is_message, static_cast<std::size_t>(t.net_idx), t.node, t.state_idx});
+
+  // Projections are derived state — recompute from the invariant (the
+  // checkpoint stays invariant-agnostic).
+  proj_.assign(cfg_.num_nodes, {});
+  mapped_.assign(cfg_.num_nodes, {});
+  if (invariant_ != nullptr && invariant_->has_projection()) {
+    for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
+      const std::uint32_t count = store_.size(n);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Projection p = invariant_->project(cfg_, n, store_.rec(n, i).blob);
+        if (!p.empty()) mapped_[n].push_back(i);
+        proj_[n].push_back(std::move(p));
+      }
+    }
+  }
+  feas_cache_.clear();
+  combo_probe_ = 0;
+  stop_ = false;
+  initialized_ = true;
+  base_elapsed_s_ = stats_.elapsed_s;
+}
+
+void LocalModelChecker::load_checkpoint(const std::string& path) {
+  load_checkpoint_bytes(read_checkpoint_file(path));
+}
 
 }  // namespace lmc

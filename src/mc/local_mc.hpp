@@ -34,9 +34,12 @@
 #include "mc/soundness.hpp"
 #include "mc/stats.hpp"
 #include "net/monotonic_network.hpp"
+#include "persist/checkpoint.hpp"
 #include "runtime/state_machine.hpp"
 
 namespace lmc {
+
+class ExecCache;
 
 struct LocalMcOptions {
   /// Expand a node state only while its chain depth is below this.
@@ -70,17 +73,23 @@ struct LocalMcOptions {
   /// Safety cap on combinations materialized per new node state (GEN).
   std::uint64_t max_system_states_per_step = std::numeric_limits<std::uint64_t>::max();
 
-  SoundnessOptions soundness;
-};
+  /// Auto-checkpointing: when both are set, the checker saves its full
+  /// state to `checkpoint_path` (atomically) every `checkpoint_every_s`
+  /// wall seconds, at clean round boundaries. 0 disables.
+  double checkpoint_every_s = 0.0;
+  std::string checkpoint_path;
 
-/// A (preliminary or confirmed) invariant violation on a system state.
-struct LocalViolation {
-  std::vector<std::uint32_t> combo;   ///< per node: index into LS_n
-  std::vector<Hash64> state_hashes;   ///< per node: state hash
-  std::vector<Blob> system_state;     ///< per node: serialized state
-  std::string invariant;
-  bool confirmed = false;             ///< passed soundness verification
-  Schedule witness;                   ///< feasible total order (if confirmed)
+  /// Optional cross-run transition cache (persist/exec_cache.hpp). Handler
+  /// executions are memoized by (event hash, state hash): a pair any earlier
+  /// run already executed is replayed from the cache — counted in
+  /// stats.warm_pairs_skipped instead of stats.transitions — so restarts
+  /// from overlapping snapshots redo none of the handler work. Handlers are
+  /// deterministic, so the exploration ORDER is identical with or without
+  /// it; under a wall-clock budget a cached run simply gets further before
+  /// the cutoff (replays are cheaper than executions).
+  ExecCache* exec_cache = nullptr;
+
+  SoundnessOptions soundness;
 };
 
 class LocalModelChecker {
@@ -93,6 +102,38 @@ class LocalModelChecker {
   /// Explore from the protocol's initial states, empty network.
   void run_from_initial();
 
+  /// Merge-based warm start: the first call behaves like run(); each later
+  /// call MERGES the new snapshot into the existing LS_n / I+ — new node
+  /// states become fresh roots, in-flight messages go through I+'s
+  /// duplicate suppression — and continues exploration with all cursors
+  /// intact, so only (message, state) pairs not tried in earlier calls
+  /// execute. Each merged snapshot is an epoch; soundness verification
+  /// anchors every confirmed violation to one epoch's consistent state
+  /// (LocalViolation::epoch). Stats and violations accumulate across calls;
+  /// the time budget applies per call, max_transitions to the total.
+  ///
+  /// Note the search space is the closure of the UNION of snapshots (one
+  /// epoch's messages stay deliverable to every epoch's states), which on
+  /// slowly-changing systems costs a multiple of per-snapshot restarts —
+  /// online checking therefore warm-starts with per-period cold restarts
+  /// sharing a LocalMcOptions::exec_cache instead (online/crystalball.cpp).
+  void run_warm(const std::vector<Blob>& nodes, const std::vector<Message>& in_flight);
+
+  /// Continue an interrupted run from a checkpoint file. The checker's
+  /// stores, cursors, stats and the stopped round's unapplied tasks are
+  /// restored, so the resumed exploration is exactly the one the original
+  /// run would have performed (same states, transitions and violations) —
+  /// see tests/test_persist.cpp for the pinned equivalence.
+  void run_resumed(const std::string& path);
+
+  /// Serialize the complete checker state (see persist/FORMAT.md).
+  Blob checkpoint_bytes() const;
+  void save_checkpoint(const std::string& path) const;
+  /// Restore state from a checkpoint without running (run_resumed = load +
+  /// continue). Throws CheckpointError on mismatch/corruption.
+  void load_checkpoint(const std::string& path);
+  void load_checkpoint_bytes(const Blob& data);
+
   const LocalMcStats& stats() const { return stats_; }
   const std::vector<LocalViolation>& violations() const { return violations_; }
   /// First confirmed violation, or nullptr.
@@ -101,9 +142,12 @@ class LocalModelChecker {
   const LocalStore& store() const { return store_; }
   const MonotonicNetwork& iplus() const { return net_; }
   const EventTable& events() const { return events_; }
-  const std::vector<Hash64>& initial_in_flight_hashes() const { return initial_hashes_; }
-  const std::vector<Blob>& initial_nodes() const { return initial_nodes_; }
-  const std::vector<Message>& initial_in_flight() const { return initial_msgs_; }
+  /// All snapshot epochs merged so far (offline runs have exactly one).
+  const std::vector<CheckerEpoch>& epochs() const { return epochs_; }
+  // First-epoch views, kept for the offline API (and single-epoch callers).
+  const std::vector<Hash64>& initial_in_flight_hashes() const;
+  const std::vector<Blob>& initial_nodes() const;
+  const std::vector<Message>& initial_in_flight() const;
 
  private:
   struct Task {
@@ -114,6 +158,7 @@ class LocalModelChecker {
   };
   struct Exec {
     bool is_message = false;
+    bool cached = false;  ///< result replayed from opt_.exec_cache, not executed
     Hash64 ev_hash = 0;
     NodeId node = 0;
     std::uint32_t pred_idx = 0;
@@ -122,10 +167,13 @@ class LocalModelChecker {
   };
 
   void init_run(const std::vector<Blob>& nodes, const std::vector<Message>& in_flight);
+  void merge_snapshot(const std::vector<Blob>& nodes, const std::vector<Message>& in_flight);
+  void run_rounds();
+  void apply_round(const std::vector<Task>& tasks, const std::vector<std::vector<Exec>>& results);
   bool collect_tasks(std::vector<Task>& tasks);
   void execute_tasks(const std::vector<Task>& tasks, std::vector<std::vector<Exec>>& results);
   void apply_exec(const Exec& e);
-  void check_initial_combination();
+  void check_snapshot_combination(const std::vector<std::uint32_t>& roots);
   void check_combinations(NodeId n, std::uint32_t idx);
   void check_one_combination(std::vector<std::uint32_t>& combo);
   void check_masked_violation(const std::vector<std::uint32_t>& combo,
@@ -135,7 +183,13 @@ class LocalModelChecker {
                                const std::vector<bool>* fixed = nullptr);
   std::uint32_t expand_bound() const;
   bool budget_exceeded() const;
+  bool hard_budget_exceeded() const;
   void refresh_memory_stats();
+  void finalize_stats();
+  void maybe_auto_checkpoint();
+  CheckerImage make_image() const;
+  std::vector<EpochSeed> epoch_seeds() const;
+  std::size_t total_in_flight() const;
 
   const SystemConfig& cfg_;
   const Invariant* invariant_;
@@ -144,9 +198,7 @@ class LocalModelChecker {
   LocalStore store_;
   MonotonicNetwork net_;
   EventTable events_;
-  std::vector<Hash64> initial_hashes_;
-  std::vector<Blob> initial_nodes_;
-  std::vector<Message> initial_msgs_;
+  std::vector<CheckerEpoch> epochs_;           ///< snapshots merged so far
   std::vector<std::uint32_t> internal_scan_;   ///< per node: next state to scan for HA
   std::vector<std::vector<Projection>> proj_;  ///< per node, parallel to LS_n (when projecting)
   std::vector<std::vector<std::uint32_t>> mapped_;  ///< per node: states with non-empty projection
@@ -165,8 +217,15 @@ class LocalModelChecker {
   LocalMcStats stats_;
   std::vector<LocalViolation> violations_;
   bool stop_ = false;
+  bool initialized_ = false;          ///< init_run/load_checkpoint has happened
   double deadline_ = std::numeric_limits<double>::infinity();
   std::uint64_t combo_probe_ = 0;
+  /// Tasks collected (cursors already advanced) but not applied when the
+  /// last run stopped; serialized in checkpoints, replayed first on resume.
+  std::vector<Task> pending_tasks_;
+  double base_elapsed_s_ = 0.0;       ///< elapsed_s carried over from prior runs
+  double run_t0_ = 0.0;               ///< wall start of the current run segment
+  double last_checkpoint_s_ = 0.0;
 
   /// Message hashes each node's recorded transitions can generate; feeds
   /// the per-member feasibility pre-check (see SoundnessVerifier).

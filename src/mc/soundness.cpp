@@ -8,7 +8,27 @@ namespace lmc {
 
 SoundnessVerifier::SoundnessVerifier(const LocalStore& store,
                                      std::vector<Hash64> initial_in_flight, SoundnessOptions opt)
-    : store_(store), initial_in_flight_(std::move(initial_in_flight)), opt_(opt) {}
+    : store_(store), initial_in_flight_(std::move(initial_in_flight)), opt_(opt) {
+  // Offline runs have exactly one epoch: every node starts at LS_n[0] (the
+  // snapshot state is always the first state added) with the snapshot's
+  // in-flight messages available.
+  EpochSeed e;
+  e.roots.assign(store.num_nodes(), 0);
+  e.in_flight = initial_in_flight_;
+  epochs_.push_back(std::move(e));
+}
+
+SoundnessVerifier SoundnessVerifier::with_epochs(const LocalStore& store,
+                                                 std::vector<EpochSeed> epochs,
+                                                 SoundnessOptions opt) {
+  SoundnessVerifier v(store, std::vector<Hash64>{}, opt);
+  v.epochs_ = std::move(epochs);
+  v.initial_in_flight_.clear();
+  for (const EpochSeed& e : v.epochs_)
+    v.initial_in_flight_.insert(v.initial_in_flight_.end(), e.in_flight.begin(),
+                                e.in_flight.end());
+  return v;
+}
 
 std::vector<SoundnessVerifier::NodeSeq> SoundnessVerifier::enumerate_sequences(
     NodeId n, std::uint32_t idx, bool* truncated) const {
@@ -173,14 +193,14 @@ struct FwdEdge {
 };
 
 struct SubGraph {
-  // Forward adjacency restricted to states on some root->target path
-  // (fixed nodes) or the whole traversed graph (free nodes).
+  // Forward adjacency restricted to states on some path to the target
+  // (fixed nodes) or the whole traversed graph (free nodes). After pruning,
+  // `states` of a fixed node holds exactly the states that still reach the
+  // target — an epoch is a candidate iff every fixed root is in it.
   std::unordered_map<std::uint32_t, std::vector<FwdEdge>> out;
   std::unordered_set<std::uint32_t> states;
-  std::uint32_t root = 0;
   std::uint32_t target = 0;
   bool fixed = true;  ///< must end exactly on `target`
-  bool target_reachable = false;
 };
 
 /// Backward closure of `target` over predecessor pointers, then the forward
@@ -198,7 +218,6 @@ SubGraph build_subgraph(const LocalStore& store, NodeId n, std::uint32_t target)
   }
   for (std::uint32_t s : g.states) {
     const NodeStateRec& rec = store.rec(n, s);
-    if (rec.preds.empty()) g.root = s;  // the live/initial state
     for (const Pred& p : rec.preds)
       if (g.states.count(p.pred_idx))
         g.out[p.pred_idx].push_back(FwdEdge{s, p.is_message, p.ev_hash, &p.gen, false});
@@ -216,14 +235,11 @@ SubGraph build_full_graph(const LocalStore& store, NodeId n) {
   for (std::uint32_t s = 0; s < store.size(n); ++s) {
     g.states.insert(s);
     const NodeStateRec& rec = store.rec(n, s);
-    if (rec.preds.empty()) g.root = s;
     for (const Pred& p : rec.preds)
       g.out[p.pred_idx].push_back(FwdEdge{s, p.is_message, p.ev_hash, &p.gen, false});
     for (const Pred& sl : rec.self_loops)
       g.out[s].push_back(FwdEdge{s, sl.is_message, sl.ev_hash, &sl.gen, true});
   }
-  g.target = g.root;
-  g.target_reachable = true;
   return g;
 }
 
@@ -283,7 +299,6 @@ void prune_subgraphs(std::vector<SubGraph>& graphs, const std::vector<Hash64>& i
         }
         ++it;
       }
-      g.target_reachable = reaches.count(g.root) != 0 || g.root == g.target;
       g.states = std::move(reaches);
     }
   }
@@ -386,8 +401,9 @@ class JointSearch {
 
 bool SoundnessVerifier::target_feasible(NodeId n, std::uint32_t target,
                                         const std::unordered_set<Hash64>& other_avail) const {
+  for (const EpochSeed& e : epochs_)
+    if (e.roots[n] == target) return true;  // target IS a snapshot state
   SubGraph g = build_subgraph(store_, n, target);
-  if (target == g.root) return true;
   // Prune under maximal help: everything other nodes could ever generate is
   // assumed available, plus what this subgraph's own surviving edges make.
   bool changed = true;
@@ -409,9 +425,11 @@ bool SoundnessVerifier::target_feasible(NodeId n, std::uint32_t target,
       }
     }
   }
-  // Target still reachable from the root over surviving edges?
-  std::unordered_set<std::uint32_t> reached{g.root};
-  std::vector<std::uint32_t> work{g.root};
+  // Target still reachable from some epoch's root over surviving edges?
+  std::unordered_set<std::uint32_t> reached;
+  std::vector<std::uint32_t> work;
+  for (const EpochSeed& e : epochs_)
+    if (reached.insert(e.roots[n]).second) work.push_back(e.roots[n]);
   while (!work.empty()) {
     std::uint32_t s = work.back();
     work.pop_back();
@@ -438,24 +456,42 @@ SoundnessResult SoundnessVerifier::verify(const std::vector<std::uint32_t>& comb
       graphs.push_back(build_full_graph(store_, n));
   }
 
+  // Prune once against the union of every epoch's in-flight set — a
+  // conservative superset, so no feasible edge is ever dropped; the joint
+  // search below enforces the per-epoch availability exactly.
   prune_subgraphs(graphs, initial_in_flight_);
-  std::vector<std::uint32_t> start(n_nodes);
-  for (NodeId n = 0; n < n_nodes; ++n) {
-    res.sequences_enumerated += graphs[n].states.size();
-    if (graphs[n].fixed && combo[n] != graphs[n].root && !graphs[n].target_reachable)
-      return res;  // provably unsound: no surviving root->target path
-    start[n] = graphs[n].root;
-  }
+  for (NodeId n = 0; n < n_nodes; ++n) res.sequences_enumerated += graphs[n].states.size();
 
-  JointSearch search(graphs, initial_in_flight_, opt_.max_schedules);
-  Schedule sched;
-  const bool found = search.run(std::move(start), &sched);
-  res.schedules_checked = search.expansions();
-  res.truncated = search.truncated();
-  if (found) {
-    res.sound = true;
-    res.schedule = std::move(sched);
-    res.final_combo = search.positions();
+  // Try each epoch newest first: later snapshots are closer to the violating
+  // states, so their searches are shorter; the expansion budget is shared.
+  for (std::size_t e = epochs_.size(); e-- > 0;) {
+    const EpochSeed& seed = epochs_[e];
+    bool candidate = true;
+    for (NodeId n = 0; n < n_nodes && candidate; ++n) {
+      const std::uint32_t root = seed.roots[n];
+      // A fixed node's pruned state set holds exactly the states that still
+      // reach the target; a root outside it provably cannot.
+      if (graphs[n].fixed && graphs[n].states.count(root) == 0) candidate = false;
+    }
+    if (!candidate) continue;
+
+    if (res.schedules_checked >= opt_.max_schedules) {
+      res.truncated = true;
+      break;
+    }
+    JointSearch search(graphs, seed.in_flight, opt_.max_schedules - res.schedules_checked);
+    Schedule sched;
+    std::vector<std::uint32_t> start(seed.roots.begin(), seed.roots.end());
+    const bool found = search.run(std::move(start), &sched);
+    res.schedules_checked += search.expansions();
+    res.truncated = res.truncated || search.truncated();
+    if (found) {
+      res.sound = true;
+      res.schedule = std::move(sched);
+      res.final_combo = search.positions();
+      res.epoch = e;
+      return res;
+    }
   }
   return res;
 }

@@ -59,9 +59,22 @@ struct SoundnessResult {
   /// Final state index per node. Fixed nodes sit on their targets; free
   /// nodes wherever the feasible run left them (a co-reachable completion).
   std::vector<std::uint32_t> final_combo;
+  /// Epoch whose snapshot the schedule starts from (warm-started online
+  /// checking verifies against each merged snapshot, newest first).
+  std::size_t epoch = 0;
   std::uint64_t sequences_enumerated = 0;  ///< relevant subgraph states visited
   std::uint64_t schedules_checked = 0;     ///< joint-search expansions
   bool truncated = false;               ///< some cap was hit (result may be incomplete)
+};
+
+/// One snapshot's soundness seed: per-node root state indices plus the
+/// in-flight message hashes that exist without any generating event. A
+/// feasible schedule starts every node on the SAME epoch's root — each live
+/// snapshot is a consistent global state, so combining roots of different
+/// epochs could fabricate runs no deployment produced.
+struct EpochSeed {
+  std::vector<std::uint32_t> roots;   ///< per node: index into LS_n
+  std::vector<Hash64> in_flight;      ///< snapshot's in-flight message hashes
 };
 
 class SoundnessVerifier {
@@ -79,8 +92,17 @@ class SoundnessVerifier {
     std::size_t size() const { return evs.size(); }
   };
 
+  /// Single-epoch (offline) verifier: every node starts at state 0, the
+  /// snapshot's in-flight messages are available without generation.
   SoundnessVerifier(const LocalStore& store, std::vector<Hash64> initial_in_flight,
                     SoundnessOptions opt);
+
+  /// Multi-epoch (warm-started online) verifier: each epoch contributes one
+  /// consistent (roots, in-flight) start; verify() tries epochs newest
+  /// first and reports the one that admitted a schedule. (A factory rather
+  /// than an overload: `{}` would be ambiguous against the offline ctor.)
+  static SoundnessVerifier with_epochs(const LocalStore& store, std::vector<EpochSeed> epochs,
+                                       SoundnessOptions opt);
 
   /// Verify the system state formed by `combo` (one state index per node).
   /// When `fixed` is non-null, only nodes with fixed[n] == true must reach
@@ -111,7 +133,11 @@ class SoundnessVerifier {
 
  private:
   const LocalStore& store_;
+  /// Union of every epoch's in-flight hashes — seeds the sequence API and
+  /// the (conservative) edge-availability pruning; the joint search itself
+  /// is seeded per epoch.
   std::vector<Hash64> initial_in_flight_;
+  std::vector<EpochSeed> epochs_;
   SoundnessOptions opt_;
 };
 

@@ -40,6 +40,12 @@ struct LocalMcStats {
   std::uint64_t history_skips = 0;        ///< deliveries skipped via state history
   std::uint64_t local_assert_discards = 0;///< node states discarded on local assert
   std::uint64_t messages_in_iplus = 0;
+  std::uint64_t warm_merges = 0;          ///< online warm-start epochs merged
+  std::uint64_t warm_new_roots = 0;       ///< snapshot states added as fresh roots
+  std::uint64_t warm_root_hits = 0;       ///< snapshot states already present in LS_n
+  std::uint64_t warm_msgs_reused = 0;     ///< snapshot in-flight msgs already in I+
+  std::uint64_t warm_pairs_skipped = 0;   ///< handler executions replayed from the ExecCache
+  std::uint64_t checkpoints_written = 0;  ///< auto-checkpoints saved during the run
   std::size_t stored_bytes = 0;           ///< LS + I+ footprint (Fig. 12)
   double elapsed_s = 0.0;
   double soundness_s = 0.0;               ///< time inside soundness verification

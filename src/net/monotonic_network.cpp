@@ -13,10 +13,29 @@ bool MonotonicNetwork::add(Message m) {
   return true;
 }
 
+MonotonicNetwork::MergeStats MonotonicNetwork::merge(const std::vector<Message>& msgs) {
+  MergeStats st;
+  for (const Message& m : msgs) {
+    if (add(m))
+      ++st.appended;
+    else
+      ++st.suppressed;
+  }
+  return st;
+}
+
 std::size_t MonotonicNetwork::add_all(const std::vector<Message>& msgs) {
-  std::size_t before = suppressed_;
-  for (const Message& m : msgs) add(m);
-  return suppressed_ - before;
+  return merge(msgs).suppressed;
+}
+
+MonotonicNetwork MonotonicNetwork::restore(std::vector<Entry> entries, std::uint64_t suppressed) {
+  MonotonicNetwork net;
+  for (Entry& e : entries) {
+    net.index_.emplace(e.hash, net.entries_.size());
+    net.entries_.push_back(std::move(e));
+  }
+  net.suppressed_ = suppressed;
+  return net;
 }
 
 const Message* MonotonicNetwork::find(Hash64 h) const {

@@ -1,0 +1,168 @@
+// Persistent exploration store (checkpoint/resume).
+//
+// The local model checker's entire state is monotonic: LS_n and I+ only
+// grow, predecessor pointers and event records are append-only. That makes
+// the checker trivially checkpointable — a snapshot of the stores IS a
+// resumable search, no in-flight stack to unwind. This header defines the
+// on-disk format (see FORMAT.md next to this file) and the codec between a
+// checkpoint blob and a `CheckerImage`, the passive mirror of every field
+// `LocalModelChecker` needs to continue a run exactly where it stopped.
+//
+// Format invariants:
+//  * magic + version + trailing whole-file checksum (hash_bytes) — a
+//    truncated, bit-flipped or foreign file is rejected before any field
+//    is interpreted;
+//  * sections are length-prefixed and independently decodable; unknown
+//    section ids are ignored on read (forward compatibility);
+//  * encoding is canonical (unordered containers are sorted), so
+//    decode→encode reproduces the input byte for byte — the round-trip
+//    property the tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mc/local_store.hpp"
+#include "mc/stats.hpp"
+#include "net/monotonic_network.hpp"
+#include "runtime/serialize.hpp"
+
+namespace lmc {
+
+/// Thrown on any malformed, corrupted or incompatible checkpoint.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr char kCheckpointMagic[8] = {'L', 'M', 'C', 'C', 'K', 'P', 'T', '\n'};
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Section ids of the container format. Ids are stable across versions;
+/// readers skip ids they do not know.
+enum SectionId : std::uint32_t {
+  kSecMeta = 1,         ///< summary counters (cheap inspection)
+  kSecEpochs = 2,       ///< snapshot epochs (nodes, msgs, roots, in-flight)
+  kSecStore = 3,        ///< LS_n: every traversed node state + pred graph
+  kSecNetwork = 4,      ///< I+: entries with per-message cursors
+  kSecEvents = 5,       ///< event table (hash -> message/internal event)
+  kSecFeasibility = 6,  ///< node_gens / pred_edges feasibility inputs
+  kSecCursors = 7,      ///< per-node internal-event scan cursors
+  kSecStats = 8,        ///< LocalMcStats
+  kSecDeferred = 9,     ///< phase-2 soundness queue
+  kSecViolations = 10,  ///< violations recorded so far
+  kSecPending = 11,     ///< collected-but-unapplied tasks of the stopped round
+};
+
+/// Assembles header | sections | checksum.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::uint32_t num_nodes) : num_nodes_(num_nodes) {}
+
+  void add_section(std::uint32_t id, Blob payload) {
+    sections_.emplace_back(id, std::move(payload));
+  }
+
+  Blob finish() &&;
+
+ private:
+  std::uint32_t num_nodes_;
+  std::vector<std::pair<std::uint32_t, Blob>> sections_;
+};
+
+/// Validates the container (magic, version, checksum, section table) and
+/// hands out per-section Readers. Holds a pointer into the caller's blob —
+/// the blob must outlive the reader.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(const Blob& data);
+
+  std::uint32_t version() const { return version_; }
+  std::uint32_t num_nodes() const { return num_nodes_; }
+
+  struct Section {
+    std::uint32_t id = 0;
+    std::size_t offset = 0;  ///< payload start within the blob
+    std::size_t len = 0;
+  };
+  const std::vector<Section>& sections() const { return sections_; }
+
+  bool has(std::uint32_t id) const;
+  /// Reader over the section's payload; throws CheckpointError if absent.
+  Reader open(std::uint32_t id) const;
+
+ private:
+  const Blob* data_;
+  std::uint32_t version_ = 0;
+  std::uint32_t num_nodes_ = 0;
+  std::vector<Section> sections_;
+};
+
+/// A deferred soundness combination (mirror of the checker's phase-2 queue).
+struct DeferredCombo {
+  std::vector<std::uint32_t> combo;
+  std::vector<std::uint8_t> fixed;
+  bool has_mask = false;
+};
+
+/// One collected-but-unapplied exploration task. Cursors advance when tasks
+/// are collected, so a round interrupted by a budget stop must persist its
+/// tail — resuming re-executes exactly these, in order, before collecting.
+struct PendingTask {
+  bool is_message = false;
+  std::uint64_t net_idx = 0;  ///< message tasks: entry index in I+
+  NodeId node = 0;
+  std::uint32_t state_idx = 0;
+};
+
+/// Passive mirror of a `LocalModelChecker` mid-run: everything needed to
+/// re-enter the round loop with cursors intact.
+struct CheckerImage {
+  std::uint32_t num_nodes = 0;
+  LocalStore store{0};
+  std::vector<MonotonicNetwork::Entry> net_entries;
+  std::uint64_t net_suppressed = 0;
+  EventTable events;
+  std::vector<CheckerEpoch> epochs;
+  std::vector<std::vector<Hash64>> node_gens;  ///< per node, sorted
+  std::vector<std::uint64_t> pred_edges;
+  std::vector<std::uint32_t> internal_scan;
+  LocalMcStats stats;
+  std::vector<DeferredCombo> deferred;
+  std::vector<LocalViolation> violations;
+  std::vector<PendingTask> pending;
+};
+
+/// Canonical encoding (sorted unordered containers; stable section order).
+Blob encode_checkpoint(const CheckerImage& img);
+
+/// Full decode with structural validation: every index bound-checked, every
+/// stored hash recomputed and compared. Throws CheckpointError with a
+/// message naming the offending section/field.
+CheckerImage decode_checkpoint(const Blob& data);
+
+/// Cheap header + meta inspection (does not decode the heavy sections).
+struct CheckpointInfo {
+  std::uint32_t version = 0;
+  std::uint32_t num_nodes = 0;
+  std::vector<CheckpointReader::Section> sections;
+  // From kSecMeta:
+  std::uint64_t total_states = 0;
+  std::vector<std::uint64_t> states_per_node;
+  std::uint64_t net_size = 0;
+  std::uint64_t event_count = 0;
+  std::uint64_t epoch_count = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t confirmed_violations = 0;
+  std::uint64_t pending_tasks = 0;
+};
+CheckpointInfo inspect_checkpoint(const Blob& data);
+
+/// Atomic file write (tmp + rename) / whole-file read. Throw CheckpointError
+/// on I/O failure.
+void write_checkpoint_file(const std::string& path, const Blob& data);
+Blob read_checkpoint_file(const std::string& path);
+
+}  // namespace lmc

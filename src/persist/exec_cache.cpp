@@ -1,0 +1,142 @@
+#include "persist/exec_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "persist/checkpoint.hpp"
+
+namespace lmc {
+
+namespace {
+
+constexpr std::size_t kMagicLen = sizeof(kExecCacheMagic);
+// magic | u32 version | u32 reserved | u64 entry count
+constexpr std::size_t kHeaderLen = kMagicLen + 2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+[[noreturn]] void fail(const std::string& what) { throw CheckpointError("exec cache: " + what); }
+
+void check(bool ok, const char* what) {
+  if (!ok) fail(what);
+}
+
+}  // namespace
+
+bool ExecCache::lookup(Hash64 ev, Hash64 state, ExecResult& out) const {
+  const Key k{ev, state};
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = young_.find(k);
+  if (it == young_.end()) {
+    it = old_.find(k);
+    if (it == old_.end()) {
+      ++misses_;
+      return false;
+    }
+  }
+  ++hits_;
+  out = it->second;
+  return true;
+}
+
+void ExecCache::insert(Hash64 ev, Hash64 state, const ExecResult& r) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (young_.count(Key{ev, state}) != 0 || old_.count(Key{ev, state}) != 0) return;
+  if (young_.size() >= half()) {
+    old_ = std::move(young_);
+    young_.clear();
+  }
+  young_.emplace(Key{ev, state}, r);
+}
+
+std::size_t ExecCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return young_.size() + old_.size();
+}
+
+std::uint64_t ExecCache::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+std::uint64_t ExecCache::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+
+Blob ExecCache::encode() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<const std::pair<const Key, ExecResult>*> sorted;
+  sorted.reserve(young_.size() + old_.size());
+  for (const auto& kv : young_) sorted.push_back(&kv);
+  for (const auto& kv : old_) sorted.push_back(&kv);
+  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    return a->first.ev != b->first.ev ? a->first.ev < b->first.ev
+                                      : a->first.state < b->first.state;
+  });
+  Writer w;
+  w.raw(reinterpret_cast<const std::uint8_t*>(kExecCacheMagic), kMagicLen);
+  w.u32(kExecCacheVersion);
+  w.u32(0);  // reserved
+  w.u64(sorted.size());
+  for (const auto* kv : sorted) {
+    w.u64(kv->first.ev);
+    w.u64(kv->first.state);
+    const ExecResult& r = kv->second;
+    w.bytes(r.state);
+    w.vec(r.sent, [](Writer& ww, const Message& m) { m.serialize(ww); });
+    w.b(r.assert_failed);
+    w.str(r.assert_msg);
+  }
+  Blob out = std::move(w).take();
+  const Hash64 sum = hash_bytes(out.data(), out.size());
+  Writer tail;
+  tail.u64(sum);
+  out.insert(out.end(), tail.data().begin(), tail.data().end());
+  return out;
+}
+
+void ExecCache::decode(const Blob& data) {
+  check(data.size() >= kHeaderLen + sizeof(std::uint64_t), "file too small");
+  check(std::memcmp(data.data(), kExecCacheMagic, kMagicLen) == 0,
+        "bad magic (not an exec cache file)");
+  const std::size_t body_len = data.size() - sizeof(std::uint64_t);
+  Reader tail(data.data() + body_len, sizeof(std::uint64_t));
+  check(hash_bytes(data.data(), body_len) == tail.u64(),
+        "checksum mismatch (truncated or corrupted file)");
+
+  Map map;
+  try {
+    Reader r(data.data(), body_len);
+    r.u64();  // magic (already compared)
+    check(r.u32() == kExecCacheVersion, "unsupported format version");
+    r.u32();  // reserved
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Key k;
+      k.ev = r.u64();
+      k.state = r.u64();
+      ExecResult res;
+      res.state = r.bytes();
+      res.sent = r.vec<Message>([](Reader& rr) { return Message::deserialize(rr); });
+      res.assert_failed = r.b();
+      res.assert_msg = r.str();
+      check(map.emplace(k, std::move(res)).second, "duplicate cache key");
+    }
+    r.expect_exhausted();
+  } catch (const SerializeError& e) {
+    fail(std::string("malformed entry: ") + e.what());
+  }
+
+  // Loaded entries all land in the young generation: a load is a fresh
+  // start, and they should survive at least one rotation of new inserts.
+  std::lock_guard<std::mutex> lk(mu_);
+  young_ = std::move(map);
+  old_.clear();
+  hits_ = misses_ = 0;
+}
+
+void ExecCache::save(const std::string& path) const { write_checkpoint_file(path, encode()); }
+
+void ExecCache::load(const std::string& path) { decode(read_checkpoint_file(path)); }
+
+}  // namespace lmc

@@ -1,0 +1,103 @@
+// Cross-restart transition cache (online warm start).
+//
+// Online checking restarts the local model checker from a fresh live
+// snapshot every period. Consecutive snapshots change slowly, so the
+// closures those restarts explore overlap heavily — and exec_message /
+// exec_internal are deterministic functions of (event, serialized state).
+// Memoizing their results by (event hash, state hash) lets a warm restart
+// skip every handler execution any earlier period already performed while
+// keeping the exploration bit-identical to a cold restart: same node
+// states, same combinations, same soundness verdicts, same bugs — only the
+// duplicated handler work disappears (counted in stats.warm_pairs_skipped).
+// Under a wall-clock budget the exploration ORDER is still identical; the
+// warm run just gets further per period, because replaying a pair is much
+// cheaper than executing it — it can only ever cover more, never less.
+//
+// Why memoize instead of merging snapshots into one persistent checker
+// (LocalModelChecker::run_warm)? The merge unions the snapshots' closures:
+// every epoch's messages become deliverable to every epoch's states, a
+// cross-product no cold restart pays — measured ~2-4x MORE transitions than
+// restarting per snapshot on the §5.5 workload. The cache keeps each
+// period's search space exactly the cold one and removes only true re-work.
+//
+// The cache serializes with the same discipline as checkpoints (magic,
+// version, canonical entry order, trailing whole-file checksum, atomic
+// write), so warm starts can survive process restarts.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "runtime/hash.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace lmc {
+
+inline constexpr char kExecCacheMagic[8] = {'L', 'M', 'C', 'E', 'X', 'E', 'C', '\n'};
+inline constexpr std::uint32_t kExecCacheVersion = 1;
+
+class ExecCache {
+ public:
+  /// Cap on total stored entries across both generations (see below).
+  static constexpr std::size_t kDefaultMaxEntries = std::size_t{1} << 21;
+
+  explicit ExecCache(std::size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries) {}
+
+  /// True (and fills `out`) if (ev, state) was executed before. Thread-safe.
+  bool lookup(Hash64 ev, Hash64 state, ExecResult& out) const;
+  void insert(Hash64 ev, Hash64 state, const ExecResult& r);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;    ///< successful lookups since construction/load
+  std::uint64_t misses() const;  ///< failed lookups
+
+  /// Canonical serialization (entries sorted by key); decode verifies the
+  /// trailing checksum first and throws CheckpointError on any corruption.
+  Blob encode() const;
+  void decode(const Blob& data);  ///< replaces the current contents
+  void save(const std::string& path) const;  ///< atomic (tmp + rename)
+  void load(const std::string& path);
+
+ private:
+  struct Key {
+    Hash64 ev = 0;
+    Hash64 state = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t x = k.ev + 0x9e3779b97f4a7c15ull * k.state;
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdull;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  using Map = std::unordered_map<Key, ExecResult, KeyHash>;
+
+  std::size_t half() const { return max_entries_ / 2 > 0 ? max_entries_ / 2 : 1; }
+
+  // Eviction is generational, not insert-until-full. A budget-truncated
+  // checker round executes (and therefore inserts) far more pairs than it
+  // applies — a single period can flood the cap many times over, and with
+  // insert-until-full the FIRST period's flood permanently starves every
+  // later period, which is exactly backwards: cross-period reuse comes from
+  // the MOST RECENT period's entries. Inserts go to `young_`; when it
+  // reaches half the cap it becomes `old_` (dropping the previous old
+  // generation) — so the newest half-cap of entries always survives into
+  // the next period. Lookups never mutate the maps (no hit promotion: a
+  // period draining hits out of the old generation must not trigger the
+  // rotation that would destroy it). Keys are disjoint between the maps.
+  std::size_t max_entries_;
+  mutable std::mutex mu_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  mutable Map young_;
+  mutable Map old_;
+};
+
+}  // namespace lmc

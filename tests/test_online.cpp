@@ -2,6 +2,7 @@
 // CrystalBall loop rediscovering the §5.5 and §5.6 bugs end-to-end.
 #include <gtest/gtest.h>
 
+#include "mc/replay.hpp"
 #include "online/crystalball.hpp"
 #include "online/live_runner.hpp"
 #include "online/snapshot.hpp"
@@ -114,6 +115,53 @@ TEST(CrystalBall, FindsWidsBugOnline) {
   EXPECT_GT(res.live_time, 0.0);
   EXPECT_TRUE(res.violation.confirmed);
   EXPECT_FALSE(res.violation.witness.empty());
+}
+
+TEST(CrystalBall, WarmStartFindsWidsBugWithFewerTransitions) {
+  // Same §5.5 system as FindsWidsBugOnline, checked at a HIGHER frequency
+  // (15 s periods instead of 60 s), run cold and warm over identical live
+  // executions. Short periods are where warm start pays: the live system
+  // often barely moves between snapshots — seed 1 has a fully quiescent
+  // window, whose period re-explores the previous closure — so the shared
+  // transition cache replays that duplicated handler work. Warm must find
+  // the bug with strictly fewer total handler executions than cold, the
+  // savings must come from cache replays, and the witness must still replay.
+  SystemConfig live_cfg = live_paxos_cfg(true);
+  SystemConfig mc_cfg = checker_paxos_cfg(true);
+  auto inv = paxos::make_agreement_invariant();
+
+  CrystalBallOptions opt;
+  opt.period = 15;
+  opt.max_live_time = 300;
+  opt.mc.max_total_depth = 16;
+  opt.mc.use_projection = true;
+  opt.mc.time_budget_s = 3;
+
+  LiveRunner live_cold(live_cfg, live_opts(1), first_enabled_driver());
+  CrystalBall cold(mc_cfg, inv.get(), live_cold, opt);
+  CrystalBallResult cold_res = cold.run();
+  ASSERT_TRUE(cold_res.found);
+
+  opt.warm_start = true;
+  int periods_seen = 0;
+  opt.on_period = [&](const CrystalBallPeriod&) { ++periods_seen; };
+  LiveRunner live_warm(live_cfg, live_opts(1), first_enabled_driver());
+  CrystalBall warm(mc_cfg, inv.get(), live_warm, opt);
+  CrystalBallResult warm_res = warm.run();
+
+  ASSERT_TRUE(warm_res.found) << "warm start must still find the WiDS bug";
+  EXPECT_TRUE(warm_res.violation.confirmed);
+  EXPECT_EQ(periods_seen, warm_res.runs);
+  EXPECT_LT(warm_res.total_transitions, cold_res.total_transitions)
+      << "warm start must redo strictly less work than cold restarts";
+  EXPECT_GT(warm_res.total_cache_hits, 0u) << "the savings come from cache replays";
+
+  // The witness anchors at the epoch soundness verified; replay it from
+  // that period's snapshot through the real handlers.
+  ReplayResult rep =
+      replay_schedule(mc_cfg, warm_res.snapshot.nodes, warm_res.snapshot.in_flight,
+                      warm_res.violation.witness, warm_res.events, warm_res.violation.state_hashes);
+  EXPECT_TRUE(rep.ok) << rep.error;
 }
 
 TEST(CrystalBall, CleanOnCorrectPaxos) {
