@@ -1,6 +1,7 @@
 #include "mc/local_mc.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "mc/clock.hpp"
 #include "mc/parallel_local_mc.hpp"
@@ -58,7 +59,7 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
   mapped_.assign(cfg_.num_nodes, {});
   node_gens_.assign(cfg_.num_nodes, {});
   pred_edges_.assign(cfg_.num_nodes, 0);
-  feas_cache_.clear();
+  clear_feas_cache();
   deferred_.clear();
   pending_tasks_.clear();
   stats_ = LocalMcStats{};
@@ -230,7 +231,7 @@ void LocalModelChecker::execute_tasks(const std::vector<Task>& tasks,
                                       std::vector<std::vector<Exec>>& results) {
   results.assign(tasks.size(), {});
   ExecCache* cache = opt_.exec_cache;
-  parallel_for(tasks.size(), opt_.num_threads, [&](std::size_t i) {
+  pool_run(tasks.size(), [&](std::size_t i) {
     const Task& t = tasks[i];
     const NodeStateRec& rec = store_.rec(t.node, t.state_idx);
     if (t.is_message) {
@@ -274,17 +275,12 @@ void LocalModelChecker::apply_exec(const Exec& e) {
     ++stats_.warm_pairs_skipped;
   else
     ++stats_.transitions;
-  if (e.result.assert_failed) {
-    ++stats_.local_assert_discards;
-    // §4.2 "Local assertions": by default treat the assert as marking the
-    // node state invalid (usually an unexpected delivery made possible by
-    // the conservative I+ policy) and discard it; under IgnoreViolation,
-    // keep exploring the successor — a real protocol bug will eventually
-    // manifest as a system-invariant violation.
-    if (opt_.assert_policy == LocalMcOptions::AssertPolicy::DiscardState) return;
-  }
-
-  // addNextState (Fig. 9): register generated messages in I+ first.
+  // addNextState (Fig. 9): register generated messages in I+ first — BEFORE
+  // the local-assert policy can discard the successor state. The handler
+  // really sent these messages before its assertion fired, and I+ is
+  // monotonic/never-remove (§3, §4.2): dropping them would hide every
+  // behaviour they trigger on other nodes and can mask real bugs whose
+  // trigger message precedes an assert.
   std::vector<Hash64> gen;
   gen.reserve(e.result.sent.size());
   for (const Message& m : e.result.sent) {
@@ -298,6 +294,19 @@ void LocalModelChecker::apply_exec(const Exec& e) {
       events_.emplace(h, std::move(er));
     }
   }
+
+  if (e.result.assert_failed) {
+    ++stats_.local_assert_discards;
+    // §4.2 "Local assertions": by default treat the assert as marking the
+    // node state invalid (usually an unexpected delivery made possible by
+    // the conservative I+ policy) and discard it; under IgnoreViolation,
+    // keep exploring the successor — a real protocol bug will eventually
+    // manifest as a system-invariant violation. The messages stay in I+
+    // either way; no predecessor edge generates them, so soundness
+    // verification will not schedule deliveries that depend on them.
+    if (opt_.assert_policy == LocalMcOptions::AssertPolicy::DiscardState) return;
+  }
+
   if (!e.is_message) {
     EventRecord er;
     er.is_message = false;
@@ -384,83 +393,150 @@ void LocalModelChecker::check_one_combination(std::vector<std::uint32_t>& combo)
                               static_cast<std::uint32_t>(depth_sum));
   ++stats_.system_states;
   ++stats_.invariant_checks;
-  if (combo_violates(combo)) handle_prelim_violation(combo);
+  if (!combo_violates(combo)) return;
+  std::vector<Deferred> one(1);
+  one[0].combo = combo;
+  verify_prelims(std::move(one), /*phase2=*/false);
+}
+
+void LocalModelChecker::pool_run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (opt_.num_threads > 1 && n > 1) {
+    if (!pool_) pool_ = std::make_unique<WorkerPool>(opt_.num_threads);
+    pool_->run(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+void LocalModelChecker::clear_feas_cache() {
+  for (FeasStripe& s : feas_cache_) s.map.clear();
 }
 
 bool LocalModelChecker::member_feasible(NodeId n, std::uint32_t idx) {
   // Signature: the verdict only changes when what the OTHER nodes can
   // generate grows (or a new path to idx appears — approximated by the
   // node's pred-edge growth being reflected in its own gens; conservative
-  // refreshes on any growth of the key below keep this sound).
+  // refreshes on any growth of the key below keep this sound). During a
+  // parallel verification phase the inputs are frozen, so concurrent
+  // callers of the same key race only on who computes the identical
+  // verdict; the striped locks protect the map, not the answer.
   std::uint64_t sig = total_in_flight();
   for (NodeId m = 0; m < cfg_.num_nodes; ++m)
     sig += (m == n) ? pred_edges_[n] : node_gens_[m].size();
   const std::uint64_t key = (static_cast<std::uint64_t>(n) << 32) | idx;
-  auto it = feas_cache_.find(key);
-  if (it != feas_cache_.end() && (it->second.feasible || it->second.sig == sig))
-    return it->second.feasible;
+  FeasStripe& stripe = feas_cache_[key % kFeasStripes];
+  {
+    std::lock_guard<std::mutex> lk(stripe.mu);
+    auto it = stripe.map.find(key);
+    if (it != stripe.map.end() && (it->second.feasible || it->second.sig == sig))
+      return it->second.feasible;
+  }
 
   std::unordered_set<Hash64> other_avail;
   for (NodeId m = 0; m < cfg_.num_nodes; ++m)
     if (m != n) other_avail.insert(node_gens_[m].begin(), node_gens_[m].end());
   SoundnessVerifier verifier = SoundnessVerifier::with_epochs(store_, epoch_seeds(), opt_.soundness);
   const bool feasible = verifier.target_feasible(n, idx, other_avail);
-  feas_cache_[key] = FeasEntry{feasible, sig};
+  {
+    std::lock_guard<std::mutex> lk(stripe.mu);
+    stripe.map[key] = FeasEntry{feasible, sig};
+  }
   return feasible;
 }
 
-void LocalModelChecker::handle_prelim_violation(const std::vector<std::uint32_t>& combo,
-                                                const std::vector<bool>* fixed) {
-  ++stats_.prelim_violations;
-  if (!opt_.enable_soundness) return;  // Fig. 13 "system-state" variant: count only
-
-  // Per-member pre-check: a combination whose members cannot individually
-  // be reached even with maximal help from the other nodes is unsound —
-  // skip the joint search entirely (cached; kills the bulk of the
-  // preliminary violations near a bug, cf. §5.4).
-  for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
-    if (fixed != nullptr && !(*fixed)[i]) continue;
-    if (!member_feasible(i, combo[i])) {
-      ++stats_.unsound_violations;
-      ++stats_.feasibility_skips;
-      return;
-    }
-  }
-
-  ++stats_.soundness_calls;
-  const double t0 = now_s();
-  SoundnessOptions so = opt_.soundness;
-  const bool quick = so.quick_expansions != 0;
-  if (quick) so.max_schedules = std::min(so.max_schedules, so.quick_expansions);
-  SoundnessVerifier verifier = SoundnessVerifier::with_epochs(store_, epoch_seeds(), so);
-  SoundnessResult res = verifier.verify(combo, fixed);
-  stats_.soundness_s += now_s() - t0;
-  stats_.sequences_checked += res.schedules_checked;
-
-  if (!res.sound) {
-    if (quick && res.truncated) {
-      // Undecided at the quick cap: defer the expensive refutation/search
-      // to phase 2 (after exploration), so unsound floods cannot starve
-      // the exploration that produces the genuinely sound combinations.
-      if (deferred_.size() < opt_.soundness.max_deferred) {
-        Deferred d;
-        d.combo = combo;
-        if (fixed != nullptr) {
-          d.fixed = *fixed;
-          d.has_mask = true;
-        }
-        deferred_.push_back(std::move(d));
-        ++stats_.soundness_deferred;
-      } else {
-        stats_.deferred_dropped = true;
-      }
-      return;
-    }
-    if (res.truncated) ++stats_.seq_enum_truncated;
-    ++stats_.unsound_violations;
+void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) {
+  if (jobs.empty()) return;
+  if (!opt_.enable_soundness) {
+    // Fig. 13 "system-state" variant: count preliminary violations only.
+    if (!phase2) stats_.prelim_violations += jobs.size();
     return;
   }
-  record_confirmed(combo, std::move(res));
+
+  enum class Kind : std::uint8_t { Skipped, FeasSkip, Sound, Unsound, Defer };
+  struct Outcome {
+    Kind kind = Kind::Skipped;
+    SoundnessResult res;
+    double secs = 0.0;
+  };
+  std::vector<Outcome> out(jobs.size());
+  const std::vector<EpochSeed> seeds = epoch_seeds();
+
+  // Fan out: every job is verified independently against the frozen stores
+  // by its own SoundnessVerifier instance; outcomes land in per-job slots.
+  pool_run(jobs.size(), [&](std::size_t i) {
+    Outcome& o = out[i];
+    if (hard_budget_exceeded()) return;  // stays Skipped
+    const Deferred& d = jobs[i];
+    if (!phase2) {
+      // Per-member pre-check: a combination whose members cannot
+      // individually be reached even with maximal help from the other
+      // nodes is unsound — skip the joint search entirely (cached; kills
+      // the bulk of the preliminary violations near a bug, cf. §5.4).
+      for (NodeId k = 0; k < cfg_.num_nodes; ++k) {
+        if (d.has_mask && !d.fixed[k]) continue;
+        if (!member_feasible(k, d.combo[k])) {
+          o.kind = Kind::FeasSkip;
+          return;
+        }
+      }
+    }
+    SoundnessOptions so = opt_.soundness;
+    const bool quick = !phase2 && so.quick_expansions != 0;
+    if (quick) so.max_schedules = std::min(so.max_schedules, so.quick_expansions);
+    const double t0 = now_s();
+    SoundnessVerifier verifier = SoundnessVerifier::with_epochs(store_, seeds, so);
+    o.res = verifier.verify(d.combo, d.has_mask ? &d.fixed : nullptr);
+    o.secs = now_s() - t0;
+    o.kind = o.res.sound ? Kind::Sound
+                         : (quick && o.res.truncated ? Kind::Defer : Kind::Unsound);
+  });
+
+  // Deterministic merge in enumeration/queue order: counters, the deferred
+  // queue and confirmed violations come out identical for any thread count.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (stop_) {
+      if (phase2 && i < jobs.size()) stats_.completed = false;  // partial drain
+      break;
+    }
+    Outcome& o = out[i];
+    if (o.kind == Kind::Skipped) {  // wall-clock budget / cancel hit
+      stats_.completed = false;
+      if (!phase2) stop_ = true;
+      break;
+    }
+    if (phase2)
+      ++stats_.deferred_processed;
+    else
+      ++stats_.prelim_violations;
+    if (o.kind == Kind::FeasSkip) {
+      ++stats_.unsound_violations;
+      ++stats_.feasibility_skips;
+      continue;
+    }
+    ++stats_.soundness_calls;
+    stats_.soundness_s += o.secs;
+    stats_.sequences_checked += o.res.schedules_checked;
+    switch (o.kind) {
+      case Kind::Sound:
+        record_confirmed(jobs[i].combo, std::move(o.res));
+        break;
+      case Kind::Defer:
+        // Undecided at the quick cap: defer the expensive refutation/search
+        // to phase 2 (after exploration), so unsound floods cannot starve
+        // the exploration that produces the genuinely sound combinations.
+        if (deferred_.size() < opt_.soundness.max_deferred) {
+          deferred_.push_back(std::move(jobs[i]));
+          ++stats_.soundness_deferred;
+        } else {
+          stats_.deferred_dropped = true;
+        }
+        break;
+      default:  // Unsound
+        if (o.res.truncated) ++stats_.seq_enum_truncated;
+        ++stats_.unsound_violations;
+        break;
+    }
+  }
 }
 
 void LocalModelChecker::record_confirmed(const std::vector<std::uint32_t>& combo,
@@ -483,26 +559,14 @@ void LocalModelChecker::record_confirmed(const std::vector<std::uint32_t>& combo
 
 void LocalModelChecker::process_deferred() {
   if (deferred_.empty() || !opt_.enable_soundness) return;
-  SoundnessVerifier verifier = SoundnessVerifier::with_epochs(store_, epoch_seeds(), opt_.soundness);
-  for (const Deferred& d : deferred_) {
-    if (stop_ || now_s() > deadline_) {
-      stats_.completed = false;
-      break;
-    }
-    ++stats_.deferred_processed;
-    ++stats_.soundness_calls;
-    const double t0 = now_s();
-    SoundnessResult res = verifier.verify(d.combo, d.has_mask ? &d.fixed : nullptr);
-    stats_.soundness_s += now_s() - t0;
-    stats_.sequences_checked += res.schedules_checked;
-    if (res.sound) {
-      record_confirmed(d.combo, std::move(res));
-    } else {
-      if (res.truncated) ++stats_.seq_enum_truncated;
-      ++stats_.unsound_violations;
-    }
-  }
-  deferred_.clear();
+  // Phase 2: a parallel drain — each queued combination gets its own
+  // independent SoundnessVerifier with the full caps; outcomes are merged
+  // in queue order so the drain is deterministic across thread counts.
+  const double t0 = now_s();
+  std::vector<Deferred> jobs;
+  jobs.swap(deferred_);
+  verify_prelims(std::move(jobs), /*phase2=*/true);
+  stats_.deferred_s += now_s() - t0;
 }
 
 void LocalModelChecker::check_snapshot_combination(const std::vector<std::uint32_t>& roots) {
@@ -521,37 +585,116 @@ void LocalModelChecker::check_snapshot_combination(const std::vector<std::uint32
 }
 
 void LocalModelChecker::check_combinations(NodeId n, std::uint32_t idx) {
-  // Iterate combinations that include the NEW state (n, idx); combinations
-  // of previously seen states were checked in earlier rounds (§4.2).
-  std::vector<std::uint32_t> combo(cfg_.num_nodes, 0);
-  combo[n] = idx;
+  // Sweep the combinations that include the NEW state (n, idx); combinations
+  // of previously seen states were checked in earlier rounds (§4.2). Phase A
+  // (the sweep) shards the enumeration space and collects preliminary
+  // violations in enumeration order; phase B verifies them in parallel and
+  // merges the outcomes in that same order, so the full round is
+  // deterministic regardless of thread count.
+  std::vector<Deferred> prelims;
+  if (opt_.use_projection && invariant_->has_projection())
+    sweep_opt(n, idx, prelims);
+  else
+    sweep_gen(n, idx, prelims);
+  if (stop_) return;  // budget stop inside the sweep: its findings are dropped
+  verify_prelims(std::move(prelims), /*phase2=*/false);
+}
 
+void LocalModelChecker::sweep_gen(NodeId n, std::uint32_t idx, std::vector<Deferred>& prelims) {
+  // LMC-GEN: full incremental Cartesian product over the other nodes. The
+  // product [0, n_combos) is mixed-radix decoded (first `other` node =
+  // fastest-varying digit, preserving the historical enumeration order), so
+  // contiguous index ranges become independent shards.
   std::vector<NodeId> others;
   for (NodeId m = 0; m < cfg_.num_nodes; ++m)
     if (m != n) others.push_back(m);
 
-  const bool opt_mode = opt_.use_projection && invariant_->has_projection();
-  if (!opt_mode) {
-    // LMC-GEN: full incremental Cartesian product over the other nodes.
-    std::uint64_t made = 0;
-    std::vector<std::uint32_t> pos(others.size(), 0);
-    while (!stop_) {
-      if (made++ >= opt_.max_system_states_per_step) {
-        ++stats_.combo_truncated;
+  std::vector<std::uint64_t> radix(others.size());
+  std::uint64_t total = 1;
+  for (std::size_t k = 0; k < others.size(); ++k) {
+    radix[k] = store_.size(others[k]);
+    if (radix[k] == 0) return;  // no states yet for that node: empty product
+    if (total > std::numeric_limits<std::uint64_t>::max() / radix[k])
+      total = std::numeric_limits<std::uint64_t>::max();  // saturate
+    else
+      total *= radix[k];
+  }
+  std::uint64_t n_combos = total;
+  if (n_combos > opt_.max_system_states_per_step) {
+    n_combos = opt_.max_system_states_per_step;
+    ++stats_.combo_truncated;
+  }
+  if (n_combos == 0) return;
+
+  struct Shard {
+    std::vector<Deferred> prelims;
+    std::uint64_t system_states = 0;
+    std::uint64_t invariant_checks = 0;
+    std::uint32_t max_depth = 0;
+    bool stopped = false;  // wall-clock budget / cancel hit mid-shard
+  };
+  const std::uint64_t max_shards = static_cast<std::uint64_t>(pool_width()) * 8;
+  const std::size_t n_shards =
+      static_cast<std::size_t>(std::min<std::uint64_t>(n_combos, max_shards));
+  std::vector<Shard> shards(n_shards);
+
+  pool_run(n_shards, [&](std::size_t s) {
+    Shard& sh = shards[s];
+    const std::uint64_t base = n_combos / n_shards;
+    const std::uint64_t rem = n_combos % n_shards;
+    const std::uint64_t lo = s * base + std::min<std::uint64_t>(s, rem);
+    const std::uint64_t hi = lo + base + (s < rem ? 1 : 0);
+    std::vector<std::uint32_t> combo(cfg_.num_nodes, 0);
+    combo[n] = idx;
+    std::vector<std::uint64_t> pos(others.size(), 0);
+    std::uint64_t r = lo;
+    for (std::size_t k = 0; k < others.size(); ++k) {
+      pos[k] = r % radix[k];
+      r /= radix[k];
+    }
+    std::uint64_t probe = 0;
+    for (std::uint64_t g = lo; g < hi; ++g) {
+      // System-state creation can dwarf exploration (Fig. 13): honor the
+      // wall-clock budget from inside the shards too.
+      if ((++probe & 0xff) == 0 && hard_budget_exceeded()) {
+        sh.stopped = true;
         return;
       }
-      for (std::size_t k = 0; k < others.size(); ++k) combo[others[k]] = pos[k];
-      check_one_combination(combo);
-      std::size_t k = 0;
-      for (; k < others.size(); ++k) {
-        if (++pos[k] < store_.size(others[k])) break;
+      for (std::size_t k = 0; k < others.size(); ++k)
+        combo[others[k]] = static_cast<std::uint32_t>(pos[k]);
+      std::uint64_t depth_sum = 0;
+      for (NodeId i = 0; i < cfg_.num_nodes; ++i) depth_sum += store_.rec(i, combo[i]).depth;
+      if (depth_sum <= opt_.max_total_depth) {
+        sh.max_depth = std::max<std::uint32_t>(sh.max_depth, static_cast<std::uint32_t>(depth_sum));
+        ++sh.system_states;
+        ++sh.invariant_checks;
+        if (combo_violates(combo)) {
+          Deferred d;
+          d.combo = combo;
+          sh.prelims.push_back(std::move(d));
+        }
+      }
+      for (std::size_t k = 0; k < others.size(); ++k) {
+        if (++pos[k] < radix[k]) break;
         pos[k] = 0;
       }
-      if (k == others.size()) break;
     }
-    return;
-  }
+  });
 
+  // Reduce shard accumulators in shard (= enumeration) order.
+  for (Shard& sh : shards) {
+    stats_.system_states += sh.system_states;
+    stats_.invariant_checks += sh.invariant_checks;
+    stats_.max_total_depth_reached = std::max(stats_.max_total_depth_reached, sh.max_depth);
+    if (sh.stopped) {
+      stats_.completed = false;
+      stop_ = true;
+    }
+    for (Deferred& d : sh.prelims) prelims.push_back(std::move(d));
+  }
+}
+
+void LocalModelChecker::sweep_opt(NodeId n, std::uint32_t idx, std::vector<Deferred>& prelims) {
   // LMC-OPT: invariant-specific creation. Unmapped states (empty
   // projection — e.g. Paxos states with no chosen value) never participate
   // (§4.2). A violation witnessed by projections is decided by one
@@ -561,46 +704,73 @@ void LocalModelChecker::check_combinations(NodeId n, std::uint32_t idx) {
   const Projection& p = proj_[n][idx];
   if (p.empty()) return;
 
+  auto emit = [&](NodeId m, std::uint32_t j, bool pair) {
+    Deferred d;
+    d.combo.assign(cfg_.num_nodes, 0);
+    d.combo[n] = idx;
+    d.fixed.assign(cfg_.num_nodes, false);
+    d.fixed[n] = true;
+    d.has_mask = true;
+    std::uint64_t depth_sum = store_.rec(n, idx).depth;
+    if (pair) {
+      d.combo[m] = j;
+      d.fixed[m] = true;
+      depth_sum += store_.rec(m, j).depth;
+    }
+    if (depth_sum > opt_.max_total_depth) return;
+    stats_.max_total_depth_reached = std::max<std::uint32_t>(
+        stats_.max_total_depth_reached, static_cast<std::uint32_t>(depth_sum));
+    ++stats_.system_states;
+    ++stats_.invariant_checks;
+    prelims.push_back(std::move(d));
+  };
+
   if (invariant_->projection_self_violates(p)) {
-    std::vector<bool> fixed(cfg_.num_nodes, false);
-    fixed[n] = true;
-    check_masked_violation(combo, fixed);
+    emit(/*m=*/0, /*j=*/0, /*pair=*/false);
     return;
   }
 
-  for (NodeId m : others) {
-    if (stop_) return;
-    for (std::uint32_t j : mapped_[m]) {
-      if (stop_) return;
-      if (!invariant_->projections_conflict(p, proj_[m][j]) &&
-          !invariant_->projection_self_violates(proj_[m][j]))
-        continue;
-      combo[m] = j;
-      std::vector<bool> fixed(cfg_.num_nodes, false);
-      fixed[n] = true;
-      fixed[m] = true;
-      check_masked_violation(combo, fixed);
-    }
-    combo[m] = 0;
+  // Projection-pair scan: flatten the mapped candidate states of the other
+  // nodes and evaluate the conflict predicates in parallel shards; flagged
+  // pairs are emitted (and counted) serially in scan order.
+  struct Cand {
+    NodeId m;
+    std::uint32_t j;
+  };
+  std::vector<Cand> cands;
+  for (NodeId m = 0; m < cfg_.num_nodes; ++m) {
+    if (m == n) continue;
+    for (std::uint32_t j : mapped_[m]) cands.push_back(Cand{m, j});
   }
-}
+  if (cands.empty()) return;
 
-void LocalModelChecker::check_masked_violation(const std::vector<std::uint32_t>& combo,
-                                               const std::vector<bool>& fixed) {
-  if ((++combo_probe_ & 0xff) == 0 && hard_budget_exceeded()) {
+  std::vector<std::uint8_t> hit(cands.size(), 0);
+  const std::size_t n_shards =
+      std::min<std::size_t>(cands.size(), static_cast<std::size_t>(pool_width()) * 8);
+  std::atomic<bool> stopped{false};
+  pool_run(n_shards, [&](std::size_t s) {
+    const std::size_t base = cands.size() / n_shards;
+    const std::size_t rem = cands.size() % n_shards;
+    const std::size_t lo = s * base + std::min(s, rem);
+    const std::size_t hi = lo + base + (s < rem ? 1 : 0);
+    std::uint64_t probe = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if ((++probe & 0xff) == 0 && hard_budget_exceeded()) {
+        stopped.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const Projection& q = proj_[cands[i].m][cands[i].j];
+      hit[i] = invariant_->projections_conflict(p, q) ||
+               invariant_->projection_self_violates(q);
+    }
+  });
+  if (stopped.load(std::memory_order_relaxed)) {
     stats_.completed = false;
     stop_ = true;
     return;
   }
-  std::uint64_t depth_sum = 0;
-  for (NodeId i = 0; i < cfg_.num_nodes; ++i)
-    if (fixed[i]) depth_sum += store_.rec(i, combo[i]).depth;
-  if (depth_sum > opt_.max_total_depth) return;
-  stats_.max_total_depth_reached = std::max<std::uint32_t>(
-      stats_.max_total_depth_reached, static_cast<std::uint32_t>(depth_sum));
-  ++stats_.system_states;
-  ++stats_.invariant_checks;
-  handle_prelim_violation(combo, &fixed);
+  for (std::size_t i = 0; i < cands.size(); ++i)
+    if (hit[i]) emit(cands[i].m, cands[i].j, /*pair=*/true);
 }
 
 void LocalModelChecker::refresh_memory_stats() {
@@ -621,7 +791,15 @@ void LocalModelChecker::maybe_auto_checkpoint() {
   last_checkpoint_s_ = now;
   ++stats_.checkpoints_written;  // before encoding: the file must carry it
   finalize_stats();
-  save_checkpoint(opt_.checkpoint_path);
+  try {
+    save_checkpoint(opt_.checkpoint_path);
+  } catch (const std::exception&) {
+    // A failed write must not poison the run (or the stat it pre-counted):
+    // roll the counter back, record the failure, keep exploring. The next
+    // interval retries with a fresh image.
+    --stats_.checkpoints_written;
+    ++stats_.checkpoint_failures;
+  }
 }
 
 // Apply one round's executions. Budget stops happen at task-group
@@ -654,6 +832,15 @@ void LocalModelChecker::run_rounds() {
   stats_.completed = true;
   std::vector<Task> tasks;
   std::vector<std::vector<Exec>> results;
+
+  // A run that starts already over budget (e.g. resumed from a checkpoint
+  // whose recorded elapsed time exceeds the budget) does no work at all:
+  // pending tasks stay pending for the next resume.
+  if (budget_exceeded()) {
+    stats_.completed = false;
+    finalize_stats();
+    return;
+  }
 
   // Resume path: finish the round that was interrupted (its cursors had
   // already advanced past these tasks when the checkpoint was taken).
@@ -803,7 +990,7 @@ void LocalModelChecker::load_checkpoint_bytes(const Blob& data) {
       }
     }
   }
-  feas_cache_.clear();
+  clear_feas_cache();
   combo_probe_ = 0;
   stop_ = false;
   initialized_ = true;

@@ -21,9 +21,12 @@
 //  * LMC-OPT-system-state: enable_soundness = false (Fig. 13).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -31,6 +34,7 @@
 
 #include "mc/invariant.hpp"
 #include "mc/local_store.hpp"
+#include "mc/parallel_local_mc.hpp"
 #include "mc/soundness.hpp"
 #include "mc/stats.hpp"
 #include "net/monotonic_network.hpp"
@@ -65,9 +69,15 @@ struct LocalMcOptions {
   enum class AssertPolicy { DiscardState, IgnoreViolation };
   AssertPolicy assert_policy = AssertPolicy::DiscardState;
 
-  /// Threads for handler execution within a round (1 = sequential). Results
-  /// are merged in deterministic task order, so exploration is identical
-  /// for any thread count.
+  /// Threads for the parallel phases (1 = sequential): handler execution
+  /// within a round, the combination sweep per new node state (LMC-GEN
+  /// Cartesian shards / LMC-OPT projection-pair shards), soundness
+  /// verification of the sweep's preliminary violations, and the phase-2
+  /// deferred drain. All results are merged in deterministic enumeration
+  /// order on the calling thread, so exploration, confirmed violations and
+  /// witness schedules are identical for any thread count. Invariants must
+  /// be thread-safe for concurrent const use (pure predicates are). The
+  /// pool is lazily created, kept across rounds, and never serialized.
   unsigned num_threads = 1;
 
   /// Safety cap on combinations materialized per new node state (GEN).
@@ -176,11 +186,7 @@ class LocalModelChecker {
   void check_snapshot_combination(const std::vector<std::uint32_t>& roots);
   void check_combinations(NodeId n, std::uint32_t idx);
   void check_one_combination(std::vector<std::uint32_t>& combo);
-  void check_masked_violation(const std::vector<std::uint32_t>& combo,
-                              const std::vector<bool>& fixed);
   bool combo_violates(const std::vector<std::uint32_t>& combo) const;
-  void handle_prelim_violation(const std::vector<std::uint32_t>& combo,
-                               const std::vector<bool>* fixed = nullptr);
   std::uint32_t expand_bound() const;
   bool budget_exceeded() const;
   bool hard_budget_exceeded() const;
@@ -207,12 +213,36 @@ class LocalModelChecker {
   void record_confirmed(const std::vector<std::uint32_t>& combo, SoundnessResult res);
   void process_deferred();
 
+  /// A combination awaiting (or deferred for) soundness verification —
+  /// also the work item of the parallel verification phases.
   struct Deferred {
     std::vector<std::uint32_t> combo;
     std::vector<bool> fixed;
     bool has_mask = false;
   };
   std::vector<Deferred> deferred_;
+
+  // --- phase-2 parallel machinery (see DESIGN.md "Parallel phase 2") ------
+  // A sweep for a new node state runs in two fanned-out stages: (A) shards
+  // of the combination/pair enumeration emit preliminary violations in
+  // enumeration order with per-shard stat accumulators, (B) each preliminary
+  // violation is verified (feasibility pre-check + quick-capped joint
+  // search) independently. Outcomes are merged on the calling thread in
+  // enumeration order, so counters, the deferred queue, confirmed
+  // violations and witness schedules are identical for any thread count.
+  void sweep_gen(NodeId n, std::uint32_t idx, std::vector<Deferred>& prelims);
+  void sweep_opt(NodeId n, std::uint32_t idx, std::vector<Deferred>& prelims);
+  /// Verify `jobs` in parallel, merge outcomes in order. phase2 = the
+  /// deferred drain (full caps, no feasibility pre-check, no re-deferral).
+  void verify_prelims(std::vector<Deferred> jobs, bool phase2);
+  /// Run fn(0..n-1) on the persistent pool (created lazily; inline when
+  /// num_threads <= 1 or n == 1). Worker exceptions rethrow here.
+  void pool_run(std::size_t n, const std::function<void(std::size_t)>& fn);
+  unsigned pool_width() const { return opt_.num_threads > 1 ? opt_.num_threads : 1; }
+
+  /// Runtime-only worker pool — deliberately NOT part of CheckerImage /
+  /// checkpoints (persist/FORMAT.md): thread state is not exploration state.
+  std::unique_ptr<WorkerPool> pool_;
 
   LocalMcStats stats_;
   std::vector<LocalViolation> violations_;
@@ -237,7 +267,17 @@ class LocalModelChecker {
     bool feasible = false;
     std::uint64_t sig = 0;  ///< availability signature the verdict was computed at
   };
-  std::unordered_map<std::uint64_t, FeasEntry> feas_cache_;
+  /// Feasibility cache, striped by key so parallel verification workers can
+  /// consult and populate it concurrently. Verdicts are deterministic
+  /// functions of frozen per-sweep state, so racing recomputations of the
+  /// same key are idempotent and cache contents never affect results.
+  struct FeasStripe {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, FeasEntry> map;
+  };
+  static constexpr std::size_t kFeasStripes = 16;
+  std::array<FeasStripe, kFeasStripes> feas_cache_;
+  void clear_feas_cache();
 };
 
 }  // namespace lmc

@@ -444,6 +444,10 @@ bool SoundnessVerifier::target_feasible(NodeId n, std::uint32_t target,
 
 SoundnessResult SoundnessVerifier::verify(const std::vector<std::uint32_t>& combo,
                                           const std::vector<bool>* fixed) const {
+  // Reentrant: all search state (sub-graphs, frontiers, the schedule under
+  // construction) lives in locals; the members read here are set once at
+  // construction. Concurrent verify() calls — the parallel verification
+  // phase — therefore need no locking.
   SoundnessResult res;
   const std::uint32_t n_nodes = store_.num_nodes();
 

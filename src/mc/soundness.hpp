@@ -77,6 +77,12 @@ struct EpochSeed {
   std::vector<Hash64> in_flight;      ///< snapshot's in-flight message hashes
 };
 
+/// Thread-safety: a verifier is immutable after construction — verify(),
+/// target_feasible() and enumerate_sequences() are const, touch only the
+/// (frozen during a verification phase) LocalStore plus per-call locals, and
+/// may run concurrently on one instance or on independent instances. The
+/// parallel verification phase of LocalModelChecker builds one verifier per
+/// job (the instances are cheap: they borrow the store and copy the seeds).
 class SoundnessVerifier {
  public:
   /// One event of a candidate per-node sequence, oldest first.

@@ -46,10 +46,14 @@ struct LocalMcStats {
   std::uint64_t warm_msgs_reused = 0;     ///< snapshot in-flight msgs already in I+
   std::uint64_t warm_pairs_skipped = 0;   ///< handler executions replayed from the ExecCache
   std::uint64_t checkpoints_written = 0;  ///< auto-checkpoints saved during the run
+  std::uint64_t checkpoint_failures = 0;  ///< auto-checkpoint writes that failed (run continued)
   std::size_t stored_bytes = 0;           ///< LS + I+ footprint (Fig. 12)
   double elapsed_s = 0.0;
-  double soundness_s = 0.0;               ///< time inside soundness verification
-  double system_state_s = 0.0;            ///< time creating/checking system states
+  double soundness_s = 0.0;               ///< time inside soundness verification; with
+                                          ///< num_threads > 1 this sums per-call durations
+                                          ///< across workers (aggregate, not wall, seconds)
+  double system_state_s = 0.0;            ///< wall time creating/checking system states
+  double deferred_s = 0.0;                ///< wall time in the phase-2 deferred drain
   bool completed = false;
   std::uint32_t max_chain_depth_reached = 0;
   std::uint32_t max_total_depth_reached = 0;

@@ -179,10 +179,12 @@ Blob enc_stats(const LocalMcStats& s) {
   w.u64(s.warm_msgs_reused);
   w.u64(s.warm_pairs_skipped);
   w.u64(s.checkpoints_written);
+  w.u64(s.checkpoint_failures);
   w.u64(s.stored_bytes);
   w.u64(d2u(s.elapsed_s));
   w.u64(d2u(s.soundness_s));
   w.u64(d2u(s.system_state_s));
+  w.u64(d2u(s.deferred_s));
   w.b(s.completed);
   w.u32(s.max_chain_depth_reached);
   w.u32(s.max_total_depth_reached);
@@ -360,10 +362,12 @@ void dec_stats(Reader& r, LocalMcStats& s) {
   s.warm_msgs_reused = r.u64();
   s.warm_pairs_skipped = r.u64();
   s.checkpoints_written = r.u64();
+  s.checkpoint_failures = r.u64();
   s.stored_bytes = r.u64();
   s.elapsed_s = u2d(r.u64());
   s.soundness_s = u2d(r.u64());
   s.system_state_s = u2d(r.u64());
+  s.deferred_s = u2d(r.u64());
   s.completed = r.b();
   s.max_chain_depth_reached = r.u32();
   s.max_total_depth_reached = r.u32();

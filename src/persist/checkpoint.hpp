@@ -38,7 +38,7 @@ class CheckpointError : public std::runtime_error {
 };
 
 inline constexpr char kCheckpointMagic[8] = {'L', 'M', 'C', 'C', 'K', 'P', 'T', '\n'};
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;  // v2: +checkpoint_failures, +deferred_s
 
 /// Section ids of the container format. Ids are stable across versions;
 /// readers skip ids they do not know.
