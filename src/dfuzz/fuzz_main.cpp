@@ -1,0 +1,255 @@
+// lmc_fuzz: differential fuzzing driver.
+//
+//   lmc_fuzz [--seed S] [--runs N] [--max-nodes K] [--threads T]
+//            [--lmc-threads L] [--time-budget SEC] [--audit-every K]
+//            [--artifact-dir DIR] [--verbose]
+//   lmc_fuzz --repro FILE           re-run the oracle on a dumped spec
+//
+// Seeds S..S+N-1 each generate one random protocol and push it through the
+// DiffOracle (global baseline vs LMC, witness replay, resume round-trip,
+// OPT path). --threads fans the seeds out over a WorkerPool; results are
+// merged in seed order, and each in-oracle LMC runs with --lmc-threads
+// under PR 2's deterministic merge protocol — so the run's output is
+// byte-identical for any --threads/--lmc-threads combination.
+//
+// A disagreement is greedily shrunk while the same divergence class
+// persists, and the minimal protocol is dumped as
+//   <artifact-dir>/dfuzz_repro_seed<seed>.{bin,txt}
+// (.bin re-runs via --repro; .txt is the human-readable rule table).
+// Exit status: 0 = no disagreement, 1 = disagreement(s), 2 = usage.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dfuzz/oracle.hpp"
+#include "dfuzz/protogen.hpp"
+#include "dfuzz/shrink.hpp"
+#include "mc/parallel_local_mc.hpp"
+
+namespace {
+
+using namespace lmc;
+using namespace lmc::dfuzz;
+
+struct Args {
+  std::uint64_t seed = 1;
+  std::uint64_t runs = 100;
+  std::uint32_t max_nodes = 4;
+  unsigned threads = 1;
+  unsigned lmc_threads = 1;
+  double time_budget_s = 20.0;
+  std::uint32_t audit_every = 0;
+  std::string artifact_dir = ".";
+  std::string repro_file;
+  bool verbose = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lmc_fuzz [--seed S] [--runs N] [--max-nodes K] [--threads T]\n"
+               "                [--lmc-threads L] [--time-budget SEC] [--audit-every K]\n"
+               "                [--artifact-dir DIR] [--verbose]\n"
+               "       lmc_fuzz --repro FILE\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* v = nullptr;
+    if (arg == "--verbose") {
+      a.verbose = true;
+    } else if (arg == "--seed" && (v = next())) {
+      a.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--runs" && (v = next())) {
+      a.runs = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-nodes" && (v = next())) {
+      a.max_nodes = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--threads" && (v = next())) {
+      a.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--lmc-threads" && (v = next())) {
+      a.lmc_threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--time-budget" && (v = next())) {
+      a.time_budget_s = std::strtod(v, nullptr);
+    } else if (arg == "--audit-every" && (v = next())) {
+      a.audit_every = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--artifact-dir" && (v = next())) {
+      a.artifact_dir = v;
+    } else if (arg == "--repro" && (v = next())) {
+      a.repro_file = v;
+    } else {
+      return false;
+    }
+  }
+  return a.runs > 0 && a.max_nodes >= 2;
+}
+
+OracleOptions oracle_options(const Args& a) {
+  OracleOptions opt;
+  opt.num_threads = a.lmc_threads;
+  opt.gmc_time_budget_s = a.time_budget_s;
+  opt.lmc_time_budget_s = a.time_budget_s;
+  opt.audit_every = a.audit_every;
+  return opt;
+}
+
+Blob read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("cannot open " + path);
+  Blob data;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) data.insert(data.end(), buf, buf + n);
+  std::fclose(f);
+  return data;
+}
+
+void write_file(const std::string& path, const void* p, std::size_t n) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("cannot write " + path);
+  std::fwrite(p, 1, n, f);
+  std::fclose(f);
+}
+
+void dump_artifact(const Args& a, std::uint64_t seed, const ShrinkResult& shrunk,
+                   const ProtoSpec& original) {
+  Writer w;
+  shrunk.spec.serialize(w);
+  const std::string base = a.artifact_dir + "/dfuzz_repro_seed" + std::to_string(seed);
+  write_file(base + ".bin", w.data().data(), w.data().size());
+
+  std::string txt = "lmc_fuzz disagreement\nseed: " + std::to_string(seed) +
+                    "\nfailure: " + to_string(shrunk.report.failure) +
+                    "\ndetail: " + shrunk.report.detail + "\nshrink: removed " +
+                    std::to_string(shrunk.removed) + " piece(s) in " +
+                    std::to_string(shrunk.attempts) + " oracle run(s)\n\nminimal protocol:\n" +
+                    to_string(shrunk.spec) + "\noriginal protocol:\n" + to_string(original);
+  write_file(base + ".txt", txt.data(), txt.size());
+  std::printf("  repro dumped: %s.{bin,txt}\n", base.c_str());
+}
+
+int run_repro(const Args& a) {
+  const Blob data = read_file(a.repro_file);
+  Reader r(data);
+  ProtoSpec spec = ProtoSpec::deserialize(r);
+  r.expect_exhausted();
+  if (std::string err = validate_spec(spec); !err.empty()) {
+    std::fprintf(stderr, "invalid spec: %s\n", err.c_str());
+    return 2;
+  }
+  std::printf("%s", to_string(spec).c_str());
+  GeneratedProtocol p = instantiate(spec);
+  OracleReport rep = DiffOracle(oracle_options(a)).check(p.cfg, p.invariant.get());
+  if (!rep.conclusive) {
+    std::printf("inconclusive: %s\n", rep.detail.c_str());
+    return 1;
+  }
+  if (rep.ok) {
+    std::printf("ok: checkers agree (%" PRIu64 " global states, %" PRIu64
+                " confirmed violations)\n",
+                rep.gmc_states, rep.lmc_confirmed);
+    return 0;
+  }
+  std::printf("DISAGREEMENT [%s]: %s\n", to_string(rep.failure), rep.detail.c_str());
+  return 1;
+}
+
+struct SeedResult {
+  OracleReport report;
+  std::string error;  ///< non-empty when the oracle itself threw
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+  try {
+    if (!args.repro_file.empty()) return run_repro(args);
+
+    GenLimits lim;
+    lim.max_nodes = args.max_nodes;
+    const OracleOptions oopt = oracle_options(args);
+
+    std::vector<SeedResult> results(args.runs);
+    WorkerPool pool(args.threads);
+    pool.run(args.runs, [&](std::size_t i) {
+      const std::uint64_t seed = args.seed + i;
+      try {
+        GeneratedProtocol p = instantiate(generate_spec(seed, lim));
+        results[i].report = DiffOracle(oopt).check(p.cfg, p.invariant.get());
+      } catch (const std::exception& e) {
+        results[i].error = e.what();
+      }
+    });
+
+    // Merge in seed order: the printed stream is deterministic per --seed.
+    std::uint64_t ok = 0, inconclusive = 0, failed = 0, errored = 0, with_bugs = 0;
+    std::uint64_t gmc_states = 0, gmc_transitions = 0, lmc_transitions = 0, confirmed = 0,
+                  replayed = 0, resumes = 0, opts = 0, audited = 0;
+    std::vector<std::uint64_t> failed_seeds;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const std::uint64_t seed = args.seed + i;
+      const SeedResult& r = results[i];
+      if (!r.error.empty()) {
+        ++errored;
+        std::printf("seed %" PRIu64 ": ERROR %s\n", seed, r.error.c_str());
+        continue;
+      }
+      const OracleReport& rep = r.report;
+      gmc_states += rep.gmc_states;
+      gmc_transitions += rep.gmc_transitions;
+      lmc_transitions += rep.lmc_transitions;
+      confirmed += rep.lmc_confirmed;
+      replayed += rep.witnesses_replayed;
+      audited += rep.tuples_audited;
+      resumes += rep.resume_checked ? 1 : 0;
+      opts += rep.opt_checked ? 1 : 0;
+      if (rep.gmc_violation_tuples > 0) ++with_bugs;
+      if (!rep.conclusive) {
+        ++inconclusive;
+        if (args.verbose) std::printf("seed %" PRIu64 ": inconclusive (%s)\n", seed,
+                                      rep.detail.c_str());
+      } else if (rep.ok) {
+        ++ok;
+        if (args.verbose)
+          std::printf("seed %" PRIu64 ": ok (%" PRIu64 " global states, %" PRIu64
+                      " confirmed)\n",
+                      seed, rep.gmc_states, rep.lmc_confirmed);
+      } else {
+        ++failed;
+        failed_seeds.push_back(seed);
+        std::printf("seed %" PRIu64 ": DISAGREEMENT [%s] %s\n", seed, to_string(rep.failure),
+                    rep.detail.c_str());
+      }
+    }
+
+    // Shrink serially after the sweep: failures are rare and a stable
+    // artifact should not depend on worker scheduling.
+    for (std::uint64_t seed : failed_seeds) {
+      const ProtoSpec original = generate_spec(seed, lim);
+      const OracleFailure kind = results[seed - args.seed].report.failure;
+      std::printf("shrinking seed %" PRIu64 " [%s]...\n", seed, to_string(kind));
+      ShrinkResult shrunk = shrink_spec(original, kind, oopt);
+      dump_artifact(args, seed, shrunk, original);
+    }
+
+    std::printf("lmc_fuzz: %" PRIu64 " run(s): %" PRIu64 " ok, %" PRIu64 " inconclusive, %" PRIu64
+                " disagreement(s), %" PRIu64 " error(s)\n",
+                static_cast<std::uint64_t>(args.runs), ok, inconclusive, failed, errored);
+    std::printf("  protocols with real violations: %" PRIu64 "\n", with_bugs);
+    std::printf("  global: %" PRIu64 " states / %" PRIu64 " transitions; lmc: %" PRIu64
+                " transitions, %" PRIu64 " confirmed violations\n",
+                gmc_states, gmc_transitions, lmc_transitions, confirmed);
+    std::printf("  witnesses replayed: %" PRIu64 "; resume round-trips: %" PRIu64
+                "; OPT runs: %" PRIu64 "; tuples audited: %" PRIu64 "\n",
+                replayed, resumes, opts, audited);
+    return (failed > 0 || errored > 0) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,323 @@
+#include "dfuzz/oracle.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mc/global_mc.hpp"
+#include "mc/local_mc.hpp"
+#include "mc/replay.hpp"
+#include "persist/checkpoint.hpp"
+#include "runtime/hash.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#define LMC_GETPID _getpid
+#else
+#include <unistd.h>
+#define LMC_GETPID getpid
+#endif
+
+namespace lmc::dfuzz {
+
+const char* to_string(OracleFailure f) {
+  switch (f) {
+    case OracleFailure::None: return "none";
+    case OracleFailure::MissingNodeState: return "missing-node-state";
+    case OracleFailure::GmcViolationMissing: return "gmc-violation-missing-from-lmc";
+    case OracleFailure::UnsoundConfirmed: return "unsound-confirmed-violation";
+    case OracleFailure::InvariantHoldsOnConfirmed: return "invariant-holds-on-confirmed";
+    case OracleFailure::WitnessReplayFailed: return "witness-replay-failed";
+    case OracleFailure::ResumeMismatch: return "resume-mismatch";
+    case OracleFailure::AuditUnsound: return "audit-unsound";
+    case OracleFailure::AuditReplayFailed: return "audit-replay-failed";
+    case OracleFailure::OptViolationMissed: return "opt-violation-missed";
+    case OracleFailure::OptSpuriousViolation: return "opt-spurious-violation";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Same combined tuple hash the global checker keys sys_tuples_ by.
+Hash64 tuple_hash(const std::vector<Hash64>& tuple) {
+  Hash64 h = 0x9e3779b97f4a7c15ULL;
+  for (Hash64 nh : tuple) h = hash_combine(h, nh);
+  return h;
+}
+
+std::string tuple_str(const std::vector<Hash64>& tuple) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < tuple.size(); ++i) os << (i ? " " : "") << std::hex << tuple[i];
+  os << ")";
+  return std::move(os).str();
+}
+
+std::string scratch_checkpoint_path(const std::string& dir) {
+  static std::atomic<std::uint64_t> counter{0};
+  namespace fs = std::filesystem;
+  fs::path base = dir.empty() ? fs::temp_directory_path() : fs::path(dir);
+  const std::uint64_t id = counter.fetch_add(1);
+  return (base / ("lmc_dfuzz_" + std::to_string(LMC_GETPID()) + "_" + std::to_string(id) +
+                  ".ckpt"))
+      .string();
+}
+
+}  // namespace
+
+// Wall-clock and allocator-dependent stats are not exploration state: zero
+// them so two equivalent runs encode to identical checkpoint bytes.
+Blob normalized_checkpoint_bytes(const Blob& checkpoint) {
+  CheckerImage img = decode_checkpoint(checkpoint);
+  img.stats.elapsed_s = 0.0;
+  img.stats.soundness_s = 0.0;
+  img.stats.system_state_s = 0.0;
+  img.stats.deferred_s = 0.0;
+  img.stats.stored_bytes = 0;
+  return encode_checkpoint(img);
+}
+
+OracleReport DiffOracle::check(const SystemConfig& cfg, const Invariant* invariant) const {
+  OracleReport rep;
+  auto fail = [&](OracleFailure f, std::string detail) {
+    // Keep the FIRST divergence: later checks may be downstream noise of it.
+    if (rep.ok) {
+      rep.ok = false;
+      rep.failure = f;
+      rep.detail = std::move(detail);
+    }
+  };
+
+  // --- reference: global B-DFS over full (L, I) states ----------------------
+  GlobalMcOptions gopt;
+  gopt.collect_system_states = true;
+  // Match LMC's AssertPolicy::DiscardState: an assert-failed successor is
+  // dropped in both worlds, so the reachable-state comparison is apples to
+  // apples (the divergence on the asserting handler's SENT messages is
+  // intentional — I+ keeps them, the global network does not — and only
+  // widens LMC's exploration, which the soundness checks keep honest).
+  gopt.assert_is_violation = false;
+  gopt.check_invariants = invariant != nullptr;
+  gopt.max_transitions = opt_.gmc_max_transitions;
+  gopt.time_budget_s = opt_.gmc_time_budget_s;
+  GlobalModelChecker g(cfg, invariant, gopt);
+  g.run_from_initial();
+  rep.gmc_states = g.stats().unique_states;
+  rep.gmc_transitions = g.stats().transitions;
+  rep.gmc_system_tuples = g.system_state_tuples().size();
+  if (!g.stats().completed) {
+    rep.conclusive = false;
+    rep.detail = "global baseline hit a budget; no verdict";
+    return rep;
+  }
+
+  // --- subject: LMC on the GEN path -----------------------------------------
+  LocalMcOptions lopt;
+  lopt.stop_on_confirmed = false;  // the full violation set, not the first
+  lopt.num_threads = opt_.num_threads;
+  lopt.max_transitions = opt_.lmc_max_transitions;
+  lopt.time_budget_s = opt_.lmc_time_budget_s;
+  lopt.soundness = opt_.soundness;
+  LocalModelChecker l(cfg, invariant, lopt);
+  l.run_from_initial();
+  rep.lmc_node_states = l.stats().node_states;
+  rep.lmc_transitions = l.stats().transitions;
+  rep.lmc_confirmed = l.stats().confirmed_violations;
+  rep.lmc_unsound_rejected = l.stats().unsound_violations;
+  if (!l.stats().completed) {
+    rep.conclusive = false;
+    rep.detail = "local checker hit a budget; no verdict";
+    return rep;
+  }
+  if (l.stats().deferred_dropped) {
+    rep.conclusive = false;
+    rep.detail = "local checker overflowed the deferred queue; confirmed set may be partial";
+    return rep;
+  }
+
+  // --- completeness: global node states are all locally traversed -----------
+  for (const auto& [h, tuple] : g.system_state_tuples()) {
+    (void)h;
+    for (NodeId n = 0; n < cfg.num_nodes; ++n) {
+      if (l.store().find(n, tuple[n]) == UINT32_MAX) {
+        fail(OracleFailure::MissingNodeState,
+             "node " + std::to_string(n) + " state " + tuple_str({tuple[n]}) +
+                 " reached globally but never traversed by LMC");
+        break;
+      }
+    }
+    if (!rep.ok) break;
+  }
+
+  // --- violation-set comparison ---------------------------------------------
+  if (invariant != nullptr) {
+    // Deduplicate global violations by system tuple (many global states —
+    // differing only in the network — project to one violating tuple).
+    std::unordered_map<Hash64, std::vector<Hash64>> gmc_viol;
+    for (const GlobalViolation& v : g.violations()) {
+      std::vector<Hash64> tuple;
+      tuple.reserve(v.system_state.size());
+      for (const Blob& b : v.system_state) tuple.push_back(hash_blob(b));
+      gmc_viol.emplace(tuple_hash(tuple), std::move(tuple));
+    }
+    rep.gmc_violation_tuples = gmc_viol.size();
+
+    std::unordered_set<Hash64> lmc_confirmed;
+    for (const LocalViolation& v : l.violations())
+      if (v.confirmed) lmc_confirmed.insert(tuple_hash(v.state_hashes));
+
+    // (a) completeness of the verdicts: nothing the global search flags is
+    // missing from LMC's confirmed set.
+    for (const auto& [h, tuple] : gmc_viol) {
+      if (!lmc_confirmed.count(h))
+        fail(OracleFailure::GmcViolationMissing,
+             "globally found violation " + tuple_str(tuple) +
+                 " is not among LMC's confirmed violations");
+    }
+
+    // (b) soundness of the verdicts: every confirmed tuple is globally
+    // reachable and really violates the invariant.
+    for (const LocalViolation& v : l.violations()) {
+      if (!v.confirmed) continue;
+      const Hash64 h = tuple_hash(v.state_hashes);
+      auto it = g.system_state_tuples().find(h);
+      if (it == g.system_state_tuples().end() || it->second != v.state_hashes) {
+        fail(OracleFailure::UnsoundConfirmed,
+             "confirmed violation " + tuple_str(v.state_hashes) +
+                 " names a system state the global search never reached");
+        continue;
+      }
+      SystemStateView view;
+      view.reserve(v.system_state.size());
+      for (const Blob& b : v.system_state) view.push_back(&b);
+      if (invariant->holds(cfg, view))
+        fail(OracleFailure::InvariantHoldsOnConfirmed,
+             "confirmed violation " + tuple_str(v.state_hashes) +
+                 " does not actually violate " + invariant->name());
+    }
+  }
+
+  // --- witness replay of every confirmed violation --------------------------
+  if (opt_.check_replay) {
+    for (const LocalViolation& v : l.violations()) {
+      if (!v.confirmed) continue;
+      ReplayResult r = replay_schedule(cfg, l.initial_nodes(), l.initial_in_flight(), v.witness,
+                                       l.events(), v.state_hashes);
+      ++rep.witnesses_replayed;
+      if (!r.ok)
+        fail(OracleFailure::WitnessReplayFailed,
+             "witness for " + tuple_str(v.state_hashes) + " failed to replay: " + r.error);
+    }
+  }
+
+  // --- sampled soundness audit of reachable tuples ---------------------------
+  if (opt_.audit_every > 0) {
+    // unordered_map iteration order is not deterministic across platforms:
+    // sort by tuple hash so the sampled subset is pinned.
+    std::vector<const std::pair<const Hash64, std::vector<Hash64>>*> tuples;
+    tuples.reserve(g.system_state_tuples().size());
+    for (const auto& kv : g.system_state_tuples()) tuples.push_back(&kv);
+    std::sort(tuples.begin(), tuples.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    SoundnessVerifier verifier(l.store(), l.initial_in_flight_hashes(), opt_.soundness);
+    std::uint64_t k = 0;
+    for (const auto* kv : tuples) {
+      if (++k % opt_.audit_every != 0) continue;
+      std::vector<std::uint32_t> combo;
+      combo.reserve(cfg.num_nodes);
+      bool mapped = true;
+      for (NodeId n = 0; n < cfg.num_nodes; ++n) {
+        std::uint32_t idx = l.store().find(n, kv->second[n]);
+        if (idx == UINT32_MAX) mapped = false;  // already reported above
+        combo.push_back(idx);
+      }
+      if (!mapped) continue;
+      SoundnessResult res = verifier.verify(combo);
+      ++rep.tuples_audited;
+      if (!res.sound) {
+        fail(OracleFailure::AuditUnsound, "globally reachable tuple " + tuple_str(kv->second) +
+                                              " rejected by soundness verification");
+        continue;
+      }
+      ReplayResult r = replay_schedule(cfg, l.initial_nodes(), l.initial_in_flight(),
+                                       res.schedule, l.events(), kv->second);
+      if (!r.ok)
+        fail(OracleFailure::AuditReplayFailed,
+             "audit schedule for " + tuple_str(kv->second) + " failed to replay: " + r.error);
+    }
+  }
+
+  // --- checkpoint/resume round-trip ------------------------------------------
+  if (opt_.check_resume && l.stats().transitions >= 4) {
+    LocalMcOptions half = lopt;
+    half.max_transitions = l.stats().transitions / 2;
+    LocalModelChecker interrupted(cfg, invariant, half);
+    interrupted.run_from_initial();
+    const std::string path = scratch_checkpoint_path(opt_.scratch_dir);
+    interrupted.save_checkpoint(path);
+
+    LocalModelChecker resumed(cfg, invariant, lopt);
+    resumed.run_resumed(path);
+    std::remove(path.c_str());
+    rep.resume_checked = true;
+    if (!resumed.stats().completed) {
+      rep.conclusive = false;
+      if (rep.detail.empty()) rep.detail = "resumed run hit a budget; round-trip not judged";
+    } else if (normalized_checkpoint_bytes(resumed.checkpoint_bytes()) !=
+               normalized_checkpoint_bytes(l.checkpoint_bytes())) {
+      fail(OracleFailure::ResumeMismatch,
+           "interrupt+resume produced a different exploration than the straight run");
+    }
+  }
+
+  // --- OPT path: projection-driven system-state creation ----------------------
+  if (opt_.check_opt && invariant != nullptr && invariant->has_projection()) {
+    LocalMcOptions oopt = lopt;
+    oopt.use_projection = true;
+    LocalModelChecker o(cfg, invariant, oopt);
+    o.run_from_initial();
+    if (!o.stats().completed) {
+      rep.conclusive = false;
+      if (rep.detail.empty()) rep.detail = "OPT run hit a budget; OPT path not judged";
+    } else {
+      rep.opt_checked = true;
+      rep.opt_confirmed = o.stats().confirmed_violations;
+      // OPT verifies pair conflicts with free bystanders, so its confirmed
+      // tuples need not equal the global ones — but bug presence must agree.
+      if (rep.gmc_violation_tuples > 0 && o.stats().confirmed_violations == 0)
+        fail(OracleFailure::OptViolationMissed,
+             "global search finds a violation but LMC-OPT confirms none");
+      if (rep.gmc_violation_tuples == 0 && o.stats().confirmed_violations > 0)
+        fail(OracleFailure::OptSpuriousViolation,
+             "LMC-OPT confirms a violation on a protocol the global search proves clean");
+      for (const LocalViolation& v : o.violations()) {
+        if (!v.confirmed) continue;
+        const Hash64 h = tuple_hash(v.state_hashes);
+        auto it = g.system_state_tuples().find(h);
+        if (it == g.system_state_tuples().end() || it->second != v.state_hashes) {
+          fail(OracleFailure::UnsoundConfirmed,
+               "OPT-confirmed violation " + tuple_str(v.state_hashes) +
+                   " names a system state the global search never reached");
+          continue;
+        }
+        if (opt_.check_replay) {
+          ReplayResult r = replay_schedule(cfg, o.initial_nodes(), o.initial_in_flight(),
+                                           v.witness, o.events(), v.state_hashes);
+          ++rep.witnesses_replayed;
+          if (!r.ok)
+            fail(OracleFailure::WitnessReplayFailed,
+                 "OPT witness for " + tuple_str(v.state_hashes) + " failed to replay: " + r.error);
+        }
+      }
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace lmc::dfuzz

@@ -1,0 +1,352 @@
+#include "dfuzz/protogen.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "dfuzz/rng.hpp"
+#include "runtime/hash.hpp"
+
+namespace lmc::dfuzz {
+
+// --- spec (de)serialization ------------------------------------------------
+
+namespace {
+
+void write_action(Writer& w, const RuleAction& a) {
+  w.u32(a.goto_state);
+  w.u32(static_cast<std::uint32_t>(a.sends.size()));
+  for (const SendAction& s : a.sends) {
+    w.u32(s.dst);
+    w.u32(s.type);
+    w.u32(s.tag);
+  }
+  w.b(a.fail_assert);
+}
+
+RuleAction read_action(Reader& r) {
+  RuleAction a;
+  a.goto_state = r.u32();
+  std::uint32_t n = r.u32();
+  a.sends.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SendAction s;
+    s.dst = r.u32();
+    s.type = r.u32();
+    s.tag = r.u32();
+    a.sends.push_back(s);
+  }
+  a.fail_assert = r.b();
+  return a;
+}
+
+}  // namespace
+
+void ProtoSpec::serialize(Writer& w) const {
+  w.u64(seed);
+  w.u32(num_nodes);
+  w.u32(num_states);
+  w.u32(num_msg_types);
+  w.u32(static_cast<std::uint32_t>(internals.size()));
+  for (const InternalRule& r : internals) {
+    w.u32(r.node);
+    w.u32(r.guard_state);
+    write_action(w, r.action);
+  }
+  w.u32(static_cast<std::uint32_t>(msg_rules.size()));
+  for (const MsgRule& r : msg_rules) {
+    w.u32(r.node);
+    w.u32(r.type);
+    w.u32(r.guard_state);
+    write_action(w, r.action);
+  }
+  w.u32(invariant.state_a);
+  w.u32(invariant.state_b);
+  w.b(invariant.use_projection);
+}
+
+ProtoSpec ProtoSpec::deserialize(Reader& r) {
+  ProtoSpec s;
+  s.seed = r.u64();
+  s.num_nodes = r.u32();
+  s.num_states = r.u32();
+  s.num_msg_types = r.u32();
+  std::uint32_t ni = r.u32();
+  s.internals.reserve(ni);
+  for (std::uint32_t i = 0; i < ni; ++i) {
+    InternalRule ir;
+    ir.node = r.u32();
+    ir.guard_state = r.u32();
+    ir.action = read_action(r);
+    s.internals.push_back(std::move(ir));
+  }
+  std::uint32_t nm = r.u32();
+  s.msg_rules.reserve(nm);
+  for (std::uint32_t i = 0; i < nm; ++i) {
+    MsgRule mr;
+    mr.node = r.u32();
+    mr.type = r.u32();
+    mr.guard_state = r.u32();
+    mr.action = read_action(r);
+    s.msg_rules.push_back(std::move(mr));
+  }
+  s.invariant.state_a = r.u32();
+  s.invariant.state_b = r.u32();
+  s.invariant.use_projection = r.b();
+  return s;
+}
+
+std::string validate_spec(const ProtoSpec& spec) {
+  if (spec.num_nodes < 2) return "num_nodes < 2";
+  if (spec.num_states < 2) return "num_states < 2";
+  if (spec.num_msg_types < 1) return "num_msg_types < 1";
+  if (spec.internals.size() > 32) return "more than 32 internal rules (fired bitmask)";
+  auto check_action = [&](const RuleAction& a) -> std::string {
+    if (a.goto_state >= spec.num_states) return "goto_state out of range";
+    for (const SendAction& s : a.sends) {
+      if (s.dst >= spec.num_nodes) return "send dst out of range";
+      if (s.type >= spec.num_msg_types) return "send type out of range";
+    }
+    return "";
+  };
+  for (const InternalRule& r : spec.internals) {
+    if (r.node >= spec.num_nodes) return "internal rule node out of range";
+    if (r.guard_state >= spec.num_states) return "internal guard out of range";
+    if (std::string e = check_action(r.action); !e.empty()) return "internal rule: " + e;
+  }
+  for (const MsgRule& r : spec.msg_rules) {
+    if (r.node >= spec.num_nodes) return "msg rule node out of range";
+    if (r.type >= spec.num_msg_types) return "msg rule type out of range";
+    if (r.guard_state >= spec.num_states) return "msg guard out of range";
+    if (std::string e = check_action(r.action); !e.empty()) return "msg rule: " + e;
+    // The monotonicity that bounds message-driven progress (header comment).
+    if (r.action.goto_state <= r.guard_state) return "msg rule not monotone";
+  }
+  const InvariantSpec& iv = spec.invariant;
+  if (iv.state_a < 1 || iv.state_a >= spec.num_states) return "invariant state_a out of range";
+  if (iv.state_b < 1 || iv.state_b >= spec.num_states) return "invariant state_b out of range";
+  return "";
+}
+
+std::string to_string(const ProtoSpec& spec) {
+  std::ostringstream os;
+  os << "ProtoSpec seed=" << spec.seed << " nodes=" << spec.num_nodes
+     << " states=" << spec.num_states << " msg_types=" << spec.num_msg_types << "\n";
+  auto action = [&](const RuleAction& a) {
+    os << "-> s" << a.goto_state;
+    for (const SendAction& s : a.sends)
+      os << " send(dst=" << s.dst << ", type=" << s.type << ", tag=" << s.tag << ")";
+    if (a.fail_assert) os << " ASSERT-FAIL";
+    os << "\n";
+  };
+  for (std::size_t i = 0; i < spec.internals.size(); ++i) {
+    const InternalRule& r = spec.internals[i];
+    os << "  HA[" << i << "] node " << r.node << " @s" << r.guard_state << " (once) ";
+    action(r.action);
+  }
+  for (std::size_t i = 0; i < spec.msg_rules.size(); ++i) {
+    const MsgRule& r = spec.msg_rules[i];
+    os << "  HM[" << i << "] node " << r.node << " @s" << r.guard_state << " type " << r.type
+       << " ";
+    action(r.action);
+  }
+  os << "  invariant: !(node_i in s" << spec.invariant.state_a << " && node_j in s"
+     << spec.invariant.state_b << ", i != j)"
+     << (spec.invariant.use_projection ? " [projected]" : "") << "\n";
+  return std::move(os).str();
+}
+
+// --- generation ------------------------------------------------------------
+
+ProtoSpec generate_spec(std::uint64_t seed, const GenLimits& lim) {
+  Rng rng(seed);
+  ProtoSpec spec;
+  spec.seed = seed;
+  spec.num_nodes = rng.range(2, lim.max_nodes < 2 ? 2 : lim.max_nodes);
+  spec.num_states = rng.range(2, lim.max_states < 2 ? 2 : lim.max_states);
+  spec.num_msg_types = rng.range(1, lim.max_msg_types < 1 ? 1 : lim.max_msg_types);
+
+  std::uint32_t tag = 0;
+  auto gen_action = [&](std::uint32_t min_goto) {
+    RuleAction a;
+    a.goto_state = rng.range(min_goto, spec.num_states - 1);
+    std::uint32_t sends = rng.range(0, lim.max_sends);
+    for (std::uint32_t s = 0; s < sends; ++s) {
+      SendAction sa;
+      sa.dst = rng.range(0, spec.num_nodes - 1);
+      sa.type = rng.range(0, spec.num_msg_types - 1);
+      sa.tag = tag++;  // distinct payloads: rules never alias each other's traffic
+      a.sends.push_back(sa);
+    }
+    a.fail_assert = rng.chance(lim.assert_pct);
+    return a;
+  };
+
+  // At least one internal rule per protocol, and the first one guards on
+  // the initial state: otherwise (empty network, nothing enabled) the whole
+  // run is a trivial no-op and the seed is wasted.
+  std::uint32_t n_int = rng.range(1, lim.max_internal_rules < 1 ? 1 : lim.max_internal_rules);
+  for (std::uint32_t i = 0; i < n_int; ++i) {
+    InternalRule r;
+    r.node = rng.range(0, spec.num_nodes - 1);
+    r.guard_state = i == 0 ? 0 : rng.range(0, spec.num_states - 1);
+    // Non-decreasing goto: together with the message rules' strict
+    // progress this makes the node state monotone along any chain, so no
+    // rule ever executes twice in one run and no message content is ever
+    // regenerated — generated protocols stay inside the model's
+    // completeness envelope (the paper's duplicate-message limit of 0;
+    // DESIGN.md "Delivery history"). A backward goto is legal for the
+    // interpreter but produces protocols the local checker is documented
+    // to under-approximate, which the differential oracle would flag.
+    r.action = gen_action(r.guard_state);
+    spec.internals.push_back(std::move(r));
+  }
+
+  std::uint32_t n_msg = rng.range(0, lim.max_msg_rules);
+  for (std::uint32_t i = 0; i < n_msg; ++i) {
+    MsgRule r;
+    r.node = rng.range(0, spec.num_nodes - 1);
+    r.type = rng.range(0, spec.num_msg_types - 1);
+    r.guard_state = rng.range(0, spec.num_states - 2);
+    r.action = gen_action(r.guard_state + 1);  // strictly up: bounded progress
+    spec.msg_rules.push_back(std::move(r));
+  }
+
+  spec.invariant.state_a = rng.range(1, spec.num_states - 1);
+  spec.invariant.state_b = rng.range(1, spec.num_states - 1);
+  spec.invariant.use_projection = rng.chance(lim.projection_pct);
+  return spec;
+}
+
+// --- interpreter node ------------------------------------------------------
+
+void GenNode::apply(const RuleAction& a, Context& ctx) {
+  for (const SendAction& s : a.sends) {
+    Writer w;
+    w.u32(s.tag);
+    ctx.send(s.dst, s.type, std::move(w).take());
+  }
+  // Sends precede the assert: the messages are real traffic even when the
+  // successor state is discarded (the order Fig. 9's addNextState pins).
+  if (a.fail_assert) ctx.local_assert(false, "dfuzz: injected assert");
+  state_ = a.goto_state;
+}
+
+void GenNode::handle_message(const Message& m, Context& ctx) {
+  for (const MsgRule& r : spec_->msg_rules) {
+    if (r.node != self_ || r.type != m.type || r.guard_state != state_) continue;
+    // Fold the consumed tag into the digest BEFORE applying: a matched
+    // delivery always changes the blob, so the LMC history entry this
+    // execution creates corresponds 1:1 to a digest update. No-op drops
+    // (below) are excluded — they create no history entry either.
+    Reader pr(m.payload);
+    digest_ ^= mix64(static_cast<std::uint64_t>(pr.u32()) + 0x6d4f);
+    apply(r.action, ctx);
+    return;
+  }
+  // No matching rule: the delivery is a silent no-op. I+ offers every
+  // message to every state of its destination, so this must not assert.
+}
+
+std::vector<InternalEvent> GenNode::enabled_internal_events() const {
+  std::vector<InternalEvent> evs;
+  for (std::size_t i = 0; i < spec_->internals.size(); ++i) {
+    const InternalRule& r = spec_->internals[i];
+    if (r.node != self_ || r.guard_state != state_) continue;
+    if (fired_ & (1u << i)) continue;
+    evs.push_back(InternalEvent{static_cast<std::uint32_t>(i) + 1, {}});
+  }
+  return evs;
+}
+
+void GenNode::handle_internal(const InternalEvent& ev, Context& ctx) {
+  const std::size_t idx = ev.kind - 1;
+  if (idx >= spec_->internals.size()) {
+    ctx.local_assert(false, "dfuzz: unknown internal rule");
+    return;
+  }
+  const InternalRule& r = spec_->internals[idx];
+  if (r.node != self_ || r.guard_state != state_ || (fired_ & (1u << idx)) != 0) {
+    ctx.local_assert(false, "dfuzz: internal rule not enabled");
+    return;
+  }
+  fired_ |= 1u << idx;
+  apply(r.action, ctx);
+}
+
+void GenNode::serialize(Writer& w) const {
+  w.u32(state_);
+  w.u32(fired_);
+  w.u64(digest_);
+}
+
+void GenNode::deserialize(Reader& r) {
+  state_ = r.u32();
+  fired_ = r.u32();
+  digest_ = r.u64();
+}
+
+std::uint32_t gen_state_of(const Blob& state) {
+  Reader r(state);
+  return r.u32();
+}
+
+// --- invariant -------------------------------------------------------------
+
+std::string GenInvariant::name() const {
+  return "dfuzz.mutex_s" + std::to_string(spec_->invariant.state_a) + "_s" +
+         std::to_string(spec_->invariant.state_b);
+}
+
+bool GenInvariant::holds(const SystemConfig&, const SystemStateView& sys) const {
+  const std::uint32_t a = spec_->invariant.state_a;
+  const std::uint32_t b = spec_->invariant.state_b;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const std::uint32_t si = gen_state_of(*sys[i]);
+    if (si != a && si != b) continue;
+    for (std::size_t j = i + 1; j < sys.size(); ++j) {
+      const std::uint32_t sj = gen_state_of(*sys[j]);
+      if ((si == a && sj == b) || (sj == a && si == b)) return false;
+    }
+  }
+  return true;
+}
+
+Projection GenInvariant::project(const SystemConfig&, NodeId, const Blob& state) const {
+  // key 0: the node is in state A; key 1: in state B. Unmapped otherwise —
+  // such states can never join a violation, which is what LMC-OPT exploits.
+  const std::uint32_t s = gen_state_of(state);
+  Projection p;
+  if (s == spec_->invariant.state_a) p.emplace_back(0, 1);
+  if (s == spec_->invariant.state_b) p.emplace_back(1, 1);
+  return p;
+}
+
+bool GenInvariant::projections_conflict(const Projection& a, const Projection& b) const {
+  auto has = [](const Projection& p, std::uint64_t key) {
+    for (const auto& [k, v] : p)
+      if (k == key) return v != 0;
+    return false;
+  };
+  // Two DISTINCT nodes (the pair scan never pairs a state with itself on
+  // the same node) where one sits in A and the other in B — exactly the
+  // violation holds() reports.
+  return (has(a, 0) && has(b, 1)) || (has(b, 0) && has(a, 1));
+}
+
+// --- instantiation ---------------------------------------------------------
+
+GeneratedProtocol instantiate(const ProtoSpec& spec) {
+  if (std::string err = validate_spec(spec); !err.empty())
+    throw std::invalid_argument("dfuzz: invalid ProtoSpec: " + err);
+  GeneratedProtocol p;
+  p.spec = std::make_shared<const ProtoSpec>(spec);
+  p.cfg.num_nodes = spec.num_nodes;
+  std::shared_ptr<const ProtoSpec> shared = p.spec;
+  p.cfg.factory = [shared](NodeId self, std::uint32_t) {
+    return std::make_unique<GenNode>(self, shared);
+  };
+  p.invariant = std::make_unique<GenInvariant>(p.spec);
+  return p;
+}
+
+}  // namespace lmc::dfuzz

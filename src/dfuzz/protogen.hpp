@@ -1,0 +1,181 @@
+// ProtoGen: seeded random generation of table-driven protocols over the
+// existing HM/HA handler model, for differential checking of LMC against
+// the global baseline.
+//
+// A generated node is an interpreter over a `ProtoSpec` rule table:
+//  * internal rules (HA) are fire-once — a per-node bitmask of consumed
+//    rules is part of the serialized state, so each node contributes at
+//    most `num_states * 2^|internals|` local states;
+//  * message rules (HM) are guarded on the current state and must move to a
+//    strictly HIGHER state number, so message-driven progress is monotone;
+//  * every send's destination, type and payload tag are fixed in the table
+//    at generation time — handlers stay fully deterministic.
+// Together these bounds make the induced GLOBAL state space finite: the
+// reference checker terminates on every generated protocol, which is what
+// lets the differential oracle demand a completed baseline run.
+//
+// The generated invariant is a two-state mutual-exclusion property ("no two
+// distinct nodes simultaneously in states A and B"), with an optional
+// pairwise projection whose conflict predicate matches holds() exactly —
+// so the same generated protocol exercises both the LMC-GEN and LMC-OPT
+// system-state builders.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mc/invariant.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace lmc::dfuzz {
+
+/// One message emission baked into a rule. `tag` is an arbitrary payload
+/// discriminator so distinct rules produce distinct message content.
+struct SendAction {
+  NodeId dst = 0;
+  std::uint32_t type = 0;
+  std::uint32_t tag = 0;
+  bool operator==(const SendAction&) const = default;
+};
+
+/// Effect of a rule firing: sends, then an optional injected local-assert
+/// failure (the handler sent real traffic BEFORE the assert tripped — the
+/// interleaving class behind PR 2's I+ regression), then the state change.
+struct RuleAction {
+  std::uint32_t goto_state = 0;
+  std::vector<SendAction> sends;
+  bool fail_assert = false;
+  bool operator==(const RuleAction&) const = default;
+};
+
+/// HA rule: fires at most once per node, only while the node sits in
+/// `guard_state`. May move the state anywhere (fire-once keeps it bounded).
+struct InternalRule {
+  NodeId node = 0;
+  std::uint32_t guard_state = 0;
+  RuleAction action;
+  bool operator==(const InternalRule&) const = default;
+};
+
+/// HM rule: applies when `node` receives a message of `type` while in
+/// `guard_state`; action.goto_state must be strictly greater than the
+/// guard (monotone progress). Messages matching no rule are dropped.
+struct MsgRule {
+  NodeId node = 0;
+  std::uint32_t type = 0;
+  std::uint32_t guard_state = 0;
+  RuleAction action;
+  bool operator==(const MsgRule&) const = default;
+};
+
+/// "No two distinct nodes in states A and B at once" (A == B allowed:
+/// at-most-one-node-in-A). Both states are >= 1 so the all-zero initial
+/// system state never violates trivially.
+struct InvariantSpec {
+  std::uint32_t state_a = 1;
+  std::uint32_t state_b = 1;
+  bool use_projection = false;  ///< expose the pairwise projection (OPT path)
+  bool operator==(const InvariantSpec&) const = default;
+};
+
+struct ProtoSpec {
+  std::uint64_t seed = 0;  ///< generator seed, kept for repro artifacts
+  std::uint32_t num_nodes = 2;
+  std::uint32_t num_states = 2;
+  std::uint32_t num_msg_types = 1;
+  std::vector<InternalRule> internals;
+  std::vector<MsgRule> msg_rules;
+  InvariantSpec invariant;
+
+  bool operator==(const ProtoSpec&) const = default;
+
+  void serialize(Writer& w) const;
+  static ProtoSpec deserialize(Reader& r);
+};
+
+/// Structural validity: ids in range, message rules monotone, rule count
+/// fits the fire-once bitmask. Returns an empty string when valid.
+std::string validate_spec(const ProtoSpec& spec);
+
+/// Human-readable rendering for repro artifacts and failure messages.
+std::string to_string(const ProtoSpec& spec);
+
+/// Generation bounds. Defaults keep a single protocol's reachable global
+/// state space in the low thousands — a differential run is milliseconds.
+struct GenLimits {
+  std::uint32_t max_nodes = 4;          ///< >= 2
+  std::uint32_t max_states = 4;         ///< >= 2
+  std::uint32_t max_msg_types = 3;      ///< >= 1
+  std::uint32_t max_internal_rules = 5;
+  std::uint32_t max_msg_rules = 6;
+  std::uint32_t max_sends = 2;          ///< per rule
+  std::uint32_t assert_pct = 4;         ///< chance a rule injects a failed assert
+  std::uint32_t projection_pct = 50;    ///< chance the invariant exposes a projection
+};
+
+/// Pure function of (seed, limits): the same seed regenerates the same
+/// protocol on any platform/toolchain.
+ProtoSpec generate_spec(std::uint64_t seed, const GenLimits& lim = {});
+
+/// Interpreter node. State = (current state, fired-internal-rule bitmask,
+/// consumed-message digest). The digest — an order-insensitive XOR over the
+/// tags of the messages a rule actually consumed — makes the delivery
+/// history a function of the state blob: two traversal paths merge only
+/// when they consumed the same message SET (reorderings still merge, so
+/// LMC's predecessor merging is exercised), never with differing
+/// histories. That keeps generated protocols inside the local model's
+/// documented completeness envelope (DESIGN.md "Delivery history": the
+/// first path's history is inherited by the deduplicated state).
+class GenNode final : public StateMachine {
+ public:
+  GenNode(NodeId self, std::shared_ptr<const ProtoSpec> spec)
+      : self_(self), spec_(std::move(spec)) {}
+
+  void handle_message(const Message& m, Context& ctx) override;
+  std::vector<InternalEvent> enabled_internal_events() const override;
+  void handle_internal(const InternalEvent& ev, Context& ctx) override;
+  void serialize(Writer& w) const override;
+  void deserialize(Reader& r) override;
+
+ private:
+  void apply(const RuleAction& a, Context& ctx);
+
+  NodeId self_;
+  std::shared_ptr<const ProtoSpec> spec_;
+  std::uint32_t state_ = 0;
+  std::uint32_t fired_ = 0;   ///< bitmask over spec_->internals
+  std::uint64_t digest_ = 0;  ///< XOR of mix64(tag) per consumed message
+};
+
+/// The generated mutual-exclusion invariant (see InvariantSpec).
+class GenInvariant final : public Invariant {
+ public:
+  explicit GenInvariant(std::shared_ptr<const ProtoSpec> spec) : spec_(std::move(spec)) {}
+
+  std::string name() const override;
+  bool holds(const SystemConfig& cfg, const SystemStateView& sys) const override;
+  bool has_projection() const override { return spec_->invariant.use_projection; }
+  Projection project(const SystemConfig& cfg, NodeId n, const Blob& state) const override;
+  bool projections_conflict(const Projection& a, const Projection& b) const override;
+
+ private:
+  std::shared_ptr<const ProtoSpec> spec_;
+};
+
+/// A spec made runnable. Owns the spec; `cfg` and `invariant` stay valid as
+/// long as this object lives (the checkers hold references into it).
+struct GeneratedProtocol {
+  std::shared_ptr<const ProtoSpec> spec;
+  SystemConfig cfg;
+  std::unique_ptr<GenInvariant> invariant;
+};
+
+/// Throws std::invalid_argument when validate_spec rejects the spec.
+GeneratedProtocol instantiate(const ProtoSpec& spec);
+
+/// Decode the `state` field of a serialized GenNode.
+std::uint32_t gen_state_of(const Blob& state);
+
+}  // namespace lmc::dfuzz

@@ -1,0 +1,41 @@
+// Deterministic PRNG for the differential fuzzer.
+//
+// std::mt19937 is portable but the standard distributions are not: two
+// library implementations may map the same engine stream to different
+// bounded integers, and a fuzz corpus pinned in CI must reproduce bit-for-
+// bit on every toolchain. SplitMix64 plus hand-rolled bounded draws keeps
+// seed -> protocol a pure integer function of the seed everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace lmc::dfuzz {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform draw in [0, n). n must be > 0. The modulo bias is irrelevant
+  /// for fuzz-case shaping (n is always tiny against 2^64).
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Uniform draw in [lo, hi] inclusive.
+  std::uint32_t range(std::uint32_t lo, std::uint32_t hi) {
+    return lo + static_cast<std::uint32_t>(below(hi - lo + 1));
+  }
+
+  /// True with probability pct/100.
+  bool chance(std::uint32_t pct) { return below(100) < pct; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace lmc::dfuzz

@@ -1,0 +1,125 @@
+#include "dfuzz/shrink.hpp"
+
+#include <utility>
+
+namespace lmc::dfuzz {
+
+namespace {
+
+/// Drop every rule owned by — and every send addressed to — node `gone`.
+/// Only the highest node id is ever removed, so no renumbering is needed.
+void drop_node(ProtoSpec& s, NodeId gone) {
+  s.num_nodes = gone;
+  std::erase_if(s.internals, [gone](const InternalRule& r) { return r.node >= gone; });
+  std::erase_if(s.msg_rules, [gone](const MsgRule& r) { return r.node >= gone; });
+  auto scrub = [gone](RuleAction& a) {
+    std::erase_if(a.sends, [gone](const SendAction& sa) { return sa.dst >= gone; });
+  };
+  for (InternalRule& r : s.internals) scrub(r.action);
+  for (MsgRule& r : s.msg_rules) scrub(r.action);
+}
+
+}  // namespace
+
+ShrinkResult shrink_spec(const ProtoSpec& spec, OracleFailure failure, const OracleOptions& opt,
+                         std::uint64_t max_attempts) {
+  ShrinkResult out;
+  out.spec = spec;
+  DiffOracle oracle(opt);
+
+  auto still_fails = [&](const ProtoSpec& candidate) {
+    if (out.attempts >= max_attempts) return false;
+    if (!validate_spec(candidate).empty()) return false;
+    ++out.attempts;
+    GeneratedProtocol p = instantiate(candidate);
+    OracleReport r = oracle.check(p.cfg, p.invariant.get());
+    if (!r.conclusive || r.ok || r.failure != failure) return false;
+    out.report = std::move(r);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && out.attempts < max_attempts) {
+    progress = false;
+
+    for (std::size_t i = 0; i < out.spec.msg_rules.size();) {
+      ProtoSpec cand = out.spec;
+      cand.msg_rules.erase(cand.msg_rules.begin() + static_cast<std::ptrdiff_t>(i));
+      if (still_fails(cand)) {
+        out.spec = std::move(cand);
+        ++out.removed;
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+
+    for (std::size_t i = 0; i < out.spec.internals.size();) {
+      ProtoSpec cand = out.spec;
+      cand.internals.erase(cand.internals.begin() + static_cast<std::ptrdiff_t>(i));
+      if (still_fails(cand)) {
+        out.spec = std::move(cand);
+        ++out.removed;
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+
+    auto shrink_sends = [&](auto get_rules) {
+      for (std::size_t i = 0; i < get_rules(out.spec).size(); ++i) {
+        for (std::size_t s = 0; s < get_rules(out.spec)[i].action.sends.size();) {
+          ProtoSpec cand = out.spec;
+          auto& sends = get_rules(cand)[i].action.sends;
+          sends.erase(sends.begin() + static_cast<std::ptrdiff_t>(s));
+          if (still_fails(cand)) {
+            out.spec = std::move(cand);
+            ++out.removed;
+            progress = true;
+          } else {
+            ++s;
+          }
+        }
+      }
+    };
+    shrink_sends([](ProtoSpec& s) -> auto& { return s.internals; });
+    shrink_sends([](ProtoSpec& s) -> auto& { return s.msg_rules; });
+
+    auto clear_asserts = [&](auto get_rules) {
+      for (std::size_t i = 0; i < get_rules(out.spec).size(); ++i) {
+        if (!get_rules(out.spec)[i].action.fail_assert) continue;
+        ProtoSpec cand = out.spec;
+        get_rules(cand)[i].action.fail_assert = false;
+        if (still_fails(cand)) {
+          out.spec = std::move(cand);
+          ++out.removed;
+          progress = true;
+        }
+      }
+    };
+    clear_asserts([](ProtoSpec& s) -> auto& { return s.internals; });
+    clear_asserts([](ProtoSpec& s) -> auto& { return s.msg_rules; });
+
+    while (out.spec.num_nodes > 2) {
+      ProtoSpec cand = out.spec;
+      drop_node(cand, cand.num_nodes - 1);
+      if (still_fails(cand)) {
+        out.spec = std::move(cand);
+        ++out.removed;
+        progress = true;
+      } else {
+        break;
+      }
+    }
+  }
+
+  // Pin the report to the final spec (still_fails stored it on each accept;
+  // if nothing ever shrank, run the oracle once so the report is filled).
+  if (out.removed == 0) {
+    GeneratedProtocol p = instantiate(out.spec);
+    out.report = DiffOracle(opt).check(p.cfg, p.invariant.get());
+  }
+  return out;
+}
+
+}  // namespace lmc::dfuzz

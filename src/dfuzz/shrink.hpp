@@ -1,0 +1,31 @@
+// Greedy shrinker for oracle disagreements: keep deleting protocol pieces
+// while the SAME class of divergence persists, so a repro artifact lands as
+// the smallest protocol that still shows the bug.
+#pragma once
+
+#include <cstdint>
+
+#include "dfuzz/oracle.hpp"
+#include "dfuzz/protogen.hpp"
+
+namespace lmc::dfuzz {
+
+struct ShrinkResult {
+  ProtoSpec spec;         ///< smallest failing spec found
+  OracleReport report;    ///< the oracle report on that spec
+  std::uint64_t attempts = 0;   ///< oracle runs spent
+  std::uint32_t removed = 0;    ///< accepted reductions
+};
+
+/// Greedily minimize `spec`, preserving `failure` (the divergence class the
+/// original run produced). A candidate counts as still-failing only when
+/// its oracle verdict is CONCLUSIVE and fails with the same failure kind —
+/// an inconclusive or differently-failing reduction is rejected, so the
+/// artifact always reproduces the reported bug. Reduction passes: drop
+/// message rules, drop internal rules, drop individual sends, clear
+/// injected asserts, drop the highest node (with its rules and traffic).
+/// `max_attempts` bounds the total oracle invocations.
+ShrinkResult shrink_spec(const ProtoSpec& spec, OracleFailure failure, const OracleOptions& opt,
+                         std::uint64_t max_attempts = 400);
+
+}  // namespace lmc::dfuzz

@@ -467,17 +467,17 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
     Outcome& o = out[i];
     if (hard_budget_exceeded()) return;  // stays Skipped
     const Deferred& d = jobs[i];
-    if (!phase2) {
-      // Per-member pre-check: a combination whose members cannot
-      // individually be reached even with maximal help from the other
-      // nodes is unsound — skip the joint search entirely (cached; kills
-      // the bulk of the preliminary violations near a bug, cf. §5.4).
-      for (NodeId k = 0; k < cfg_.num_nodes; ++k) {
-        if (d.has_mask && !d.fixed[k]) continue;
-        if (!member_feasible(k, d.combo[k])) {
-          o.kind = Kind::FeasSkip;
-          return;
-        }
+    // Per-member pre-check: a combination whose members cannot
+    // individually be reached even with maximal help from the other
+    // nodes is unsound — skip the joint search entirely (cached; kills
+    // the bulk of the preliminary violations near a bug, cf. §5.4). Runs
+    // in both phases: during exploration it spares the quick search, in
+    // the final drain it is conclusive against the frozen store.
+    for (NodeId k = 0; k < cfg_.num_nodes; ++k) {
+      if (d.has_mask && !d.fixed[k]) continue;
+      if (!member_feasible(k, d.combo[k])) {
+        o.kind = Kind::FeasSkip;
+        return;
       }
     }
     SoundnessOptions so = opt_.soundness;
@@ -508,7 +508,25 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
       ++stats_.deferred_processed;
     else
       ++stats_.prelim_violations;
+    // During exploration, every non-sound verdict is PROVISIONAL: the store
+    // is still growing, and a predecessor edge recorded later (another
+    // message reaching an already-deduplicated state) can turn an unsound
+    // combination sound. A mid-run rejection is therefore only a deferral;
+    // the verdict becomes final in the phase-2 drain, when the traversal
+    // has reached its fixpoint (the paper's a-posteriori check, §4.2).
+    auto defer = [&](Deferred&& d) {
+      if (deferred_.size() < opt_.soundness.max_deferred) {
+        deferred_.push_back(std::move(d));
+        ++stats_.soundness_deferred;
+      } else {
+        stats_.deferred_dropped = true;
+      }
+    };
     if (o.kind == Kind::FeasSkip) {
+      if (!phase2) {
+        defer(std::move(jobs[i]));
+        continue;
+      }
       ++stats_.unsound_violations;
       ++stats_.feasibility_skips;
       continue;
@@ -524,14 +542,13 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
         // Undecided at the quick cap: defer the expensive refutation/search
         // to phase 2 (after exploration), so unsound floods cannot starve
         // the exploration that produces the genuinely sound combinations.
-        if (deferred_.size() < opt_.soundness.max_deferred) {
-          deferred_.push_back(std::move(jobs[i]));
-          ++stats_.soundness_deferred;
-        } else {
-          stats_.deferred_dropped = true;
-        }
+        defer(std::move(jobs[i]));
         break;
       default:  // Unsound
+        if (!phase2) {
+          defer(std::move(jobs[i]));
+          break;
+        }
         if (o.res.truncated) ++stats_.seq_enum_truncated;
         ++stats_.unsound_violations;
         break;

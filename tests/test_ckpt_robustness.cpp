@@ -1,0 +1,137 @@
+// Checkpoint corruption robustness: a truncated, bit-flipped or otherwise
+// mangled checkpoint must be REJECTED with CheckpointError — never crash,
+// never decode into a half-valid image. This is the contract `lmc_ckpt
+// validate` exposes to operators (decode + canonical re-encode must equal
+// the input), pinned here at the CheckpointReader/decode_checkpoint layer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dfuzz/protogen.hpp"
+#include "mc/local_mc.hpp"
+#include "persist/checkpoint.hpp"
+
+namespace lmc {
+namespace {
+
+// Deterministic PRNG for corruption positions (std distributions are not
+// portable across standard libraries; same scheme as the fuzz generator).
+struct SplitMix64 {
+  std::uint64_t s;
+  std::uint64_t next() {
+    std::uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// A real mid-sized checkpoint: a completed run of a generated protocol
+/// that exercises every section (violations, deferred queue, pending are
+/// empty or not depending on the run — the container must handle both).
+Blob sample_checkpoint() {
+  static Blob cached = [] {
+    dfuzz::GeneratedProtocol p = dfuzz::instantiate(dfuzz::generate_spec(3));
+    LocalMcOptions opt;
+    opt.stop_on_confirmed = false;
+    opt.time_budget_s = 60;
+    LocalModelChecker mc(p.cfg, p.invariant.get(), opt);
+    mc.run_from_initial();
+    return mc.checkpoint_bytes();
+  }();
+  return cached;
+}
+
+TEST(CkptRobustness, ValidCheckpointRoundTripsCanonically) {
+  Blob data = sample_checkpoint();
+  ASSERT_GT(data.size(), 64u);
+  // The operator-facing `lmc_ckpt validate` check: full decode, then the
+  // canonical re-encode must reproduce the file byte for byte.
+  CheckerImage img = decode_checkpoint(data);
+  EXPECT_EQ(encode_checkpoint(img), data);
+}
+
+TEST(CkptRobustness, ReaderExposesSections) {
+  Blob data = sample_checkpoint();
+  CheckpointReader r(data);
+  EXPECT_EQ(r.version(), kCheckpointVersion);
+  EXPECT_GT(r.num_nodes(), 0u);
+  ASSERT_FALSE(r.sections().empty());
+  for (const auto& sec : r.sections()) {
+    Reader payload = r.open(sec.id);  // must not throw for a listed section
+    (void)payload;
+  }
+  ASSERT_TRUE(r.has(kSecStore));
+  ASSERT_TRUE(r.has(kSecStats));
+  EXPECT_FALSE(r.has(9999));
+  EXPECT_THROW(r.open(9999), CheckpointError);
+}
+
+TEST(CkptRobustness, EmptyAndTinyBlobsRejected) {
+  EXPECT_THROW(decode_checkpoint(Blob{}), CheckpointError);
+  for (std::size_t n = 1; n <= 16; ++n) {
+    EXPECT_THROW(decode_checkpoint(Blob(n, 0x00)), CheckpointError) << "len " << n;
+    EXPECT_THROW(decode_checkpoint(Blob(n, 0xff)), CheckpointError) << "len " << n;
+  }
+}
+
+TEST(CkptRobustness, EveryTruncationRejected) {
+  Blob data = sample_checkpoint();
+  // All short lengths exhaustively, then strided through the middle, then
+  // every length near the tail (where the checksum and section table live).
+  auto check = [&](std::size_t len) {
+    Blob cut(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(decode_checkpoint(cut), CheckpointError) << "truncated to " << len;
+  };
+  std::size_t n = data.size();
+  for (std::size_t len = 0; len < std::min<std::size_t>(n, 256); ++len) check(len);
+  for (std::size_t len = 256; len + 256 < n; len += 7) check(len);
+  for (std::size_t len = n > 256 ? n - 256 : 256; len < n; ++len) check(len);
+}
+
+TEST(CkptRobustness, RandomBitFlipsRejected) {
+  Blob data = sample_checkpoint();
+  SplitMix64 rng{0xc0ffee};
+  for (int i = 0; i < 512; ++i) {
+    Blob bad = data;
+    std::size_t byte = static_cast<std::size_t>(rng.next() % bad.size());
+    bad[byte] ^= static_cast<std::uint8_t>(1u << (rng.next() % 8));
+    // The trailing whole-file checksum catches any single-bit flip before
+    // a field is interpreted; structural validation backstops the rest.
+    EXPECT_THROW(decode_checkpoint(bad), CheckpointError)
+        << "flip at byte " << byte << " survived";
+  }
+}
+
+TEST(CkptRobustness, ForeignMagicAndVersionRejected) {
+  Blob data = sample_checkpoint();
+  {
+    Blob bad = data;
+    bad[0] = 'X';
+    EXPECT_THROW(decode_checkpoint(bad), CheckpointError);
+  }
+  {
+    // Version field follows the 8-byte magic; a bumped version must be
+    // rejected even if the checksum is recomputed by an attacker/fuzzer —
+    // here the flip alone breaks the checksum, which is also fine: either
+    // failure path must surface as CheckpointError.
+    Blob bad = data;
+    bad[8] = static_cast<std::uint8_t>(kCheckpointVersion + 13);
+    EXPECT_THROW(decode_checkpoint(bad), CheckpointError);
+  }
+}
+
+TEST(CkptRobustness, LoadCheckpointBytesPropagatesErrors) {
+  Blob data = sample_checkpoint();
+  Blob bad = data;
+  bad[bad.size() / 2] ^= 0x40;
+  dfuzz::GeneratedProtocol p = dfuzz::instantiate(dfuzz::generate_spec(3));
+  LocalModelChecker mc(p.cfg, p.invariant.get(), {});
+  EXPECT_THROW(mc.load_checkpoint_bytes(bad), CheckpointError);
+  // A clean image still loads after the failed attempt.
+  mc.load_checkpoint_bytes(data);
+  EXPECT_GT(mc.stats().transitions, 0u);
+}
+
+}  // namespace
+}  // namespace lmc
