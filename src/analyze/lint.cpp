@@ -1,0 +1,824 @@
+#include "analyze/lint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analyze/tokenizer.hpp"
+
+namespace lmc::analyze {
+
+namespace {
+
+// --- rule table -------------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"ND01", "banned entropy source (rand/time/getenv/random_device/...) in a handler"},
+    {"ND02", "pointer identity (`this`) hashed, cast to integer or printed in a handler"},
+    {"ST01", "mutable `static` local variable inside a handler"},
+    {"ST02", "mutable namespace-scope variable referenced from a handler"},
+    {"IT01", "iteration over an unordered container member in a handler or serialize()"},
+    {"IO01", "direct I/O (stdio/iostream/filesystem) from a handler"},
+    {"TH01", "threading/synchronization primitive in a handler"},
+    {"SR01", "field mutated in a handler but missing from serialize()"},
+    {"SR02", "field referenced in serialize() xor deserialize()"},
+};
+
+// Entropy calls (fire when followed by '('; `std::time(...)` included).
+const std::unordered_set<std::string> kEntropyCalls = {
+    "rand",         "srand",    "random",       "drand48", "lrand48",
+    "mrand48",      "rand_r",   "time",         "clock",   "gettimeofday",
+    "clock_gettime", "getenv",  "getpid",       "gethostname",
+};
+// Entropy types/objects (fire on any use).
+const std::unordered_set<std::string> kEntropyTypes = {
+    "random_device", "system_clock", "steady_clock", "high_resolution_clock",
+};
+// I/O calls (fire when followed by '(').
+const std::unordered_set<std::string> kIoCalls = {
+    "printf", "fprintf", "puts",   "fputs",  "fputc",  "fgets",  "fopen",
+    "fclose", "fread",   "fwrite", "fscanf", "scanf",  "getchar", "system",
+    "popen",  "remove",  "rename", "fflush", "perror",
+};
+// I/O objects/types (fire on any use).
+const std::unordered_set<std::string> kIoTypes = {
+    "cout", "cerr", "clog", "cin", "ifstream", "ofstream", "fstream", "filesystem",
+};
+// Threading primitives (fire on any use).
+const std::unordered_set<std::string> kThreadTypes = {
+    "thread",        "jthread",       "async",       "mutex",
+    "recursive_mutex", "timed_mutex", "shared_mutex", "condition_variable",
+    "condition_variable_any", "atomic", "atomic_flag", "future",
+    "promise",       "packaged_task", "lock_guard",  "unique_lock",
+    "scoped_lock",   "shared_lock",   "sleep_for",   "sleep_until",
+};
+// Member calls that mutate the object they are called on.
+const std::unordered_set<std::string> kMutatingMethods = {
+    "insert", "erase",   "clear",  "push_back", "pop_back",     "emplace",
+    "emplace_back", "emplace_front", "push_front", "pop_front", "assign",
+    "resize", "reset",   "merge",  "swap",      "insert_or_assign",
+};
+const std::unordered_set<std::string> kAssignOps = {
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+};
+
+// --- structural model -------------------------------------------------------
+
+struct Method {
+  std::string name;
+  std::size_t file = 0;  ///< index into the per-file token streams
+  std::size_t body_begin = 0, body_end = 0;  ///< token range; begin==end: no body
+  std::uint32_t line = 0, col = 0;
+};
+
+struct Field {
+  std::string name;
+  std::size_t file = 0;
+  std::uint32_t line = 0, col = 0;
+  bool is_unordered = false;
+  bool is_mutable_data = true;  ///< false for static/const/constexpr members
+};
+
+struct ClassModel {
+  std::string name;
+  bool derives_state_machine = false;
+  std::vector<Field> fields;
+  std::vector<Method> methods;
+};
+
+struct GlobalVar {
+  std::string name;
+  std::size_t file = 0;
+  std::uint32_t line = 0;
+};
+
+struct FileModel {
+  std::string path;
+  TokenizedFile toks;
+  // line -> suppressed rule ids ("*" = all); file-wide under line 0.
+  std::map<std::uint32_t, std::set<std::string>> suppress;
+};
+
+struct Model {
+  std::vector<FileModel> files;
+  std::map<std::string, ClassModel> classes;  ///< merged across files by name
+  std::vector<GlobalVar> globals;             ///< mutable namespace-scope vars
+};
+
+bool is_ident(const Token& t) { return t.kind == TokKind::Identifier; }
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::Punct && t.text == s;
+}
+
+/// Token-stream parser for ONE file; appends into the shared model.
+class FileParser {
+ public:
+  FileParser(Model& model, std::size_t file_idx)
+      : model_(model), file_(file_idx), t_(model.files[file_idx].toks.tokens) {}
+
+  void parse() { parse_scope(0, t_.size(), /*in_class=*/nullptr); }
+
+ private:
+  Model& model_;
+  std::size_t file_;
+  const std::vector<Token>& t_;
+
+  /// Index just past the brace/paren/bracket group opening at `i`.
+  std::size_t match_group(std::size_t i) const {
+    const std::string& open = t_[i].text;
+    const char* close = open == "{" ? "}" : open == "(" ? ")" : "]";
+    int depth = 0;
+    for (; i < t_.size(); ++i) {
+      if (t_[i].kind != TokKind::Punct) continue;
+      if (t_[i].text == open) ++depth;
+      else if (t_[i].text == close && --depth == 0) return i + 1;
+    }
+    return t_.size();
+  }
+
+  /// Skip a constructor member-initializer list starting at the `:` token.
+  /// Grammar handled: `: name(<args>)` or `: name{<args>}`, comma-separated.
+  std::size_t skip_init_list(std::size_t i) const {
+    ++i;  // ':'
+    while (i < t_.size()) {
+      while (i < t_.size() && (is_ident(t_[i]) || is_punct(t_[i], "::"))) ++i;
+      if (i < t_.size() && (is_punct(t_[i], "(") || is_punct(t_[i], "{"))) i = match_group(i);
+      if (i < t_.size() && is_punct(t_[i], ",")) {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    return i;
+  }
+
+  /// Parse declarations in [i, end): file/namespace scope when in_class is
+  /// null, else the body of *in_class.
+  void parse_scope(std::size_t i, std::size_t end, ClassModel* in_class) {
+    while (i < end) {
+      const Token& tok = t_[i];
+      if (is_ident(tok) && tok.text == "namespace" && in_class == nullptr) {
+        std::size_t j = i + 1;
+        while (j < end && (is_ident(t_[j]) || is_punct(t_[j], "::"))) ++j;
+        if (j < end && is_punct(t_[j], "{")) {
+          parse_scope(j + 1, match_group(j) - 1, nullptr);
+          i = match_group(j);
+          continue;
+        }
+        i = j + 1;  // `using namespace x;` handled by statement scan below
+        continue;
+      }
+      if (is_ident(tok) && tok.text == "enum") {
+        // enum [class] [name] [: base] { ... } ;  — skip entirely.
+        std::size_t j = i + 1;
+        while (j < end && !is_punct(t_[j], "{") && !is_punct(t_[j], ";")) ++j;
+        i = (j < end && is_punct(t_[j], "{")) ? match_group(j) : j + 1;
+        continue;
+      }
+      if (is_ident(tok) && (tok.text == "class" || tok.text == "struct") && i + 1 < end &&
+          is_ident(t_[i + 1])) {
+        i = parse_class(i, end);
+        continue;
+      }
+      if (is_ident(tok) && (tok.text == "using" || tok.text == "typedef" ||
+                            tok.text == "friend" || tok.text == "template")) {
+        // `template` introduces the next declaration; its <...> contains no
+        // braces, so skipping to the next `;`/`{` boundary via the regular
+        // statement scan is wrong only for `template <...>` itself — skip
+        // the angle group conservatively by scanning to its matching '>'.
+        if (tok.text == "template" && i + 1 < end && is_punct(t_[i + 1], "<")) {
+          int depth = 0;
+          std::size_t j = i + 1;
+          for (; j < end; ++j) {
+            if (is_punct(t_[j], "<")) ++depth;
+            else if (is_punct(t_[j], ">") && --depth == 0) break;
+            else if (is_punct(t_[j], ">>") && (depth -= 2) <= 0) break;
+          }
+          i = j + 1;
+          continue;
+        }
+        while (i < end && !is_punct(t_[i], ";")) ++i;
+        ++i;
+        continue;
+      }
+      if (is_ident(tok) && (tok.text == "public" || tok.text == "private" ||
+                            tok.text == "protected") &&
+          i + 1 < end && is_punct(t_[i + 1], ":")) {
+        i += 2;
+        continue;
+      }
+      if (tok.kind == TokKind::Punct) {
+        if (tok.text == "{") {  // stray block (e.g. extern "C")
+          parse_scope(i + 1, match_group(i) - 1, in_class);
+          i = match_group(i);
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      i = parse_declaration(i, end, in_class);
+    }
+  }
+
+  std::size_t parse_class(std::size_t i, std::size_t end) {
+    const std::string name = t_[i + 1].text;
+    std::size_t j = i + 2;
+    std::vector<std::string> bases;
+    bool saw_colon = false;
+    while (j < end && !is_punct(t_[j], "{") && !is_punct(t_[j], ";")) {
+      if (is_punct(t_[j], ":")) saw_colon = true;
+      else if (saw_colon && is_ident(t_[j])) bases.push_back(t_[j].text);
+      ++j;
+    }
+    if (j >= end || is_punct(t_[j], ";")) return j + 1;  // forward declaration
+    ClassModel& cls = model_.classes[name];
+    cls.name = name;
+    for (const std::string& b : bases)
+      if (b == "StateMachine") cls.derives_state_machine = true;
+    parse_scope(j + 1, match_group(j) - 1, &cls);
+    std::size_t after = match_group(j);
+    if (after < end && is_punct(t_[after], ";")) ++after;
+    return after;
+  }
+
+  /// A method definition/declaration or a field/variable, starting at `i`.
+  std::size_t parse_declaration(std::size_t i, std::size_t end, ClassModel* in_class) {
+    // Scan the statement head for the first '(' that follows an identifier
+    // (function), or a terminating ';' / top-level '=' (variable).
+    std::size_t j = i;
+    std::size_t paren = 0;       // '(' position of a function-like declarator
+    std::size_t eq = 0;          // first top-level '='
+    bool is_static = false, is_const = false, is_unordered = false;
+    std::string last_ident;
+    std::size_t last_ident_pos = 0;
+    while (j < end) {
+      const Token& tk = t_[j];
+      if (is_punct(tk, ";")) break;
+      if (is_punct(tk, "{")) break;
+      if (is_punct(tk, "=") && eq == 0) {
+        eq = j;
+        break;
+      }
+      if (is_punct(tk, "(")) {
+        if (!last_ident.empty()) {
+          paren = j;
+          break;
+        }
+        j = match_group(j);  // e.g. attribute-like noise — skip
+        continue;
+      }
+      if (is_punct(tk, "<")) {  // template argument list in the type
+        int depth = 0;
+        for (; j < end; ++j) {
+          if (is_punct(t_[j], "<")) ++depth;
+          else if (is_punct(t_[j], ">") && --depth == 0) break;
+          else if (is_punct(t_[j], ">>") && (depth -= 2) <= 0) break;
+        }
+        ++j;
+        continue;
+      }
+      if (is_ident(tk)) {
+        if (tk.text == "static") is_static = true;
+        if (tk.text == "const" || tk.text == "constexpr") is_const = true;
+        if (tk.text.rfind("unordered_", 0) == 0) is_unordered = true;
+        if (tk.text == "operator") {  // operator overload: name up to '('
+          last_ident = "operator";
+          last_ident_pos = j;
+          while (j < end && !is_punct(t_[j], "(")) ++j;
+          continue;
+        }
+        last_ident = tk.text;
+        last_ident_pos = j;
+      }
+      ++j;
+    }
+
+    if (paren != 0) return finish_function(paren, end, in_class, last_ident, last_ident_pos);
+
+    // Variable / field declaration: name is the last identifier before the
+    // boundary ('=', '{', or ';').
+    std::size_t stmt_end = eq != 0 ? eq : j;
+    while (stmt_end < end && !is_punct(t_[stmt_end], ";")) {
+      if (is_punct(t_[stmt_end], "{") || is_punct(t_[stmt_end], "(")) {
+        stmt_end = match_group(stmt_end);
+        continue;
+      }
+      ++stmt_end;
+    }
+    if (!last_ident.empty()) {
+      if (in_class != nullptr) {
+        Field f;
+        f.name = last_ident;
+        f.file = file_;
+        f.line = t_[last_ident_pos].line;
+        f.col = t_[last_ident_pos].col;
+        f.is_unordered = is_unordered;
+        f.is_mutable_data = !is_static && !is_const;
+        in_class->fields.push_back(std::move(f));
+      } else if (!is_const && t_[i].text != "extern" && t_[i].text != "return") {
+        model_.globals.push_back({last_ident, file_, t_[last_ident_pos].line});
+      }
+    }
+    return stmt_end + 1;
+  }
+
+  std::size_t finish_function(std::size_t paren, std::size_t end, ClassModel* in_class,
+                              const std::string& name, std::size_t name_pos) {
+    // Out-of-class definition `Cls::name(...)`: attach to Cls instead.
+    ClassModel* owner = in_class;
+    std::string method_name = name;
+    if (owner == nullptr && name_pos >= 2 && is_punct(t_[name_pos - 1], "::") &&
+        is_ident(t_[name_pos - 2])) {
+      auto it = model_.classes.find(t_[name_pos - 2].text);
+      if (it != model_.classes.end()) owner = &it->second;
+    }
+    std::size_t j = match_group(paren);
+    // Trailer: const / noexcept(...) / override / final / -> type / = 0|default.
+    while (j < end) {
+      if (is_ident(t_[j]) &&
+          (t_[j].text == "const" || t_[j].text == "noexcept" || t_[j].text == "override" ||
+           t_[j].text == "final" || t_[j].text == "try"))
+        ++j;
+      else if (is_punct(t_[j], "->")) ++j;
+      else if (is_ident(t_[j]) || is_punct(t_[j], "::") || is_punct(t_[j], "*") ||
+               is_punct(t_[j], "&"))
+        ++j;  // trailing return type tokens
+      else if (is_punct(t_[j], "(")) j = match_group(j);  // noexcept(expr)
+      else break;
+    }
+    std::size_t body_begin = 0, body_end = 0;
+    if (j < end && is_punct(t_[j], ":")) j = skip_init_list(j);
+    if (j < end && is_punct(t_[j], "{")) {
+      body_begin = j + 1;
+      body_end = match_group(j) - 1;
+      j = match_group(j);
+    } else if (j < end && is_punct(t_[j], "=")) {  // = 0; / = default; / = delete;
+      while (j < end && !is_punct(t_[j], ";")) ++j;
+      ++j;
+    } else {
+      while (j < end && !is_punct(t_[j], ";")) ++j;
+      ++j;
+    }
+    if (owner != nullptr && !method_name.empty()) {
+      Method m;
+      m.name = method_name;
+      m.file = file_;
+      m.body_begin = body_begin;
+      m.body_end = body_end;
+      m.line = t_[name_pos].line;
+      m.col = t_[name_pos].col;
+      owner->methods.push_back(std::move(m));
+    }
+    return j;
+  }
+};
+
+// --- suppression directives -------------------------------------------------
+
+void collect_suppressions(FileModel& f) {
+  for (const Comment& c : f.toks.comments) {
+    for (const char* marker : {"lmc-lint-disable-file(", "lmc-lint-disable("}) {
+      std::size_t pos = c.text.find(marker);
+      if (pos == std::string::npos) continue;
+      const bool file_wide = std::string(marker).find("file") != std::string::npos;
+      pos += std::string(marker).size();
+      std::size_t close = c.text.find(')', pos);
+      if (close == std::string::npos) continue;
+      std::string ids = c.text.substr(pos, close - pos);
+      std::set<std::string>& dst = f.suppress[file_wide ? 0 : c.line];
+      std::string cur;
+      for (char ch : ids + ",") {
+        if (ch == ',' ) {
+          if (!cur.empty()) dst.insert(cur);
+          cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(ch))) {
+          cur += ch;
+        }
+      }
+      break;  // the -file marker contains the plain marker; do not double-add
+    }
+  }
+}
+
+// --- rule engine ------------------------------------------------------------
+
+class RuleEngine {
+ public:
+  explicit RuleEngine(const Model& m) : m_(m) {}
+
+  LintResult run() {
+    res_.files_scanned = static_cast<std::uint32_t>(m_.files.size());
+    for (const auto& [name, cls] : m_.classes) {
+      if (!is_machine(cls)) continue;
+      ++res_.machine_classes;
+      check_class(cls);
+    }
+    std::sort(res_.diagnostics.begin(), res_.diagnostics.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                return std::tie(a.file, a.line, a.col, a.rule) <
+                       std::tie(b.file, b.line, b.col, b.rule);
+              });
+    return std::move(res_);
+  }
+
+ private:
+  const Model& m_;
+  LintResult res_;
+
+  static bool is_machine(const ClassModel& c) {
+    if (c.derives_state_machine) return true;
+    bool has_handler = false, has_ser = false;
+    for (const Method& me : c.methods) {
+      if (me.name == "handle_message") has_handler = true;
+      if (me.name == "serialize") has_ser = true;
+    }
+    return has_handler && has_ser;
+  }
+
+  void report(const std::string& rule, std::size_t file, std::uint32_t line, std::uint32_t col,
+              std::string message) {
+    const FileModel& f = m_.files[file];
+    for (std::uint32_t l : {std::uint32_t{0}, line, line > 0 ? line - 1 : 0}) {
+      auto it = f.suppress.find(l);
+      if (it != f.suppress.end() && (it->second.count(rule) || it->second.count("*"))) {
+        ++res_.suppressed;
+        return;
+      }
+    }
+    res_.diagnostics.push_back({rule, f.path, line, col, std::move(message)});
+  }
+
+  /// Methods transitively reachable from `roots` through same-class calls.
+  std::vector<const Method*> reachable(const ClassModel& cls,
+                                       const std::set<std::string>& roots) const {
+    std::set<std::string> seen = roots;
+    std::vector<std::string> work(roots.begin(), roots.end());
+    std::unordered_map<std::string, bool> is_method;
+    for (const Method& me : cls.methods) is_method[me.name] = true;
+    while (!work.empty()) {
+      const std::string cur = work.back();
+      work.pop_back();
+      for (const Method& me : cls.methods) {
+        if (me.name != cur || me.body_begin == me.body_end) continue;
+        const std::vector<Token>& t = m_.files[me.file].toks.tokens;
+        for (std::size_t i = me.body_begin; i + 1 < me.body_end; ++i) {
+          if (!is_ident(t[i]) || !is_punct(t[i + 1], "(")) continue;
+          // A plain call `foo(...)` — member access `x.foo(...)` leaves the
+          // class, so only unqualified names count.
+          if (i > me.body_begin &&
+              (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->") || is_punct(t[i - 1], "::")))
+            continue;
+          if (is_method.count(t[i].text) && !seen.count(t[i].text)) {
+            seen.insert(t[i].text);
+            work.push_back(t[i].text);
+          }
+        }
+      }
+    }
+    std::vector<const Method*> out;
+    for (const Method& me : cls.methods)
+      if (seen.count(me.name) && me.body_begin != me.body_end) out.push_back(&me);
+    return out;
+  }
+
+  void check_class(const ClassModel& cls) {
+    const std::set<std::string> handler_roots = {"handle_message", "handle_internal",
+                                                 "enabled_internal_events"};
+    std::vector<const Method*> handlers = reachable(cls, handler_roots);
+    std::vector<const Method*> ser = reachable(cls, {"serialize"});
+    std::vector<const Method*> deser = reachable(cls, {"deserialize"});
+
+    std::unordered_map<std::string, const Field*> fields;
+    std::unordered_set<std::string> unordered_fields;
+    for (const Field& f : cls.fields) {
+      fields.emplace(f.name, &f);
+      if (f.is_unordered) unordered_fields.insert(f.name);
+    }
+
+    std::unordered_set<std::string> global_names;
+    for (const GlobalVar& g : m_.globals) global_names.insert(g.name);
+
+    // Fields mutated anywhere in handler scope: name -> first mutation site.
+    std::map<std::string, std::pair<const Method*, std::size_t>> mutated;
+
+    for (const Method* me : handlers) {
+      check_handler_body(cls, *me, unordered_fields, global_names, fields, mutated);
+    }
+    // IT01 also applies to serialization itself: iterating an unordered
+    // member there makes the byte image — the state identity — order-
+    // dependent.
+    for (const Method* me : ser) check_unordered_iteration(cls, *me, unordered_fields, true);
+
+    check_serialization(cls, ser, deser, fields, mutated);
+  }
+
+  void check_handler_body(const ClassModel& cls, const Method& me,
+                          const std::unordered_set<std::string>& unordered_fields,
+                          const std::unordered_set<std::string>& globals,
+                          const std::unordered_map<std::string, const Field*>& fields,
+                          std::map<std::string, std::pair<const Method*, std::size_t>>& mutated) {
+    const std::vector<Token>& t = m_.files[me.file].toks.tokens;
+    auto prev_is_member_access = [&](std::size_t i) {
+      return i > me.body_begin && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
+    };
+    for (std::size_t i = me.body_begin; i < me.body_end; ++i) {
+      const Token& tk = t[i];
+      if (tk.kind == TokKind::String) {
+        if (tk.text.find("%p") != std::string::npos)
+          report("ND02", me.file, tk.line, tk.col,
+                 "handler '" + cls.name + "::" + me.name +
+                     "' formats a pointer (%p): addresses differ across runs and break "
+                     "state-hash identity");
+        continue;
+      }
+      if (!is_ident(tk)) continue;
+      const bool call = i + 1 < me.body_end && is_punct(t[i + 1], "(");
+
+      // ND01 — banned entropy sources.
+      if (call && kEntropyCalls.count(tk.text) && !prev_is_member_access(i)) {
+        report("ND01", me.file, tk.line, tk.col,
+               "handler '" + cls.name + "::" + me.name + "' calls '" + tk.text +
+                   "()': handlers must be deterministic functions of (state, event); carry "
+                   "randomness as a serialized seed field instead");
+      } else if (kEntropyTypes.count(tk.text)) {
+        report("ND01", me.file, tk.line, tk.col,
+               "handler '" + cls.name + "::" + me.name + "' uses 'std::" + tk.text +
+                   "': a fresh entropy/time source breaks re-execution identity; carry a "
+                   "serialized seed field instead");
+      }
+
+      // ND02 — pointer identity.
+      if (tk.text == "this") {
+        bool cast = false;
+        for (std::size_t k = i > me.body_begin + 6 ? i - 6 : me.body_begin; k < i; ++k)
+          if (is_ident(t[k]) && (t[k].text == "reinterpret_cast" || t[k].text == "uintptr_t" ||
+                                 t[k].text == "intptr_t"))
+            cast = true;
+        if (cast || (i > me.body_begin && is_punct(t[i - 1], "<<")))
+          report("ND02", me.file, tk.line, tk.col,
+                 "handler '" + cls.name + "::" + me.name +
+                     "' takes the numeric identity of 'this': object addresses are not stable "
+                     "across executions");
+      }
+
+      // ST01 — mutable static local.
+      if (tk.text == "static") {
+        const bool immutable = i + 1 < me.body_end && is_ident(t[i + 1]) &&
+                               (t[i + 1].text == "const" || t[i + 1].text == "constexpr");
+        if (!immutable)
+          report("ST01", me.file, tk.line, tk.col,
+                 "handler '" + cls.name + "::" + me.name +
+                     "' declares a mutable static local: state hidden from serialization "
+                     "survives across executions and breaks determinism");
+      }
+
+      // ST02 — mutable namespace-scope variable.
+      if (globals.count(tk.text) && !prev_is_member_access(i) &&
+          !(i > me.body_begin && is_punct(t[i - 1], "::"))) {
+        report("ST02", me.file, tk.line, tk.col,
+               "handler '" + cls.name + "::" + me.name + "' touches mutable global '" + tk.text +
+                   "': global state is invisible to serialization and shared across nodes");
+      }
+
+      // IO01 — direct I/O.
+      if (call && kIoCalls.count(tk.text) && !prev_is_member_access(i)) {
+        report("IO01", me.file, tk.line, tk.col,
+               "handler '" + cls.name + "::" + me.name + "' performs direct I/O ('" + tk.text +
+                   "'): handlers must be pure state transitions; I/O belongs in the live runner");
+      } else if (kIoTypes.count(tk.text)) {
+        report("IO01", me.file, tk.line, tk.col,
+               "handler '" + cls.name + "::" + me.name + "' performs direct I/O ('" + tk.text +
+                   "'): handlers must be pure state transitions; I/O belongs in the live runner");
+      }
+
+      // TH01 — threading.
+      if (kThreadTypes.count(tk.text) || tk.text.rfind("pthread_", 0) == 0) {
+        report("TH01", me.file, tk.line, tk.col,
+               "handler '" + cls.name + "::" + me.name + "' uses threading primitive '" +
+                   tk.text + "': handlers must be atomic; the checkers provide all concurrency");
+      }
+
+      // Field mutation tracking (for SR01).
+      auto fit = fields.find(tk.text);
+      if (fit != fields.end() && fit->second->is_mutable_data && !prev_is_member_access(i) &&
+          !mutated.count(tk.text)) {
+        bool mut = false;
+        if (i + 1 < me.body_end) {
+          const Token& nx = t[i + 1];
+          if (nx.kind == TokKind::Punct) {
+            if (kAssignOps.count(nx.text) || nx.text == "++" || nx.text == "--" ||
+                nx.text == "[")
+              mut = true;
+            if ((nx.text == "." || nx.text == "->") && i + 3 < me.body_end &&
+                is_ident(t[i + 2]) && kMutatingMethods.count(t[i + 2].text) &&
+                is_punct(t[i + 3], "("))
+              mut = true;
+          }
+        }
+        if (i > me.body_begin && (is_punct(t[i - 1], "++") || is_punct(t[i - 1], "--")))
+          mut = true;
+        if (mut) mutated.emplace(tk.text, std::make_pair(&me, i));
+      }
+    }
+    check_unordered_iteration(cls, me, unordered_fields, false);
+  }
+
+  void check_unordered_iteration(const ClassModel& cls, const Method& me,
+                                 const std::unordered_set<std::string>& unordered_fields,
+                                 bool in_serialize) {
+    if (unordered_fields.empty()) return;
+    const std::vector<Token>& t = m_.files[me.file].toks.tokens;
+    auto fire = [&](const Token& at, const std::string& field) {
+      report("IT01", me.file, at.line, at.col,
+             in_serialize
+                 ? "'" + cls.name + "::" + me.name + "' iterates unordered member '" + field +
+                       "': serialization order depends on hash-table layout, so equal logical "
+                       "states get different byte images; use an ordered container or sort"
+                 : "handler '" + cls.name + "::" + me.name + "' iterates unordered member '" +
+                       field +
+                       "': emission/write order depends on hash-table layout and breaks "
+                       "deterministic re-execution; use an ordered container or sort first");
+    };
+    for (std::size_t i = me.body_begin; i < me.body_end; ++i) {
+      // field.begin( / field.cbegin(
+      if (is_ident(t[i]) && unordered_fields.count(t[i].text) && i + 2 < me.body_end &&
+          is_punct(t[i + 1], ".") && is_ident(t[i + 2]) &&
+          (t[i + 2].text == "begin" || t[i + 2].text == "cbegin")) {
+        fire(t[i], t[i].text);
+        continue;
+      }
+      // for (... : field) — range-for over the member.
+      if (is_ident(t[i]) && t[i].text == "for" && i + 1 < me.body_end &&
+          is_punct(t[i + 1], "(")) {
+        int depth = 0;
+        bool after_colon = false;
+        for (std::size_t j = i + 1; j < me.body_end; ++j) {
+          if (is_punct(t[j], "(")) ++depth;
+          else if (is_punct(t[j], ")")) {
+            if (--depth == 0) break;
+          } else if (depth == 1 && is_punct(t[j], ":")) {
+            after_colon = true;
+          } else if (after_colon && is_ident(t[j]) && unordered_fields.count(t[j].text)) {
+            fire(t[i], t[j].text);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  void check_serialization(
+      const ClassModel& cls, const std::vector<const Method*>& ser,
+      const std::vector<const Method*>& deser,
+      const std::unordered_map<std::string, const Field*>& fields,
+      const std::map<std::string, std::pair<const Method*, std::size_t>>& mutated) {
+    if (ser.empty()) return;  // interface-only class (e.g. StateMachine itself)
+    auto referenced = [&](const std::vector<const Method*>& methods) {
+      std::set<std::string> out;
+      for (const Method* me : methods) {
+        const std::vector<Token>& t = m_.files[me->file].toks.tokens;
+        for (std::size_t i = me->body_begin; i < me->body_end; ++i)
+          if (is_ident(t[i]) && fields.count(t[i].text)) out.insert(t[i].text);
+      }
+      return out;
+    };
+    const std::set<std::string> in_ser = referenced(ser);
+    const std::set<std::string> in_deser = referenced(deser);
+
+    // SR01 — every field a handler mutates must be serialized, or the state
+    // hash no longer identifies the state.
+    for (const auto& [name, site] : mutated) {
+      if (in_ser.count(name)) continue;
+      const Method* me = site.first;
+      const Token& at = m_.files[me->file].toks.tokens[site.second];
+      report("SR01", me->file, at.line, at.col,
+             "field '" + name + "' is mutated in handler '" + cls.name + "::" + me->name +
+                 "' but never written by '" + cls.name +
+                 "::serialize': two different logical states would share one byte image "
+                 "(add it to serialize()/deserialize(), or suppress if it is derived state)");
+    }
+
+    // SR02 — serialize()/deserialize() must cover the same fields.
+    if (deser.empty()) return;
+    for (const std::string& name : in_ser) {
+      if (in_deser.count(name)) continue;
+      const Field* f = fields.at(name);
+      report("SR02", f->file, f->line, f->col,
+             "field '" + name + "' is written by '" + cls.name +
+                 "::serialize' but never restored by '" + cls.name +
+                 "::deserialize': a serialize/deserialize round-trip would not be the identity");
+    }
+    for (const std::string& name : in_deser) {
+      if (in_ser.count(name)) continue;
+      const Field* f = fields.at(name);
+      report("SR02", f->file, f->line, f->col,
+             "field '" + name + "' is restored by '" + cls.name +
+                 "::deserialize' but never written by '" + cls.name +
+                 "::serialize': a serialize/deserialize round-trip would not be the identity");
+    }
+  }
+};
+
+}  // namespace
+
+// --- public API -------------------------------------------------------------
+
+const std::vector<RuleInfo>& all_rules() { return kRules; }
+
+void Linter::add_source(std::string path, std::string content) {
+  sources_.push_back({std::move(path), std::move(content)});
+}
+
+bool Linter::add_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string content;
+  char buf[8192];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  add_source(path, std::move(content));
+  return true;
+}
+
+LintResult Linter::run() const {
+  Model model;
+  model.files.reserve(sources_.size());
+  // Headers first: out-of-class method definitions in a .cpp can only attach
+  // to a class whose declaration has already been parsed.
+  std::vector<const Source*> ordered;
+  for (const Source& s : sources_)
+    if (s.path.size() > 2 && s.path.rfind(".h") != std::string::npos) ordered.push_back(&s);
+  for (const Source& s : sources_) {
+    bool is_header = false;
+    for (const Source* h : ordered)
+      if (h == &s) is_header = true;
+    if (!is_header) ordered.push_back(&s);
+  }
+  for (const Source* s : ordered) {
+    FileModel fm;
+    fm.path = s->path;
+    fm.toks = tokenize(s->content);
+    collect_suppressions(fm);
+    model.files.push_back(std::move(fm));
+  }
+  for (std::size_t i = 0; i < model.files.size(); ++i) FileParser(model, i).parse();
+  return RuleEngine(model).run();
+}
+
+std::string to_gcc(const LintResult& r) {
+  std::ostringstream os;
+  for (const Diagnostic& d : r.diagnostics)
+    os << d.file << ":" << d.line << ":" << d.col << ": warning: " << d.message << " [" << d.rule
+       << "]\n";
+  return std::move(os).str();
+}
+
+namespace {
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+}  // namespace
+
+std::string to_json(const LintResult& r) {
+  std::ostringstream os;
+  os << "{\"files_scanned\":" << r.files_scanned
+     << ",\"machine_classes\":" << r.machine_classes << ",\"suppressed\":" << r.suppressed
+     << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < r.diagnostics.size(); ++i) {
+    const Diagnostic& d = r.diagnostics[i];
+    if (i) os << ",";
+    os << "{\"rule\":";
+    json_escape(os, d.rule);
+    os << ",\"file\":";
+    json_escape(os, d.file);
+    os << ",\"line\":" << d.line << ",\"col\":" << d.col << ",\"message\":";
+    json_escape(os, d.message);
+    os << "}";
+  }
+  os << "]}";
+  return std::move(os).str();
+}
+
+}  // namespace lmc::analyze

@@ -1,0 +1,94 @@
+// lmc_lint: model-validity static analysis for hand-written protocols.
+//
+// LMC is sound/complete only if every handler is a deterministic, atomic
+// function of (serialized state, event). The paper inherits that guarantee
+// from the Mace compiler; this reproduction's hand-rolled StateMachine
+// interface does not enforce it (DESIGN.md §3), so a handler that reads
+// rand(), keeps hidden non-serialized fields, or emits messages in
+// unordered_map iteration order silently breaks state-hash identity, dedup
+// and soundness verification. This linter discharges those obligations
+// statically, per component (token-level heuristics, documented in
+// DESIGN.md §9); the dynamic ModelValidityAuditor (runtime/audit.hpp)
+// catches at runtime what tokens cannot prove.
+//
+// Scope: classes that derive from StateMachine or declare both a
+// `handle_message` and a `serialize` method ("machine classes"). Handler
+// scope is handle_message / handle_internal / enabled_internal_events plus
+// every same-class method transitively called from them. The SR rules need
+// the class's field declarations, so lint the header together with the
+// .cpp (directory scans do this automatically).
+//
+// Rules (stable IDs; each has a firing fixture in tests/fixtures/lint/):
+//   ND01 banned-entropy-call        rand()/time()/getenv()/random_device/...
+//   ND02 pointer-identity           hashing or printing `this`
+//   ST01 static-local-state         mutable `static` local in a handler
+//   ST02 mutable-global-state       handler touches a mutable global
+//   IT01 unordered-iteration        iterating an unordered_{map,set} member
+//                                   in a handler or in serialize()
+//   IO01 direct-io                  stdio/iostream/filesystem from a handler
+//   TH01 threading-primitive        std::thread/mutex/atomic/... in a handler
+//   SR01 unserialized-mutated-field field mutated in a handler but absent
+//                                   from serialize()
+//   SR02 serialize-asymmetry        field in serialize() xor deserialize()
+//
+// Suppression: a comment `// lmc-lint-disable(ID)` (or `(ID1,ID2)`, or
+// `(*)`) on the diagnosed line or the line above; `lmc-lint-disable-file(ID)`
+// anywhere in the file suppresses for the whole file. Suppressions are
+// counted, never silent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lmc::analyze {
+
+struct Diagnostic {
+  std::string rule;  ///< stable rule ID, e.g. "ND01"
+  std::string file;
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The full rule table (for --list-rules and the DESIGN.md §9 table).
+const std::vector<RuleInfo>& all_rules();
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  ///< sorted by (file, line, col, rule)
+  std::uint32_t files_scanned = 0;
+  std::uint32_t machine_classes = 0;  ///< classes the handler rules applied to
+  std::uint32_t suppressed = 0;       ///< diagnostics silenced by directives
+};
+
+class Linter {
+ public:
+  /// Add a source buffer under a display path (tests use virtual paths).
+  void add_source(std::string path, std::string content);
+  /// Read `path` from disk; returns false (and records nothing) on failure.
+  bool add_file(const std::string& path);
+
+  /// Analyze everything added so far. All files form one model: class
+  /// declarations and out-of-class method definitions are merged by class
+  /// name across files.
+  LintResult run() const;
+
+ private:
+  struct Source {
+    std::string path;
+    std::string content;
+  };
+  std::vector<Source> sources_;
+};
+
+/// gcc-style rendering: "file:line:col: warning: message [ID]\n" per entry.
+std::string to_gcc(const LintResult& r);
+/// Machine-readable rendering (one JSON object; diagnostics as an array).
+std::string to_json(const LintResult& r);
+
+}  // namespace lmc::analyze

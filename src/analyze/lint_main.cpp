@@ -1,0 +1,91 @@
+// lmc_lint CLI: model-validity lint over protocol sources.
+//
+//   lmc_lint [--json] [--list-rules] <file-or-dir>...
+//
+// Directories are scanned recursively for .cpp/.cc/.hpp/.h. Exit status:
+// 0 = clean, 1 = violations found, 2 = usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analyze/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lmc_lint [--json] [--list-rules] <file-or-dir>...\n"
+               "  --json        emit one JSON object instead of gcc-style lines\n"
+               "  --list-rules  print the rule table and exit\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : lmc::analyze::all_rules())
+        std::printf("%s  %s\n", r.id, r.summary);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "lmc_lint: unknown option '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  lmc::analyze::Linter linter;
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it)
+        if (it->is_regular_file() && is_source_file(it->path()))
+          files.push_back(it->path().string());
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "lmc_lint: cannot read '%s'\n", p.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& f : files) {
+    if (!linter.add_file(f)) {
+      std::fprintf(stderr, "lmc_lint: cannot read '%s'\n", f.c_str());
+      return 2;
+    }
+  }
+
+  const lmc::analyze::LintResult res = linter.run();
+  if (json) {
+    std::fputs(lmc::analyze::to_json(res).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::fputs(lmc::analyze::to_gcc(res).c_str(), stdout);
+    std::fprintf(stderr, "lmc_lint: %u file(s), %u machine class(es), %zu violation(s), %u suppressed\n",
+                 res.files_scanned, res.machine_classes, res.diagnostics.size(), res.suppressed);
+  }
+  return res.diagnostics.empty() ? 0 : 1;
+}

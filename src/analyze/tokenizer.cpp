@@ -1,0 +1,141 @@
+#include "analyze/tokenizer.hpp"
+
+#include <cctype>
+
+namespace lmc::analyze {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_cont(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Multi-character operators, longest first within each leading char.
+constexpr const char* kMultiPunct[] = {
+    "<<=", ">>=", "<=>", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&",  "||",  "+=",  "-=",  "*=",  "/=",  "%=", "&=", "|=", "^=", "++", "--", ".*",
+};
+
+}  // namespace
+
+TokenizedFile tokenize(std::string_view src) {
+  TokenizedFile out;
+  std::uint32_t line = 1, col = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto advance = [&](std::size_t k) {
+    for (std::size_t j = 0; j < k && i < n; ++j, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f') {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::uint32_t start_line = line;
+      advance(2);
+      std::size_t begin = i;
+      while (i < n && src[i] != '\n') advance(1);
+      out.comments.push_back({std::string(src.substr(begin, i - begin)), start_line});
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::uint32_t start_line = line;
+      advance(2);
+      std::size_t begin = i;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) advance(1);
+      out.comments.push_back({std::string(src.substr(begin, (i < n ? i : n) - begin)), start_line});
+      advance(2);  // consume "*/" (no-op at EOF)
+      continue;
+    }
+    // Preprocessor directive: skip the whole (possibly continued) line.
+    if (c == '#' && (out.tokens.empty() || col == 1 ||
+                     out.tokens.back().line != line)) {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') advance(1);
+        advance(1);
+      }
+      continue;
+    }
+    // Raw string literal R"delim(...)delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      const std::uint32_t tl = line, tc = col;
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(' && src[d] != '"' && src[d] != '\n') ++d;
+      if (d < n && src[d] == '(') {
+        const std::string delim = ")" + std::string(src.substr(i + 2, d - (i + 2))) + "\"";
+        std::size_t end = src.find(delim, d + 1);
+        const std::size_t stop = end == std::string_view::npos ? n : end + delim.size();
+        std::string text(src.substr(i, stop - i));
+        advance(stop - i);
+        out.tokens.push_back({TokKind::String, std::move(text), tl, tc});
+        continue;
+      }
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const std::uint32_t tl = line, tc = col;
+      const char quote = c;
+      std::size_t begin = i;
+      advance(1);
+      while (i < n && src[i] != quote && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n) advance(1);
+        advance(1);
+      }
+      advance(1);  // closing quote (no-op at EOF/newline)
+      out.tokens.push_back({quote == '"' ? TokKind::String : TokKind::Char,
+                            std::string(src.substr(begin, i - begin)), tl, tc});
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      const std::uint32_t tl = line, tc = col;
+      std::size_t begin = i;
+      while (i < n && ident_cont(src[i])) advance(1);
+      out.tokens.push_back({TokKind::Identifier, std::string(src.substr(begin, i - begin)), tl, tc});
+      continue;
+    }
+    // Number (good enough: digits, dots, exponents, hex, digit separators).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const std::uint32_t tl = line, tc = col;
+      std::size_t begin = i;
+      while (i < n && (ident_cont(src[i]) || src[i] == '.' || src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > begin &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+                         src[i - 1] == 'P'))))
+        advance(1);
+      out.tokens.push_back({TokKind::Number, std::string(src.substr(begin, i - begin)), tl, tc});
+      continue;
+    }
+    // Punctuation: longest multi-char match first.
+    {
+      const std::uint32_t tl = line, tc = col;
+      std::string text(1, c);
+      for (const char* op : kMultiPunct) {
+        const std::size_t len = std::char_traits<char>::length(op);
+        if (src.substr(i, len) == op) {
+          text = op;
+          break;
+        }
+      }
+      advance(text.size());
+      out.tokens.push_back({TokKind::Punct, std::move(text), tl, tc});
+    }
+  }
+  return out;
+}
+
+}  // namespace lmc::analyze

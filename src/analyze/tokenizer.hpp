@@ -1,0 +1,49 @@
+// Comment/string-stripping C++ tokenizer for the model-validity linter.
+//
+// This is NOT a compiler front end: it produces a flat token stream with
+// source positions, plus the comment list (lint-suppression directives live
+// in comments). That is enough for lmc_lint's structural heuristics — class
+// boundaries, member declarations, handler bodies — which are documented as
+// heuristics in DESIGN.md §9. Preprocessor directives are skipped whole
+// (including line continuations); string/char literals survive as single
+// tokens with their quoted text so rules can inspect format strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmc::analyze {
+
+enum class TokKind : std::uint8_t {
+  Identifier,  ///< identifiers and keywords (no keyword table needed)
+  Number,
+  String,  ///< "..." including raw strings; text keeps the quotes
+  Char,    ///< '...'
+  Punct,   ///< operators/punctuation, longest-match multi-char
+};
+
+struct Token {
+  TokKind kind = TokKind::Punct;
+  std::string text;
+  std::uint32_t line = 0;  ///< 1-based
+  std::uint32_t col = 0;   ///< 1-based
+};
+
+struct Comment {
+  std::string text;        ///< without the // or /* */ markers
+  std::uint32_t line = 0;  ///< line the comment starts on
+};
+
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize `source`. Never throws on malformed input: an unterminated
+/// string/comment simply ends at EOF (the linter must degrade gracefully on
+/// code it cannot parse).
+TokenizedFile tokenize(std::string_view source);
+
+}  // namespace lmc::analyze

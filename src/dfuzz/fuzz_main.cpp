@@ -41,6 +41,7 @@ struct Args {
   unsigned lmc_threads = 1;
   double time_budget_s = 20.0;
   std::uint32_t audit_every = 0;
+  bool audit_validity = false;
   std::string artifact_dir = ".";
   std::string repro_file;
   bool verbose = false;
@@ -50,7 +51,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: lmc_fuzz [--seed S] [--runs N] [--max-nodes K] [--threads T]\n"
                "                [--lmc-threads L] [--time-budget SEC] [--audit-every K]\n"
-               "                [--artifact-dir DIR] [--verbose]\n"
+               "                [--audit-validity] [--artifact-dir DIR] [--verbose]\n"
                "       lmc_fuzz --repro FILE\n");
   return 2;
 }
@@ -76,6 +77,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.time_budget_s = std::strtod(v, nullptr);
     } else if (arg == "--audit-every" && (v = next())) {
       a.audit_every = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--audit-validity") {
+      a.audit_validity = true;
     } else if (arg == "--artifact-dir" && (v = next())) {
       a.artifact_dir = v;
     } else if (arg == "--repro" && (v = next())) {
@@ -93,6 +96,7 @@ OracleOptions oracle_options(const Args& a) {
   opt.gmc_time_budget_s = a.time_budget_s;
   opt.lmc_time_budget_s = a.time_budget_s;
   opt.audit_every = a.audit_every;
+  opt.audit_validity = a.audit_validity;
   return opt;
 }
 
@@ -189,7 +193,8 @@ int main(int argc, char** argv) {
     // Merge in seed order: the printed stream is deterministic per --seed.
     std::uint64_t ok = 0, inconclusive = 0, failed = 0, errored = 0, with_bugs = 0;
     std::uint64_t gmc_states = 0, gmc_transitions = 0, lmc_transitions = 0, confirmed = 0,
-                  replayed = 0, resumes = 0, opts = 0, audited = 0;
+                  replayed = 0, resumes = 0, opts = 0, audited = 0, handler_audits = 0,
+                  model_invalid = 0;
     std::vector<std::uint64_t> failed_seeds;
     for (std::size_t i = 0; i < results.size(); ++i) {
       const std::uint64_t seed = args.seed + i;
@@ -206,6 +211,7 @@ int main(int argc, char** argv) {
       confirmed += rep.lmc_confirmed;
       replayed += rep.witnesses_replayed;
       audited += rep.tuples_audited;
+      handler_audits += rep.handler_audits;
       resumes += rep.resume_checked ? 1 : 0;
       opts += rep.opt_checked ? 1 : 0;
       if (rep.gmc_violation_tuples > 0) ++with_bugs;
@@ -221,6 +227,7 @@ int main(int argc, char** argv) {
                       seed, rep.gmc_states, rep.lmc_confirmed);
       } else {
         ++failed;
+        if (rep.failure == OracleFailure::ModelInvalid) ++model_invalid;
         failed_seeds.push_back(seed);
         std::printf("seed %" PRIu64 ": DISAGREEMENT [%s] %s\n", seed, to_string(rep.failure),
                     rep.detail.c_str());
@@ -247,6 +254,9 @@ int main(int argc, char** argv) {
     std::printf("  witnesses replayed: %" PRIu64 "; resume round-trips: %" PRIu64
                 "; OPT runs: %" PRIu64 "; tuples audited: %" PRIu64 "\n",
                 replayed, resumes, opts, audited);
+    if (args.audit_validity)
+      std::printf("  handler executions audited: %" PRIu64 " (%" PRIu64 " validity failure(s))\n",
+                  handler_audits, model_invalid);
     return (failed > 0 || errored > 0) ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

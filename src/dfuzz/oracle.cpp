@@ -12,6 +12,7 @@
 #include "mc/local_mc.hpp"
 #include "mc/replay.hpp"
 #include "persist/checkpoint.hpp"
+#include "runtime/audit.hpp"
 #include "runtime/hash.hpp"
 
 #ifdef _WIN32
@@ -37,6 +38,7 @@ const char* to_string(OracleFailure f) {
     case OracleFailure::AuditReplayFailed: return "audit-replay-failed";
     case OracleFailure::OptViolationMissed: return "opt-violation-missed";
     case OracleFailure::OptSpuriousViolation: return "opt-spurious-violation";
+    case OracleFailure::ModelInvalid: return "model-invalid";
   }
   return "?";
 }
@@ -123,8 +125,16 @@ OracleReport DiffOracle::check(const SystemConfig& cfg, const Invariant* invaria
   lopt.max_transitions = opt_.lmc_max_transitions;
   lopt.time_budget_s = opt_.lmc_time_budget_s;
   lopt.soundness = opt_.soundness;
+  lopt.audit_validity = opt_.audit_validity;
   LocalModelChecker l(cfg, invariant, lopt);
-  l.run_from_initial();
+  try {
+    l.run_from_initial();
+  } catch (const ModelValidityError& e) {
+    rep.handler_audits = l.audits_performed();
+    fail(OracleFailure::ModelInvalid, e.what());
+    return rep;
+  }
+  rep.handler_audits = l.audits_performed();
   rep.lmc_node_states = l.stats().node_states;
   rep.lmc_transitions = l.stats().transitions;
   rep.lmc_confirmed = l.stats().confirmed_violations;

@@ -50,6 +50,13 @@ struct OracleOptions {
   /// cross-check test turns it on.
   std::uint32_t audit_every = 0;
 
+  /// Run the GEN-path LMC with the ModelValidityAuditor
+  /// (LocalMcOptions::audit_validity): every handler execution of the seed
+  /// is audited for determinism, round-trip identity and hidden state. The
+  /// GEN path executes every (state, event) pair, so one audited run covers
+  /// the protocol; the OPT/resume re-runs stay unaudited for speed.
+  bool audit_validity = false;
+
   /// Directory for the resume round-trip's scratch checkpoint file;
   /// empty = std::filesystem::temp_directory_path().
   std::string scratch_dir;
@@ -69,6 +76,7 @@ enum class OracleFailure {
   AuditReplayFailed,
   OptViolationMissed,    ///< OPT found nothing where the global search found a bug
   OptSpuriousViolation,  ///< OPT confirmed where the global search found nothing
+  ModelInvalid,          ///< ModelValidityAuditor rejected a handler execution
 };
 
 const char* to_string(OracleFailure f);
@@ -97,6 +105,7 @@ struct OracleReport {
   std::uint64_t opt_confirmed = 0;
   std::uint64_t witnesses_replayed = 0;
   std::uint64_t tuples_audited = 0;
+  std::uint64_t handler_audits = 0;  ///< handler executions audited (audit_validity)
   bool resume_checked = false;
   bool opt_checked = false;
 };

@@ -6,6 +6,7 @@
 #include "mc/clock.hpp"
 #include "mc/parallel_local_mc.hpp"
 #include "persist/exec_cache.hpp"
+#include "runtime/audit.hpp"
 
 namespace lmc {
 
@@ -245,6 +246,11 @@ void LocalModelChecker::execute_tasks(const std::vector<Task>& tasks,
         ex.cached = true;
       } else {
         ex.result = exec_message(cfg_, t.node, rec.blob, e.msg);
+        if (opt_.audit_validity) {
+          const AuditReport rep = audit_message(cfg_, t.node, rec.blob, e.msg, ex.result);
+          audits_performed_.fetch_add(1, std::memory_order_relaxed);
+          if (!rep.ok) throw ModelValidityError(t.node, rep.detail);
+        }
         if (cache != nullptr) cache->insert(e.hash, rec.hash, ex.result);
       }
       results[i].push_back(std::move(ex));
@@ -260,6 +266,11 @@ void LocalModelChecker::execute_tasks(const std::vector<Task>& tasks,
           ex.cached = true;
         } else {
           ex.result = exec_internal(cfg_, t.node, rec.blob, ev);
+          if (opt_.audit_validity) {
+            const AuditReport rep = audit_internal(cfg_, t.node, rec.blob, ev, ex.result);
+            audits_performed_.fetch_add(1, std::memory_order_relaxed);
+            if (!rep.ok) throw ModelValidityError(t.node, rep.detail);
+          }
           if (cache != nullptr) cache->insert(ex.ev_hash, rec.hash, ex.result);
         }
         results[i].push_back(std::move(ex));

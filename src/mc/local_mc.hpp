@@ -99,6 +99,13 @@ struct LocalMcOptions {
   /// the cutoff (replays are cheaper than executions).
   ExecCache* exec_cache = nullptr;
 
+  /// ModelValidityAuditor (runtime/audit.hpp): audit every non-cached
+  /// handler execution for determinism, round-trip identity and hidden
+  /// state. A failed audit throws ModelValidityError out of run*() — the
+  /// model is invalid, so exploration results would be meaningless. Roughly
+  /// doubles handler cost; a debug/CI knob, not a default.
+  bool audit_validity = false;
+
   SoundnessOptions soundness;
 };
 
@@ -145,6 +152,9 @@ class LocalModelChecker {
   void load_checkpoint_bytes(const Blob& data);
 
   const LocalMcStats& stats() const { return stats_; }
+  /// Handler executions audited under audit_validity. Runtime-only (NOT in
+  /// LocalMcStats: that struct is pinned by the checkpoint format).
+  std::uint64_t audits_performed() const { return audits_performed_.load(std::memory_order_relaxed); }
   const std::vector<LocalViolation>& violations() const { return violations_; }
   /// First confirmed violation, or nullptr.
   const LocalViolation* first_confirmed() const;
@@ -245,6 +255,8 @@ class LocalModelChecker {
   std::unique_ptr<WorkerPool> pool_;
 
   LocalMcStats stats_;
+  /// audit_validity counter; atomic because audits run on pool workers.
+  std::atomic<std::uint64_t> audits_performed_{0};
   std::vector<LocalViolation> violations_;
   bool stop_ = false;
   bool initialized_ = false;          ///< init_run/load_checkpoint has happened

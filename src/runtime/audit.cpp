@@ -1,0 +1,99 @@
+#include "runtime/audit.hpp"
+
+#include <functional>
+#include <sstream>
+
+#include "runtime/context.hpp"
+
+namespace lmc {
+
+namespace {
+
+std::string hex_preview(const Blob& b) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  const std::size_t n = b.size() < 16 ? b.size() : 16;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += digits[(b[i] >> 4) & 0xf];
+    s += digits[b[i] & 0xf];
+  }
+  if (b.size() > n) s += "...";
+  return s;
+}
+
+AuditReport fail(const std::string& what) { return {false, what}; }
+
+/// The shared audit: `run` invokes the handler under test on a live machine.
+AuditReport audit_exec(const SystemConfig& cfg, NodeId n, const Blob& pre,
+                       const std::function<void(StateMachine&, Context&)>& run,
+                       const ExecResult& observed, const char* kind) {
+  // 1. Determinism: second execution from the same serialized pre-state.
+  std::unique_ptr<StateMachine> live;
+  Context ctx(n);
+  try {
+    live = machine_from_blob(cfg, n, pre);
+    run(*live, ctx);
+  } catch (const ModelValidityError&) {
+    throw;
+  } catch (const std::exception& e) {
+    return fail(std::string(kind) + " re-execution threw (first execution did not): " + e.what());
+  }
+  const Blob re_state = machine_to_blob(*live);
+  if (re_state != observed.state)
+    return fail(std::string(kind) +
+                " re-execution from the same pre-state produced a different successor (" +
+                hex_preview(observed.state) + " vs " + hex_preview(re_state) +
+                "): the handler is not a deterministic function of (state, event)");
+  if (ctx.sent() != observed.sent) {
+    std::ostringstream os;
+    os << kind << " re-execution emitted a different message sequence (" << observed.sent.size()
+       << " vs " << ctx.sent().size()
+       << " messages, or same count with different content/order): emission must be "
+          "deterministic — unordered-container iteration is the usual cause";
+    return fail(os.str());
+  }
+  if (ctx.assert_failed() != observed.assert_failed)
+    return fail(std::string(kind) + " re-execution disagreed on the local-assert outcome");
+
+  // 2. Round-trip identity: serialize(deserialize(successor)) == successor.
+  std::unique_ptr<StateMachine> rehydrated;
+  try {
+    rehydrated = machine_from_blob(cfg, n, re_state);
+  } catch (const std::exception& e) {
+    return fail(std::string("deserialize rejected serialize output (") + e.what() +
+                "): serialize()/deserialize() are not inverses");
+  }
+  const Blob round = machine_to_blob(*rehydrated);
+  if (round != re_state)
+    return fail("serialize(deserialize(successor)) differs from the successor bytes (" +
+                hex_preview(re_state) + " vs " + hex_preview(round) +
+                "): serialize()/deserialize() are not inverses");
+
+  // 3. Hidden state: the live machine and its serialized image must behave
+  // identically. Enabled internal events are the observable we can compare
+  // without executing further transitions.
+  if (live->enabled_internal_events() != rehydrated->enabled_internal_events())
+    return fail(
+        "the live post-handler machine and a machine rehydrated from its serialization enable "
+        "different internal events: some behaviour-relevant field is missing from serialize()");
+
+  return {};
+}
+
+}  // namespace
+
+AuditReport audit_message(const SystemConfig& cfg, NodeId n, const Blob& pre, const Message& m,
+                          const ExecResult& observed) {
+  return audit_exec(
+      cfg, n, pre, [&](StateMachine& sm, Context& ctx) { sm.handle_message(m, ctx); }, observed,
+      "handle_message");
+}
+
+AuditReport audit_internal(const SystemConfig& cfg, NodeId n, const Blob& pre,
+                           const InternalEvent& ev, const ExecResult& observed) {
+  return audit_exec(
+      cfg, n, pre, [&](StateMachine& sm, Context& ctx) { sm.handle_internal(ev, ctx); }, observed,
+      "handle_internal");
+}
+
+}  // namespace lmc

@@ -1,0 +1,60 @@
+// ModelValidityAuditor: runtime enforcement of the assumptions LMC's
+// soundness rests on (DESIGN.md §9). Token-level lint (analyze/lint.hpp)
+// proves what it can statically; this auditor catches the rest by checking,
+// for every executed handler transition:
+//
+//  1. Determinism — re-execute the same handler from the same serialized
+//     pre-state and require a byte-identical successor, an identical emitted
+//     message sequence and the same assert outcome (catches rand()/time(),
+//     mutated static locals/globals, unordered-container emission order).
+//  2. Round-trip identity — serialize(deserialize(successor)) must equal
+//     the successor bytes (catches asymmetric serialize/deserialize).
+//  3. No hidden state — the live post-handler machine and a machine
+//     rehydrated from its serialization must enable the same internal
+//     events (catches non-serialized fields that influence behaviour).
+//
+// Enabled by LocalMcOptions::audit_validity / OracleOptions::audit_validity;
+// roughly doubles handler-execution cost, so it is a debug/CI knob, not a
+// default.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "runtime/state_machine.hpp"
+
+namespace lmc {
+
+/// Raised by the checkers when an audit fails (the model is invalid, so any
+/// further exploration result would be meaningless).
+class ModelValidityError : public std::runtime_error {
+ public:
+  ModelValidityError(NodeId node, std::string detail)
+      : std::runtime_error("model-validity audit failed on node " + std::to_string(node) + ": " +
+                           detail),
+        node_(node),
+        detail_(std::move(detail)) {}
+
+  NodeId node() const { return node_; }
+  const std::string& detail() const { return detail_; }
+
+ private:
+  NodeId node_;
+  std::string detail_;
+};
+
+struct AuditReport {
+  bool ok = true;
+  std::string detail;  ///< empty when ok; names the violated assumption otherwise
+};
+
+/// Audit one already-executed HM transition. `observed` is the ExecResult
+/// the checker recorded for (n, pre, m); the audit re-executes and compares.
+AuditReport audit_message(const SystemConfig& cfg, NodeId n, const Blob& pre, const Message& m,
+                          const ExecResult& observed);
+
+/// Audit one already-executed HA transition.
+AuditReport audit_internal(const SystemConfig& cfg, NodeId n, const Blob& pre,
+                           const InternalEvent& ev, const ExecResult& observed);
+
+}  // namespace lmc

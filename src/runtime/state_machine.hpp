@@ -36,6 +36,8 @@ class StateMachine {
 
   /// Deterministic full-state (de)serialization. Equal logical states MUST
   /// produce identical bytes: hashes of these bytes are state identity.
+  /// These contracts (and handler determinism above) are what lmc_lint
+  /// checks statically and runtime/audit.hpp enforces dynamically.
   virtual void serialize(Writer& w) const = 0;
   virtual void deserialize(Reader& r) = 0;
 };

@@ -1,0 +1,26 @@
+// Firing fixture for IO01: handler performs direct I/O.
+// NOT compiled into any target — parsed by lmc_lint tests only.
+#include <cstdio>
+#include <iostream>
+
+#include "runtime/state_machine.hpp"
+
+namespace fixture {
+
+class IoNode : public lmc::StateMachine {
+ public:
+  std::uint64_t n_ = 0;
+
+  void handle_message(const lmc::Message& m, lmc::SendFn send) {
+    (void)m;
+    (void)send;
+    ++n_;
+    printf("handled %llu\n", (unsigned long long)n_);  // IO01 fires here
+    std::cout << "handled" << std::endl;               // IO01 fires here
+  }
+
+  void serialize(lmc::Writer& w) const { w.u64(n_); }
+  void deserialize(lmc::Reader& r) { n_ = r.u64(); }
+};
+
+}  // namespace fixture

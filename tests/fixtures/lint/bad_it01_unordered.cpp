@@ -1,0 +1,29 @@
+// Firing fixture for IT01: handler iterates an unordered container member.
+// NOT compiled into any target — parsed by lmc_lint tests only.
+#include <cstdint>
+#include <unordered_set>
+
+#include "runtime/state_machine.hpp"
+
+namespace fixture {
+
+class UnorderedNode : public lmc::StateMachine {
+ public:
+  std::unordered_set<std::uint32_t> peers_;
+
+  void handle_message(const lmc::Message& m, lmc::SendFn send) {
+    (void)m;
+    for (std::uint32_t p : peers_) {  // IT01 fires here: emission order is hash order
+      lmc::Message out;
+      out.dst = p;
+      send(out);
+    }
+  }
+
+  void serialize(lmc::Writer& w) const {
+    for (auto it = peers_.begin(); it != peers_.end(); ++it) w.u32(*it);  // IT01 fires here too
+  }
+  void deserialize(lmc::Reader& r) { peers_.insert(r.u32()); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Firing fixture for ND01: handler draws fresh entropy.
+// NOT compiled into any target — parsed by lmc_lint tests only.
+#include <cstdlib>
+#include <random>
+
+#include "runtime/state_machine.hpp"
+
+namespace fixture {
+
+class EntropyNode : public lmc::StateMachine {
+ public:
+  lmc::NodeId id_ = 0;
+  std::uint64_t counter_ = 0;
+
+  void handle_message(const lmc::Message& m, lmc::SendFn send) {
+    (void)m;
+    (void)send;
+    counter_ += static_cast<std::uint64_t>(rand());  // ND01 fires here
+    std::random_device rd;                           // ND01 fires here
+    counter_ ^= rd();
+  }
+
+  void serialize(lmc::Writer& w) const { w.u64(counter_); }
+  void deserialize(lmc::Reader& r) { counter_ = r.u64(); }
+};
+
+}  // namespace fixture

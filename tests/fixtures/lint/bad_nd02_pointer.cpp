@@ -1,0 +1,23 @@
+// Firing fixture for ND02: handler takes the numeric identity of `this`.
+// NOT compiled into any target — parsed by lmc_lint tests only.
+#include <cstdint>
+
+#include "runtime/state_machine.hpp"
+
+namespace fixture {
+
+class PointerNode : public lmc::StateMachine {
+ public:
+  std::uint64_t tag_ = 0;
+
+  void handle_message(const lmc::Message& m, lmc::SendFn send) {
+    (void)m;
+    (void)send;
+    tag_ = reinterpret_cast<std::uintptr_t>(this);  // ND02 fires here
+  }
+
+  void serialize(lmc::Writer& w) const { w.u64(tag_); }
+  void deserialize(lmc::Reader& r) { tag_ = r.u64(); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Firing fixture for SR01: handler mutates a field serialize() never writes.
+// NOT compiled into any target — parsed by lmc_lint tests only.
+#include <cstdint>
+
+#include "runtime/state_machine.hpp"
+
+namespace fixture {
+
+class HiddenFieldNode : public lmc::StateMachine {
+ public:
+  std::uint64_t visible_ = 0;
+  std::uint64_t scratch_ = 0;  // mutated below but absent from serialize()
+
+  void handle_message(const lmc::Message& m, lmc::SendFn send) {
+    (void)m;
+    (void)send;
+    visible_ += 1;
+    scratch_ += 1;  // SR01 fires here
+  }
+
+  void serialize(lmc::Writer& w) const { w.u64(visible_); }
+  void deserialize(lmc::Reader& r) { visible_ = r.u64(); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Firing fixture for SR02: serialize()/deserialize() cover different fields.
+// NOT compiled into any target — parsed by lmc_lint tests only.
+#include <cstdint>
+
+#include "runtime/state_machine.hpp"
+
+namespace fixture {
+
+class AsymmetricNode : public lmc::StateMachine {
+ public:
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;  // SR02 fires here: written by serialize, never restored
+
+  void handle_message(const lmc::Message& m, lmc::SendFn send) {
+    (void)m;
+    (void)send;
+    a_ += 1;
+    b_ += 2;
+  }
+
+  void serialize(lmc::Writer& w) const {
+    w.u64(a_);
+    w.u64(b_);
+  }
+  void deserialize(lmc::Reader& r) { a_ = r.u64(); }  // forgets b_
+};
+
+}  // namespace fixture

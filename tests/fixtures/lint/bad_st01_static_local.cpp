@@ -1,0 +1,24 @@
+// Firing fixture for ST01: mutable static local inside a handler.
+// NOT compiled into any target — parsed by lmc_lint tests only.
+#include <cstdint>
+
+#include "runtime/state_machine.hpp"
+
+namespace fixture {
+
+class StaticLocalNode : public lmc::StateMachine {
+ public:
+  std::uint64_t seen_ = 0;
+
+  void handle_message(const lmc::Message& m, lmc::SendFn send) {
+    (void)m;
+    (void)send;
+    static std::uint64_t calls = 0;  // ST01 fires here
+    seen_ = ++calls;
+  }
+
+  void serialize(lmc::Writer& w) const { w.u64(seen_); }
+  void deserialize(lmc::Reader& r) { seen_ = r.u64(); }
+};
+
+}  // namespace fixture

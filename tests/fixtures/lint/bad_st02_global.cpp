@@ -1,0 +1,25 @@
+// Firing fixture for ST02: handler touches a mutable namespace-scope variable.
+// NOT compiled into any target — parsed by lmc_lint tests only.
+#include <cstdint>
+
+#include "runtime/state_machine.hpp"
+
+namespace fixture {
+
+std::uint64_t g_shared_counter = 0;  // mutable global
+
+class GlobalNode : public lmc::StateMachine {
+ public:
+  std::uint64_t mine_ = 0;
+
+  void handle_message(const lmc::Message& m, lmc::SendFn send) {
+    (void)m;
+    (void)send;
+    mine_ = g_shared_counter++;  // ST02 fires here
+  }
+
+  void serialize(lmc::Writer& w) const { w.u64(mine_); }
+  void deserialize(lmc::Reader& r) { mine_ = r.u64(); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Firing fixture for TH01: handler uses a threading primitive.
+// NOT compiled into any target — parsed by lmc_lint tests only.
+#include <mutex>
+
+#include "runtime/state_machine.hpp"
+
+namespace fixture {
+
+class ThreadNode : public lmc::StateMachine {
+ public:
+  std::uint64_t n_ = 0;
+
+  void handle_message(const lmc::Message& m, lmc::SendFn send) {
+    (void)m;
+    (void)send;
+    std::mutex mu;  // TH01 fires here
+    std::lock_guard<std::mutex> lk(mu);
+    ++n_;
+  }
+
+  void serialize(lmc::Writer& w) const { w.u64(n_); }
+  void deserialize(lmc::Reader& r) { n_ = r.u64(); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,55 @@
+// Clean fixture: the sanctioned seeded-RNG-in-state pattern (DESIGN.md §9).
+// Randomness is carried as a serialized field and advanced by a pure mixing
+// function, so re-execution from the serialized state is deterministic.
+// This file must lint with ZERO diagnostics.
+// NOT compiled into any target — parsed by lmc_lint tests only.
+#include <cstdint>
+#include <map>
+
+#include "runtime/state_machine.hpp"
+
+namespace fixture {
+
+class SeededRngNode : public lmc::StateMachine {
+ public:
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+  std::map<std::uint32_t, std::uint64_t> draws_;
+
+  // Pure splitmix64 step: same state in, same value out.
+  std::uint64_t next_rand() {
+    rng_state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = rng_state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  void handle_message(const lmc::Message& m, lmc::SendFn send) {
+    (void)send;
+    draws_[m.src] = next_rand();
+    for (const auto& [who, value] : draws_) {  // ordered map: fine
+      (void)who;
+      (void)value;
+    }
+  }
+
+  void serialize(lmc::Writer& w) const {
+    w.u64(rng_state_);
+    w.u32(static_cast<std::uint32_t>(draws_.size()));
+    for (const auto& [who, value] : draws_) {
+      w.u32(who);
+      w.u64(value);
+    }
+  }
+  void deserialize(lmc::Reader& r) {
+    rng_state_ = r.u64();
+    const std::uint32_t n = r.u32();
+    draws_.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t who = r.u32();
+      draws_[who] = r.u64();
+    }
+  }
+};
+
+}  // namespace fixture

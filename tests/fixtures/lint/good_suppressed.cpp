@@ -1,0 +1,28 @@
+// Clean fixture: violations present but silenced by suppression directives.
+// Must lint with ZERO diagnostics and a non-zero suppressed count.
+// NOT compiled into any target — parsed by lmc_lint tests only.
+#include <cstdint>
+#include <cstdlib>
+
+#include "runtime/state_machine.hpp"
+
+namespace fixture {
+
+class SuppressedNode : public lmc::StateMachine {
+ public:
+  std::uint64_t n_ = 0;
+  std::uint64_t cache_ = 0;  // derived state, rebuilt on demand
+
+  void handle_message(const lmc::Message& m, lmc::SendFn send) {
+    (void)m;
+    (void)send;
+    n_ += static_cast<std::uint64_t>(rand());  // lmc-lint-disable(ND01)
+    // lmc-lint-disable(SR01) -- cache_ is derived from n_, not logical state
+    cache_ = n_ * 2;
+  }
+
+  void serialize(lmc::Writer& w) const { w.u64(n_); }
+  void deserialize(lmc::Reader& r) { n_ = r.u64(); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,243 @@
+// lmc_lint static analysis: tokenizer units, one firing fixture per rule +
+// the clean fixtures, suppression accounting, output shapes, and the
+// corpus gate (src/protocols + examples must lint clean).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "analyze/lint.hpp"
+#include "analyze/tokenizer.hpp"
+
+namespace lmc::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Set by tests/CMakeLists.txt.
+const std::string kFixtureDir = LMC_LINT_FIXTURE_DIR;
+const std::string kSourceDir = LMC_SOURCE_DIR;
+
+// --- tokenizer --------------------------------------------------------------
+
+TEST(Tokenizer, BasicKindsAndPositions) {
+  TokenizedFile f = tokenize("int x = 42;\nfoo->bar(\"s\");\n");
+  ASSERT_GE(f.tokens.size(), 10u);
+  EXPECT_EQ(f.tokens[0].kind, TokKind::Identifier);
+  EXPECT_EQ(f.tokens[0].text, "int");
+  EXPECT_EQ(f.tokens[0].line, 1u);
+  EXPECT_EQ(f.tokens[0].col, 1u);
+  EXPECT_EQ(f.tokens[3].kind, TokKind::Number);
+  EXPECT_EQ(f.tokens[3].text, "42");
+  // '->' is one punct token, on line 2.
+  auto arrow = std::find_if(f.tokens.begin(), f.tokens.end(),
+                            [](const Token& t) { return t.text == "->"; });
+  ASSERT_NE(arrow, f.tokens.end());
+  EXPECT_EQ(arrow->line, 2u);
+  auto str = std::find_if(f.tokens.begin(), f.tokens.end(),
+                          [](const Token& t) { return t.kind == TokKind::String; });
+  ASSERT_NE(str, f.tokens.end());
+  EXPECT_EQ(str->text, "\"s\"");
+}
+
+TEST(Tokenizer, CommentsAreCapturedNotTokenized) {
+  TokenizedFile f = tokenize("a; // trailing note\n/* block\nspan */ b;\n");
+  ASSERT_EQ(f.comments.size(), 2u);
+  EXPECT_EQ(f.comments[0].text, " trailing note");
+  EXPECT_EQ(f.comments[0].line, 1u);
+  EXPECT_EQ(f.comments[1].line, 2u);
+  // Only `a`, `;`, `b`, `;` remain as tokens.
+  ASSERT_EQ(f.tokens.size(), 4u);
+  EXPECT_EQ(f.tokens[2].text, "b");
+  EXPECT_EQ(f.tokens[2].line, 3u);
+}
+
+TEST(Tokenizer, PreprocessorAndRawStringsSkippedWhole) {
+  TokenizedFile f = tokenize("#include <rand>\n#define X \\\n  rand()\nint y;\n");
+  for (const Token& t : f.tokens) EXPECT_NE(t.text, "rand");
+  TokenizedFile r = tokenize("auto s = R\"(no \" problem)\"; next");
+  auto str = std::find_if(r.tokens.begin(), r.tokens.end(),
+                          [](const Token& t) { return t.kind == TokKind::String; });
+  ASSERT_NE(str, r.tokens.end());
+  EXPECT_NE(r.tokens.back().text, "problem");
+  EXPECT_EQ(r.tokens.back().text, "next");
+}
+
+TEST(Tokenizer, UnterminatedInputDoesNotThrow) {
+  EXPECT_NO_THROW(tokenize("\"unterminated"));
+  EXPECT_NO_THROW(tokenize("/* unterminated"));
+  EXPECT_NO_THROW(tokenize("R\"(unterminated"));
+}
+
+// --- rule fixtures ----------------------------------------------------------
+
+LintResult lint_fixture(const std::string& name) {
+  Linter l;
+  EXPECT_TRUE(l.add_file(kFixtureDir + "/" + name)) << name;
+  return l.run();
+}
+
+std::set<std::string> rules_fired(const LintResult& r) {
+  std::set<std::string> s;
+  for (const Diagnostic& d : r.diagnostics) s.insert(d.rule);
+  return s;
+}
+
+struct FixtureCase {
+  const char* file;
+  const char* rule;
+};
+
+TEST(LintRules, EveryRuleHasAFiringFixture) {
+  const FixtureCase cases[] = {
+      {"bad_nd01_entropy.cpp", "ND01"},   {"bad_nd02_pointer.cpp", "ND02"},
+      {"bad_st01_static_local.cpp", "ST01"}, {"bad_st02_global.cpp", "ST02"},
+      {"bad_it01_unordered.cpp", "IT01"}, {"bad_io01_direct_io.cpp", "IO01"},
+      {"bad_th01_thread.cpp", "TH01"},    {"bad_sr01_hidden_field.cpp", "SR01"},
+      {"bad_sr02_asymmetry.cpp", "SR02"},
+  };
+  // The fixture set must cover the whole rule table.
+  std::set<std::string> covered;
+  for (const FixtureCase& c : cases) {
+    LintResult r = lint_fixture(c.file);
+    EXPECT_EQ(r.machine_classes, 1u) << c.file;
+    const std::set<std::string> fired = rules_fired(r);
+    EXPECT_TRUE(fired.count(c.rule)) << c.file << " did not fire " << c.rule;
+    covered.insert(c.rule);
+    for (const Diagnostic& d : r.diagnostics) {
+      EXPECT_GT(d.line, 0u) << c.file;
+      EXPECT_FALSE(d.message.empty()) << c.file;
+    }
+  }
+  for (const RuleInfo& ri : all_rules()) EXPECT_TRUE(covered.count(ri.id)) << ri.id;
+  EXPECT_GE(all_rules().size(), 8u);
+}
+
+TEST(LintRules, SanctionedSeededRngPatternIsClean) {
+  LintResult r = lint_fixture("good_seeded_rng.cpp");
+  EXPECT_EQ(r.machine_classes, 1u);
+  EXPECT_TRUE(r.diagnostics.empty()) << to_gcc(r);
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(LintRules, SuppressionsSilenceAndAreCounted) {
+  LintResult r = lint_fixture("good_suppressed.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_gcc(r);
+  EXPECT_EQ(r.suppressed, 2u);
+}
+
+TEST(LintRules, FileWideSuppression) {
+  Linter l;
+  l.add_source("v.cpp",
+               "// lmc-lint-disable-file(IO01)\n"
+               "class M : public StateMachine {\n"
+               " public:\n"
+               "  int n_ = 0;\n"
+               "  void handle_message(const Message& m, Context& c) { printf(\"x\"); n_++; }\n"
+               "  void serialize(Writer& w) const { w.u32(n_); }\n"
+               "  void deserialize(Reader& r) { n_ = r.u32(); }\n"
+               "};\n");
+  LintResult r = l.run();
+  EXPECT_TRUE(r.diagnostics.empty()) << to_gcc(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintRules, HandlerReachabilityIsTransitive) {
+  // The entropy call sits in a helper the handler calls, not in the
+  // handler itself — the closure must still reach it.
+  Linter l;
+  l.add_source("v.cpp",
+               "class M : public StateMachine {\n"
+               " public:\n"
+               "  int n_ = 0;\n"
+               "  void helper() { n_ += rand(); }\n"
+               "  void handle_message(const Message& m, Context& c) { helper(); }\n"
+               "  void serialize(Writer& w) const { w.u32(n_); }\n"
+               "  void deserialize(Reader& r) { n_ = r.u32(); }\n"
+               "};\n");
+  LintResult r = l.run();
+  EXPECT_TRUE(rules_fired(r).count("ND01")) << to_gcc(r);
+}
+
+TEST(LintRules, NonMachineClassesAreIgnored) {
+  // rand() in a class without the machine shape must not fire: lint scope
+  // is protocol handlers, not arbitrary code.
+  Linter l;
+  l.add_source("v.cpp", "class Util { public: int draw() { return rand(); } };\n");
+  LintResult r = l.run();
+  EXPECT_EQ(r.machine_classes, 0u);
+  EXPECT_TRUE(r.diagnostics.empty()) << to_gcc(r);
+}
+
+TEST(LintRules, CrossFileClassMerging) {
+  // Declaration in the header, offending out-of-class definition in the
+  // .cpp: the model must merge them by class name.
+  Linter l;
+  l.add_source("m.hpp",
+               "class M : public StateMachine {\n"
+               " public:\n"
+               "  int n_ = 0;\n"
+               "  void handle_message(const Message& m, Context& c);\n"
+               "  void serialize(Writer& w) const;\n"
+               "  void deserialize(Reader& r);\n"
+               "};\n");
+  l.add_source("m.cpp",
+               "void M::handle_message(const Message& m, Context& c) { n_ += rand(); }\n"
+               "void M::serialize(Writer& w) const { w.u32(n_); }\n"
+               "void M::deserialize(Reader& r) { n_ = r.u32(); }\n");
+  LintResult r = l.run();
+  EXPECT_EQ(r.machine_classes, 1u);
+  EXPECT_TRUE(rules_fired(r).count("ND01")) << to_gcc(r);
+}
+
+// --- output shapes ----------------------------------------------------------
+
+TEST(LintOutput, GccStyleAndJson) {
+  LintResult r = lint_fixture("bad_sr02_asymmetry.cpp");
+  ASSERT_FALSE(r.diagnostics.empty());
+  const std::string gcc = to_gcc(r);
+  EXPECT_NE(gcc.find(": warning: "), std::string::npos);
+  EXPECT_NE(gcc.find("[SR02]"), std::string::npos);
+  const std::string json = to_json(r);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"rule\":\"SR02\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"diagnostics\":["), std::string::npos);
+}
+
+TEST(LintOutput, DiagnosticsAreSorted) {
+  LintResult r = lint_fixture("bad_th01_thread.cpp");
+  for (std::size_t i = 1; i < r.diagnostics.size(); ++i) {
+    const Diagnostic& a = r.diagnostics[i - 1];
+    const Diagnostic& b = r.diagnostics[i];
+    EXPECT_LE(std::tie(a.file, a.line, a.col, a.rule), std::tie(b.file, b.line, b.col, b.rule));
+  }
+}
+
+// --- corpus gate ------------------------------------------------------------
+
+TEST(LintCorpus, ProtocolsAndExamplesLintClean) {
+  Linter l;
+  std::size_t added = 0;
+  for (const char* dir : {"src/protocols", "examples", "src/runtime"}) {
+    const fs::path root = fs::path(kSourceDir) / dir;
+    ASSERT_TRUE(fs::is_directory(root)) << root;
+    for (const auto& e : fs::recursive_directory_iterator(root)) {
+      if (!e.is_regular_file()) continue;
+      const std::string ext = e.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".cc" && ext != ".h") continue;
+      ASSERT_TRUE(l.add_file(e.path().string()));
+      ++added;
+    }
+  }
+  ASSERT_GT(added, 10u);
+  LintResult r = l.run();
+  EXPECT_GE(r.machine_classes, 5u);  // the five example protocols at least
+  EXPECT_TRUE(r.diagnostics.empty()) << to_gcc(r);
+}
+
+}  // namespace
+}  // namespace lmc::analyze

@@ -83,8 +83,8 @@ TEST_P(CrossCheck, OracleAgreesWithGlobalBaseline) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, CrossCheck, ::testing::Values(0u, 1u, 2u, 3u, 4u),
-                         [](const ::testing::TestParamInfo<std::size_t>& info) {
-                           return scenarios()[info.param].name;
+                         [](const ::testing::TestParamInfo<std::size_t>& pinfo) {
+                           return scenarios()[pinfo.param].name;
                          });
 
 }  // namespace

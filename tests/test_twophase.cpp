@@ -192,9 +192,9 @@ TEST_P(TwoPhaseSweep, BuggyCaughtCorrectClean) {
 INSTANTIATE_TEST_SUITE_P(Sizes, TwoPhaseSweep,
                          ::testing::Values(TwoPhaseCase{3, 1}, TwoPhaseCase{3, 2},
                                            TwoPhaseCase{4, 3}, TwoPhaseCase{5, 2}),
-                         [](const ::testing::TestParamInfo<TwoPhaseCase>& info) {
-                           return "n" + std::to_string(info.param.n) + "_novoter" +
-                                  std::to_string(info.param.no_voter);
+                         [](const ::testing::TestParamInfo<TwoPhaseCase>& pinfo) {
+                           return "n" + std::to_string(pinfo.param.n) + "_novoter" +
+                                  std::to_string(pinfo.param.no_voter);
                          });
 
 }  // namespace
