@@ -30,6 +30,10 @@ int main() {
     std::printf("%8u %12.3f %14llu %14llu\n", t, mc.stats().elapsed_s,
                 static_cast<unsigned long long>(mc.stats().transitions),
                 static_cast<unsigned long long>(mc.stats().node_states));
+    obs::BenchRecord rec("bench_ablation", "threads");
+    rec.param("threads", static_cast<std::uint64_t>(t));
+    add_lmc_metrics(rec, mc.stats());
+    rec.emit();
   }
 
   std::printf("\n# Ablation 2: system-state creation policy (one-proposal space, full depth)\n");
@@ -40,6 +44,10 @@ int main() {
     std::printf("%-10s %12.4f %16llu %14llu\n", projection ? "OPT" : "GEN", s.elapsed_s,
                 static_cast<unsigned long long>(s.system_states),
                 static_cast<unsigned long long>(s.invariant_checks));
+    obs::BenchRecord rec("bench_ablation", projection ? "policy_opt" : "policy_gen");
+    add_lmc_metrics(rec, s);
+    rec.metric("invariant_checks", s.invariant_checks);
+    rec.emit();
   }
 
   std::printf("\n# Ablation 3: exploration-only vs +system-states vs +soundness (buggy space)\n");
@@ -60,6 +68,9 @@ int main() {
     const char* name = mode == 0 ? "explore" : (mode == 1 ? "+system-states" : "+soundness");
     std::printf("%-24s %12.4f %12s\n", name, mc.stats().elapsed_s,
                 mc.stats().confirmed_violations > 0 ? "yes" : "-");
+    obs::BenchRecord rec("bench_ablation", name);
+    add_lmc_metrics(rec, mc.stats());
+    rec.emit();
   }
   return 0;
 }

@@ -55,5 +55,14 @@ int main() {
                 res.runs);
   }
   std::printf("# paper: found after 225 s of live time\n");
+
+  obs::BenchRecord rec("bench_bug_1paxos_5_6", "online_hunt");
+  rec.param("seed", static_cast<std::uint64_t>(lo.seed));
+  rec.metric("found", static_cast<std::uint64_t>(res.found ? 1 : 0));
+  rec.metric("live_time_s", res.live_time);
+  rec.metric("checker_runs", static_cast<std::uint64_t>(res.runs));
+  rec.metric("detecting_checker_s", res.checker_elapsed_s);
+  add_lmc_metrics(rec, res.last_stats);
+  rec.emit();
   return res.found ? 0 : 1;
 }

@@ -60,5 +60,14 @@ int main() {
                 res.runs);
   }
   std::printf("# paper: detected after 1150 s live time; detecting run took 11 s\n");
+
+  obs::BenchRecord rec("bench_bug_paxos_5_5", "online_hunt");
+  rec.param("seed", static_cast<std::uint64_t>(lo.seed));
+  rec.metric("found", static_cast<std::uint64_t>(res.found ? 1 : 0));
+  rec.metric("live_time_s", res.live_time);
+  rec.metric("checker_runs", static_cast<std::uint64_t>(res.runs));
+  rec.metric("detecting_checker_s", res.checker_elapsed_s);
+  add_lmc_metrics(rec, res.last_stats);
+  rec.emit();
   return res.found ? 0 : 1;
 }

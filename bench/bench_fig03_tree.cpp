@@ -42,5 +42,17 @@ int main() {
               static_cast<unsigned long long>(l.stats().unsound_violations));
   std::printf("\n# paper: 12 global states (with duplicates) vs 4 system states;\n");
   std::printf("# \"----r\" caught by soundness verification.\n");
+
+  {
+    obs::BenchRecord rec("bench_fig03_tree", "global");
+    add_gmc_metrics(rec, g.stats());
+    rec.metric("system_state_tuples", static_cast<std::uint64_t>(g.system_state_tuples().size()));
+    rec.emit();
+  }
+  {
+    obs::BenchRecord rec("bench_fig03_tree", "lmc");
+    add_lmc_metrics(rec, l.stats());
+    rec.emit();
+  }
   return 0;
 }

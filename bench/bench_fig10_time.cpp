@@ -44,5 +44,14 @@ int main() {
   std::printf("\n# full-space totals: B-DFS %.3fs | LMC-GEN %.4fs (%.0fx) | LMC-OPT %.4fs (%.0fx)\n",
               g, lg, g / lg, lo, g / lo);
   std::printf("# paper: 1514s | 5.16s (~300x) | 0.189s (~8000x)\n");
+
+  obs::BenchRecord rec("bench_fig10_time", "full_space_totals");
+  rec.param("budget_s", budget);
+  rec.metric("bdfs_s", g);
+  rec.metric("lmc_gen_s", lg);
+  rec.metric("lmc_opt_s", lo);
+  rec.metric("gen_speedup", g / lg);
+  rec.metric("opt_speedup", g / lo);
+  rec.emit();
   return 0;
 }

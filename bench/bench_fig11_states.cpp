@@ -18,10 +18,12 @@ int main() {
   std::printf("# Figure 11: Paxos, one proposal, explored states vs depth\n");
   std::printf("%8s %14s %18s %18s %12s\n", "depth", "B-DFS", "LMC-GEN-system",
               "LMC-OPT-system", "LMC-local");
+  GlobalMcStats g{};
+  LocalMcStats lg{}, lo{};
   for (std::uint32_t d = 1; d <= max_depth; ++d) {
-    GlobalMcStats g = run_bdfs(cfg, inv.get(), d, budget);
-    LocalMcStats lg = run_lmc(cfg, inv.get(), d, budget, false);
-    LocalMcStats lo = run_lmc(cfg, inv.get(), d, budget, true);
+    g = run_bdfs(cfg, inv.get(), d, budget);
+    lg = run_lmc(cfg, inv.get(), d, budget, false);
+    lo = run_lmc(cfg, inv.get(), d, budget, true);
     std::printf("%8u %14llu %18llu %18llu %12llu\n", d,
                 static_cast<unsigned long long>(g.unique_states),
                 static_cast<unsigned long long>(lg.system_states),
@@ -30,5 +32,13 @@ int main() {
   }
   std::printf("\n# paper: LMC-OPT-system is identically zero; LMC-local orders of magnitude\n");
   std::printf("# below the global/system state counts.\n");
+
+  obs::BenchRecord rec("bench_fig11_states", "max_depth");
+  rec.param("depth", static_cast<std::uint64_t>(max_depth));
+  rec.metric("bdfs_states", g.unique_states);
+  rec.metric("lmc_gen_system_states", lg.system_states);
+  rec.metric("lmc_opt_system_states", lo.system_states);
+  rec.metric("lmc_node_states", lo.node_states);
+  rec.emit();
   return 0;
 }

@@ -17,15 +17,25 @@ int main() {
 
   std::printf("# Figure 12: Paxos, one proposal, stored bytes (KB) vs depth\n");
   std::printf("%8s %12s %12s %12s %12s\n", "depth", "B-DFS", "LMC-GEN", "LMC-OPT", "LMC-local");
+  GlobalMcStats g{};
+  LocalMcStats lg{}, lo{}, ll{};
   for (std::uint32_t d = 1; d <= max_depth; ++d) {
-    GlobalMcStats g = run_bdfs(cfg, inv.get(), d, budget);
-    LocalMcStats lg = run_lmc(cfg, inv.get(), d, budget, false);
-    LocalMcStats lo = run_lmc(cfg, inv.get(), d, budget, true);
-    LocalMcStats ll = run_lmc(cfg, inv.get(), d, budget, true, /*system_states=*/false);
+    g = run_bdfs(cfg, inv.get(), d, budget);
+    lg = run_lmc(cfg, inv.get(), d, budget, false);
+    lo = run_lmc(cfg, inv.get(), d, budget, true);
+    ll = run_lmc(cfg, inv.get(), d, budget, true, /*system_states=*/false);
     std::printf("%8u %12.1f %12.1f %12.1f %12.1f\n", d, g.peak_bytes / 1024.0,
                 lg.stored_bytes / 1024.0, lo.stored_bytes / 1024.0, ll.stored_bytes / 1024.0);
   }
   std::printf("\n# paper: B-DFS exponential; every LMC variant flat (~200 KB total),\n");
   std::printf("# growing linearly with depth.\n");
+
+  obs::BenchRecord rec("bench_fig12_memory", "max_depth");
+  rec.param("depth", static_cast<std::uint64_t>(max_depth));
+  rec.metric("bdfs_peak_bytes", static_cast<std::uint64_t>(g.peak_bytes));
+  rec.metric("lmc_gen_stored_bytes", static_cast<std::uint64_t>(lg.stored_bytes));
+  rec.metric("lmc_opt_stored_bytes", static_cast<std::uint64_t>(lo.stored_bytes));
+  rec.metric("lmc_local_stored_bytes", static_cast<std::uint64_t>(ll.stored_bytes));
+  rec.emit();
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "mc/local_mc.hpp"
+#include "obs/bench_schema.hpp"
 #include "mc/soundness.hpp"
 #include "net/monotonic_network.hpp"
 #include "protocols/paxos.hpp"
@@ -108,6 +109,30 @@ void BM_FullLmcOneProposal(benchmark::State& state) {
 }
 BENCHMARK(BM_FullLmcOneProposal);
 
+// Console output plus one "lmc-bench/1" record per benchmark, so the micro
+// numbers land in the same $LMC_BENCH_JSON stream as every other harness.
+class UnifiedReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      obs::BenchRecord rec("bench_micro", run.benchmark_name());
+      rec.metric("real_time_ns", run.GetAdjustedRealTime());
+      rec.metric("cpu_time_ns", run.GetAdjustedCPUTime());
+      rec.metric("iterations", static_cast<std::uint64_t>(run.iterations));
+      rec.emit();
+    }
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  UnifiedReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -140,6 +140,14 @@ int main() {
                 static_cast<unsigned long long>(mc.stats().system_states),
                 static_cast<unsigned long long>(mc.stats().confirmed_violations),
                 match ? "yes" : "NO");
+    obs::BenchRecord rec("bench_parallel_combos", "threads");
+    rec.param("threads", static_cast<std::uint64_t>(threads));
+    rec.param("depth", static_cast<std::uint64_t>(depth));
+    add_lmc_metrics(rec, mc.stats());
+    rec.metric("phase2_s", phase2);
+    rec.metric("phase2_speedup", phase2 > 0 ? phase2_base / phase2 : 0.0);
+    rec.metric("fingerprint_match", static_cast<std::uint64_t>(match ? 1 : 0));
+    rec.emit();
   }
   std::printf("# determinism: confirmed violations & witnesses %s across thread counts\n",
               all_match ? "identical" : "DIVERGED");

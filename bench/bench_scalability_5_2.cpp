@@ -51,5 +51,13 @@ int main() {
               bdfs_reached, explore_reached, full_reached);
   std::printf("# paper's LMC wall was also verification: ~10s per soundness call at its\n");
   std::printf("# deepest level; exploration itself is the part LMC makes cheap.\n");
+
+  obs::BenchRecord rec("bench_scalability_5_2", "deepest_completed");
+  rec.param("budget_s", budget);
+  rec.param("max_depth", static_cast<std::uint64_t>(max_depth));
+  rec.metric("bdfs_depth", static_cast<std::uint64_t>(bdfs_reached));
+  rec.metric("lmc_explore_depth", static_cast<std::uint64_t>(explore_reached));
+  rec.metric("lmc_full_depth", static_cast<std::uint64_t>(full_reached));
+  rec.emit();
   return 0;
 }

@@ -27,5 +27,18 @@ int main() {
               static_cast<unsigned long long>(l.node_states), l.completed ? "yes" : "NO");
   std::printf("\n# ratio: %.1fx fewer transitions (paper: 157,332 vs 1,186 = ~132x)\n",
               static_cast<double>(g.transitions) / static_cast<double>(l.transitions));
+
+  {
+    obs::BenchRecord rec("bench_tab_transitions", "bdfs");
+    add_gmc_metrics(rec, g);
+    rec.emit();
+  }
+  {
+    obs::BenchRecord rec("bench_tab_transitions", "lmc");
+    add_lmc_metrics(rec, l);
+    rec.metric("transition_ratio",
+               static_cast<double>(g.transitions) / static_cast<double>(l.transitions));
+    rec.emit();
+  }
   return 0;
 }

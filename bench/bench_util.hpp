@@ -14,6 +14,7 @@
 
 #include "mc/global_mc.hpp"
 #include "mc/local_mc.hpp"
+#include "obs/bench_schema.hpp"
 #include "protocols/paxos.hpp"
 
 namespace lmc::bench {
@@ -96,6 +97,34 @@ inline LocalMcStats run_lmc(const SystemConfig& cfg, const Invariant* inv, std::
   LocalModelChecker mc(cfg, inv, opt);
   mc.run_from_initial();
   return mc.stats();
+}
+
+/// The LocalMcStats core every unified bench record shares. Callers add
+/// their case-specific params/metrics on top and call rec.emit().
+inline void add_lmc_metrics(obs::BenchRecord& rec, const LocalMcStats& s) {
+  rec.metric("transitions", s.transitions);
+  rec.metric("node_states", s.node_states);
+  rec.metric("system_states", s.system_states);
+  rec.metric("prelim_violations", s.prelim_violations);
+  rec.metric("confirmed_violations", s.confirmed_violations);
+  rec.metric("soundness_calls", s.soundness_calls);
+  rec.metric("deferred_dropped", s.deferred_dropped);
+  rec.metric("stored_bytes", static_cast<std::uint64_t>(s.stored_bytes));
+  rec.metric("elapsed_s", s.elapsed_s);
+  rec.metric("soundness_s", s.soundness_s);
+  rec.metric("soundness_wall_s", s.soundness_wall_s);
+  rec.metric("deferred_s", s.deferred_s);
+  rec.metric("completed", static_cast<std::uint64_t>(s.completed ? 1 : 0));
+}
+
+/// Same for the global checker baseline.
+inline void add_gmc_metrics(obs::BenchRecord& rec, const GlobalMcStats& s) {
+  rec.metric("transitions", s.transitions);
+  rec.metric("unique_states", s.unique_states);
+  rec.metric("violations", s.violations);
+  rec.metric("peak_bytes", static_cast<std::uint64_t>(s.peak_bytes));
+  rec.metric("elapsed_s", s.elapsed_s);
+  rec.metric("completed", static_cast<std::uint64_t>(s.completed ? 1 : 0));
 }
 
 /// One flat JSON object emitted as a single line ("JSON lines" output, one

@@ -76,6 +76,17 @@ ModeResult run_mode(const char* mode, bool warm, const SystemConfig& live_cfg,
       .kv("detecting_checker_s", out.res.checker_elapsed_s)
       .stats(out.res.last_stats);
   j.print();
+
+  obs::BenchRecord rec("bench_warm_online", mode);
+  rec.param("period_s", opt.period);
+  rec.param("seed", seed);
+  rec.metric("found", static_cast<std::uint64_t>(out.res.found ? 1 : 0));
+  rec.metric("checker_runs", static_cast<std::uint64_t>(out.res.runs));
+  rec.metric("live_time_s", out.res.live_time);
+  rec.metric("total_transitions", out.res.total_transitions);
+  rec.metric("total_cache_hits", out.res.total_cache_hits);
+  rec.metric("detecting_checker_s", out.res.checker_elapsed_s);
+  rec.emit();
   return out;
 }
 
@@ -115,5 +126,14 @@ int main() {
       .kv("transitions_saved_frac", saved)
       .kv("warm_strictly_cheaper", ok);
   j.print();
+
+  obs::BenchRecord rec("bench_warm_online", "comparison");
+  rec.param("seed", seed);
+  rec.metric("cold_transitions", cold.res.total_transitions);
+  rec.metric("warm_transitions", warm.res.total_transitions);
+  rec.metric("warm_cache_hits", warm.res.total_cache_hits);
+  rec.metric("transitions_saved_frac", saved);
+  rec.metric("warm_strictly_cheaper", static_cast<std::uint64_t>(ok ? 1 : 0));
+  rec.emit();
   return ok ? 0 : 1;
 }

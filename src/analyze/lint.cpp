@@ -805,7 +805,21 @@ std::string to_json(const LintResult& r) {
   std::ostringstream os;
   os << "{\"files_scanned\":" << r.files_scanned
      << ",\"machine_classes\":" << r.machine_classes << ",\"suppressed\":" << r.suppressed
-     << ",\"diagnostics\":[";
+     << ",\"rule_counts\":{";
+  // Per-rule firing counts over the whole rule table (zeroes included), so
+  // consumers see which rules were checked, not just which fired. The
+  // diagnostics are sorted by (file, line, col, rule); count per stable ID.
+  bool first = true;
+  for (const RuleInfo& rule : all_rules()) {
+    std::size_t count = 0;
+    for (const Diagnostic& d : r.diagnostics)
+      if (d.rule == rule.id) ++count;
+    if (!first) os << ",";
+    first = false;
+    json_escape(os, rule.id);
+    os << ":" << count;
+  }
+  os << "},\"diagnostics\":[";
   for (std::size_t i = 0; i < r.diagnostics.size(); ++i) {
     const Diagnostic& d = r.diagnostics[i];
     if (i) os << ",";

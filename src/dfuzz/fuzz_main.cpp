@@ -27,6 +27,8 @@
 #include "dfuzz/protogen.hpp"
 #include "dfuzz/shrink.hpp"
 #include "mc/parallel_local_mc.hpp"
+#include "obs/bench_schema.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -44,6 +46,7 @@ struct Args {
   bool audit_validity = false;
   std::string artifact_dir = ".";
   std::string repro_file;
+  std::string trace_dir;  ///< when set, per-seed "lmc-trace/1" JSONL files land here
   bool verbose = false;
 };
 
@@ -51,7 +54,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: lmc_fuzz [--seed S] [--runs N] [--max-nodes K] [--threads T]\n"
                "                [--lmc-threads L] [--time-budget SEC] [--audit-every K]\n"
-               "                [--audit-validity] [--artifact-dir DIR] [--verbose]\n"
+               "                [--audit-validity] [--artifact-dir DIR] [--trace-dir DIR]\n"
+               "                [--verbose]\n"
                "       lmc_fuzz --repro FILE\n");
   return 2;
 }
@@ -81,6 +85,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.audit_validity = true;
     } else if (arg == "--artifact-dir" && (v = next())) {
       a.artifact_dir = v;
+    } else if (arg == "--trace-dir" && (v = next())) {
+      a.trace_dir = v;
     } else if (arg == "--repro" && (v = next())) {
       a.repro_file = v;
     } else {
@@ -184,7 +190,18 @@ int main(int argc, char** argv) {
       const std::uint64_t seed = args.seed + i;
       try {
         GeneratedProtocol p = instantiate(generate_spec(seed, lim));
-        results[i].report = DiffOracle(oopt).check(p.cfg, p.invariant.get());
+        if (args.trace_dir.empty()) {
+          results[i].report = DiffOracle(oopt).check(p.cfg, p.invariant.get());
+        } else {
+          // Per-seed sink and file: seeds fan out over workers, so the trace
+          // must not be shared across them.
+          obs::TraceSink sink;
+          OracleOptions topt = oopt;
+          topt.trace = &sink;
+          results[i].report = DiffOracle(topt).check(p.cfg, p.invariant.get());
+          sink.write_jsonl(args.trace_dir + "/dfuzz_trace_seed" + std::to_string(seed) +
+                           ".jsonl");
+        }
       } catch (const std::exception& e) {
         results[i].error = e.what();
       }
@@ -257,6 +274,25 @@ int main(int argc, char** argv) {
     if (args.audit_validity)
       std::printf("  handler executions audited: %" PRIu64 " (%" PRIu64 " validity failure(s))\n",
                   handler_audits, model_invalid);
+
+    obs::BenchRecord rec("lmc_fuzz", "sweep");
+    rec.param("seed", args.seed);
+    rec.param("runs", args.runs);
+    rec.param("max_nodes", static_cast<std::uint64_t>(args.max_nodes));
+    rec.param("lmc_threads", static_cast<std::uint64_t>(args.lmc_threads));
+    rec.metric("ok", ok);
+    rec.metric("inconclusive", inconclusive);
+    rec.metric("disagreements", failed);
+    rec.metric("errors", errored);
+    rec.metric("protocols_with_bugs", with_bugs);
+    rec.metric("gmc_states", gmc_states);
+    rec.metric("gmc_transitions", gmc_transitions);
+    rec.metric("lmc_transitions", lmc_transitions);
+    rec.metric("confirmed_violations", confirmed);
+    rec.metric("witnesses_replayed", replayed);
+    rec.metric("resume_round_trips", resumes);
+    rec.metric("opt_runs", opts);
+    rec.emit();
     return (failed > 0 || errored > 0) ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

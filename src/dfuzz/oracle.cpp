@@ -80,6 +80,7 @@ Blob normalized_checkpoint_bytes(const Blob& checkpoint) {
   img.stats.soundness_s = 0.0;
   img.stats.system_state_s = 0.0;
   img.stats.deferred_s = 0.0;
+  img.stats.soundness_wall_s = 0.0;
   img.stats.stored_bytes = 0;
   return encode_checkpoint(img);
 }
@@ -126,6 +127,7 @@ OracleReport DiffOracle::check(const SystemConfig& cfg, const Invariant* invaria
   lopt.time_budget_s = opt_.lmc_time_budget_s;
   lopt.soundness = opt_.soundness;
   lopt.audit_validity = opt_.audit_validity;
+  lopt.trace = opt_.trace;
   LocalModelChecker l(cfg, invariant, lopt);
   try {
     l.run_from_initial();
@@ -265,13 +267,16 @@ OracleReport DiffOracle::check(const SystemConfig& cfg, const Invariant* invaria
   // --- checkpoint/resume round-trip ------------------------------------------
   if (opt_.check_resume && l.stats().transitions >= 4) {
     LocalMcOptions half = lopt;
+    half.trace = nullptr;
     half.max_transitions = l.stats().transitions / 2;
     LocalModelChecker interrupted(cfg, invariant, half);
     interrupted.run_from_initial();
     const std::string path = scratch_checkpoint_path(opt_.scratch_dir);
     interrupted.save_checkpoint(path);
 
-    LocalModelChecker resumed(cfg, invariant, lopt);
+    LocalMcOptions ropt = lopt;
+    ropt.trace = nullptr;
+    LocalModelChecker resumed(cfg, invariant, ropt);
     resumed.run_resumed(path);
     std::remove(path.c_str());
     rep.resume_checked = true;
@@ -288,6 +293,7 @@ OracleReport DiffOracle::check(const SystemConfig& cfg, const Invariant* invaria
   // --- OPT path: projection-driven system-state creation ----------------------
   if (opt_.check_opt && invariant != nullptr && invariant->has_projection()) {
     LocalMcOptions oopt = lopt;
+    oopt.trace = nullptr;
     oopt.use_projection = true;
     LocalModelChecker o(cfg, invariant, oopt);
     o.run_from_initial();

@@ -28,6 +28,10 @@
 #include "mc/soundness.hpp"
 #include "runtime/state_machine.hpp"
 
+namespace lmc::obs {
+class TraceSink;
+}
+
 namespace lmc::dfuzz {
 
 struct OracleOptions {
@@ -60,6 +64,11 @@ struct OracleOptions {
   /// Directory for the resume round-trip's scratch checkpoint file;
   /// empty = std::filesystem::temp_directory_path().
   std::string scratch_dir;
+
+  /// Optional trace sink attached to the primary GEN-path LMC run only
+  /// (the interrupted/resumed and OPT re-runs stay untraced so one sink
+  /// holds one coherent exploration). Not owned.
+  obs::TraceSink* trace = nullptr;
 
   SoundnessOptions soundness;
 };

@@ -5,12 +5,34 @@
 
 #include "mc/clock.hpp"
 #include "mc/parallel_local_mc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "persist/exec_cache.hpp"
 #include "runtime/audit.hpp"
 
 namespace lmc {
 
 namespace {
+
+using obs::EventType;
+using obs::TraceEvent;
+
+/// Trace-event builder: keeps the emission sites below one-liners.
+TraceEvent tev(EventType type, obs::Phase phase, std::uint32_t round, std::uint64_t a,
+               std::uint64_t b, std::uint64_t c, double dur = 0.0,
+               std::uint32_t node = TraceEvent::kNoNode, std::uint64_t seq = 0) {
+  TraceEvent ev;
+  ev.type = type;
+  ev.phase = phase;
+  ev.round = round;
+  ev.node = node;
+  ev.seq = seq;
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+  ev.dur = dur;
+  return ev;
+}
 
 bool history_contains(const std::vector<Hash64>& hist, Hash64 h) {
   return std::binary_search(hist.begin(), hist.end(), h);
@@ -67,6 +89,7 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
   violations_.clear();
   stop_ = false;
   base_elapsed_s_ = 0.0;
+  cur_round_ = 0;
 
   CheckerEpoch ep;
   ep.nodes = nodes;
@@ -77,8 +100,12 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
     rec.blob = nodes[n];
     rec.hash = hash_blob(rec.blob);
     rec.depth = 0;
-    ep.roots.push_back(store_.add(n, std::move(rec)));
+    const Hash64 root_hash = rec.hash;
+    const std::uint32_t root_idx = store_.add(n, std::move(rec));
+    ep.roots.push_back(root_idx);
     ++stats_.node_states;
+    LMC_TRACE(opt_.trace, record(tev(EventType::kStateInsert, obs::Phase::kExplore, cur_round_,
+                                     root_idx, root_hash, 0, 0.0, n)));
     if (projecting) {
       Projection p = invariant_->project(cfg_, n, nodes[n]);
       if (!p.empty()) mapped_[n].push_back(0);
@@ -95,6 +122,8 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
       er.is_message = true;
       er.msg = m;
       events_.emplace(h, std::move(er));
+      LMC_TRACE(opt_.trace, record(tev(EventType::kIplusAppend, obs::Phase::kExplore, cur_round_,
+                                       h, net_.size(), 0, 0.0, m.dst)));
     }
   }
   epochs_.push_back(std::move(ep));
@@ -112,6 +141,8 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
 void LocalModelChecker::merge_snapshot(const std::vector<Blob>& nodes,
                                        const std::vector<Message>& in_flight) {
   ++stats_.warm_merges;
+  const std::uint64_t pre_root_hits = stats_.warm_root_hits;
+  const std::uint64_t pre_msgs_reused = stats_.warm_msgs_reused;
   CheckerEpoch ep;
   ep.nodes = nodes;
   ep.msgs = in_flight;
@@ -129,6 +160,8 @@ void LocalModelChecker::merge_snapshot(const std::vector<Blob>& nodes,
       ++stats_.node_states;
       ++stats_.warm_new_roots;
       fresh.emplace_back(n, idx);
+      LMC_TRACE(opt_.trace, record(tev(EventType::kStateInsert, obs::Phase::kExplore, cur_round_,
+                                       idx, h, 0, 0.0, n)));
       if (projecting) {
         Projection p = invariant_->project(cfg_, n, nodes[n]);
         if (!p.empty()) mapped_[n].push_back(idx);
@@ -147,11 +180,16 @@ void LocalModelChecker::merge_snapshot(const std::vector<Blob>& nodes,
       er.is_message = true;
       er.msg = m;
       events_.emplace(h, std::move(er));
+      LMC_TRACE(opt_.trace, record(tev(EventType::kIplusAppend, obs::Phase::kExplore, cur_round_,
+                                       h, net_.size(), 0, 0.0, m.dst)));
     } else {
       ++stats_.warm_msgs_reused;
     }
   }
   epochs_.push_back(std::move(ep));
+  LMC_TRACE(opt_.trace, record(tev(EventType::kWarmMerge, obs::Phase::kRun, cur_round_,
+                                   fresh.size(), stats_.warm_root_hits - pre_root_hits,
+                                   stats_.warm_msgs_reused - pre_msgs_reused)));
 
   // Fresh roots are new node states: check their combinations like any
   // other (after the epoch is registered — soundness must see its seed).
@@ -159,8 +197,14 @@ void LocalModelChecker::merge_snapshot(const std::vector<Blob>& nodes,
     for (const auto& [n, idx] : fresh) {
       if (stop_) break;
       const double t0 = now_s();
+      const std::uint64_t pre_ss = stats_.system_states;
+      const std::uint64_t pre_pv = stats_.prelim_violations;
       check_combinations(n, idx);
-      stats_.system_state_s += now_s() - t0;
+      const double dt = now_s() - t0;
+      stats_.system_state_s += dt;
+      LMC_TRACE(opt_.trace, record(tev(EventType::kComboSweep, obs::Phase::kSweep, cur_round_,
+                                       /*site=*/1, stats_.system_states - pre_ss,
+                                       stats_.prelim_violations - pre_pv, dt, n)));
     }
   }
 }
@@ -232,6 +276,7 @@ void LocalModelChecker::execute_tasks(const std::vector<Task>& tasks,
                                       std::vector<std::vector<Exec>>& results) {
   results.assign(tasks.size(), {});
   ExecCache* cache = opt_.exec_cache;
+  obs::TraceSink* const tsink = opt_.trace;
   pool_run(tasks.size(), [&](std::size_t i) {
     const Task& t = tasks[i];
     const NodeStateRec& rec = store_.rec(t.node, t.state_idx);
@@ -242,6 +287,7 @@ void LocalModelChecker::execute_tasks(const std::vector<Task>& tasks,
       ex.ev_hash = e.hash;
       ex.node = t.node;
       ex.pred_idx = t.state_idx;
+      const double tr0 = tsink != nullptr ? now_s() : 0.0;
       if (cache != nullptr && cache->lookup(e.hash, rec.hash, ex.result)) {
         ex.cached = true;
       } else {
@@ -253,6 +299,10 @@ void LocalModelChecker::execute_tasks(const std::vector<Task>& tasks,
         }
         if (cache != nullptr) cache->insert(e.hash, rec.hash, ex.result);
       }
+      if (tsink != nullptr)
+        tsink->record_worker(tev(EventType::kHandlerRun, obs::Phase::kExplore, cur_round_,
+                                 /*is_message=*/1, ex.ev_hash, ex.cached ? 1 : 0,
+                                 now_s() - tr0, t.node, i));
       results[i].push_back(std::move(ex));
     } else {
       for (const InternalEvent& ev : internal_events_of(cfg_, t.node, rec.blob)) {
@@ -262,6 +312,7 @@ void LocalModelChecker::execute_tasks(const std::vector<Task>& tasks,
         ex.node = t.node;
         ex.pred_idx = t.state_idx;
         ex.ev = ev;
+        const double tr0 = tsink != nullptr ? now_s() : 0.0;
         if (cache != nullptr && cache->lookup(ex.ev_hash, rec.hash, ex.result)) {
           ex.cached = true;
         } else {
@@ -273,10 +324,17 @@ void LocalModelChecker::execute_tasks(const std::vector<Task>& tasks,
           }
           if (cache != nullptr) cache->insert(ex.ev_hash, rec.hash, ex.result);
         }
+        if (tsink != nullptr)
+          tsink->record_worker(tev(EventType::kHandlerRun, obs::Phase::kExplore, cur_round_,
+                                   /*is_message=*/0, ex.ev_hash, ex.cached ? 1 : 0,
+                                   now_s() - tr0, t.node, i));
         results[i].push_back(std::move(ex));
       }
     }
   });
+  // Bracketed drain point: workers are idle again, so the lane buffers merge
+  // into the master stream here, sorted by the deterministic task index.
+  if (tsink != nullptr) tsink->drain_workers();
 }
 
 void LocalModelChecker::apply_exec(const Exec& e) {
@@ -286,6 +344,11 @@ void LocalModelChecker::apply_exec(const Exec& e) {
     ++stats_.warm_pairs_skipped;
   else
     ++stats_.transitions;
+  // outcome: 0 new state, 1 dedup/new path, 2 self-loop, 3 assert-discard.
+  auto apply_ev = [&](std::uint64_t outcome) {
+    LMC_TRACE(opt_.trace, record(tev(EventType::kHandlerApply, obs::Phase::kExplore, cur_round_,
+                                     e.cached ? 1 : 0, e.ev_hash, outcome, 0.0, e.node)));
+  };
   // addNextState (Fig. 9): register generated messages in I+ first — BEFORE
   // the local-assert policy can discard the successor state. The handler
   // really sent these messages before its assertion fired, and I+ is
@@ -303,6 +366,8 @@ void LocalModelChecker::apply_exec(const Exec& e) {
       er.is_message = true;
       er.msg = m;
       events_.emplace(h, std::move(er));
+      LMC_TRACE(opt_.trace, record(tev(EventType::kIplusAppend, obs::Phase::kExplore, cur_round_,
+                                       h, net_.size(), 0, 0.0, m.dst)));
     }
   }
 
@@ -315,7 +380,10 @@ void LocalModelChecker::apply_exec(const Exec& e) {
     // manifest as a system-invariant violation. The messages stay in I+
     // either way; no predecessor edge generates them, so soundness
     // verification will not schedule deliveries that depend on them.
-    if (opt_.assert_policy == LocalMcOptions::AssertPolicy::DiscardState) return;
+    if (opt_.assert_policy == LocalMcOptions::AssertPolicy::DiscardState) {
+      apply_ev(3);
+      return;
+    }
   }
 
   if (!e.is_message) {
@@ -336,6 +404,7 @@ void LocalModelChecker::apply_exec(const Exec& e) {
       pred.self_loops.push_back(Pred{e.pred_idx, e.is_message, e.ev_hash, std::move(gen)});
       ++pred_edges_[e.node];
     }
+    apply_ev(2);
     return;
   }
 
@@ -346,6 +415,7 @@ void LocalModelChecker::apply_exec(const Exec& e) {
     store_.rec(e.node, existing)
         .preds.push_back(Pred{e.pred_idx, e.is_message, e.ev_hash, std::move(gen)});
     ++pred_edges_[e.node];
+    apply_ev(1);
     return;
   }
 
@@ -360,6 +430,9 @@ void LocalModelChecker::apply_exec(const Exec& e) {
   const std::uint32_t idx = store_.add(e.node, std::move(rec));
   ++stats_.node_states;
   stats_.max_chain_depth_reached = std::max(stats_.max_chain_depth_reached, pred.depth + 1);
+  apply_ev(0);
+  LMC_TRACE(opt_.trace, record(tev(EventType::kStateInsert, obs::Phase::kExplore, cur_round_,
+                                   idx, h2, pred.depth + 1, 0.0, e.node)));
 
   if (invariant_ != nullptr && invariant_->has_projection()) {
     Projection p = invariant_->project(cfg_, e.node, store_.rec(e.node, idx).blob);
@@ -369,8 +442,14 @@ void LocalModelChecker::apply_exec(const Exec& e) {
 
   if (opt_.enable_system_states && invariant_ != nullptr && !stop_) {
     const double t0 = now_s();
+    const std::uint64_t pre_ss = stats_.system_states;
+    const std::uint64_t pre_pv = stats_.prelim_violations;
     check_combinations(e.node, idx);
-    stats_.system_state_s += now_s() - t0;
+    const double dt = now_s() - t0;
+    stats_.system_state_s += dt;
+    LMC_TRACE(opt_.trace, record(tev(EventType::kComboSweep, obs::Phase::kSweep, cur_round_,
+                                     /*site=*/0, stats_.system_states - pre_ss,
+                                     stats_.prelim_violations - pre_pv, dt, e.node)));
   }
 }
 
@@ -463,6 +542,7 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
     return;
   }
 
+  // Kind values align with the obs::kVerdict* constants by construction.
   enum class Kind : std::uint8_t { Skipped, FeasSkip, Sound, Unsound, Defer };
   struct Outcome {
     Kind kind = Kind::Skipped;
@@ -471,6 +551,9 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
   };
   std::vector<Outcome> out(jobs.size());
   const std::vector<EpochSeed> seeds = epoch_seeds();
+  obs::TraceSink* const tsink = opt_.trace;
+  const obs::Phase tphase = phase2 ? obs::Phase::kDrain : obs::Phase::kSoundness;
+  const double wall_t0 = now_s();
 
   // Fan out: every job is verified independently against the frozen stores
   // by its own SoundnessVerifier instance; outcomes land in per-job slots.
@@ -500,7 +583,12 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
     o.secs = now_s() - t0;
     o.kind = o.res.sound ? Kind::Sound
                          : (quick && o.res.truncated ? Kind::Defer : Kind::Unsound);
+    if (tsink != nullptr)
+      tsink->record_worker(tev(EventType::kSoundnessRun, tphase, cur_round_,
+                               static_cast<std::uint64_t>(o.kind), 0, phase2 ? 1 : 0, o.secs,
+                               TraceEvent::kNoNode, i));
   });
+  if (tsink != nullptr) tsink->drain_workers();
 
   // Deterministic merge in enumeration/queue order: counters, the deferred
   // queue and confirmed violations come out identical for any thread count.
@@ -530,10 +618,18 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
         deferred_.push_back(std::move(d));
         ++stats_.soundness_deferred;
       } else {
-        stats_.deferred_dropped = true;
+        ++stats_.deferred_dropped;
       }
     };
+    // dur carries exactly the seconds added to stats_.soundness_s for this
+    // job (0 when none were), so a report's sum reproduces it bit-for-bit.
+    auto verdict_ev = [&](double secs) {
+      LMC_TRACE(tsink, record(tev(EventType::kSoundnessVerdict, tphase, cur_round_,
+                                  static_cast<std::uint64_t>(o.kind), o.res.schedules_checked,
+                                  phase2 ? 1 : 0, secs, TraceEvent::kNoNode, i)));
+    };
     if (o.kind == Kind::FeasSkip) {
+      verdict_ev(0.0);
       if (!phase2) {
         defer(std::move(jobs[i]));
         continue;
@@ -545,6 +641,7 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
     ++stats_.soundness_calls;
     stats_.soundness_s += o.secs;
     stats_.sequences_checked += o.res.schedules_checked;
+    verdict_ev(o.secs);
     switch (o.kind) {
       case Kind::Sound:
         record_confirmed(jobs[i].combo, std::move(o.res));
@@ -565,6 +662,13 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
         break;
     }
   }
+
+  // Wall seconds of the whole phase, as seen by this (merging) thread — the
+  // counterpart to the AGGREGATE soundness_s summed across workers above.
+  const double wall_dt = now_s() - wall_t0;
+  stats_.soundness_wall_s += wall_dt;
+  LMC_TRACE(tsink, record(tev(EventType::kSoundnessPhase, tphase, cur_round_, jobs.size(),
+                              phase2 ? 1 : 0, 0, wall_dt)));
 }
 
 void LocalModelChecker::record_confirmed(const std::vector<std::uint32_t>& combo,
@@ -593,14 +697,20 @@ void LocalModelChecker::process_deferred() {
   const double t0 = now_s();
   std::vector<Deferred> jobs;
   jobs.swap(deferred_);
+  const std::size_t n_jobs = jobs.size();
   verify_prelims(std::move(jobs), /*phase2=*/true);
-  stats_.deferred_s += now_s() - t0;
+  const double dt = now_s() - t0;
+  stats_.deferred_s += dt;
+  LMC_TRACE(opt_.trace, record(tev(EventType::kDeferralDrain, obs::Phase::kDrain, cur_round_,
+                                   n_jobs, 0, 0, dt)));
 }
 
 void LocalModelChecker::check_snapshot_combination(const std::vector<std::uint32_t>& roots) {
   if (!opt_.enable_system_states || invariant_ == nullptr) return;
   std::vector<std::uint32_t> combo = roots;
   const double t0 = now_s();
+  const std::uint64_t pre_ss = stats_.system_states;
+  const std::uint64_t pre_pv = stats_.prelim_violations;
   if (opt_.use_projection && invariant_->has_projection()) {
     // LMC-OPT materializes a system state only when projections flag a
     // possible violation (keeps "OPT creates zero system states" exact on
@@ -609,7 +719,11 @@ void LocalModelChecker::check_snapshot_combination(const std::vector<std::uint32
   } else {
     check_one_combination(combo);
   }
-  stats_.system_state_s += now_s() - t0;
+  const double dt = now_s() - t0;
+  stats_.system_state_s += dt;
+  LMC_TRACE(opt_.trace, record(tev(EventType::kComboSweep, obs::Phase::kSweep, cur_round_,
+                                   /*site=*/2, stats_.system_states - pre_ss,
+                                   stats_.prelim_violations - pre_pv, dt)));
 }
 
 void LocalModelChecker::check_combinations(NodeId n, std::uint32_t idx) {
@@ -801,6 +915,37 @@ void LocalModelChecker::sweep_opt(NodeId n, std::uint32_t idx, std::vector<Defer
     if (hit[i]) emit(cands[i].m, cands[i].j, /*pair=*/true);
 }
 
+void LocalModelChecker::metrics_sample(const char* where, std::uint64_t frontier, bool force) {
+  obs::MetricsSink* const ms = opt_.metrics;
+  if (ms == nullptr) return;
+  obs::MetricsSnapshot snap;
+  snap.where = where;
+  snap.round = cur_round_;
+  snap.transitions = stats_.transitions;
+  snap.states_total = stats_.node_states;
+  snap.iplus_total = net_.size();
+  snap.frontier = frontier;
+  snap.deferred_depth = deferred_.size();
+  // The ExecCache hit rate over handler work: cached replays vs executions.
+  snap.exec_hits = stats_.warm_pairs_skipped;
+  snap.exec_misses = stats_.transitions;
+  snap.combos = stats_.system_states;
+  snap.prelim = stats_.prelim_violations;
+  snap.confirmed = stats_.confirmed_violations;
+  const double elapsed = base_elapsed_s_ + (now_s() - run_t0_);
+  snap.sweep_s = stats_.system_state_s;
+  snap.soundness_wall_s = stats_.soundness_wall_s;
+  snap.deferred_s = stats_.deferred_s;
+  // Exploration wall time is what is left of elapsed once the (serialized)
+  // sweep and drain windows are taken out; soundness phase 1 runs inside
+  // the sweep window, so it is not subtracted again.
+  snap.explore_s = std::max(0.0, elapsed - stats_.system_state_s - stats_.deferred_s);
+  if (force)
+    ms->force(snap);
+  else
+    ms->tick(snap);
+}
+
 void LocalModelChecker::refresh_memory_stats() {
   stats_.stored_bytes = std::max(stats_.stored_bytes, store_.bytes() + net_.bytes());
 }
@@ -819,6 +964,7 @@ void LocalModelChecker::maybe_auto_checkpoint() {
   last_checkpoint_s_ = now;
   ++stats_.checkpoints_written;  // before encoding: the file must carry it
   finalize_stats();
+  bool ok = true;
   try {
     save_checkpoint(opt_.checkpoint_path);
   } catch (const std::exception&) {
@@ -827,7 +973,11 @@ void LocalModelChecker::maybe_auto_checkpoint() {
     // interval retries with a fresh image.
     --stats_.checkpoints_written;
     ++stats_.checkpoint_failures;
+    ok = false;
   }
+  LMC_TRACE(opt_.trace, record(tev(EventType::kCheckpointSave, obs::Phase::kCheckpoint,
+                                   cur_round_, ok ? 1 : 0, stats_.checkpoints_written, 0,
+                                   now_s() - now)));
 }
 
 // Apply one round's executions. Budget stops happen at task-group
@@ -861,23 +1011,43 @@ void LocalModelChecker::run_rounds() {
   std::vector<Task> tasks;
   std::vector<std::vector<Exec>> results;
 
+  auto run_end_ev = [&] {
+    LMC_TRACE(opt_.trace, record(tev(EventType::kRunEnd, obs::Phase::kRun, cur_round_,
+                                     stats_.transitions, stats_.confirmed_violations,
+                                     stats_.completed ? 1 : 0, stats_.elapsed_s)));
+    metrics_sample("end", 0, /*force=*/true);
+  };
+
   // A run that starts already over budget (e.g. resumed from a checkpoint
   // whose recorded elapsed time exceeds the budget) does no work at all:
   // pending tasks stay pending for the next resume.
   if (budget_exceeded()) {
     stats_.completed = false;
     finalize_stats();
+    run_end_ev();
     return;
   }
+
+  auto round = [&] {
+    ++cur_round_;
+    LMC_TRACE(opt_.trace, record(tev(EventType::kRoundBegin, obs::Phase::kRun, cur_round_,
+                                     tasks.size(), 0, 0)));
+    const double t0 = now_s();
+    execute_tasks(tasks, results);
+    apply_round(tasks, results);
+    refresh_memory_stats();
+    LMC_TRACE(opt_.trace, record(tev(EventType::kRoundEnd, obs::Phase::kRun, cur_round_,
+                                     tasks.size(), stats_.node_states, net_.size(),
+                                     now_s() - t0)));
+    metrics_sample("round", tasks.size(), /*force=*/false);
+  };
 
   // Resume path: finish the round that was interrupted (its cursors had
   // already advanced past these tasks when the checkpoint was taken).
   if (!pending_tasks_.empty() && !stop_) {
     tasks = std::move(pending_tasks_);
     pending_tasks_.clear();
-    execute_tasks(tasks, results);
-    apply_round(tasks, results);
-    refresh_memory_stats();
+    round();
   }
 
   while (!stop_) {
@@ -886,22 +1056,24 @@ void LocalModelChecker::run_rounds() {
       break;
     }
     if (!collect_tasks(tasks)) break;  // fixpoint: exploration exhausted
-    execute_tasks(tasks, results);
-    apply_round(tasks, results);
-    refresh_memory_stats();
+    round();
     maybe_auto_checkpoint();
   }
   // Phase 2: re-verify the combinations the quick pass could not decide.
   if (!stop_) process_deferred();
   if (stop_ && !violations_.empty()) stats_.completed = false;
   finalize_stats();
+  run_end_ev();
 }
 
 void LocalModelChecker::run(const std::vector<Blob>& nodes,
                             const std::vector<Message>& in_flight) {
   run_t0_ = now_s();
   deadline_ = run_t0_ + opt_.time_budget_s;
+  LMC_TRACE(opt_.trace, record(tev(EventType::kRunBegin, obs::Phase::kRun, 0, /*mode=*/0, 0,
+                                   opt_.num_threads)));
   init_run(nodes, in_flight);
+  metrics_sample("begin", 0, /*force=*/true);
   check_snapshot_combination(epochs_.front().roots);
   run_rounds();
 }
@@ -918,6 +1090,8 @@ void LocalModelChecker::run_warm(const std::vector<Blob>& nodes,
   deadline_ = run_t0_ + opt_.time_budget_s;  // time budget is per call
   base_elapsed_s_ = stats_.elapsed_s;        // wall clock accumulates
   stop_ = false;
+  LMC_TRACE(opt_.trace, record(tev(EventType::kRunBegin, obs::Phase::kRun, cur_round_,
+                                   /*mode=*/1, stats_.transitions, opt_.num_threads)));
   merge_snapshot(nodes, in_flight);
   check_snapshot_combination(epochs_.back().roots);
   run_rounds();
@@ -929,6 +1103,8 @@ void LocalModelChecker::run_resumed(const std::string& path) {
   // Whatever wall clock the interrupted run already consumed counts against
   // the budget (inf - x == inf keeps unbounded runs unbounded).
   deadline_ = run_t0_ + (opt_.time_budget_s - base_elapsed_s_);
+  LMC_TRACE(opt_.trace, record(tev(EventType::kRunBegin, obs::Phase::kRun, cur_round_,
+                                   /*mode=*/2, stats_.transitions, opt_.num_threads)));
   run_rounds();
 }
 
@@ -1020,6 +1196,7 @@ void LocalModelChecker::load_checkpoint_bytes(const Blob& data) {
   }
   clear_feas_cache();
   combo_probe_ = 0;
+  cur_round_ = 0;  // trace/metrics round attribution restarts per segment
   stop_ = false;
   initialized_ = true;
   base_elapsed_s_ = stats_.elapsed_s;

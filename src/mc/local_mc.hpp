@@ -45,6 +45,12 @@ namespace lmc {
 
 class ExecCache;
 
+namespace obs {
+class TraceSink;
+class MetricsSink;
+struct MetricsSnapshot;
+}  // namespace obs
+
 struct LocalMcOptions {
   /// Expand a node state only while its chain depth is below this.
   std::uint32_t max_chain_depth = std::numeric_limits<std::uint32_t>::max();
@@ -98,6 +104,22 @@ struct LocalMcOptions {
   /// it; under a wall-clock budget a cached run simply gets further before
   /// the cutoff (replays are cheaper than executions).
   ExecCache* exec_cache = nullptr;
+
+  /// Structured exploration tracing (obs/trace.hpp). nullptr (the default)
+  /// disables tracing at near-zero cost: every call site is a null-pointer
+  /// test, no event is allocated. The trace's identity content is a pure
+  /// function of the exploration — attaching a sink never perturbs results,
+  /// and the same run traces identically at any num_threads (DESIGN.md §10).
+  /// The sink is runtime-only state: it is never serialized to checkpoints,
+  /// and a resumed run's trace covers only its own segment (kRunBegin
+  /// carries the carried-over transition count).
+  obs::TraceSink* trace = nullptr;
+
+  /// Heartbeat metrics (obs/metrics.hpp). nullptr disables. The checker
+  /// offers a snapshot at round boundaries and run book-ends; the sink's
+  /// interval decides what is recorded. Attribution only — never affects
+  /// exploration.
+  obs::MetricsSink* metrics = nullptr;
 
   /// ModelValidityAuditor (runtime/audit.hpp): audit every non-cached
   /// handler execution for determinism, round-trip identity and hidden
@@ -268,6 +290,10 @@ class LocalModelChecker {
   double base_elapsed_s_ = 0.0;       ///< elapsed_s carried over from prior runs
   double run_t0_ = 0.0;               ///< wall start of the current run segment
   double last_checkpoint_s_ = 0.0;
+  /// Round counter for trace/metrics attribution. Runtime-only (NOT in
+  /// checkpoints): a resumed segment's trace numbers rounds from 0 again.
+  std::uint32_t cur_round_ = 0;
+  void metrics_sample(const char* where, std::uint64_t frontier, bool force);
 
   /// Message hashes each node's recorded transitions can generate; feeds
   /// the per-member feasibility pre-check (see SoundnessVerifier).

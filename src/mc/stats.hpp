@@ -32,7 +32,7 @@ struct LocalMcStats {
   std::uint64_t feasibility_skips = 0;    ///< combos rejected by the cached member pre-check
   std::uint64_t soundness_deferred = 0;   ///< quick-pass truncations queued for phase 2
   std::uint64_t deferred_processed = 0;   ///< phase-2 verifications completed
-  bool deferred_dropped = false;          ///< deferred queue overflowed (possible misses)
+  std::uint64_t deferred_dropped = 0;     ///< deferrals lost to queue overflow (possible misses)
   std::uint64_t sequences_checked = 0;    ///< isSequenceValid invocations (§5.4: 427,731)
   std::uint64_t seq_enum_truncated = 0;   ///< sequence enumeration hit a cap
   std::uint64_t combo_truncated = 0;      ///< combination enumeration hit a cap
@@ -51,7 +51,10 @@ struct LocalMcStats {
   double elapsed_s = 0.0;
   double soundness_s = 0.0;               ///< time inside soundness verification; with
                                           ///< num_threads > 1 this sums per-call durations
-                                          ///< across workers (aggregate, not wall, seconds)
+                                          ///< across workers (AGGREGATE, not wall, seconds —
+                                          ///< it can exceed elapsed_s; see soundness_wall_s)
+  double soundness_wall_s = 0.0;          ///< wall time of the soundness phases as observed
+                                          ///< by the merging thread (always <= elapsed_s)
   double system_state_s = 0.0;            ///< wall time creating/checking system states
   double deferred_s = 0.0;                ///< wall time in the phase-2 deferred drain
   bool completed = false;

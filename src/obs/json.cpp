@@ -1,0 +1,250 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lmc::obs {
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  bool fail(const std::string& what) {
+    if (err.empty()) err = what;
+    return false;
+  }
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+
+  bool literal(const char* s) {
+    const char* q = p;
+    while (*s != '\0') {
+      if (q >= end || *q != *s) return false;
+      ++q;
+      ++s;
+    }
+    p = q;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    out.clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return fail("unterminated escape");
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (end - p < 5) return fail("truncated \\u escape");
+            unsigned cp = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char c = p[i];
+              cp <<= 4;
+              if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            p += 4;
+            // UTF-8 encode (surrogate pairs are left as-is: the obs
+            // records never emit them).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xc0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        ++p;
+      } else {
+        out += *p++;
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(JsonValue& v, int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    if (*p == '{') {
+      ++p;
+      v.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (p >= end || *p != ':') return fail("expected ':'");
+        ++p;
+        JsonValue val;
+        if (!parse_value(val, depth + 1)) return false;
+        v.fields.emplace_back(std::move(key), std::move(val));
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (*p == '[') {
+      ++p;
+      v.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        JsonValue item;
+        if (!parse_value(item, depth + 1)) return false;
+        v.items.push_back(std::move(item));
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (*p == '"') {
+      v.kind = JsonValue::Kind::kString;
+      return parse_string(v.str);
+    }
+    if (literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      v.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    // Number.
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    while (p < end && *p >= '0' && *p <= '9') ++p;
+    if (p < end && *p == '.') {
+      ++p;
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    if (p == start) return fail("unexpected character");
+    v.kind = JsonValue::Kind::kNumber;
+    v.raw.assign(start, p);
+    v.number = std::strtod(v.raw.c_str(), nullptr);
+    return true;
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  for (const auto& [k, val] : fields)
+    if (k == key) return &val;
+  return nullptr;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (kind != Kind::kNumber) return 0;
+  if (!raw.empty() && raw.find_first_of(".eE-") == std::string::npos)
+    return std::strtoull(raw.c_str(), nullptr, 10);
+  return number < 0 ? 0 : static_cast<std::uint64_t>(number);
+}
+
+double JsonValue::as_double() const { return kind == Kind::kNumber ? number : 0.0; }
+
+bool json_parse(const std::string& text, JsonValue& out, std::string* err) {
+  Parser ps{text.data(), text.data() + text.size(), {}};
+  out = JsonValue{};
+  if (!ps.parse_value(out, 0)) {
+    if (err != nullptr) *err = ps.err;
+    return false;
+  }
+  ps.skip_ws();
+  if (ps.p != ps.end) {
+    if (err != nullptr) *err = "trailing garbage after document";
+    return false;
+  }
+  return true;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace lmc::obs

@@ -1,0 +1,54 @@
+// Minimal JSON support for the observability layer: a writer for flat
+// records and a small recursive-descent parser for ingesting them back
+// (lmc_report, schema validation). Deliberately tiny — no external
+// dependency, no DOM features beyond what the obs tools need:
+//  * values: null, bool, number (stored as double AND as the raw token so
+//    64-bit counters survive the round trip), string, array, object;
+//  * objects preserve insertion order (validation reports stable paths);
+//  * strings support the \" \\ \/ \b \f \n \r \t and \uXXXX escapes
+//    (\u is decoded to UTF-8).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lmc::obs {
+
+struct JsonValue {
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw;     ///< numbers: the exact source token (u64-safe)
+  std::string str;
+  std::vector<JsonValue> items;                          ///< arrays
+  std::vector<std::pair<std::string, JsonValue>> fields; ///< objects, in order
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_bool() const { return kind == Kind::kBool; }
+
+  /// Object field lookup; nullptr when absent (or not an object).
+  const JsonValue* get(const std::string& key) const;
+
+  /// Numbers round-tripped through the raw token; 0 fallbacks otherwise.
+  std::uint64_t as_u64() const;
+  double as_double() const;
+};
+
+/// Parse one JSON document. Returns false (and sets *err, if given) on any
+/// syntax error or trailing garbage.
+bool json_parse(const std::string& text, JsonValue& out, std::string* err = nullptr);
+
+/// Escape a string for embedding in a JSON document (adds the quotes).
+std::string json_quote(const std::string& s);
+
+/// Format a double so it round-trips exactly (%.17g, with inf/nan mapped to
+/// null — JSON has no non-finite numbers).
+std::string json_double(double v);
+
+}  // namespace lmc::obs

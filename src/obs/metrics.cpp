@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace lmc::obs {
+
+namespace {
+
+double steady_now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+}  // namespace
+
+MetricsSink::MetricsSink(double interval_s, bool stderr_progress)
+    : interval_s_(interval_s), stderr_progress_(stderr_progress), t0_(steady_now_s()) {}
+
+double MetricsSink::since_start() const { return steady_now_s() - t0_; }
+
+void MetricsSink::tick(const MetricsSnapshot& snap) {
+  const double now = since_start();
+  if (last_t_ >= 0.0 && now - last_t_ < interval_s_) return;
+  push(snap);
+}
+
+void MetricsSink::force(const MetricsSnapshot& snap) { push(snap); }
+
+void MetricsSink::push(const MetricsSnapshot& snap) {
+  MetricsRecord rec;
+  rec.t = since_start();
+  rec.snap = snap;
+  if (!records_.empty()) {
+    const MetricsRecord& prev = records_.back();
+    const double dt = rec.t - prev.t;
+    if (dt > 0.0) {
+      rec.states_per_s =
+          static_cast<double>(snap.transitions - prev.snap.transitions) / dt;
+      rec.iplus_per_s =
+          static_cast<double>(snap.iplus_total - prev.snap.iplus_total) / dt;
+    }
+  }
+  const std::uint64_t lookups = snap.exec_hits + snap.exec_misses;
+  rec.exec_hit_rate =
+      lookups > 0 ? static_cast<double>(snap.exec_hits) / static_cast<double>(lookups) : 0.0;
+  last_t_ = rec.t;
+  if (stderr_progress_) {
+    std::fprintf(stderr,
+                 "[lmc %7.1fs] %s r%u: %" PRIu64 " transitions (%.0f/s), %" PRIu64
+                 " states, I+ %" PRIu64 ", frontier %" PRIu64 ", deferred %" PRIu64
+                 ", cache %.0f%%, %" PRIu64 " confirmed\n",
+                 rec.t, snap.where.c_str(), snap.round, snap.transitions, rec.states_per_s,
+                 snap.states_total, snap.iplus_total, snap.frontier, snap.deferred_depth,
+                 rec.exec_hit_rate * 100.0, snap.confirmed);
+  }
+  records_.push_back(std::move(rec));
+}
+
+std::string to_jsonl_line(const MetricsRecord& rec) {
+  const MetricsSnapshot& s = rec.snap;
+  std::string out = "{\"schema\":\"lmc-metrics/1\",\"t\":" + json_double(rec.t);
+  out += ",\"where\":" + json_quote(s.where);
+  out += ",\"round\":" + std::to_string(s.round);
+  out += ",\"transitions\":" + std::to_string(s.transitions);
+  out += ",\"states_total\":" + std::to_string(s.states_total);
+  out += ",\"iplus_total\":" + std::to_string(s.iplus_total);
+  out += ",\"frontier\":" + std::to_string(s.frontier);
+  out += ",\"deferred_depth\":" + std::to_string(s.deferred_depth);
+  out += ",\"exec_hits\":" + std::to_string(s.exec_hits);
+  out += ",\"exec_misses\":" + std::to_string(s.exec_misses);
+  out += ",\"combos\":" + std::to_string(s.combos);
+  out += ",\"prelim\":" + std::to_string(s.prelim);
+  out += ",\"confirmed\":" + std::to_string(s.confirmed);
+  out += ",\"explore_s\":" + json_double(s.explore_s);
+  out += ",\"sweep_s\":" + json_double(s.sweep_s);
+  out += ",\"soundness_wall_s\":" + json_double(s.soundness_wall_s);
+  out += ",\"deferred_s\":" + json_double(s.deferred_s);
+  out += ",\"states_per_s\":" + json_double(rec.states_per_s);
+  out += ",\"iplus_per_s\":" + json_double(rec.iplus_per_s);
+  out += ",\"exec_hit_rate\":" + json_double(rec.exec_hit_rate);
+  out += "}";
+  return out;
+}
+
+bool parse_jsonl_line(const std::string& line, MetricsRecord& rec) {
+  JsonValue v;
+  if (!json_parse(line, v) || !v.is_object()) return false;
+  const JsonValue* schema = v.get("schema");
+  if (schema == nullptr || !schema->is_string() || schema->str != "lmc-metrics/1") return false;
+  rec = MetricsRecord{};
+  auto u64 = [&](const char* key) {
+    const JsonValue* f = v.get(key);
+    return f != nullptr && f->is_number() ? f->as_u64() : std::uint64_t{0};
+  };
+  auto dbl = [&](const char* key) {
+    const JsonValue* f = v.get(key);
+    return f != nullptr && f->is_number() ? f->as_double() : 0.0;
+  };
+  rec.t = dbl("t");
+  if (const JsonValue* f = v.get("where"); f != nullptr && f->is_string()) rec.snap.where = f->str;
+  rec.snap.round = static_cast<std::uint32_t>(u64("round"));
+  rec.snap.transitions = u64("transitions");
+  rec.snap.states_total = u64("states_total");
+  rec.snap.iplus_total = u64("iplus_total");
+  rec.snap.frontier = u64("frontier");
+  rec.snap.deferred_depth = u64("deferred_depth");
+  rec.snap.exec_hits = u64("exec_hits");
+  rec.snap.exec_misses = u64("exec_misses");
+  rec.snap.combos = u64("combos");
+  rec.snap.prelim = u64("prelim");
+  rec.snap.confirmed = u64("confirmed");
+  rec.snap.explore_s = dbl("explore_s");
+  rec.snap.sweep_s = dbl("sweep_s");
+  rec.snap.soundness_wall_s = dbl("soundness_wall_s");
+  rec.snap.deferred_s = dbl("deferred_s");
+  rec.states_per_s = dbl("states_per_s");
+  rec.iplus_per_s = dbl("iplus_per_s");
+  rec.exec_hit_rate = dbl("exec_hit_rate");
+  return true;
+}
+
+std::string MetricsSink::to_jsonl() const {
+  std::string out;
+  for (const MetricsRecord& rec : records_) {
+    out += to_jsonl_line(rec);
+    out += '\n';
+  }
+  return out;
+}
+
+void MetricsSink::write_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("cannot write metrics file " + path);
+  const std::string text = to_jsonl();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace lmc::obs

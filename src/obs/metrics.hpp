@@ -1,0 +1,94 @@
+// Live metrics for long runs (observability layer, DESIGN.md §10).
+//
+// A MetricsSink turns the checker's internal gauges into periodic heartbeat
+// records ("lmc-metrics/1" JSONL) and, opt-in, a single-line stderr progress
+// report. The checker pushes a MetricsSnapshot at its natural sampling
+// points (round boundaries, sweep/soundness completions); the sink decides
+// whether the configured interval has elapsed and, if so, records the
+// snapshot together with rates derived against the previous heartbeat
+// (states/sec, I+ msgs/sec, ExecCache hit rate).
+//
+// Metrics are attribution only: they never feed back into exploration, so
+// unlike the trace they carry no determinism contract (emission is
+// wall-clock gated). Cost when detached is one null-pointer test per
+// sampling point via the LMC_METRICS macro.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lmc::obs {
+
+/// One sample of the checker's live gauges. All counters are cumulative
+/// since the run began; the sink derives deltas itself.
+struct MetricsSnapshot {
+  std::string where;              ///< sampling point label ("round", "sweep", ...)
+  std::uint32_t round = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t states_total = 0;   ///< sum of per-node LS_n sizes
+  std::uint64_t iplus_total = 0;    ///< I+ message count
+  std::uint64_t frontier = 0;       ///< tasks collected for the current round
+  std::uint64_t deferred_depth = 0; ///< phase-2 deferral queue depth
+  std::uint64_t exec_hits = 0;      ///< ExecCache hits so far
+  std::uint64_t exec_misses = 0;    ///< ExecCache misses so far
+  std::uint64_t combos = 0;         ///< combinations checked so far
+  std::uint64_t prelim = 0;         ///< preliminary violations so far
+  std::uint64_t confirmed = 0;      ///< confirmed violations so far
+  double explore_s = 0.0;           ///< per-phase wall seconds so far…
+  double sweep_s = 0.0;
+  double soundness_wall_s = 0.0;
+  double deferred_s = 0.0;
+};
+
+/// A recorded heartbeat: the snapshot plus derived rates.
+struct MetricsRecord {
+  double t = 0.0;  ///< seconds since the sink was created
+  MetricsSnapshot snap;
+  double states_per_s = 0.0;  ///< d(transitions)/dt vs. the previous record
+  double iplus_per_s = 0.0;   ///< d(iplus_total)/dt vs. the previous record
+  double exec_hit_rate = 0.0; ///< hits / (hits + misses), cumulative
+};
+
+class MetricsSink {
+ public:
+  /// interval_s: minimum seconds between recorded heartbeats (tick() calls
+  /// inside the window are dropped). 0 records every tick — tests use this.
+  explicit MetricsSink(double interval_s = 1.0, bool stderr_progress = false);
+
+  /// Offer a sample; records it only when the interval has elapsed.
+  void tick(const MetricsSnapshot& snap);
+  /// Record unconditionally (run start / run end book-ends).
+  void force(const MetricsSnapshot& snap);
+
+  const std::vector<MetricsRecord>& records() const { return records_; }
+  double since_start() const;
+
+  /// Serialize as "lmc-metrics/1" JSON lines.
+  std::string to_jsonl() const;
+  void write_jsonl(const std::string& path) const;
+
+ private:
+  void push(const MetricsSnapshot& snap);
+
+  double interval_s_;
+  bool stderr_progress_;
+  double t0_;
+  double last_t_ = -1.0;
+  std::vector<MetricsRecord> records_;
+};
+
+/// One metrics record as a JSONL line.
+std::string to_jsonl_line(const MetricsRecord& rec);
+
+/// Parse one "lmc-metrics/1" line; false for anything else.
+bool parse_jsonl_line(const std::string& line, MetricsRecord& rec);
+
+}  // namespace lmc::obs
+
+/// Sampling-point guard, mirroring LMC_TRACE: evaluates `call` (a member
+/// call on the sink) only when a sink is attached.
+#define LMC_METRICS(sink, call)          \
+  do {                                   \
+    if ((sink) != nullptr) (sink)->call; \
+  } while (0)

@@ -1,0 +1,193 @@
+#include "obs/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/bench_schema.hpp"
+
+namespace lmc::obs {
+
+std::vector<TraceEvent> load_trace_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  std::vector<TraceEvent> events;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    TraceEvent ev;
+    if (parse_jsonl_line(line, ev)) events.push_back(ev);
+  }
+  return events;
+}
+
+ReportSummary summarize(const std::vector<TraceEvent>& events) {
+  ReportSummary s;
+  s.events = events.size();
+  for (const TraceEvent& ev : events) {
+    if (ev.round > s.rounds) s.rounds = ev.round;
+    switch (ev.type) {
+      case EventType::kRunBegin:
+        if (s.run_begins == 0) s.base_transitions = ev.b;
+        ++s.run_begins;
+        break;
+      case EventType::kRunEnd:
+        ++s.run_ends;
+        s.final_transitions = ev.a;
+        s.confirmed = ev.b;
+        s.completed = ev.c != 0;
+        s.elapsed_s = ev.dur;
+        break;
+      case EventType::kRoundBegin:
+      case EventType::kRoundEnd:
+        break;
+      case EventType::kHandlerRun: {
+        if (ev.c != 0)
+          ++s.exec_cached;
+        else
+          ++s.exec_uncached;
+        s.handler_exec_s += ev.dur;
+        auto& rule = s.rules[{ev.node, ev.a}];
+        ++rule.runs;
+        if (ev.c != 0) ++rule.cached;
+        rule.exec_s += ev.dur;
+        break;
+      }
+      case EventType::kHandlerApply:
+        // a=1 marks a cached replay — those count as ExecCache hits in the
+        // checker (warm_pairs_skipped), never as transitions.
+        if (ev.a == 0) ++s.transitions;
+        break;
+      case EventType::kStateInsert:
+        ++s.state_inserts;
+        break;
+      case EventType::kIplusAppend:
+        ++s.iplus_appends;
+        break;
+      case EventType::kComboSweep:
+        s.combinations += ev.b;
+        s.prelim_violations += ev.c;
+        s.sweep_s += ev.dur;
+        break;
+      case EventType::kSoundnessRun:
+        break;
+      case EventType::kSoundnessVerdict:
+        ++s.soundness_jobs;
+        if (ev.a < 5) ++s.verdicts[ev.a];
+        s.schedules += ev.b;
+        s.soundness_agg_s += ev.dur;
+        break;
+      case EventType::kSoundnessPhase:
+        s.soundness_wall_s += ev.dur;
+        break;
+      case EventType::kDeferralDrain:
+        s.deferred_s += ev.dur;
+        break;
+      case EventType::kCheckpointSave:
+        if (ev.a != 0) ++s.checkpoints;
+        s.checkpoint_s += ev.dur;
+        break;
+      case EventType::kWarmMerge:
+      case EventType::kOnlinePeriod:
+        break;
+    }
+    auto& lane = s.lanes[ev.lane];
+    ++lane.events;
+    lane.busy_s += ev.dur;
+  }
+  s.deferrals = s.verdicts[kVerdictDefer];
+  return s;
+}
+
+namespace {
+
+void phase_row(std::FILE* out, const char* name, double secs, double elapsed,
+               const char* note) {
+  const double pct = elapsed > 0.0 ? 100.0 * secs / elapsed : 0.0;
+  std::fprintf(out, "  %-22s %10.4fs %6.1f%%  %s\n", name, secs, pct, note);
+}
+
+}  // namespace
+
+void print_report(const ReportSummary& s, std::FILE* out) {
+  std::fprintf(out, "lmc_report: %" PRIu64 " event(s), %u round(s), %" PRIu64
+               " run segment(s)%s\n",
+               s.events, s.rounds, s.run_begins, s.completed ? ", completed" : "");
+  std::fprintf(out, "totals: %" PRIu64 " transitions, %" PRIu64 " state inserts, %" PRIu64
+               " I+ appends, %" PRIu64 " combinations, %" PRIu64 " prelim -> %" PRIu64
+               " confirmed violation(s)\n",
+               s.transitions, s.state_inserts, s.iplus_appends, s.combinations,
+               s.prelim_violations, s.confirmed);
+  const std::uint64_t lookups = s.exec_cached + s.exec_uncached;
+  if (lookups > 0)
+    std::fprintf(out, "ExecCache: %" PRIu64 "/%" PRIu64 " hit (%.1f%%)\n", s.exec_cached,
+                 lookups, 100.0 * static_cast<double>(s.exec_cached) / static_cast<double>(lookups));
+  std::fprintf(out, "soundness: %" PRIu64 " job(s): %" PRIu64 " sound, %" PRIu64
+               " unsound, %" PRIu64 " deferred, %" PRIu64 " feas-skip, %" PRIu64
+               " skipped; %" PRIu64 " schedule(s)\n",
+               s.soundness_jobs, s.verdicts[kVerdictSound], s.verdicts[kVerdictUnsound],
+               s.verdicts[kVerdictDefer], s.verdicts[kVerdictFeasSkip],
+               s.verdicts[kVerdictSkipped], s.schedules);
+
+  std::fprintf(out, "where did time go (elapsed %.4fs):\n", s.elapsed_s);
+  phase_row(out, "handler execution", s.handler_exec_s, s.elapsed_s,
+            "aggregate across workers");
+  phase_row(out, "combination sweep", s.sweep_s, s.elapsed_s, "wall (deterministic thread)");
+  phase_row(out, "soundness (wall)", s.soundness_wall_s, s.elapsed_s, "wall");
+  phase_row(out, "soundness (aggregate)", s.soundness_agg_s, s.elapsed_s,
+            "sum over jobs; exceeds wall when parallel");
+  phase_row(out, "deferred drain", s.deferred_s, s.elapsed_s, "wall");
+  phase_row(out, "checkpointing", s.checkpoint_s, s.elapsed_s, "wall");
+
+  if (!s.rules.empty()) {
+    std::fprintf(out, "per-rule (node, kind):\n");
+    for (const auto& [key, line] : s.rules)
+      std::fprintf(out, "  node %3u %-8s %8" PRIu64 " run(s) %8" PRIu64
+                   " cached %10.4fs\n",
+                   key.first, key.second != 0 ? "message" : "timeout", line.runs, line.cached,
+                   line.exec_s);
+  }
+  if (!s.lanes.empty()) {
+    std::fprintf(out, "per-worker lane (0 = deterministic thread):\n");
+    for (const auto& [lane, line] : s.lanes)
+      std::fprintf(out, "  lane %3u %10" PRIu64 " event(s) %10.4fs busy\n", lane, line.events,
+                   line.busy_s);
+  }
+}
+
+std::string report_bench_json(const ReportSummary& s, const std::string& case_label) {
+  BenchRecord rec("lmc_report", case_label);
+  rec.param("run_segments", s.run_begins);
+  rec.metric("events", s.events);
+  rec.metric("rounds", static_cast<std::uint64_t>(s.rounds));
+  rec.metric("transitions", s.transitions);
+  rec.metric("state_inserts", s.state_inserts);
+  rec.metric("iplus_appends", s.iplus_appends);
+  rec.metric("combinations", s.combinations);
+  rec.metric("prelim_violations", s.prelim_violations);
+  rec.metric("confirmed_violations", s.confirmed);
+  rec.metric("soundness_jobs", s.soundness_jobs);
+  rec.metric("soundness_deferred", s.deferrals);
+  rec.metric("exec_cache_hits", s.exec_cached);
+  rec.metric("exec_cache_misses", s.exec_uncached);
+  rec.metric("elapsed_s", s.elapsed_s);
+  rec.metric("handler_exec_s", s.handler_exec_s);
+  rec.metric("sweep_s", s.sweep_s);
+  rec.metric("soundness_wall_s", s.soundness_wall_s);
+  rec.metric("soundness_agg_s", s.soundness_agg_s);
+  rec.metric("deferred_s", s.deferred_s);
+  rec.metric("checkpoint_s", s.checkpoint_s);
+  return rec.to_json();
+}
+
+}  // namespace lmc::obs

@@ -1,5 +1,6 @@
 #include "online/crystalball.hpp"
 
+#include "obs/trace.hpp"
 #include "persist/exec_cache.hpp"
 
 namespace lmc {
@@ -38,9 +39,19 @@ CrystalBallResult CrystalBall::run_periods(ExecCache* cache) {
     out.total_transitions += mc.stats().transitions;
     out.total_cache_hits += mc.stats().warm_pairs_skipped;
     const LocalViolation* v = mc.first_confirmed();
+    if (opt_.mc.trace != nullptr) {
+      obs::TraceEvent ev;
+      ev.type = obs::EventType::kOnlinePeriod;
+      ev.phase = obs::Phase::kOnline;
+      ev.a = static_cast<std::uint64_t>(index);
+      ev.b = mc.stats().transitions;
+      ev.c = v != nullptr ? 1 : 0;
+      ev.dur = mc.stats().elapsed_s;
+      opt_.mc.trace->record(ev);
+    }
     if (opt_.on_period) {
       CrystalBallPeriod p;
-      p.index = index++;
+      p.index = index;
       p.live_time = snap.time;
       p.found = v != nullptr;
       p.transitions = mc.stats().transitions;
@@ -48,6 +59,7 @@ CrystalBallResult CrystalBall::run_periods(ExecCache* cache) {
       p.stats = mc.stats();
       opt_.on_period(p);
     }
+    ++index;
     if (v != nullptr) {
       out.found = true;
       out.live_time = snap.time;

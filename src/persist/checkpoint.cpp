@@ -165,7 +165,7 @@ Blob enc_stats(const LocalMcStats& s) {
   w.u64(s.feasibility_skips);
   w.u64(s.soundness_deferred);
   w.u64(s.deferred_processed);
-  w.b(s.deferred_dropped);
+  w.u64(s.deferred_dropped);  // v3: counter (v2 stored a latched bool here)
   w.u64(s.sequences_checked);
   w.u64(s.seq_enum_truncated);
   w.u64(s.combo_truncated);
@@ -185,6 +185,7 @@ Blob enc_stats(const LocalMcStats& s) {
   w.u64(d2u(s.soundness_s));
   w.u64(d2u(s.system_state_s));
   w.u64(d2u(s.deferred_s));
+  w.u64(d2u(s.soundness_wall_s));  // v3
   w.b(s.completed);
   w.u32(s.max_chain_depth_reached);
   w.u32(s.max_total_depth_reached);
@@ -336,7 +337,7 @@ void dec_cursors(Reader& r, CheckerImage& img) {
   r.expect_exhausted();
 }
 
-void dec_stats(Reader& r, LocalMcStats& s) {
+void dec_stats(Reader& r, LocalMcStats& s, std::uint32_t version) {
   s.transitions = r.u64();
   s.node_states = r.u64();
   s.system_states = r.u64();
@@ -348,7 +349,8 @@ void dec_stats(Reader& r, LocalMcStats& s) {
   s.feasibility_skips = r.u64();
   s.soundness_deferred = r.u64();
   s.deferred_processed = r.u64();
-  s.deferred_dropped = r.b();
+  // v2 latched a bool; widen it to 0/1 so old files keep their meaning.
+  s.deferred_dropped = version >= 3 ? r.u64() : (r.b() ? 1 : 0);
   s.sequences_checked = r.u64();
   s.seq_enum_truncated = r.u64();
   s.combo_truncated = r.u64();
@@ -368,6 +370,7 @@ void dec_stats(Reader& r, LocalMcStats& s) {
   s.soundness_s = u2d(r.u64());
   s.system_state_s = u2d(r.u64());
   s.deferred_s = u2d(r.u64());
+  s.soundness_wall_s = version >= 3 ? u2d(r.u64()) : 0.0;
   s.completed = r.b();
   s.max_chain_depth_reached = r.u32();
   s.max_total_depth_reached = r.u32();
@@ -476,7 +479,8 @@ CheckpointReader::CheckpointReader(const Blob& data) : data_(&data) {
   Reader r(data.data(), body_len);
   r.u64();  // magic (already compared)
   version_ = r.u32();
-  check(version_ == kCheckpointVersion, "unsupported format version");
+  check(version_ >= kMinCheckpointVersion && version_ <= kCheckpointVersion,
+        "unsupported format version");
   num_nodes_ = r.u32();
   const std::uint32_t n_sections = r.u32();
   r.u32();  // reserved
@@ -565,7 +569,7 @@ CheckerImage decode_checkpoint(const Blob& data) {
     }
     {
       Reader s = r.open(kSecStats);
-      dec_stats(s, img.stats);
+      dec_stats(s, img.stats, r.version());
     }
     {
       Reader s = r.open(kSecDeferred);

@@ -38,7 +38,12 @@ class CheckpointError : public std::runtime_error {
 };
 
 inline constexpr char kCheckpointMagic[8] = {'L', 'M', 'C', 'C', 'K', 'P', 'T', '\n'};
-inline constexpr std::uint32_t kCheckpointVersion = 2;  // v2: +checkpoint_failures, +deferred_s
+// v2: +checkpoint_failures, +deferred_s
+// v3: deferred_dropped bool -> u64 counter (in place), +soundness_wall_s.
+// Writers always emit the current version; the reader accepts v2 files and
+// widens/defaults the changed stats fields on decode (kMinCheckpointVersion).
+inline constexpr std::uint32_t kCheckpointVersion = 3;
+inline constexpr std::uint32_t kMinCheckpointVersion = 2;
 
 /// Section ids of the container format. Ids are stable across versions;
 /// readers skip ids they do not know.

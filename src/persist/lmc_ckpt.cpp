@@ -1,5 +1,7 @@
 // Checkpoint tooling:
 //   lmc_ckpt inspect  <file>      header, section table, summary counters
+//   lmc_ckpt inspect --json <file>  one "lmc-bench/1" record (full decode:
+//                                 includes the stats section's counters)
 //   lmc_ckpt validate <file>      full structural decode; exit 0 iff valid
 //   lmc_ckpt diff     <a> <b>     what exploration happened between two
 //                                 checkpoints of the same run
@@ -9,6 +11,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "obs/bench_schema.hpp"
 #include "persist/checkpoint.hpp"
 
 namespace {
@@ -30,6 +33,37 @@ const char* section_name(std::uint32_t id) {
     case kSecPending: return "pending";
     default: return "?";
   }
+}
+
+int cmd_inspect_json(const std::string& path) {
+  const Blob data = read_checkpoint_file(path);
+  const CheckpointInfo info = inspect_checkpoint(data);
+  const CheckerImage img = decode_checkpoint(data);  // stats live past the meta section
+  obs::BenchRecord rec("lmc_ckpt", path);
+  rec.param("version", static_cast<std::uint64_t>(info.version));
+  rec.param("nodes", static_cast<std::uint64_t>(info.num_nodes));
+  rec.metric("file_bytes", static_cast<std::uint64_t>(data.size()));
+  rec.metric("node_states", info.total_states);
+  rec.metric("iplus_messages", info.net_size);
+  rec.metric("events", info.event_count);
+  rec.metric("epochs", info.epoch_count);
+  rec.metric("pending_tasks", info.pending_tasks);
+  rec.metric("transitions", img.stats.transitions);
+  rec.metric("system_states", img.stats.system_states);
+  rec.metric("prelim_violations", img.stats.prelim_violations);
+  rec.metric("confirmed_violations", img.stats.confirmed_violations);
+  rec.metric("soundness_calls", img.stats.soundness_calls);
+  rec.metric("soundness_deferred", img.stats.soundness_deferred);
+  rec.metric("deferred_processed", img.stats.deferred_processed);
+  rec.metric("deferred_dropped", img.stats.deferred_dropped);
+  rec.metric("checkpoints_written", img.stats.checkpoints_written);
+  rec.metric("elapsed_s", img.stats.elapsed_s);
+  rec.metric("soundness_s", img.stats.soundness_s);
+  rec.metric("soundness_wall_s", img.stats.soundness_wall_s);
+  rec.metric("deferred_s", img.stats.deferred_s);
+  rec.metric("completed", static_cast<std::uint64_t>(img.stats.completed ? 1 : 0));
+  rec.emit();
+  return 0;
 }
 
 int cmd_inspect(const std::string& path) {
@@ -106,7 +140,7 @@ int cmd_diff(const std::string& a_path, const std::string& b_path) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: lmc_ckpt inspect <file>\n"
+               "usage: lmc_ckpt inspect [--json] <file>\n"
                "       lmc_ckpt validate <file>\n"
                "       lmc_ckpt diff <a> <b>\n");
   return 2;
@@ -118,7 +152,11 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "inspect") return cmd_inspect(argv[2]);
+    if (cmd == "inspect") {
+      if (std::strcmp(argv[2], "--json") == 0)
+        return argc >= 4 ? cmd_inspect_json(argv[3]) : usage();
+      return cmd_inspect(argv[2]);
+    }
     if (cmd == "validate") return cmd_validate(argv[2]);
     if (cmd == "diff" && argc >= 4) return cmd_diff(argv[2], argv[3]);
   } catch (const std::exception& e) {

@@ -206,6 +206,11 @@ TEST(LintOutput, GccStyleAndJson) {
   EXPECT_NE(json.find("\"rule\":\"SR02\""), std::string::npos);
   EXPECT_NE(json.find("\"files_scanned\":1"), std::string::npos);
   EXPECT_NE(json.find("\"diagnostics\":["), std::string::npos);
+  // The per-rule firing-count summary covers the whole rule table, with the
+  // fired rule counted and silent rules present as zeroes.
+  EXPECT_NE(json.find("\"rule_counts\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"SR02\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ND01\":0"), std::string::npos);
 }
 
 TEST(LintOutput, DiagnosticsAreSorted) {

@@ -1,0 +1,414 @@
+// Observability layer (DESIGN.md §10): trace determinism + non-perturbation
+// over the frozen fuzz corpus, counter-exact report reproduction, JSONL
+// round-trips, schema validation, the LMC_TRACE cost contract, and the
+// checkpoint v3 stats fields (deferred_dropped counter, soundness_wall_s)
+// including v2 read compatibility.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfuzz/oracle.hpp"
+#include "dfuzz/protogen.hpp"
+#include "mc/local_mc.hpp"
+#include "obs/bench_schema.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "persist/checkpoint.hpp"
+#include "protocols/tree.hpp"
+#include "runtime/hash.hpp"
+
+namespace lmc {
+namespace {
+
+using obs::EventType;
+using obs::TraceEvent;
+
+std::vector<std::uint64_t> corpus_seeds() {
+  std::vector<std::uint64_t> s;
+  for (std::uint64_t i = 1; i <= 50; ++i) s.push_back(i);
+  s.push_back(97);
+  s.push_back(171);
+  s.push_back(664);
+  return s;
+}
+
+LocalMcOptions corpus_options(unsigned threads, obs::TraceSink* trace) {
+  LocalMcOptions opt;
+  opt.stop_on_confirmed = false;
+  opt.use_projection = false;
+  opt.num_threads = threads;
+  opt.time_budget_s = 120;
+  opt.trace = trace;
+  return opt;
+}
+
+/// The identity stream with the one deliberately thread-count-dependent
+/// field (kRunBegin's c = configured threads) masked out.
+std::vector<obs::EventIdentity> thread_invariant_identities(const std::vector<TraceEvent>& evs) {
+  std::vector<obs::EventIdentity> ids = obs::identities(evs);
+  for (std::size_t i = 0; i < evs.size(); ++i)
+    if (evs[i].type == EventType::kRunBegin) ids[i].c = 0;
+  return ids;
+}
+
+/// Pin the report's counter-exact contract: every aggregate `summarize`
+/// rebuilds from a full-run trace must equal the checker's own stats —
+/// bit-for-bit for the doubles, since durations are summed in the same
+/// order the checker accumulated them.
+void expect_counter_exact(const obs::ReportSummary& sum, const LocalMcStats& st) {
+  EXPECT_EQ(sum.transitions, st.transitions);
+  EXPECT_EQ(sum.final_transitions, st.transitions);
+  EXPECT_EQ(sum.prelim_violations, st.prelim_violations);
+  EXPECT_EQ(sum.confirmed, st.confirmed_violations);
+  EXPECT_EQ(sum.completed, st.completed);
+  EXPECT_EQ(sum.elapsed_s, st.elapsed_s);
+  EXPECT_EQ(sum.sweep_s, st.system_state_s);
+  EXPECT_EQ(sum.soundness_wall_s, st.soundness_wall_s);
+  EXPECT_EQ(sum.soundness_agg_s, st.soundness_s);
+  EXPECT_EQ(sum.deferred_s, st.deferred_s);
+}
+
+// --- trace primitives -------------------------------------------------------
+
+TEST(ObsTrace, IdentityIgnoresAttributionOnly) {
+  TraceEvent a;
+  a.type = EventType::kHandlerApply;
+  a.phase = obs::Phase::kExplore;
+  a.round = 3;
+  a.node = 1;
+  a.seq = 42;
+  a.a = 0;
+  a.b = 0xdeadbeef;
+  a.c = 1;
+  TraceEvent b = a;
+  b.t = 5.0;       // attribution, not identity
+  b.dur = 0.25;
+  b.lane = 7;
+  EXPECT_EQ(obs::identity(a), obs::identity(b));
+  b.b = 0xdeadbef0;  // payload IS identity
+  EXPECT_FALSE(obs::identity(a) == obs::identity(b));
+}
+
+TEST(ObsTrace, LmcTraceMacroDoesNotEvaluateArgsWhenOff) {
+  int evaluated = 0;
+  auto make = [&evaluated] {
+    ++evaluated;
+    return TraceEvent{};
+  };
+  obs::TraceSink* off = nullptr;
+  LMC_TRACE(off, record(make()));
+  EXPECT_EQ(evaluated, 0);
+  obs::TraceSink on;
+  LMC_TRACE(&on, record(make()));
+  EXPECT_EQ(evaluated, 1);
+  EXPECT_EQ(on.events().size(), 1u);
+}
+
+TEST(ObsTrace, WorkerLanesDrainInSeqOrder) {
+  obs::TraceSink sink;
+  // Simulate out-of-order worker completion: seqs recorded 2, 0, 1.
+  for (std::uint64_t seq : {2u, 0u, 1u}) {
+    TraceEvent ev;
+    ev.type = EventType::kHandlerRun;
+    ev.seq = seq;
+    sink.record_worker(ev);
+  }
+  EXPECT_EQ(sink.undrained(), 3u);
+  sink.drain_workers();
+  EXPECT_EQ(sink.undrained(), 0u);
+  ASSERT_EQ(sink.events().size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(sink.events()[i].seq, i);
+}
+
+TEST(ObsTrace, JsonlRoundTripIsExact) {
+  TraceEvent ev;
+  ev.type = EventType::kComboSweep;
+  ev.phase = obs::Phase::kSweep;
+  ev.lane = 3;
+  ev.round = 7;
+  ev.node = TraceEvent::kNoNode;
+  ev.seq = 0x1122334455667788ull;
+  ev.a = 2;
+  ev.b = ~0ull;  // u64 extremes must survive the JSON encoding
+  ev.c = 1;
+  ev.t = 0.1 + 0.2;          // not exactly representable — %.17g must round-trip
+  ev.dur = 1.0 / 3.0;
+  const std::string line = obs::to_jsonl_line(ev);
+  std::string err;
+  EXPECT_TRUE(obs::validate_obs_line(line, &err)) << err;
+  TraceEvent back;
+  ASSERT_TRUE(obs::parse_jsonl_line(line, back));
+  EXPECT_EQ(obs::identity(ev), obs::identity(back));
+  EXPECT_EQ(ev.lane, back.lane);
+  EXPECT_EQ(ev.t, back.t);      // bitwise: %.17g is lossless for doubles
+  EXPECT_EQ(ev.dur, back.dur);
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(ObsMetrics, IntervalGatingAndRates) {
+  obs::MetricsSink every(/*interval_s=*/0.0);
+  obs::MetricsSnapshot s;
+  s.where = "round";
+  s.transitions = 10;
+  s.exec_hits = 3;
+  s.exec_misses = 1;
+  every.tick(s);
+  s.transitions = 30;
+  every.tick(s);
+  ASSERT_EQ(every.records().size(), 2u);
+  EXPECT_EQ(every.records()[1].exec_hit_rate, 0.75);
+  EXPECT_GE(every.records()[1].states_per_s, 0.0);
+
+  obs::MetricsSink gated(/*interval_s=*/3600.0);
+  gated.tick(s);   // first tick always records (nothing to gate against)
+  gated.tick(s);   // inside the window — dropped
+  gated.force(s);  // book-end — recorded regardless
+  EXPECT_EQ(gated.records().size(), 2u);
+}
+
+TEST(ObsMetrics, JsonlRoundTripAndSchema) {
+  obs::MetricsSink sink(0.0);
+  obs::MetricsSnapshot s;
+  s.where = "sweep";
+  s.round = 2;
+  s.transitions = 123;
+  s.sweep_s = 0.125;
+  sink.tick(s);
+  const std::string jsonl = sink.to_jsonl();
+  const std::string line = jsonl.substr(0, jsonl.find('\n'));
+  std::string err;
+  EXPECT_TRUE(obs::validate_obs_line(line, &err)) << err;
+  obs::MetricsRecord back;
+  ASSERT_TRUE(obs::parse_jsonl_line(line, back));
+  EXPECT_EQ(back.snap.where, "sweep");
+  EXPECT_EQ(back.snap.round, 2u);
+  EXPECT_EQ(back.snap.transitions, 123u);
+  EXPECT_EQ(back.snap.sweep_s, 0.125);
+  // A metrics line is not a trace line — the parsers must not cross-accept.
+  TraceEvent tev;
+  EXPECT_FALSE(obs::parse_jsonl_line(line, tev));
+}
+
+// --- bench schema -----------------------------------------------------------
+
+TEST(ObsBench, RecordValidatesAndBadLinesAreRejected) {
+  obs::BenchRecord rec("bench_test", "case1");
+  rec.param("threads", std::uint64_t{8});
+  rec.param("proto", std::string("tree"));
+  rec.metric("transitions", std::uint64_t{42});
+  rec.metric("elapsed_s", 0.5);
+  std::string err;
+  EXPECT_TRUE(obs::validate_obs_line(rec.to_json(), &err)) << err;
+  EXPECT_FALSE(obs::validate_obs_line("{\"bench\":\"x\"}", &err));        // no schema key
+  EXPECT_FALSE(obs::validate_obs_line("{\"schema\":\"nope/9\"}", &err));  // unknown schema
+  EXPECT_FALSE(obs::validate_obs_line("not json", &err));
+}
+
+// --- checker integration: non-perturbation, determinism, counter-exact ------
+
+TEST(ObsChecker, TreeRunTracedVsUntracedAndReport) {
+  tree::Topology topo = tree::fig2_topology();
+  SystemConfig cfg = tree::make_config(topo);
+  tree::CausalDeliveryInvariant inv(topo);
+
+  LocalMcOptions plain_opt;
+  LocalModelChecker plain(cfg, &inv, plain_opt);
+  plain.run_from_initial();
+  const Blob plain_bytes = dfuzz::normalized_checkpoint_bytes(plain.checkpoint_bytes());
+
+  obs::TraceSink trace;
+  obs::MetricsSink metrics(0.0);
+  LocalMcOptions traced_opt;
+  traced_opt.trace = &trace;
+  traced_opt.metrics = &metrics;
+  LocalModelChecker traced(cfg, &inv, traced_opt);
+  traced.run_from_initial();
+
+  // Non-perturbation: tracing on vs. off leaves identical checker output.
+  EXPECT_EQ(plain_bytes, dfuzz::normalized_checkpoint_bytes(traced.checkpoint_bytes()));
+  EXPECT_EQ(trace.undrained(), 0u);
+  ASSERT_FALSE(trace.events().empty());
+  EXPECT_FALSE(metrics.records().empty());
+
+  const obs::ReportSummary sum = obs::summarize(trace.events());
+  expect_counter_exact(sum, traced.stats());
+  EXPECT_EQ(sum.run_begins, 1u);
+  EXPECT_EQ(sum.run_ends, 1u);
+  EXPECT_FALSE(sum.rules.empty());
+  EXPECT_GE(sum.soundness_wall_s, 0.0);
+  EXPECT_LE(sum.soundness_wall_s, sum.elapsed_s);
+
+  // The file path reproduces the in-memory aggregates bit-for-bit: %.17g
+  // JSONL is lossless, so lmc_report on the written trace agrees exactly.
+  const std::string path = ::testing::TempDir() + "obs_tree_trace.jsonl";
+  trace.write_jsonl(path);
+  const std::vector<TraceEvent> loaded = obs::load_trace_file(path);
+  ASSERT_EQ(loaded.size(), trace.events().size());
+  EXPECT_EQ(obs::identities(loaded), obs::identities(trace.events()));
+  const obs::ReportSummary from_file = obs::summarize(loaded);
+  expect_counter_exact(from_file, traced.stats());
+  EXPECT_EQ(from_file.handler_exec_s, sum.handler_exec_s);
+
+  // Every line the sink wrote validates against "lmc-trace/1".
+  std::string err;
+  const std::string jsonl = trace.to_jsonl();
+  std::size_t start = 0, lines = 0;
+  while (start < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', start);
+    EXPECT_TRUE(obs::validate_obs_line(jsonl.substr(start, end - start), &err)) << err;
+    ++lines;
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, trace.events().size());
+}
+
+// The tentpole contract over the frozen fuzz corpus: for every seed, at 1
+// and at 8 threads, (a) tracing does not perturb the checker — normalized
+// checkpoint bytes are identical on vs. off — and (b) the trace's identity
+// stream is a pure function of the exploration — permutation-stable across
+// thread counts. The traced runs double as counter-exact report fixtures.
+TEST(ObsCorpus, TracedByteIdenticalAndThreadPermutationStable) {
+  std::uint64_t with_soundness = 0;
+  for (std::uint64_t seed : corpus_seeds()) {
+    dfuzz::GeneratedProtocol p = dfuzz::instantiate(dfuzz::generate_spec(seed));
+    std::vector<obs::EventIdentity> base_ids;
+    for (unsigned threads : {1u, 8u}) {
+      LocalModelChecker plain(p.cfg, p.invariant.get(), corpus_options(threads, nullptr));
+      plain.run_from_initial();
+      ASSERT_TRUE(plain.stats().completed) << "seed " << seed << " threads " << threads;
+      const Blob plain_bytes = dfuzz::normalized_checkpoint_bytes(plain.checkpoint_bytes());
+
+      obs::TraceSink sink;
+      LocalModelChecker traced(p.cfg, p.invariant.get(), corpus_options(threads, &sink));
+      traced.run_from_initial();
+      ASSERT_EQ(plain_bytes, dfuzz::normalized_checkpoint_bytes(traced.checkpoint_bytes()))
+          << "seed " << seed << ": tracing perturbed the run at " << threads << " threads";
+      EXPECT_EQ(sink.undrained(), 0u) << "seed " << seed;
+
+      expect_counter_exact(obs::summarize(sink.events()), traced.stats());
+      if (traced.stats().soundness_calls > 0) ++with_soundness;
+
+      std::vector<obs::EventIdentity> ids = thread_invariant_identities(sink.events());
+      if (threads == 1) {
+        base_ids = std::move(ids);
+      } else {
+        EXPECT_EQ(base_ids, ids)
+            << "seed " << seed << ": trace identity diverged at " << threads << " threads";
+      }
+    }
+  }
+  // The corpus only pins the soundness/deferral event paths if some seeds
+  // actually reach them.
+  EXPECT_GT(with_soundness, 0u);
+}
+
+// --- checkpoint v3 stats fields --------------------------------------------
+
+Blob small_checkpoint() {
+  dfuzz::GeneratedProtocol p = dfuzz::instantiate(dfuzz::generate_spec(5));
+  LocalModelChecker mc(p.cfg, p.invariant.get(), corpus_options(1, nullptr));
+  mc.run_from_initial();
+  return mc.checkpoint_bytes();
+}
+
+TEST(ObsCheckpoint, DeferredDroppedCounterAndWallSecondsRoundTrip) {
+  CheckerImage img = decode_checkpoint(small_checkpoint());
+  img.stats.deferred_dropped = 7;  // a counter now, not a latched bool
+  img.stats.soundness_wall_s = 1.5;
+  const Blob b = encode_checkpoint(img);
+  const CheckerImage back = decode_checkpoint(b);
+  EXPECT_EQ(back.stats.deferred_dropped, 7u);
+  EXPECT_EQ(back.stats.soundness_wall_s, 1.5);
+  // Canonical round-trip still holds for current-version files.
+  EXPECT_EQ(encode_checkpoint(back), b);
+}
+
+// v3 stats payload layout (persist/FORMAT.md): 27 u64 counters (with
+// deferred_dropped twelfth, at byte offset 88), then five doubles (with
+// soundness_wall_s last, at byte offset 248), then bool + two u32s.
+constexpr std::size_t kStatsV3Bytes = 32 * 8 + 1 + 4 + 4;
+constexpr std::size_t kDroppedOff = 11 * 8;
+constexpr std::size_t kWallOff = 31 * 8;
+
+Blob stats_v3_to_v2(const Blob& p) {
+  EXPECT_EQ(p.size(), kStatsV3Bytes);
+  Blob q(p.begin(), p.begin() + kDroppedOff);
+  bool dropped = false;  // v2 stored the counter as a latched bool
+  for (std::size_t i = 0; i < 8; ++i) dropped |= p[kDroppedOff + i] != 0;
+  q.push_back(dropped ? 1 : 0);
+  q.insert(q.end(), p.begin() + kDroppedOff + 8, p.begin() + kWallOff);
+  // v2 had no soundness_wall_s: skip those 8 bytes.
+  q.insert(q.end(), p.begin() + kWallOff + 8, p.end());
+  return q;
+}
+
+/// Rebuild a v3 checkpoint as the byte-exact v2 a previous writer would
+/// have produced: version field, shrunken stats section, fresh checksum.
+Blob downgrade_to_v2(const Blob& v3) {
+  CheckpointReader r(v3);
+  Writer w;
+  w.raw(reinterpret_cast<const std::uint8_t*>(kCheckpointMagic), sizeof(kCheckpointMagic));
+  w.u32(2);
+  w.u32(r.num_nodes());
+  w.u32(static_cast<std::uint32_t>(r.sections().size()));
+  w.u32(0);
+  for (const CheckpointReader::Section& s : r.sections()) {
+    Blob payload(v3.begin() + s.offset, v3.begin() + s.offset + s.len);
+    if (s.id == kSecStats) payload = stats_v3_to_v2(payload);
+    w.u32(s.id);
+    w.u32(0);
+    w.u64(payload.size());
+    w.raw(payload.data(), payload.size());
+  }
+  Blob out = std::move(w).take();
+  const Hash64 sum = hash_bytes(out.data(), out.size());
+  Writer tail;
+  tail.u64(sum);
+  out.insert(out.end(), tail.data().begin(), tail.data().end());
+  return out;
+}
+
+TEST(ObsCheckpoint, ReadsV2FilesWideningChangedStatsFields) {
+  CheckerImage img = decode_checkpoint(small_checkpoint());
+  img.stats.deferred_dropped = 7;
+  img.stats.soundness_wall_s = 1.5;
+  const Blob v2 = downgrade_to_v2(encode_checkpoint(img));
+  const CheckerImage back = decode_checkpoint(v2);
+  // The v2 bool widens to 0/1; the field v2 never stored defaults to 0.
+  EXPECT_EQ(back.stats.deferred_dropped, 1u);
+  EXPECT_EQ(back.stats.soundness_wall_s, 0.0);
+  // Everything else survives the downgrade untouched.
+  EXPECT_EQ(back.stats.transitions, img.stats.transitions);
+  EXPECT_EQ(back.stats.soundness_calls, img.stats.soundness_calls);
+  EXPECT_EQ(back.stats.deferred_processed, img.stats.deferred_processed);
+  EXPECT_EQ(back.stats.elapsed_s, img.stats.elapsed_s);
+  EXPECT_EQ(back.stats.soundness_s, img.stats.soundness_s);
+  EXPECT_EQ(back.stats.deferred_s, img.stats.deferred_s);
+  EXPECT_EQ(back.stats.completed, img.stats.completed);
+  EXPECT_EQ(back.store.total_states(), img.store.total_states());
+  EXPECT_EQ(back.net_entries.size(), img.net_entries.size());
+}
+
+TEST(ObsCheckpoint, VersionsOutsideTheWindowAreRejected) {
+  Blob b = small_checkpoint();
+  auto put_u32 = [](Blob& blob, std::size_t off, std::uint32_t v) {
+    for (std::size_t i = 0; i < 4; ++i) blob[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  auto put_u64 = [](Blob& blob, std::size_t off, std::uint64_t v) {
+    for (std::size_t i = 0; i < 8; ++i) blob[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  for (std::uint32_t bad : {1u, 4u}) {
+    Blob m = b;
+    put_u32(m, sizeof(kCheckpointMagic), bad);  // version field follows the magic
+    put_u64(m, m.size() - 8, hash_bytes(m.data(), m.size() - 8));  // keep checksum valid
+    EXPECT_THROW(decode_checkpoint(m), CheckpointError) << "version " << bad;
+  }
+}
+
+}  // namespace
+}  // namespace lmc
