@@ -1,0 +1,52 @@
+#include "dfuzz/artifacts.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "dsl/bridge.hpp"
+#include "dsl/spec.hpp"
+#include "runtime/serialize.hpp"
+
+namespace lmc::dfuzz {
+
+namespace {
+
+void write_file(const std::string& path, const void* p, std::size_t n) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("cannot write " + path);
+  std::fwrite(p, 1, n, f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+ArtifactPaths write_repro_artifacts(const std::string& dir, std::uint64_t seed,
+                                    const ShrinkResult& shrunk, const ProtoSpec& original) {
+  std::filesystem::create_directories(dir);
+  const std::string base = dir + "/dfuzz_repro_seed" + std::to_string(seed);
+  ArtifactPaths paths{base + ".bin", base + ".txt", base + ".lmc"};
+
+  Writer w;
+  shrunk.spec.serialize(w);
+  write_file(paths.bin, w.data().data(), w.data().size());
+
+  std::string txt = "lmc_fuzz disagreement\nseed: " + std::to_string(seed) +
+                    "\nfailure: " + to_string(shrunk.report.failure) +
+                    "\ndetail: " + shrunk.report.detail + "\nshrink: removed " +
+                    std::to_string(shrunk.removed) + " piece(s) in " +
+                    std::to_string(shrunk.attempts) + " oracle run(s)\n\nminimal protocol:\n" +
+                    to_string(shrunk.spec) + "\noriginal protocol:\n" + to_string(original);
+  write_file(paths.txt, txt.data(), txt.size());
+
+  dsl::DslSpec lifted = dsl::from_proto(shrunk.spec);
+  // Record what the oracle run actually observed, so `lmc_run FILE.lmc`
+  // exits 0 when the repro behaves as captured (a confirmed violation is
+  // the expected outcome for most shrunk disagreements, not a failure).
+  lifted.expect_violation = shrunk.report.lmc_confirmed > 0;
+  const std::string lmc = dsl::to_lmc_text(lifted);
+  write_file(paths.lmc, lmc.data(), lmc.size());
+  return paths;
+}
+
+}  // namespace lmc::dfuzz

@@ -2,7 +2,7 @@
 //
 //   lmc_fuzz [--seed S] [--runs N] [--max-nodes K] [--threads T]
 //            [--lmc-threads L] [--time-budget SEC] [--audit-every K]
-//            [--artifact-dir DIR] [--verbose]
+//            [--out-dir DIR] [--verbose]
 //   lmc_fuzz --repro FILE           re-run the oracle on a dumped spec
 //
 // Seeds S..S+N-1 each generate one random protocol and push it through the
@@ -14,8 +14,10 @@
 //
 // A disagreement is greedily shrunk while the same divergence class
 // persists, and the minimal protocol is dumped as
-//   <artifact-dir>/dfuzz_repro_seed<seed>.{bin,txt}
-// (.bin re-runs via --repro; .txt is the human-readable rule table).
+//   <out-dir>/dfuzz_repro_seed<seed>.{bin,txt,lmc}
+// (.bin re-runs via --repro; .txt is the human-readable rule table; .lmc is
+// the same protocol as loadable DSL text for `lmc_run`). --out-dir is
+// created if missing and defaults to "."; --artifact-dir is a legacy alias.
 // Exit status: 0 = no disagreement, 1 = disagreement(s), 2 = usage.
 #include <cinttypes>
 #include <cstdio>
@@ -23,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "dfuzz/artifacts.hpp"
 #include "dfuzz/oracle.hpp"
 #include "dfuzz/protogen.hpp"
 #include "dfuzz/shrink.hpp"
@@ -54,7 +57,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: lmc_fuzz [--seed S] [--runs N] [--max-nodes K] [--threads T]\n"
                "                [--lmc-threads L] [--time-budget SEC] [--audit-every K]\n"
-               "                [--audit-validity] [--artifact-dir DIR] [--trace-dir DIR]\n"
+               "                [--audit-validity] [--out-dir DIR] [--trace-dir DIR]\n"
                "                [--verbose]\n"
                "       lmc_fuzz --repro FILE\n");
   return 2;
@@ -83,7 +86,7 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.audit_every = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--audit-validity") {
       a.audit_validity = true;
-    } else if (arg == "--artifact-dir" && (v = next())) {
+    } else if ((arg == "--out-dir" || arg == "--artifact-dir") && (v = next())) {
       a.artifact_dir = v;
     } else if (arg == "--trace-dir" && (v = next())) {
       a.trace_dir = v;
@@ -117,28 +120,10 @@ Blob read_file(const std::string& path) {
   return data;
 }
 
-void write_file(const std::string& path, const void* p, std::size_t n) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) throw std::runtime_error("cannot write " + path);
-  std::fwrite(p, 1, n, f);
-  std::fclose(f);
-}
-
 void dump_artifact(const Args& a, std::uint64_t seed, const ShrinkResult& shrunk,
                    const ProtoSpec& original) {
-  Writer w;
-  shrunk.spec.serialize(w);
-  const std::string base = a.artifact_dir + "/dfuzz_repro_seed" + std::to_string(seed);
-  write_file(base + ".bin", w.data().data(), w.data().size());
-
-  std::string txt = "lmc_fuzz disagreement\nseed: " + std::to_string(seed) +
-                    "\nfailure: " + to_string(shrunk.report.failure) +
-                    "\ndetail: " + shrunk.report.detail + "\nshrink: removed " +
-                    std::to_string(shrunk.removed) + " piece(s) in " +
-                    std::to_string(shrunk.attempts) + " oracle run(s)\n\nminimal protocol:\n" +
-                    to_string(shrunk.spec) + "\noriginal protocol:\n" + to_string(original);
-  write_file(base + ".txt", txt.data(), txt.size());
-  std::printf("  repro dumped: %s.{bin,txt}\n", base.c_str());
+  ArtifactPaths paths = write_repro_artifacts(a.artifact_dir, seed, shrunk, original);
+  std::printf("  repro dumped: %s + .txt + .lmc\n", paths.bin.c_str());
 }
 
 int run_repro(const Args& a) {

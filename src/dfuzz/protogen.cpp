@@ -127,6 +127,21 @@ std::string validate_spec(const ProtoSpec& spec) {
   return "";
 }
 
+ProtoSpec drop_shadowed_rules(const ProtoSpec& spec) {
+  ProtoSpec out = spec;
+  out.msg_rules.clear();
+  for (const MsgRule& r : spec.msg_rules) {
+    bool shadowed = false;
+    for (const MsgRule& kept : out.msg_rules)
+      if (kept.node == r.node && kept.type == r.type && kept.guard_state == r.guard_state) {
+        shadowed = true;
+        break;
+      }
+    if (!shadowed) out.msg_rules.push_back(r);
+  }
+  return out;
+}
+
 std::string to_string(const ProtoSpec& spec) {
   std::ostringstream os;
   os << "ProtoSpec seed=" << spec.seed << " nodes=" << spec.num_nodes

@@ -102,6 +102,14 @@ std::string validate_spec(const ProtoSpec& spec);
 /// Human-readable rendering for repro artifacts and failure messages.
 std::string to_string(const ProtoSpec& spec);
 
+/// Drop message rules shadowed by an earlier rule with the same
+/// (node, type, guard): GenNode dispatch is first-match, so a shadowed rule
+/// can never fire and the pruned spec executes byte-identically (internal
+/// rules are untouched — each owns its own fire-once bit). The .lmc bridge
+/// canonicalizes through this, because the DSL rejects shadowed handlers
+/// outright [DSL04].
+ProtoSpec drop_shadowed_rules(const ProtoSpec& spec);
+
 /// Generation bounds. Defaults keep a single protocol's reachable global
 /// state space in the low thousands — a differential run is milliseconds.
 struct GenLimits {

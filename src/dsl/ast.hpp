@@ -1,0 +1,108 @@
+// Surface AST of a .lmc protocol — names still unresolved, selectors and
+// destinations still symbolic. The compiler (compile.hpp) elaborates this
+// into the per-node rule tables of spec.hpp for a concrete node count; the
+// AST is kept around so scenario blocks can re-elaborate with an overridden
+// `nodes N` (role ranges like `1..n-2` are node-count-relative).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/diag.hpp"
+
+namespace lmc::dsl::ast {
+
+/// `INT` or `n - INT` (node-count-relative); `n` alone is `n - 0`.
+struct NodeExpr {
+  bool rel_n = false;
+  std::int64_t value = 0;
+  SrcLoc loc;
+};
+
+/// Which nodes a handler is installed on (`at ...`; omitted = all).
+struct Selector {
+  enum class Kind : std::uint8_t { kAll, kRole, kRange };
+  Kind kind = Kind::kAll;
+  std::string role;
+  NodeExpr lo, hi;  ///< kRange; a single node is lo..lo
+  SrcLoc loc;
+};
+
+/// A send's destination.
+struct Dst {
+  enum class Kind : std::uint8_t { kNode, kSender, kOthers, kAll, kNext, kPrev, kRole };
+  Kind kind = Kind::kNode;
+  NodeExpr node;     ///< kNode
+  std::string role;  ///< kRole
+  SrcLoc loc;
+};
+
+struct SendAct {
+  std::string msg;
+  Dst dst;
+  std::optional<std::uint32_t> tag;  ///< explicit payload tag; auto-assigned if absent
+  SrcLoc loc;
+};
+
+/// `on MSG at SEL @ GUARD -> TARGET { ... }` (message handler), or
+/// `internal|timer LABEL at SEL @ GUARD -> TARGET { ... }` (fire-once).
+struct Handler {
+  bool is_message = false;
+  std::string trigger;  ///< message type name (kMessage) or handler label
+  Selector at;
+  std::string guard;
+  std::string target;
+  std::vector<SendAct> sends;
+  bool fail_assert = false;     ///< `assert false;` — injected local-assert failure
+  std::string assert_msg;
+  SrcLoc loc;
+  SrcLoc target_loc;
+};
+
+/// `invariant NAME: never A with B [projected];`
+/// `invariant NAME: never A before B [projected];`  (A at a lower node index)
+struct InvariantDecl {
+  std::string name;
+  std::vector<std::string> a, b;  ///< state sets ({s1, s2} or a single state)
+  std::vector<SrcLoc> a_locs, b_locs;
+  bool before = false;
+  bool projected = false;
+  SrcLoc loc;
+};
+
+/// `scenario NAME { nodes N; seed S; drop PCT; sim_time SEC; app_max SEC; fifo; }`
+struct ScenarioDecl {
+  std::string name;
+  std::optional<std::uint32_t> nodes;
+  std::uint64_t seed = 1;
+  double drop_pct = 30.0;
+  double sim_time = 30.0;
+  double app_max = 10.0;
+  bool fifo = false;
+  SrcLoc loc;
+};
+
+struct RoleDecl {
+  std::string name;
+  Selector sel;
+  SrcLoc loc;
+};
+
+struct Protocol {
+  std::string name;
+  std::uint32_t nodes = 0;  ///< default node count (`nodes N;`, required)
+  std::uint64_t seed = 0;   ///< opaque metadata (dfuzz repro provenance)
+  bool expect_violation = false;
+  std::vector<std::string> states, messages;
+  std::vector<SrcLoc> state_locs, message_locs;
+  std::vector<RoleDecl> roles;
+  std::vector<Handler> handlers;
+  std::vector<InvariantDecl> invariants;
+  std::vector<ScenarioDecl> scenarios;
+  SrcLoc loc;
+  SrcLoc nodes_loc;
+};
+
+}  // namespace lmc::dsl::ast

@@ -1,0 +1,129 @@
+#include "dsl/bridge.hpp"
+
+namespace lmc::dsl {
+
+namespace {
+
+SpecAction lift_action(const dfuzz::RuleAction& a) {
+  SpecAction out;
+  out.goto_state = a.goto_state;
+  out.fail_assert = a.fail_assert;
+  for (const dfuzz::SendAction& s : a.sends) {
+    SpecSend send;
+    send.dst = s.dst;
+    send.type = s.type;
+    send.tag = s.tag;
+    out.sends.push_back(send);
+  }
+  return out;
+}
+
+std::optional<dfuzz::RuleAction> lower_action(const SpecAction& a, std::string& err) {
+  dfuzz::RuleAction out;
+  out.goto_state = a.goto_state;
+  out.fail_assert = a.fail_assert;
+  for (const SpecSend& s : a.sends) {
+    if (s.to_sender) {
+      err = "sender-relative send (outside the ProtoSpec core fragment)";
+      return std::nullopt;
+    }
+    dfuzz::SendAction send;
+    send.dst = s.dst;
+    send.type = s.type;
+    send.tag = s.tag;
+    out.sends.push_back(send);
+  }
+  return out;
+}
+
+}  // namespace
+
+DslSpec from_proto(const dfuzz::ProtoSpec& raw) {
+  // Canonicalize first: shadowed (dead) message rules would trip DSL04 when
+  // the emitted text is re-compiled, and pruning them cannot change
+  // execution (first-match dispatch).
+  const dfuzz::ProtoSpec spec = dfuzz::drop_shadowed_rules(raw);
+  DslSpec out;
+  out.name = "dfuzz_seed_" + std::to_string(spec.seed);
+  out.seed = spec.seed;
+  out.num_nodes = spec.num_nodes;
+  for (std::uint32_t i = 0; i < spec.num_states; ++i)
+    out.states.push_back("s" + std::to_string(i));
+  for (std::uint32_t i = 0; i < spec.num_msg_types; ++i)
+    out.messages.push_back("m" + std::to_string(i));
+  for (std::size_t i = 0; i < spec.internals.size(); ++i) {
+    const dfuzz::InternalRule& r = spec.internals[i];
+    SpecInternalRule ir;
+    ir.node = r.node;
+    ir.guard_state = r.guard_state;
+    ir.action = lift_action(r.action);
+    ir.label = "r" + std::to_string(i);
+    out.internals.push_back(std::move(ir));
+  }
+  for (const dfuzz::MsgRule& r : spec.msg_rules) {
+    SpecMsgRule mr;
+    mr.node = r.node;
+    mr.type = r.type;
+    mr.guard_state = r.guard_state;
+    mr.action = lift_action(r.action);
+    out.msg_rules.push_back(std::move(mr));
+  }
+  SpecInvariant inv;
+  inv.name = "mutex";
+  inv.projected = spec.invariant.use_projection;
+  inv.a = {spec.invariant.state_a};
+  inv.b = {spec.invariant.state_b};
+  out.invariants.push_back(std::move(inv));
+  return out;
+}
+
+std::optional<dfuzz::ProtoSpec> to_proto(const DslSpec& spec, std::string& err) {
+  dfuzz::ProtoSpec out;
+  out.seed = spec.seed;
+  out.num_nodes = spec.num_nodes;
+  out.num_states = static_cast<std::uint32_t>(spec.states.size());
+  out.num_msg_types = static_cast<std::uint32_t>(spec.messages.size());
+  if (out.num_msg_types == 0) {
+    err = "no message types (ProtoSpec needs at least one)";
+    return std::nullopt;
+  }
+  for (const SpecInternalRule& r : spec.internals) {
+    auto a = lower_action(r.action, err);
+    if (!a) return std::nullopt;
+    dfuzz::InternalRule ir;
+    ir.node = r.node;
+    ir.guard_state = r.guard_state;
+    ir.action = std::move(*a);
+    out.internals.push_back(std::move(ir));
+  }
+  for (const SpecMsgRule& r : spec.msg_rules) {
+    auto a = lower_action(r.action, err);
+    if (!a) return std::nullopt;
+    dfuzz::MsgRule mr;
+    mr.node = r.node;
+    mr.type = r.type;
+    mr.guard_state = r.guard_state;
+    mr.action = std::move(*a);
+    out.msg_rules.push_back(std::move(mr));
+  }
+  if (spec.invariants.size() != 1) {
+    err = "ProtoSpec carries exactly one invariant, spec has " +
+          std::to_string(spec.invariants.size());
+    return std::nullopt;
+  }
+  const SpecInvariant& inv = spec.invariants[0];
+  if (inv.before) {
+    err = "'before' invariant (outside the ProtoSpec core fragment)";
+    return std::nullopt;
+  }
+  if (inv.a.size() != 1 || inv.b.size() != 1) {
+    err = "non-singleton invariant state set (outside the ProtoSpec core fragment)";
+    return std::nullopt;
+  }
+  out.invariant.state_a = inv.a[0];
+  out.invariant.state_b = inv.b[0];
+  out.invariant.use_projection = inv.projected;
+  return out;
+}
+
+}  // namespace lmc::dsl

@@ -1,0 +1,32 @@
+// Bridge between dfuzz's binary ProtoSpec tables and the .lmc text format.
+//
+// ProtoSpec is exactly the DSL's "core fragment": fixed destinations, one
+// anonymous mutual-exclusion invariant, no scenarios. Mapping a ProtoSpec
+// through `.lmc` text and back is the identity up to dropping shadowed
+// (dead-under-first-match) message rules, which the DSL rejects as DSL04
+// (the round-trip test pins `parse(to_lmc_text(from_proto(s)))` ==
+// `drop_shadowed_rules(s)` via ProtoSpec::operator==), which
+// is what makes dfuzz repro artifacts simultaneously human-readable specs
+// and byte-exact reproducers: the re-parsed spec instantiates through the
+// same GenNode interpreter, so its normalized checkpoints are identical to
+// the original run's.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dfuzz/protogen.hpp"
+#include "dsl/spec.hpp"
+
+namespace lmc::dsl {
+
+/// Lift a dfuzz rule table into an elaborated DSL spec with synthesized
+/// names (states s0..s{K-1}, messages m0..m{M-1}, internal labels r0..).
+DslSpec from_proto(const dfuzz::ProtoSpec& spec);
+
+/// Lower a spec back to a ProtoSpec. Fails (returning nullopt and setting
+/// `err`) outside the core fragment: sender-relative sends, multiple or
+/// 'before' invariants, or non-singleton invariant state sets.
+std::optional<dfuzz::ProtoSpec> to_proto(const DslSpec& spec, std::string& err);
+
+}  // namespace lmc::dsl

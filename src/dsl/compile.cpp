@@ -1,0 +1,445 @@
+#include "dsl/compile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+namespace lmc::dsl {
+
+namespace {
+
+bool reserved(const std::string& s) {
+  static const char* const kWords[] = {"all", "n", "sender", "others", "next", "prev", "node"};
+  for (const char* w : kWords)
+    if (s == w) return true;
+  return false;
+}
+
+class Compiler {
+ public:
+  Compiler(const ast::Protocol& p, DiagList& diags, const CompileOptions& opts)
+      : p_(p), diags_(diags), opts_(opts) {}
+
+  std::optional<DslSpec> run() {
+    const bool pre_ok = diags_.ok();
+    spec_.name = p_.name;
+    spec_.seed = p_.seed;
+    spec_.expect_violation = p_.expect_violation;
+    spec_.num_nodes = opts_.override_nodes.value_or(p_.nodes);
+    if (spec_.num_nodes < 2)
+      diags_.error(p_.nodes_loc, "a checkable protocol needs at least 2 nodes");
+
+    index_names(p_.states, p_.state_locs, states_, "state");
+    index_names(p_.messages, p_.message_locs, messages_, "message");
+    if (p_.states.size() < 2)
+      diags_.error(p_.loc, "protocol needs at least 2 states (the first one is initial)");
+    spec_.states = p_.states;
+    spec_.messages = p_.messages;
+
+    for (const ast::RoleDecl& r : p_.roles) {
+      if (reserved(r.name)) {
+        diags_.error(r.loc, "role name '" + r.name + "' is a reserved word");
+        continue;
+      }
+      if (states_.count(r.name) != 0 || messages_.count(r.name) != 0)
+        diags_.error(r.loc, "role '" + r.name + "' collides with a state or message name");
+      if (roles_.count(r.name) != 0) {
+        diags_.error(r.loc, "duplicate role '" + r.name + "'");
+        continue;
+      }
+      roles_[r.name] = resolve_selector(r.sel);
+    }
+
+    for (const ast::Handler& h : p_.handlers) elaborate(h);
+
+    if (spec_.internals.size() > 32 && overflow_loc_.line != 0)
+      diags_.error(overflow_loc_,
+                   "protocol elaborates to " + std::to_string(spec_.internals.size()) +
+                       " internal rules; the fire-once bitmask serialized per node holds at "
+                       "most 32 — beyond that the node state no longer records which rules "
+                       "ran and re-execution would diverge",
+                   "DSL03");
+
+    assign_auto_tags();
+
+    for (const ast::InvariantDecl& inv : p_.invariants) invariant(inv);
+    if (p_.invariants.empty())
+      diags_.error(p_.loc, "protocol declares no invariant; add at least one "
+                           "'invariant NAME: never A with B;'");
+
+    std::set<std::string> scen_names;
+    for (const ast::ScenarioDecl& sc : p_.scenarios) {
+      if (!scen_names.insert(sc.name).second)
+        diags_.error(sc.loc, "duplicate scenario '" + sc.name + "'");
+      Scenario s;
+      s.name = sc.name;
+      s.num_nodes = sc.nodes.value_or(spec_.num_nodes);
+      s.seed = sc.seed;
+      s.drop_pct = sc.drop_pct;
+      s.sim_time = sc.sim_time;
+      s.app_max = sc.app_max;
+      s.fifo = sc.fifo;
+      if (s.drop_pct < 0.0 || s.drop_pct > 100.0)
+        diags_.error(sc.loc, "scenario drop must be a percentage in [0, 100]");
+      if (s.num_nodes < 2) diags_.error(sc.loc, "scenario needs at least 2 nodes");
+      spec_.scenarios.push_back(std::move(s));
+    }
+
+    // A pre-existing parse error also voids the result: the AST may be a
+    // fragment and this elaboration ran on half a protocol.
+    if (!pre_ok || !diags_.ok()) return std::nullopt;
+    return std::move(spec_);
+  }
+
+ private:
+  void index_names(const std::vector<std::string>& names, const std::vector<SrcLoc>& locs,
+                   std::map<std::string, std::uint32_t>& out, const char* what) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (reserved(names[i])) {
+        diags_.error(locs[i],
+                     std::string(what) + " name '" + names[i] + "' is a reserved word");
+        continue;
+      }
+      if (!out.emplace(names[i], static_cast<std::uint32_t>(i)).second)
+        diags_.error(locs[i], std::string("duplicate ") + what + " '" + names[i] + "'");
+    }
+  }
+
+  std::optional<NodeId> eval_node(const ast::NodeExpr& e) {
+    const std::int64_t n = static_cast<std::int64_t>(spec_.num_nodes);
+    const std::int64_t v = e.rel_n ? n - e.value : e.value;
+    if (v < 0 || v >= n) {
+      diags_.error(e.loc, "node index " + std::to_string(v) + " is out of range for " +
+                              std::to_string(n) + " nodes");
+      return std::nullopt;
+    }
+    return static_cast<NodeId>(v);
+  }
+
+  std::vector<NodeId> resolve_selector(const ast::Selector& sel) {
+    std::vector<NodeId> out;
+    switch (sel.kind) {
+      case ast::Selector::Kind::kAll:
+        for (NodeId i = 0; i < spec_.num_nodes; ++i) out.push_back(i);
+        break;
+      case ast::Selector::Kind::kRole: {
+        auto it = roles_.find(sel.role);
+        if (it == roles_.end()) {
+          diags_.error(sel.loc, "unknown role '" + sel.role + "'");
+          break;
+        }
+        out = it->second;
+        break;
+      }
+      case ast::Selector::Kind::kRange: {
+        auto lo = eval_node(sel.lo);
+        auto hi = eval_node(sel.hi);
+        if (!lo || !hi) break;
+        if (*lo > *hi) {
+          diags_.error(sel.loc, "empty node range (" + std::to_string(*lo) + " .. " +
+                                    std::to_string(*hi) + ")");
+          break;
+        }
+        for (NodeId i = *lo; i <= *hi; ++i) out.push_back(i);
+        break;
+      }
+    }
+    return out;
+  }
+
+  std::optional<std::uint32_t> state_of(const std::string& name, SrcLoc loc) {
+    auto it = states_.find(name);
+    if (it == states_.end()) {
+      diags_.error(loc, "unknown state '" + name + "'");
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  std::optional<std::uint32_t> msg_of(const std::string& name, SrcLoc loc) {
+    auto it = messages_.find(name);
+    if (it == messages_.end()) {
+      diags_.error(loc, "unknown message '" + name + "'");
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  void elaborate(const ast::Handler& h) {
+    auto guard = state_of(h.guard, h.loc);
+    auto target = state_of(h.target, h.target_loc);
+    if (!guard || !target) return;
+    if (h.is_message && *target <= *guard) {
+      diags_.error(h.target_loc,
+                   "message handler must move to a strictly higher state ('" + h.guard +
+                       "' -> '" + h.target + "'); without monotone progress a message could "
+                       "be consumed twice and the delivery history would no longer be a "
+                       "function of the node state",
+                   "DSL01");
+      return;
+    }
+    if (!h.is_message && *target < *guard) {
+      diags_.error(h.target_loc,
+                   "internal handler must not decrease the state ('" + h.guard + "' -> '" +
+                       h.target + "'); a backward goto re-enables already-consumed rules and "
+                       "leaves the local checker's completeness envelope",
+                   "DSL02");
+      return;
+    }
+    std::optional<std::uint32_t> trigger_type;
+    if (h.is_message) {
+      trigger_type = msg_of(h.trigger, h.loc);
+      if (!trigger_type) return;
+    }
+
+    for (NodeId node : resolve_selector(h.at)) {
+      SpecAction action;
+      action.goto_state = *target;
+      action.fail_assert = h.fail_assert;
+      action.assert_msg = h.assert_msg;
+      std::vector<std::size_t> auto_sends;  ///< indices into action.sends lacking a tag
+      bool bad = false;
+      for (const ast::SendAct& s : h.sends) {
+        auto type = msg_of(s.msg, s.loc);
+        if (!type) {
+          bad = true;
+          continue;
+        }
+        for (SpecSend send : resolve_dst(s, node, h.is_message, bad)) {
+          send.type = *type;
+          if (s.tag) {
+            send.tag = *s.tag;
+            check_explicit_tag(node, send, s.loc);
+          } else {
+            auto_sends.push_back(action.sends.size());
+          }
+          action.sends.push_back(send);
+        }
+      }
+      if (bad) continue;
+
+      if (h.is_message) {
+        if (!msg_keys_.insert({node, *trigger_type, *guard}).second) {
+          diags_.error(h.loc,
+                       "duplicate message handler: node " + std::to_string(node) +
+                           " already handles '" + h.trigger + "' in state '" + h.guard +
+                           "' — first-match dispatch would silently hide this handler "
+                           "(nondeterminism the checker cannot see)",
+                       "DSL04");
+          continue;
+        }
+        SpecMsgRule r;
+        r.node = node;
+        r.type = *trigger_type;
+        r.guard_state = *guard;
+        r.action = std::move(action);
+        for (std::size_t si : auto_sends)
+          auto_tags_.push_back({/*is_internal=*/false, spec_.msg_rules.size(), si});
+        spec_.msg_rules.push_back(std::move(r));
+      } else {
+        if (!int_labels_.insert({node, h.trigger}).second) {
+          diags_.error(h.loc,
+                       "duplicate internal handler label '" + h.trigger + "' on node " +
+                           std::to_string(node) +
+                           " — labels identify fire-once slots and must be unique per node",
+                       "DSL05");
+          continue;
+        }
+        if (spec_.internals.size() == 32 && overflow_loc_.line == 0) overflow_loc_ = h.loc;
+        SpecInternalRule r;
+        r.node = node;
+        r.guard_state = *guard;
+        r.action = std::move(action);
+        r.label = h.trigger;
+        for (std::size_t si : auto_sends)
+          auto_tags_.push_back({/*is_internal=*/true, spec_.internals.size(), si});
+        spec_.internals.push_back(std::move(r));
+      }
+    }
+  }
+
+  /// Expand one surface send for `node` into concrete destinations (type and
+  /// tag filled by the caller). Broadcast destinations become fixed per-node
+  /// sends in ascending node order.
+  std::vector<SpecSend> resolve_dst(const ast::SendAct& s, NodeId node, bool is_message,
+                                    bool& bad) {
+    std::vector<SpecSend> out;
+    auto fixed = [&](NodeId d) {
+      SpecSend send;
+      send.dst = d;
+      out.push_back(send);
+    };
+    switch (s.dst.kind) {
+      case ast::Dst::Kind::kNode: {
+        auto d = eval_node(s.dst.node);
+        if (!d) {
+          bad = true;
+          break;
+        }
+        fixed(*d);
+        break;
+      }
+      case ast::Dst::Kind::kSender: {
+        if (!is_message) {
+          diags_.error(s.dst.loc,
+                       "'sender' destination is only meaningful in a message handler — an "
+                       "internal event has no sender",
+                       "DSL06");
+          bad = true;
+          break;
+        }
+        SpecSend send;
+        send.to_sender = true;
+        out.push_back(send);
+        break;
+      }
+      case ast::Dst::Kind::kOthers:
+        for (NodeId d = 0; d < spec_.num_nodes; ++d)
+          if (d != node) fixed(d);
+        break;
+      case ast::Dst::Kind::kAll:
+        for (NodeId d = 0; d < spec_.num_nodes; ++d) fixed(d);
+        break;
+      case ast::Dst::Kind::kNext:
+        if (node + 1 >= spec_.num_nodes) {
+          diags_.error(s.dst.loc,
+                       "'next' on node " + std::to_string(node) +
+                           " (the last node) runs off the end of the node range; narrow the "
+                           "handler's 'at' selector",
+                       "DSL09");
+          bad = true;
+          break;
+        }
+        fixed(node + 1);
+        break;
+      case ast::Dst::Kind::kPrev:
+        if (node == 0) {
+          diags_.error(s.dst.loc,
+                       "'prev' on node 0 runs off the end of the node range; narrow the "
+                       "handler's 'at' selector",
+                       "DSL09");
+          bad = true;
+          break;
+        }
+        fixed(node - 1);
+        break;
+      case ast::Dst::Kind::kRole: {
+        auto it = roles_.find(s.dst.role);
+        if (it == roles_.end()) {
+          diags_.error(s.dst.loc, "unknown destination role '" + s.dst.role + "'");
+          bad = true;
+          break;
+        }
+        for (NodeId d : it->second) fixed(d);
+        break;
+      }
+    }
+    return out;
+  }
+
+  /// Duplicate-content check for EXPLICIT tags (auto tags are allocated
+  /// above every explicit tag and mutually distinct, so they cannot
+  /// collide). Identical (src, dst, message, tag) from two rules can put
+  /// two indistinguishable messages in flight; the model's network is a set
+  /// with duplicate limit 0, so the second would silently vanish.
+  void check_explicit_tag(NodeId src, const SpecSend& s, SrcLoc loc) {
+    const auto key = std::make_tuple(src, s.to_sender, s.to_sender ? 0u : s.dst, s.type, s.tag);
+    auto [it, inserted] = explicit_tags_.emplace(key, loc);
+    if (inserted) return;
+    if (!dsl07_reported_.insert({loc.line, loc.col}).second) return;
+    diags_.error(loc,
+                 "elaborated send duplicates message content already produced at line " +
+                     std::to_string(it->second.line) + " ('" + spec_.messages[s.type] +
+                     "' tag " + std::to_string(s.tag) +
+                     " from node " + std::to_string(src) +
+                     ") — duplicate in-flight messages break the set-network model; use a "
+                     "distinct 'tag'",
+                 "DSL07");
+  }
+
+  /// Tags left implicit get values above every explicit tag, in final table
+  /// order — deterministic, and guaranteed collision-free.
+  void assign_auto_tags() {
+    std::uint32_t next = 0;
+    auto consider = [&](const SpecAction& a) {
+      for (const SpecSend& s : a.sends)
+        if (s.tag >= next) next = s.tag + 1;
+    };
+    for (const SpecInternalRule& r : spec_.internals) consider(r.action);
+    for (const SpecMsgRule& r : spec_.msg_rules) consider(r.action);
+    for (const AutoTag& at : auto_tags_) {
+      SpecAction& a =
+          at.is_internal ? spec_.internals[at.rule].action : spec_.msg_rules[at.rule].action;
+      a.sends[at.send].tag = next++;
+    }
+  }
+
+  void invariant(const ast::InvariantDecl& inv) {
+    if (!inv_names_.insert(inv.name).second)
+      diags_.error(inv.loc, "duplicate invariant '" + inv.name + "'");
+    SpecInvariant out;
+    out.name = inv.name;
+    out.before = inv.before;
+    out.projected = inv.projected;
+    bool ok = true;
+    auto resolve_set = [&](const std::vector<std::string>& names,
+                           const std::vector<SrcLoc>& locs, std::vector<std::uint32_t>& set) {
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        auto s = state_of(names[i], locs[i]);
+        if (!s) {
+          ok = false;
+          continue;
+        }
+        set.push_back(*s);
+      }
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+    };
+    resolve_set(inv.a, inv.a_locs, out.a);
+    resolve_set(inv.b, inv.b_locs, out.b);
+    if (!ok) return;
+    const bool a0 = std::find(out.a.begin(), out.a.end(), 0u) != out.a.end();
+    const bool b0 = std::find(out.b.begin(), out.b.end(), 0u) != out.b.end();
+    if (a0 && b0) {
+      diags_.error(inv.loc,
+                   "invariant '" + inv.name + "' lists the initial state '" + spec_.states[0] +
+                       "' on both sides, so the all-initial system state already violates it",
+                   "DSL08");
+      return;
+    }
+    spec_.invariants.push_back(std::move(out));
+  }
+
+  struct AutoTag {
+    bool is_internal;
+    std::size_t rule;
+    std::size_t send;
+  };
+
+  const ast::Protocol& p_;
+  DiagList& diags_;
+  const CompileOptions& opts_;
+  DslSpec spec_;
+  std::map<std::string, std::uint32_t> states_, messages_;
+  std::map<std::string, std::vector<NodeId>> roles_;
+  std::set<std::tuple<NodeId, std::uint32_t, std::uint32_t>> msg_keys_;
+  std::set<std::pair<NodeId, std::string>> int_labels_;
+  std::set<std::string> inv_names_;
+  std::map<std::tuple<NodeId, bool, NodeId, std::uint32_t, std::uint32_t>, SrcLoc>
+      explicit_tags_;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> dsl07_reported_;
+  std::vector<AutoTag> auto_tags_;
+  SrcLoc overflow_loc_;
+};
+
+}  // namespace
+
+std::optional<DslSpec> compile(const ast::Protocol& p, DiagList& diags,
+                               const CompileOptions& opts) {
+  Compiler c(p, diags, opts);
+  return c.run();
+}
+
+}  // namespace lmc::dsl

@@ -1,0 +1,42 @@
+// AST -> DslSpec elaboration: resolve names, expand selectors into per-node
+// rules, assign payload tags, and enforce the LMC completeness envelope with
+// positioned diagnostics. Rule codes (stable, pinned by fixture tests):
+//
+//   DSL01  message handler's target state not strictly above its guard
+//   DSL02  internal/timer handler's target state below its guard
+//   DSL03  more than 32 elaborated internal rules (fire-once bitmask — the
+//          serialized node state could no longer capture which rules ran)
+//   DSL04  two message handlers for the same (node, message, guard) —
+//          hidden nondeterminism: first-match would silently win
+//   DSL05  duplicate internal handler label on the same node
+//   DSL06  'sender' destination in an internal/timer handler
+//   DSL07  two elaborated sends with identical content (src, dst, message,
+//          tag) — duplicate in-flight messages break the paper's
+//          duplicate-limit-0 network model
+//   DSL08  invariant violated by the all-initial system state
+//   DSL09  'next'/'prev' destination runs off the end of the node range
+//
+// The same conditions are re-checked loc-lessly by dsl::validate() for
+// specs constructed programmatically.
+#pragma once
+
+#include <optional>
+
+#include "dsl/ast.hpp"
+#include "dsl/diag.hpp"
+#include "dsl/spec.hpp"
+
+namespace lmc::dsl {
+
+struct CompileOptions {
+  /// Re-elaborate for a different node count (scenario `nodes N;`
+  /// overrides; role ranges like `1..n-2` are node-count-relative).
+  std::optional<std::uint32_t> override_nodes;
+};
+
+/// Elaborate `p` into an executable spec. Returns nullopt iff `diags` gained
+/// at least one error; on success `validate(*result)` is empty.
+std::optional<DslSpec> compile(const ast::Protocol& p, DiagList& diags,
+                               const CompileOptions& opts = {});
+
+}  // namespace lmc::dsl

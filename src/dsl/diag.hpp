@@ -1,0 +1,80 @@
+// Diagnostics for the .lmc protocol DSL (DESIGN.md §11).
+//
+// Every parser/validator complaint carries a source position and renders in
+// the gcc style tooling already understands:
+//
+//   examples/zoo/raft_election.lmc:14:3: error: message handler must move to
+//   a strictly higher state ('voted' -> 'voted') [DSL01]
+//
+// Validator rules have stable [DSLnn] codes (see compile.hpp) so tests and
+// fixtures can pin the *class* of an error without freezing its wording.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lmc::dsl {
+
+/// 1-based source position inside one .lmc file.
+struct SrcLoc {
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+};
+
+struct Diag {
+  enum class Severity : std::uint8_t { kError, kWarning };
+
+  Severity severity = Severity::kError;
+  std::string file;
+  SrcLoc loc;
+  std::string msg;
+  std::string code;  ///< "DSL01".."DSL09" for validator rules; empty for parse errors
+
+  /// "file:line:col: error: msg [CODE]"
+  std::string to_string() const {
+    std::string s = file + ":" + std::to_string(loc.line) + ":" + std::to_string(loc.col) +
+                    (severity == Severity::kError ? ": error: " : ": warning: ") + msg;
+    if (!code.empty()) s += " [" + code + "]";
+    return s;
+  }
+};
+
+/// Accumulates diagnostics for one file. `ok()` means no errors (warnings
+/// are allowed through).
+class DiagList {
+ public:
+  explicit DiagList(std::string file = {}) : file_(std::move(file)) {}
+
+  void error(SrcLoc loc, std::string msg, std::string code = {}) {
+    items_.push_back({Diag::Severity::kError, file_, loc, std::move(msg), std::move(code)});
+  }
+  void warning(SrcLoc loc, std::string msg, std::string code = {}) {
+    items_.push_back({Diag::Severity::kWarning, file_, loc, std::move(msg), std::move(code)});
+  }
+
+  bool ok() const {
+    for (const Diag& d : items_)
+      if (d.severity == Diag::Severity::kError) return false;
+    return true;
+  }
+
+  const std::vector<Diag>& items() const { return items_; }
+  const std::string& file() const { return file_; }
+
+  /// All diagnostics, one per line (gcc style), for stderr or test pins.
+  std::string to_string() const {
+    std::string s;
+    for (const Diag& d : items_) {
+      s += d.to_string();
+      s += '\n';
+    }
+    return s;
+  }
+
+ private:
+  std::string file_;
+  std::vector<Diag> items_;
+};
+
+}  // namespace lmc::dsl

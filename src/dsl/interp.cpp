@@ -1,0 +1,196 @@
+#include "dsl/interp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runtime/hash.hpp"
+
+namespace lmc::dsl {
+
+namespace {
+
+bool in_set(const std::vector<std::uint32_t>& set, std::uint32_t s) {
+  return std::binary_search(set.begin(), set.end(), s);
+}
+
+}  // namespace
+
+// --- node -------------------------------------------------------------------
+
+void DslNode::apply(const SpecAction& a, Context& ctx, NodeId sender, bool have_sender) {
+  for (const SpecSend& s : a.sends) {
+    NodeId dst = s.dst;
+    if (s.to_sender) {
+      if (!have_sender) {
+        // Compile-time rule DSL06 makes this unreachable from .lmc source.
+        ctx.local_assert(false, "dsl: 'sender' destination outside a message handler");
+        return;
+      }
+      dst = sender;
+    }
+    Writer w;
+    w.u32(s.tag);
+    ctx.send(dst, s.type, std::move(w).take());
+  }
+  // Sends precede the assert: the messages are real traffic even when the
+  // successor state is discarded (the order Fig. 9's addNextState pins).
+  if (a.fail_assert)
+    ctx.local_assert(false, a.assert_msg.empty() ? "dsl: assert false" : a.assert_msg);
+  state_ = a.goto_state;
+}
+
+void DslNode::handle_message(const Message& m, Context& ctx) {
+  for (const SpecMsgRule& r : spec_->msg_rules) {
+    if (r.node != self_ || r.type != m.type || r.guard_state != state_) continue;
+    // Fold the consumed message's full identity into the digest BEFORE
+    // applying: a matched delivery always changes the blob (strict state
+    // progress already guarantees that, the digest additionally separates
+    // same-progress paths that consumed different messages or the same
+    // message from different senders).
+    digest_ ^= mix64(m.hash() + 0x6d4f);
+    apply(r.action, ctx, m.src, /*have_sender=*/true);
+    return;
+  }
+  // No matching rule: the delivery is a silent no-op. I+ offers every
+  // message to every state of its destination, so this must not assert.
+}
+
+std::vector<InternalEvent> DslNode::enabled_internal_events() const {
+  std::vector<InternalEvent> evs;
+  for (std::size_t i = 0; i < spec_->internals.size(); ++i) {
+    const SpecInternalRule& r = spec_->internals[i];
+    if (r.node != self_ || r.guard_state != state_) continue;
+    if ((fired_ & (1u << i)) != 0) continue;
+    evs.push_back(InternalEvent{static_cast<std::uint32_t>(i) + 1, {}});
+  }
+  return evs;
+}
+
+void DslNode::handle_internal(const InternalEvent& ev, Context& ctx) {
+  const std::size_t idx = ev.kind - 1;
+  if (idx >= spec_->internals.size()) {
+    ctx.local_assert(false, "dsl: unknown internal rule");
+    return;
+  }
+  const SpecInternalRule& r = spec_->internals[idx];
+  if (r.node != self_ || r.guard_state != state_ || (fired_ & (1u << idx)) != 0) {
+    ctx.local_assert(false, "dsl: internal rule not enabled");
+    return;
+  }
+  fired_ |= 1u << idx;
+  apply(r.action, ctx, 0, /*have_sender=*/false);
+}
+
+void DslNode::serialize(Writer& w) const {
+  w.u32(state_);
+  w.u32(fired_);
+  w.u64(digest_);
+}
+
+void DslNode::deserialize(Reader& r) {
+  state_ = r.u32();
+  fired_ = r.u32();
+  digest_ = r.u64();
+}
+
+std::uint32_t dsl_state_of(const Blob& state) {
+  Reader r(state);
+  return r.u32();
+}
+
+// --- invariant --------------------------------------------------------------
+
+std::string DslInvariant::name() const { return "dsl." + spec_->name; }
+
+std::string DslInvariant::first_violated(const SystemStateView& sys) const {
+  std::vector<std::uint32_t> st(sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) st[i] = dsl_state_of(*sys[i]);
+  for (const SpecInvariant& inv : spec_->invariants) {
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      for (std::size_t j = i + 1; j < st.size(); ++j) {
+        if (inv.before) {
+          // Ordered: a lower-indexed node in A while a higher one is in B.
+          if (in_set(inv.a, st[i]) && in_set(inv.b, st[j])) return inv.name;
+        } else {
+          // Symmetric mutual exclusion across two distinct nodes.
+          if ((in_set(inv.a, st[i]) && in_set(inv.b, st[j])) ||
+              (in_set(inv.a, st[j]) && in_set(inv.b, st[i])))
+            return inv.name;
+        }
+      }
+    }
+  }
+  return "";
+}
+
+bool DslInvariant::holds(const SystemConfig&, const SystemStateView& sys) const {
+  return first_violated(sys).empty();
+}
+
+bool DslInvariant::has_projection() const {
+  if (spec_->invariants.empty()) return false;
+  for (const SpecInvariant& inv : spec_->invariants)
+    if (!inv.projected) return false;
+  return true;
+}
+
+Projection DslInvariant::project(const SystemConfig&, NodeId n, const Blob& state) const {
+  // Invariant k contributes key 2k when the node sits in A and key 2k+1 when
+  // in B; the value is the node id so 'before' can order the pair. States in
+  // no invariant's sets project empty and never participate (LMC-OPT skips
+  // them entirely).
+  const std::uint32_t s = dsl_state_of(state);
+  Projection p;
+  for (std::size_t k = 0; k < spec_->invariants.size(); ++k) {
+    const SpecInvariant& inv = spec_->invariants[k];
+    if (in_set(inv.a, s)) p.emplace_back(2 * k, n);
+    if (in_set(inv.b, s)) p.emplace_back(2 * k + 1, n);
+  }
+  return p;
+}
+
+bool DslInvariant::projections_conflict(const Projection& a, const Projection& b) const {
+  auto get = [](const Projection& p, std::uint64_t key, std::uint64_t& val) {
+    for (const auto& [k, v] : p) {
+      if (k == key) {
+        val = v;
+        return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t k = 0; k < spec_->invariants.size(); ++k) {
+    const SpecInvariant& inv = spec_->invariants[k];
+    std::uint64_t ia = 0, jb = 0;
+    if (inv.before) {
+      // Conflict iff the A-node precedes the B-node (check both argument
+      // orders: the pair scan is unordered).
+      if (get(a, 2 * k, ia) && get(b, 2 * k + 1, jb) && ia < jb) return true;
+      if (get(b, 2 * k, ia) && get(a, 2 * k + 1, jb) && ia < jb) return true;
+    } else {
+      // Distinct nodes in A x B — the value check rules out the one case
+      // a single node's own A and B memberships could look like a pair.
+      if (get(a, 2 * k, ia) && get(b, 2 * k + 1, jb) && ia != jb) return true;
+      if (get(b, 2 * k, ia) && get(a, 2 * k + 1, jb) && ia != jb) return true;
+    }
+  }
+  return false;
+}
+
+// --- instantiation ----------------------------------------------------------
+
+CompiledProtocol instantiate(const DslSpec& spec) {
+  if (std::string err = validate(spec); !err.empty())
+    throw std::invalid_argument("dsl: invalid spec '" + spec.name + "': " + err);
+  CompiledProtocol p;
+  p.spec = std::make_shared<const DslSpec>(spec);
+  p.cfg.num_nodes = spec.num_nodes;
+  std::shared_ptr<const DslSpec> shared = p.spec;
+  p.cfg.factory = [shared](NodeId self, std::uint32_t) {
+    return std::make_unique<DslNode>(self, shared);
+  };
+  p.invariant = std::make_unique<DslInvariant>(p.spec);
+  return p;
+}
+
+}  // namespace lmc::dsl

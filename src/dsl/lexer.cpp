@@ -1,0 +1,167 @@
+#include "dsl/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace lmc::dsl {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::kIdent: return "identifier";
+    case Tok::kInt: return "integer";
+    case Tok::kNumber: return "number";
+    case Tok::kString: return "string";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kComma: return "','";
+    case Tok::kSemi: return "';'";
+    case Tok::kColon: return "':'";
+    case Tok::kArrow: return "'->'";
+    case Tok::kAt: return "'@'";
+    case Tok::kDotDot: return "'..'";
+    case Tok::kEquals: return "'='";
+    case Tok::kMinus: return "'-'";
+    case Tok::kEof: return "end of file";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(std::string_view text, DiagList& diags) {
+  std::vector<Token> out;
+  std::uint32_t line = 1, col = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  auto peek = [&](std::size_t k = 0) -> char { return i + k < n ? text[i + k] : '\0'; };
+  auto advance = [&]() {
+    if (text[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  };
+  auto push = [&](Tok kind, SrcLoc loc, std::string t = {}) {
+    Token tok;
+    tok.kind = kind;
+    tok.text = std::move(t);
+    tok.loc = loc;
+    out.push_back(std::move(tok));
+  };
+
+  while (i < n) {
+    const char c = peek();
+    const SrcLoc loc{line, col};
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '#' || (c == '/' && peek(1) == '/')) {  // comment to end of line
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    if (ident_start(c)) {
+      std::string s;
+      while (i < n && ident_char(peek())) {
+        s += peek();
+        advance();
+      }
+      push(Tok::kIdent, loc, std::move(s));
+      continue;
+    }
+    if (digit(c)) {
+      std::string s;
+      while (i < n && digit(peek())) {
+        s += peek();
+        advance();
+      }
+      bool is_float = false;
+      // '..' after digits is a range operator, a single '.' starts a fraction
+      if (peek() == '.' && digit(peek(1))) {
+        is_float = true;
+        s += peek();
+        advance();
+        while (i < n && digit(peek())) {
+          s += peek();
+          advance();
+        }
+      }
+      Token tok;
+      tok.kind = is_float ? Tok::kNumber : Tok::kInt;
+      tok.text = s;
+      tok.num_value = std::strtod(s.c_str(), nullptr);
+      if (!is_float) tok.int_value = std::strtoull(s.c_str(), nullptr, 10);
+      tok.loc = loc;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::string s;
+      bool closed = false;
+      while (i < n) {
+        char d = peek();
+        if (d == '"') {
+          advance();
+          closed = true;
+          break;
+        }
+        if (d == '\\' && (peek(1) == '"' || peek(1) == '\\')) {
+          advance();
+          d = peek();
+        }
+        if (d == '\n') break;  // strings do not span lines
+        s += d;
+        advance();
+      }
+      if (!closed) diags.error(loc, "unterminated string literal");
+      push(Tok::kString, loc, std::move(s));
+      continue;
+    }
+    switch (c) {
+      case '{': advance(); push(Tok::kLBrace, loc); continue;
+      case '}': advance(); push(Tok::kRBrace, loc); continue;
+      case ',': advance(); push(Tok::kComma, loc); continue;
+      case ';': advance(); push(Tok::kSemi, loc); continue;
+      case ':': advance(); push(Tok::kColon, loc); continue;
+      case '@': advance(); push(Tok::kAt, loc); continue;
+      case '=': advance(); push(Tok::kEquals, loc); continue;
+      case '-':
+        if (peek(1) == '>') {
+          advance();
+          advance();
+          push(Tok::kArrow, loc);
+        } else {
+          advance();
+          push(Tok::kMinus, loc);
+        }
+        continue;
+      case '.':
+        if (peek(1) == '.') {
+          advance();
+          advance();
+          push(Tok::kDotDot, loc);
+          continue;
+        }
+        [[fallthrough]];
+      default:
+        diags.error(loc, std::string("unexpected character '") + c + "'");
+        advance();
+        continue;
+    }
+  }
+  push(Tok::kEof, {line, col});
+  return out;
+}
+
+}  // namespace lmc::dsl

@@ -1,0 +1,50 @@
+// Tokenizer for the .lmc protocol DSL. Keywords are contextual — the lexer
+// only distinguishes identifiers, numbers, strings and punctuation; the
+// parser matches keyword spellings itself, so protocol authors may reuse
+// words like `drop` or `seed` as state names.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsl/diag.hpp"
+
+namespace lmc::dsl {
+
+enum class Tok : std::uint8_t {
+  kIdent,
+  kInt,      ///< decimal integer literal (also available as double)
+  kNumber,   ///< decimal literal with a fractional part
+  kString,   ///< double-quoted, supports \" and \\ escapes
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemi,
+  kColon,
+  kArrow,    ///< ->
+  kAt,       ///< @
+  kDotDot,   ///< ..
+  kEquals,
+  kMinus,
+  kEof,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;          ///< identifier/string contents, literal spelling
+  std::uint64_t int_value = 0;
+  double num_value = 0.0;
+  SrcLoc loc;
+};
+
+/// Tokenize `text`. Lexical errors (bad characters, unterminated strings)
+/// are reported into `diags`; the offending byte is skipped so the parser
+/// still sees a best-effort stream ending in kEof.
+std::vector<Token> lex(std::string_view text, DiagList& diags);
+
+/// Human name of a token kind for "expected X, got Y" messages.
+const char* tok_name(Tok t);
+
+}  // namespace lmc::dsl

@@ -1,0 +1,29 @@
+#include "dsl/loader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace lmc::dsl {
+
+LoadResult load_text(std::string_view text, std::string filename, const CompileOptions& opts) {
+  LoadResult res;
+  res.diags = DiagList(std::move(filename));
+  res.protocol = parse(text, res.diags);
+  if (res.protocol) res.spec = compile(*res.protocol, res.diags, opts);
+  return res;
+}
+
+LoadResult load_file(const std::string& path, const CompileOptions& opts) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    LoadResult res;
+    res.diags = DiagList(path);
+    res.diags.error({0, 0}, "cannot open file");
+    return res;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return load_text(ss.str(), path, opts);
+}
+
+}  // namespace lmc::dsl

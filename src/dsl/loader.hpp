@@ -1,0 +1,33 @@
+// One-call entry point: .lmc source -> parsed AST + elaborated spec, with
+// all diagnostics collected against the file name. The AST is returned too
+// so callers (lmc_run) can re-elaborate at a scenario's node count.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dsl/compile.hpp"
+#include "dsl/diag.hpp"
+#include "dsl/parser.hpp"
+#include "dsl/spec.hpp"
+
+namespace lmc::dsl {
+
+struct LoadResult {
+  std::optional<ast::Protocol> protocol;  ///< surface AST (may be partial on error)
+  std::optional<DslSpec> spec;            ///< present iff diags.ok()
+  DiagList diags;
+
+  bool ok() const { return spec.has_value(); }
+};
+
+/// Parse + compile in-memory text; `filename` only labels diagnostics.
+LoadResult load_text(std::string_view text, std::string filename,
+                     const CompileOptions& opts = {});
+
+/// Read and load a .lmc file. A missing/unreadable file is reported as a
+/// diagnostic at line 0.
+LoadResult load_file(const std::string& path, const CompileOptions& opts = {});
+
+}  // namespace lmc::dsl

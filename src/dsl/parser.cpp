@@ -1,0 +1,489 @@
+#include "dsl/parser.hpp"
+
+#include <utility>
+
+#include "dsl/lexer.hpp"
+
+namespace lmc::dsl {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, DiagList& diags) : toks_(std::move(toks)), diags_(diags) {}
+
+  std::optional<ast::Protocol> run() {
+    ast::Protocol p;
+    if (!expect_kw("protocol")) return std::nullopt;
+    p.loc = prev().loc;
+    if (!expect(Tok::kIdent, "protocol name")) return std::nullopt;
+    p.name = prev().text;
+    if (!expect(Tok::kLBrace, "'{'")) return std::nullopt;
+    while (!at(Tok::kRBrace) && !at(Tok::kEof)) top_level(p);
+    expect(Tok::kRBrace, "'}'");
+    if (at_kw("protocol"))
+      diags_.error(cur().loc, "only one protocol per .lmc file");
+    if (p.nodes == 0 && diags_.ok())
+      diags_.error(p.loc, "protocol is missing a 'nodes N;' declaration");
+    return p;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& prev() const { return toks_[pos_ == 0 ? 0 : pos_ - 1]; }
+  bool at(Tok k) const { return cur().kind == k; }
+  bool at_kw(std::string_view kw) const { return at(Tok::kIdent) && cur().text == kw; }
+  void advance() {
+    if (!at(Tok::kEof)) ++pos_;
+  }
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    advance();
+    return true;
+  }
+  bool accept_kw(std::string_view kw) {
+    if (!at_kw(kw)) return false;
+    advance();
+    return true;
+  }
+  bool expect(Tok k, const char* what) {
+    if (accept(k)) return true;
+    diags_.error(cur().loc, std::string("expected ") + what + ", got " + tok_name(cur().kind) +
+                                (at(Tok::kIdent) ? " '" + cur().text + "'" : ""));
+    return false;
+  }
+  bool expect_kw(const char* kw) {
+    if (accept_kw(kw)) return true;
+    diags_.error(cur().loc, std::string("expected '") + kw + "', got " + tok_name(cur().kind) +
+                                (at(Tok::kIdent) ? " '" + cur().text + "'" : ""));
+    return false;
+  }
+
+  /// Skip to just past the next ';' (or stop before '}'/EOF) after an error.
+  void sync() {
+    while (!at(Tok::kEof) && !at(Tok::kRBrace)) {
+      if (accept(Tok::kSemi)) return;
+      advance();
+    }
+  }
+  /// Skip a whole brace-balanced block we gave up on.
+  void sync_block() {
+    int depth = 0;
+    while (!at(Tok::kEof)) {
+      if (at(Tok::kLBrace)) ++depth;
+      if (at(Tok::kRBrace)) {
+        if (depth == 0) return;
+        if (--depth == 0) {
+          advance();
+          return;
+        }
+      }
+      advance();
+    }
+  }
+
+  void top_level(ast::Protocol& p) {
+    const SrcLoc loc = cur().loc;
+    if (accept_kw("nodes")) {
+      if (expect(Tok::kInt, "node count")) {
+        p.nodes = static_cast<std::uint32_t>(prev().int_value);
+        p.nodes_loc = loc;
+        if (p.nodes == 0) diags_.error(loc, "node count must be at least 1");
+      }
+      expect(Tok::kSemi, "';'");
+      return;
+    }
+    if (accept_kw("seed")) {
+      if (expect(Tok::kInt, "seed value")) p.seed = prev().int_value;
+      expect(Tok::kSemi, "';'");
+      return;
+    }
+    if (accept_kw("expect")) {
+      if (expect_kw("violation")) p.expect_violation = true;
+      expect(Tok::kSemi, "';'");
+      return;
+    }
+    if (accept_kw("states")) {
+      name_list(p.states, p.state_locs, "state name");
+      return;
+    }
+    if (accept_kw("messages")) {
+      name_list(p.messages, p.message_locs, "message name");
+      return;
+    }
+    if (accept_kw("role")) {
+      role_decl(p);
+      return;
+    }
+    if (at_kw("on") || at_kw("internal") || at_kw("timer")) {
+      handler(p);
+      return;
+    }
+    if (accept_kw("invariant")) {
+      invariant(p);
+      return;
+    }
+    if (accept_kw("scenario")) {
+      scenario(p);
+      return;
+    }
+    diags_.error(loc, "expected a declaration (nodes, seed, states, messages, role, on, "
+                      "internal, timer, invariant, scenario or expect), got " +
+                          std::string(tok_name(cur().kind)) +
+                          (at(Tok::kIdent) ? " '" + cur().text + "'" : ""));
+    advance();
+    sync();
+  }
+
+  void name_list(std::vector<std::string>& names, std::vector<SrcLoc>& locs, const char* what) {
+    do {
+      if (!expect(Tok::kIdent, what)) {
+        sync();
+        return;
+      }
+      names.push_back(prev().text);
+      locs.push_back(prev().loc);
+    } while (accept(Tok::kComma));
+    expect(Tok::kSemi, "';'");
+  }
+
+  void role_decl(ast::Protocol& p) {
+    ast::RoleDecl r;
+    r.loc = prev().loc;
+    if (!expect(Tok::kIdent, "role name")) {
+      sync();
+      return;
+    }
+    r.name = prev().text;
+    if (!expect(Tok::kEquals, "'='")) {
+      sync();
+      return;
+    }
+    if (auto sel = selector()) {
+      r.sel = *sel;
+      p.roles.push_back(std::move(r));
+    }
+    expect(Tok::kSemi, "';'");
+  }
+
+  /// `all` | role-ident | nodeexpr | nodeexpr `..` nodeexpr
+  std::optional<ast::Selector> selector() {
+    ast::Selector s;
+    s.loc = cur().loc;
+    if (accept_kw("all")) {
+      s.kind = ast::Selector::Kind::kAll;
+      return s;
+    }
+    if (at(Tok::kInt) || at_kw("n")) {
+      s.kind = ast::Selector::Kind::kRange;
+      auto lo = node_expr();
+      if (!lo) return std::nullopt;
+      s.lo = *lo;
+      s.hi = *lo;
+      if (accept(Tok::kDotDot)) {
+        auto hi = node_expr();
+        if (!hi) return std::nullopt;
+        s.hi = *hi;
+      }
+      return s;
+    }
+    if (at(Tok::kIdent)) {
+      s.kind = ast::Selector::Kind::kRole;
+      s.role = cur().text;
+      advance();
+      return s;
+    }
+    diags_.error(cur().loc, std::string("expected a node selector (all, a role name, or a "
+                                        "node range), got ") +
+                                tok_name(cur().kind));
+    return std::nullopt;
+  }
+
+  /// INT | `n` | `n - INT`
+  std::optional<ast::NodeExpr> node_expr() {
+    ast::NodeExpr e;
+    e.loc = cur().loc;
+    if (accept(Tok::kInt)) {
+      e.value = static_cast<std::int64_t>(prev().int_value);
+      return e;
+    }
+    if (accept_kw("n")) {
+      e.rel_n = true;
+      if (accept(Tok::kMinus)) {
+        if (!expect(Tok::kInt, "integer after 'n -'")) return std::nullopt;
+        e.value = static_cast<std::int64_t>(prev().int_value);
+      }
+      return e;
+    }
+    diags_.error(cur().loc, std::string("expected a node index (an integer or 'n - k'), got ") +
+                                tok_name(cur().kind));
+    return std::nullopt;
+  }
+
+  void handler(ast::Protocol& p) {
+    ast::Handler h;
+    h.loc = cur().loc;
+    if (accept_kw("on")) {
+      h.is_message = true;
+    } else if (accept_kw("internal") || accept_kw("timer")) {
+      h.is_message = false;
+    }
+    if (!expect(Tok::kIdent, h.is_message ? "message name" : "handler label")) {
+      sync();
+      return;
+    }
+    h.trigger = prev().text;
+    if (accept_kw("at")) {
+      auto sel = selector();
+      if (!sel) {
+        sync();
+        return;
+      }
+      h.at = *sel;
+    }
+    if (!expect(Tok::kAt, "'@' before the guard state")) {
+      sync();
+      return;
+    }
+    if (!expect(Tok::kIdent, "guard state")) {
+      sync();
+      return;
+    }
+    h.guard = prev().text;
+    if (!expect(Tok::kArrow, "'->'")) {
+      sync();
+      return;
+    }
+    if (!expect(Tok::kIdent, "target state")) {
+      sync();
+      return;
+    }
+    h.target = prev().text;
+    h.target_loc = prev().loc;
+    if (accept(Tok::kSemi)) {
+      p.handlers.push_back(std::move(h));
+      return;
+    }
+    if (!expect(Tok::kLBrace, "'{' or ';'")) {
+      sync();
+      return;
+    }
+    while (!at(Tok::kRBrace) && !at(Tok::kEof)) action(h);
+    expect(Tok::kRBrace, "'}'");
+    p.handlers.push_back(std::move(h));
+  }
+
+  void action(ast::Handler& h) {
+    const SrcLoc loc = cur().loc;
+    if (accept_kw("send")) {
+      ast::SendAct s;
+      s.loc = loc;
+      if (!expect(Tok::kIdent, "message name")) {
+        sync();
+        return;
+      }
+      s.msg = prev().text;
+      if (!expect_kw("to")) {
+        sync();
+        return;
+      }
+      auto d = dst();
+      if (!d) {
+        sync();
+        return;
+      }
+      s.dst = *d;
+      if (accept_kw("tag")) {
+        if (expect(Tok::kInt, "tag value"))
+          s.tag = static_cast<std::uint32_t>(prev().int_value);
+      }
+      expect(Tok::kSemi, "';'");
+      h.sends.push_back(std::move(s));
+      return;
+    }
+    if (accept_kw("assert")) {
+      if (expect_kw("false")) {
+        h.fail_assert = true;
+        if (at(Tok::kString)) {
+          h.assert_msg = cur().text;
+          advance();
+        }
+      }
+      expect(Tok::kSemi, "';'");
+      return;
+    }
+    diags_.error(loc, "expected an action ('send' or 'assert'), got " +
+                          std::string(tok_name(cur().kind)) +
+                          (at(Tok::kIdent) ? " '" + cur().text + "'" : ""));
+    advance();
+    sync();
+  }
+
+  /// `node INT` | `sender` | `others` | `all` | `next` | `prev` | role-ident
+  std::optional<ast::Dst> dst() {
+    ast::Dst d;
+    d.loc = cur().loc;
+    if (accept_kw("node")) {
+      d.kind = ast::Dst::Kind::kNode;
+      auto e = node_expr();
+      if (!e) return std::nullopt;
+      d.node = *e;
+      return d;
+    }
+    if (accept_kw("sender")) {
+      d.kind = ast::Dst::Kind::kSender;
+      return d;
+    }
+    if (accept_kw("others")) {
+      d.kind = ast::Dst::Kind::kOthers;
+      return d;
+    }
+    if (accept_kw("all")) {
+      d.kind = ast::Dst::Kind::kAll;
+      return d;
+    }
+    if (accept_kw("next")) {
+      d.kind = ast::Dst::Kind::kNext;
+      return d;
+    }
+    if (accept_kw("prev")) {
+      d.kind = ast::Dst::Kind::kPrev;
+      return d;
+    }
+    if (at(Tok::kIdent)) {
+      d.kind = ast::Dst::Kind::kRole;
+      d.role = cur().text;
+      advance();
+      return d;
+    }
+    diags_.error(cur().loc,
+                 std::string("expected a destination (node K, sender, others, all, next, "
+                             "prev, or a role name), got ") +
+                     tok_name(cur().kind));
+    return std::nullopt;
+  }
+
+  void invariant(ast::Protocol& p) {
+    ast::InvariantDecl inv;
+    inv.loc = prev().loc;
+    if (!expect(Tok::kIdent, "invariant name")) {
+      sync();
+      return;
+    }
+    inv.name = prev().text;
+    if (!expect(Tok::kColon, "':'") || !expect_kw("never")) {
+      sync();
+      return;
+    }
+    if (!state_set(inv.a, inv.a_locs)) {
+      sync();
+      return;
+    }
+    if (accept_kw("with")) {
+      inv.before = false;
+    } else if (accept_kw("before")) {
+      inv.before = true;
+    } else {
+      diags_.error(cur().loc, std::string("expected 'with' or 'before', got ") +
+                                  tok_name(cur().kind) +
+                                  (at(Tok::kIdent) ? " '" + cur().text + "'" : ""));
+      sync();
+      return;
+    }
+    if (!state_set(inv.b, inv.b_locs)) {
+      sync();
+      return;
+    }
+    if (accept_kw("projected")) inv.projected = true;
+    expect(Tok::kSemi, "';'");
+    p.invariants.push_back(std::move(inv));
+  }
+
+  /// STATE | `{` STATE (`,` STATE)* `}`
+  bool state_set(std::vector<std::string>& out, std::vector<SrcLoc>& locs) {
+    if (accept(Tok::kLBrace)) {
+      do {
+        if (!expect(Tok::kIdent, "state name")) return false;
+        out.push_back(prev().text);
+        locs.push_back(prev().loc);
+      } while (accept(Tok::kComma));
+      return expect(Tok::kRBrace, "'}'");
+    }
+    if (!expect(Tok::kIdent, "state name")) return false;
+    out.push_back(prev().text);
+    locs.push_back(prev().loc);
+    return true;
+  }
+
+  void scenario(ast::Protocol& p) {
+    ast::ScenarioDecl sc;
+    sc.loc = prev().loc;
+    if (!expect(Tok::kIdent, "scenario name")) {
+      sync_block();
+      return;
+    }
+    sc.name = prev().text;
+    if (!expect(Tok::kLBrace, "'{'")) {
+      sync_block();
+      return;
+    }
+    while (!at(Tok::kRBrace) && !at(Tok::kEof)) {
+      const SrcLoc loc = cur().loc;
+      if (accept_kw("nodes")) {
+        if (expect(Tok::kInt, "node count")) {
+          sc.nodes = static_cast<std::uint32_t>(prev().int_value);
+          if (*sc.nodes == 0) diags_.error(loc, "node count must be at least 1");
+        }
+        expect(Tok::kSemi, "';'");
+        continue;
+      }
+      if (accept_kw("seed")) {
+        if (expect(Tok::kInt, "seed value")) sc.seed = prev().int_value;
+        expect(Tok::kSemi, "';'");
+        continue;
+      }
+      if (accept_kw("fifo")) {
+        sc.fifo = true;
+        expect(Tok::kSemi, "';'");
+        continue;
+      }
+      double* field = nullptr;
+      if (accept_kw("drop")) field = &sc.drop_pct;
+      else if (accept_kw("sim_time")) field = &sc.sim_time;
+      else if (accept_kw("app_max")) field = &sc.app_max;
+      if (field != nullptr) {
+        if (at(Tok::kInt) || at(Tok::kNumber)) {
+          *field = cur().num_value;
+          advance();
+        } else {
+          diags_.error(cur().loc,
+                       std::string("expected a number, got ") + tok_name(cur().kind));
+        }
+        expect(Tok::kSemi, "';'");
+        continue;
+      }
+      diags_.error(loc, "expected a scenario setting (nodes, seed, drop, sim_time, app_max "
+                        "or fifo), got " +
+                            std::string(tok_name(cur().kind)) +
+                            (at(Tok::kIdent) ? " '" + cur().text + "'" : ""));
+      advance();
+      sync();
+    }
+    expect(Tok::kRBrace, "'}'");
+    p.scenarios.push_back(std::move(sc));
+  }
+
+  std::vector<Token> toks_;
+  DiagList& diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<ast::Protocol> parse(std::string_view text, DiagList& diags) {
+  std::vector<Token> toks = lex(text, diags);
+  Parser p(std::move(toks), diags);
+  return p.run();
+}
+
+}  // namespace lmc::dsl

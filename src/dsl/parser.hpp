@@ -1,0 +1,20 @@
+// Recursive-descent parser for the .lmc protocol DSL (grammar: DESIGN.md §11).
+// Produces a surface AST; name resolution and envelope validation happen in
+// compile.hpp. Errors carry file:line:col and the parser re-synchronizes at
+// the next ';' or '}' so several mistakes surface in one pass.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "dsl/ast.hpp"
+#include "dsl/diag.hpp"
+
+namespace lmc::dsl {
+
+/// Parse one .lmc file. Returns nullopt (with at least one error in `diags`)
+/// when the input is too broken to produce a protocol at all; a returned
+/// protocol may still be unusable if `diags.ok()` is false.
+std::optional<ast::Protocol> parse(std::string_view text, DiagList& diags);
+
+}  // namespace lmc::dsl

@@ -1,0 +1,126 @@
+#include "obs/baseline.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+
+#include "obs/json.hpp"
+
+namespace lmc::obs {
+
+namespace {
+
+bool ends_with_s(const std::string& name) {
+  return name.size() >= 2 && name.compare(name.size() - 2, 2, "_s") == 0;
+}
+
+std::string record_key(const JsonValue& v) {
+  const JsonValue* bench = v.get("bench");
+  const JsonValue* label = v.get("case");
+  std::string key = (bench != nullptr ? bench->str : "?") + "|" +
+                    (label != nullptr ? label->str : "?");
+  if (const JsonValue* params = v.get("params"); params != nullptr && params->is_object()) {
+    std::vector<std::string> parts;
+    for (const auto& [name, val] : params->fields) {
+      std::string s = name + "=";
+      if (val.is_string()) s += val.str;
+      else if (val.is_number()) s += val.raw;
+      else if (val.is_bool()) s += val.boolean ? "true" : "false";
+      parts.push_back(std::move(s));
+    }
+    std::sort(parts.begin(), parts.end());
+    for (const std::string& p : parts) key += "|" + p;
+  }
+  return key;
+}
+
+}  // namespace
+
+std::map<std::string, std::map<std::string, double>> parse_bench_records(
+    const std::vector<std::string>& lines) {
+  std::map<std::string, std::map<std::string, double>> out;
+  for (const std::string& line : lines) {
+    JsonValue v;
+    if (!json_parse(line, v) || !v.is_object()) continue;
+    const JsonValue* schema = v.get("schema");
+    if (schema == nullptr || !schema->is_string() || schema->str != "lmc-bench/1") continue;
+    const JsonValue* metrics = v.get("metrics");
+    if (metrics == nullptr || !metrics->is_object()) continue;
+    std::map<std::string, double>& dst = out[record_key(v)];
+    dst.clear();  // last record with this key wins
+    for (const auto& [name, val] : metrics->fields)
+      if (val.is_number()) dst[name] = val.as_double();
+  }
+  return out;
+}
+
+BaselineComparison compare_benches(
+    const std::map<std::string, std::map<std::string, double>>& baseline,
+    const std::map<std::string, std::map<std::string, double>>& current) {
+  BaselineComparison cmp;
+  for (const auto& [key, base_metrics] : baseline) {
+    auto cur_it = current.find(key);
+    if (cur_it == current.end()) {
+      for (const auto& [name, val] : base_metrics) {
+        (void)val;
+        cmp.only_baseline.push_back(key + " " + name);
+      }
+      continue;
+    }
+    for (const auto& [name, base_val] : base_metrics) {
+      auto m = cur_it->second.find(name);
+      if (m == cur_it->second.end()) {
+        cmp.only_baseline.push_back(key + " " + name);
+        continue;
+      }
+      BaselineComparison::Row row;
+      row.key = key;
+      row.metric = name;
+      row.base = base_val;
+      row.current = m->second;
+      row.time_metric = ends_with_s(name);
+      cmp.rows.push_back(std::move(row));
+    }
+  }
+  for (const auto& [key, cur_metrics] : current) {
+    auto base_it = baseline.find(key);
+    for (const auto& [name, val] : cur_metrics) {
+      (void)val;
+      if (base_it == baseline.end() || base_it->second.count(name) == 0)
+        cmp.only_current.push_back(key + " " + name);
+    }
+  }
+  return cmp;
+}
+
+std::size_t print_baseline_report(const BaselineComparison& cmp, double fail_over_pct,
+                                  std::FILE* out) {
+  std::size_t regressions = 0;
+  std::string last_key;
+  for (const BaselineComparison::Row& r : cmp.rows) {
+    if (r.key != last_key) {
+      std::fprintf(out, "%s\n", r.key.c_str());
+      last_key = r.key;
+    }
+    const double delta = r.current - r.base;
+    const double pct = r.base != 0.0 ? delta / r.base * 100.0
+                                     : (delta == 0.0 ? 0.0 : HUGE_VAL);
+    bool regressed = false;
+    if (fail_over_pct >= 0.0 && r.time_metric && r.base >= 0.0 &&
+        r.current > r.base * (1.0 + fail_over_pct / 100.0)) {
+      regressed = true;
+      ++regressions;
+    }
+    std::fprintf(out, "  %-28s %14.6g -> %14.6g  (%+.1f%%)%s\n", r.metric.c_str(), r.base,
+                 r.current, pct, regressed ? "  REGRESSION" : "");
+  }
+  for (const std::string& s : cmp.only_baseline)
+    std::fprintf(out, "only in baseline: %s\n", s.c_str());
+  for (const std::string& s : cmp.only_current)
+    std::fprintf(out, "new (no baseline): %s\n", s.c_str());
+  std::fprintf(out, "lmc_report --baseline: %zu metric(s) compared, %zu regression(s)\n",
+               cmp.rows.size(), regressions);
+  return regressions;
+}
+
+}  // namespace lmc::obs

@@ -1,0 +1,47 @@
+// Baseline diffing for "lmc-bench/1" records (lmc_report --baseline).
+//
+// A bench record's identity is bench|case|sorted(params): parameters are
+// part of the key, so a 8-thread run never diffs against a 1-thread
+// baseline. Metrics are compared per key; wall-clock metrics (name ending
+// in "_s") can gate CI via a relative regression threshold, counter
+// metrics are reported but never gate — counts are asserted exactly by
+// tests, while time is the thing that silently rots.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lmc::obs {
+
+/// Parse every "lmc-bench/1" line into key -> metrics (non-bench lines and
+/// unparsable lines are skipped; a later record with the same key replaces
+/// an earlier one, so "last run wins" within a file list).
+std::map<std::string, std::map<std::string, double>> parse_bench_records(
+    const std::vector<std::string>& lines);
+
+struct BaselineComparison {
+  struct Row {
+    std::string key;
+    std::string metric;
+    double base = 0.0;
+    double current = 0.0;
+    bool time_metric = false;  ///< metric name ends in "_s"
+  };
+  std::vector<Row> rows;                    ///< metrics present on both sides
+  std::vector<std::string> only_baseline;   ///< "key metric" present only in the baseline
+  std::vector<std::string> only_current;    ///< "key metric" new in the current run
+};
+
+BaselineComparison compare_benches(
+    const std::map<std::string, std::map<std::string, double>>& baseline,
+    const std::map<std::string, std::map<std::string, double>>& current);
+
+/// Print the per-metric diff table. With fail_over_pct >= 0, a time metric
+/// whose current value exceeds base * (1 + pct/100) counts as a regression;
+/// returns the number of regressions (0 when fail_over_pct < 0).
+std::size_t print_baseline_report(const BaselineComparison& cmp, double fail_over_pct,
+                                  std::FILE* out);
+
+}  // namespace lmc::obs

@@ -1,0 +1,129 @@
+// ProtoGen <-> .lmc round-trip: the frozen 53-seed dfuzz corpus (1..50 plus
+// the historical regression seeds 97, 171, 664) must map through
+// from_proto -> to_lmc_text -> parse/compile -> to_proto back to the exact
+// same rule table, and the re-parsed protocol must explore identically —
+// byte-identical normalized LMC checkpoints at 1 and 8 threads. Also covers
+// the repro artifact writer that lmc_fuzz --out-dir goes through.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dfuzz/artifacts.hpp"
+#include "dfuzz/oracle.hpp"
+#include "dfuzz/protogen.hpp"
+#include "dfuzz/shrink.hpp"
+#include "dsl/bridge.hpp"
+#include "dsl/loader.hpp"
+#include "mc/local_mc.hpp"
+#include "runtime/serialize.hpp"
+
+namespace lmc::dfuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint64_t> corpus_seeds() {
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 1; s <= 50; ++s) seeds.push_back(s);
+  seeds.push_back(97);
+  seeds.push_back(171);
+  seeds.push_back(664);
+  return seeds;
+}
+
+// Text round-trip through the bridge is the identity on the canonical rule
+// table (shadowed message rules — dead under first-match dispatch — are
+// pruned by from_proto; see drop_shadowed_rules).
+ProtoSpec roundtrip_through_lmc(const ProtoSpec& spec, const std::string& label) {
+  dsl::DslSpec lifted = dsl::from_proto(spec);
+  std::string text = dsl::to_lmc_text(lifted);
+  dsl::LoadResult r = dsl::load_text(text, label + ".lmc");
+  EXPECT_TRUE(r.ok()) << r.diags.to_string() << "\n--- emitted text ---\n" << text;
+  if (!r.ok()) return spec;
+  std::string err;
+  std::optional<ProtoSpec> back = dsl::to_proto(*r.spec, err);
+  EXPECT_TRUE(back.has_value()) << err;
+  return back ? *back : spec;
+}
+
+Blob lmc_checkpoint(const GeneratedProtocol& p, unsigned threads) {
+  LocalMcOptions opt;
+  opt.stop_on_confirmed = false;
+  opt.num_threads = threads;
+  LocalModelChecker l(p.cfg, p.invariant.get(), opt);
+  l.run_from_initial();
+  return normalized_checkpoint_bytes(l.checkpoint_bytes());
+}
+
+TEST(DslRoundTrip, FrozenCorpusIsTextRoundTrippable) {
+  for (std::uint64_t seed : corpus_seeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ProtoSpec spec = generate_spec(seed);
+    ProtoSpec back = roundtrip_through_lmc(spec, "seed" + std::to_string(seed));
+    EXPECT_EQ(back, drop_shadowed_rules(spec));
+    // Canonicalization only ever prunes dead message rules.
+    EXPECT_LE(back.msg_rules.size(), spec.msg_rules.size());
+    EXPECT_EQ(back.internals, spec.internals);
+  }
+}
+
+TEST(DslRoundTrip, ReparsedSpecsExploreByteIdentically) {
+  for (std::uint64_t seed : corpus_seeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ProtoSpec spec = generate_spec(seed);
+    ProtoSpec back = roundtrip_through_lmc(spec, "seed" + std::to_string(seed));
+    ASSERT_EQ(back, drop_shadowed_rules(spec));
+    // The pruned spec and the ORIGINAL (shadowed rules included) must
+    // explore identically — that is what makes the pruning sound.
+    GeneratedProtocol orig = instantiate(spec);
+    GeneratedProtocol reparsed = instantiate(back);
+    Blob base = lmc_checkpoint(orig, 1);
+    EXPECT_EQ(lmc_checkpoint(reparsed, 1), base);
+    EXPECT_EQ(lmc_checkpoint(orig, 8), base);
+    EXPECT_EQ(lmc_checkpoint(reparsed, 8), base);
+  }
+}
+
+TEST(DslRoundTrip, ArtifactTripleIsWrittenAndLoadable) {
+  ProtoSpec spec = generate_spec(664);
+  ShrinkResult shrunk;
+  shrunk.spec = spec;
+  shrunk.report.ok = false;
+  shrunk.report.failure = OracleFailure::MissingNodeState;
+  shrunk.attempts = 3;
+  shrunk.removed = 1;
+
+  fs::path dir = fs::temp_directory_path() / "lmc_artifact_test" / "nested";
+  fs::remove_all(dir.parent_path());
+  ArtifactPaths paths = write_repro_artifacts(dir.string(), 664, shrunk, spec);
+
+  // .bin deserializes to the shrunk spec (the lmc_fuzz --repro input).
+  std::ifstream bin(paths.bin, std::ios::binary);
+  ASSERT_TRUE(bin.good()) << paths.bin;
+  Blob bytes((std::istreambuf_iterator<char>(bin)), std::istreambuf_iterator<char>());
+  Reader rd(bytes);
+  EXPECT_EQ(ProtoSpec::deserialize(rd), spec);
+
+  // .txt mentions the original seed for provenance.
+  std::ifstream txt(paths.txt);
+  ASSERT_TRUE(txt.good()) << paths.txt;
+  std::string text((std::istreambuf_iterator<char>(txt)), std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("664"), std::string::npos);
+
+  // .lmc parses and lowers back to the same spec.
+  dsl::LoadResult r = dsl::load_file(paths.lmc);
+  ASSERT_TRUE(r.ok()) << r.diags.to_string();
+  std::string err;
+  std::optional<ProtoSpec> back = dsl::to_proto(*r.spec, err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(*back, drop_shadowed_rules(spec));
+
+  fs::remove_all(dir.parent_path());
+}
+
+}  // namespace
+}  // namespace lmc::dfuzz

@@ -1,0 +1,95 @@
+// Protocol zoo acceptance: every examples/zoo/*.lmc must parse, compile and
+// validate; every spec's base configuration must pass the full DiffOracle
+// cross-check (LMC vs global B-DFS) with zero disagreements; `expect
+// violation` annotations must match what the checkers find, and buggy
+// variants must actually exercise witness replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfuzz/oracle.hpp"
+#include "dsl/interp.hpp"
+#include "dsl/loader.hpp"
+
+namespace lmc::dsl {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Set by tests/CMakeLists.txt.
+const std::string kZooDir = LMC_ZOO_DIR;
+
+std::vector<std::string> zoo_files() {
+  std::vector<std::string> files;
+  for (const auto& e : fs::directory_iterator(kZooDir))
+    if (e.path().extension() == ".lmc") files.push_back(e.path().string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Zoo, DirectoryHasTheFourFamilies) {
+  std::vector<std::string> files = zoo_files();
+  ASSERT_GE(files.size(), 8u);
+  for (const char* family : {"raft_election", "twophase", "chain_repl", "gossip"}) {
+    bool found = std::any_of(files.begin(), files.end(), [&](const std::string& f) {
+      return f.find(family) != std::string::npos;
+    });
+    EXPECT_TRUE(found) << "no zoo spec for family " << family;
+  }
+}
+
+TEST(Zoo, EverySpecCompilesWithScenariosAndInvariants) {
+  for (const std::string& file : zoo_files()) {
+    SCOPED_TRACE(file);
+    LoadResult r = load_file(file);
+    ASSERT_TRUE(r.ok()) << r.diags.to_string();
+    EXPECT_EQ(validate(*r.spec), "");
+    EXPECT_FALSE(r.spec->invariants.empty());
+    // Each zoo protocol ships a seeded lossy/timer scenario matrix.
+    EXPECT_GE(r.spec->scenarios.size(), 2u);
+    bool has_lossy = std::any_of(r.spec->scenarios.begin(), r.spec->scenarios.end(),
+                                 [](const Scenario& s) { return s.drop_pct > 0; });
+    EXPECT_TRUE(has_lossy);
+    // Canonical emission of a zoo spec reloads to the identical spec.
+    LoadResult r2 = load_text(to_lmc_text(*r.spec), file + ".canonical");
+    ASSERT_TRUE(r2.ok()) << r2.diags.to_string();
+    EXPECT_EQ(*r2.spec, *r.spec);
+  }
+}
+
+TEST(Zoo, BaseConfigsPassDiffOracleAndMatchExpectations) {
+  std::map<std::string, std::uint64_t> confirmed_by_file;
+  for (const std::string& file : zoo_files()) {
+    SCOPED_TRACE(file);
+    LoadResult r = load_file(file);
+    ASSERT_TRUE(r.ok()) << r.diags.to_string();
+    CompiledProtocol p = instantiate(*r.spec);
+
+    dfuzz::OracleOptions opt;
+    opt.num_threads = 2;
+    dfuzz::OracleReport rep = dfuzz::DiffOracle(opt).check(p.cfg, p.invariant.get());
+    EXPECT_TRUE(rep.ok) << dfuzz::to_string(rep.failure) << ": " << rep.detail;
+    EXPECT_TRUE(rep.conclusive) << rep.detail;
+    EXPECT_EQ(r.spec->expect_violation, rep.lmc_confirmed > 0)
+        << "confirmed=" << rep.lmc_confirmed;
+    if (r.spec->expect_violation) {
+      // Buggy variants must exercise the replay path, not just the search.
+      EXPECT_GT(rep.witnesses_replayed, 0u);
+    }
+    confirmed_by_file[fs::path(file).filename().string()] = rep.lmc_confirmed;
+  }
+  // Pin the violation counts of the seeded buggy variants: a semantic
+  // change to a zoo protocol (or to the checkers) must move these on
+  // purpose.
+  EXPECT_EQ(confirmed_by_file["raft_election_doublevote.lmc"], 24u);
+  EXPECT_EQ(confirmed_by_file["twophase_early_commit.lmc"], 4u);
+  EXPECT_EQ(confirmed_by_file["chain_repl_ack_early.lmc"], 2u);
+  EXPECT_EQ(confirmed_by_file["gossip_split_brain.lmc"], 3u);
+}
+
+}  // namespace
+}  // namespace lmc::dsl
