@@ -82,6 +82,11 @@ Blob normalized_checkpoint_bytes(const Blob& checkpoint) {
   img.stats.deferred_s = 0.0;
   img.stats.soundness_wall_s = 0.0;
   img.stats.stored_bytes = 0;
+  // Trace-segment stamps differ between a straight run (segment 0) and an
+  // interrupted+resumed one (segment 1+) by design; they are attribution,
+  // not exploration state.
+  img.segment_id = 0;
+  img.base_round = 0;
   return encode_checkpoint(img);
 }
 

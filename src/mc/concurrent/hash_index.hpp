@@ -1,0 +1,213 @@
+// Striped open-addressing concurrent hash index (DESIGN.md §12), in the
+// style of LTSmin's mc-lib/lmap.c: cache-line-aware slots, atomic
+// publication of key/value pairs, probe-sequence tombstones, and growth by
+// chaining a larger table in front of the old one instead of migrating
+// (readers walk the chain newest→oldest; a slot, once published, never
+// moves).
+//
+// Concurrency contract:
+//  * `find()` is lock-free and safe against any number of concurrent
+//    writers: a slot becomes visible only through a release-store of its
+//    control word after the key is in place, and the table chain is
+//    published with a release-store of the head pointer.
+//  * `insert_if_absent()` / `erase()` take one of 16 stripe locks chosen by
+//    key, so same-key operations serialize (idempotent inserts) while
+//    different-key writers proceed in parallel. Different-key writers CAN
+//    race for the same empty probe slot — that race is resolved by a
+//    CAS(EMPTY→RESERVED) claim on the control word; readers treat RESERVED
+//    like a tombstone (the key is not yet published: a miss is
+//    linearizable).
+//  * Values are 32-bit indices into an append-only SegLog, packed into the
+//    control word: ctrl = (value<<2)|FULL. Low two bits encode
+//    EMPTY/TOMB/RESERVED/FULL.
+//
+// In the checker the applier is the only inserter (determinism contract);
+// the full multi-writer path is pounded by tests/test_concurrent.cpp under
+// TSan.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+
+#include "runtime/types.hpp"
+
+namespace lmc::concurrent {
+
+class ConcurrentHashIndex {
+ public:
+  static constexpr std::uint32_t kNotFound = UINT32_MAX;
+
+  explicit ConcurrentHashIndex(std::size_t initial_capacity = 256) {
+    head_.store(new Table(round_up_pow2(initial_capacity)), std::memory_order_release);
+  }
+
+  ~ConcurrentHashIndex() {
+    Table* t = head_.load(std::memory_order_relaxed);
+    while (t != nullptr) {
+      Table* older = t->older;
+      delete t;
+      t = older;
+    }
+  }
+
+  ConcurrentHashIndex(const ConcurrentHashIndex&) = delete;
+  ConcurrentHashIndex& operator=(const ConcurrentHashIndex&) = delete;
+
+  /// Lock-free lookup. Walks the table chain newest→oldest; within a table,
+  /// linear probe until the key, or an EMPTY slot (key cannot be in this
+  /// table — fall through to the older one).
+  std::uint32_t find(Hash64 key) const {
+    for (const Table* t = head_.load(std::memory_order_acquire); t != nullptr; t = t->older) {
+      std::uint64_t mask = t->mask;
+      std::uint64_t i = key & mask;
+      for (std::uint64_t probes = 0; probes <= mask; ++probes, i = (i + 1) & mask) {
+        std::uint64_t ctrl = t->slots[i].ctrl.load(std::memory_order_acquire);
+        std::uint64_t state = ctrl & kStateMask;
+        if (state == kEmpty) break;  // not in this table
+        if (state == kFull && t->slots[i].key.load(std::memory_order_relaxed) == key)
+          return static_cast<std::uint32_t>(ctrl >> 2);
+        // TOMB or RESERVED: keep probing (tombstones do not break chains).
+      }
+    }
+    return kNotFound;
+  }
+
+  bool contains(Hash64 key) const { return find(key) != kNotFound; }
+
+  /// Insert key→value unless the key is already present; returns the value
+  /// now associated with the key (the existing one on a duplicate). Safe
+  /// from any number of threads.
+  std::uint32_t insert_if_absent(Hash64 key, std::uint32_t value) {
+    std::lock_guard<std::mutex> lk(stripes_[stripe_of(key)].mu);
+    // Under the stripe lock no same-key writer can interleave, so a plain
+    // find gives an authoritative presence answer.
+    std::uint32_t existing = find(key);
+    if (existing != kNotFound) return existing;
+    for (;;) {
+      Table* t = head_.load(std::memory_order_acquire);
+      if (try_claim(t, key, value)) {
+        live_.fetch_add(1, std::memory_order_relaxed);
+        maybe_grow(t);
+        return value;
+      }
+      grow(t);  // the head table ran out of claimable slots
+    }
+  }
+
+  /// Tombstone the key. Returns false if absent. The slot is never reused —
+  /// probe sequences crossing it stay intact (lmap.c discipline).
+  bool erase(Hash64 key) {
+    std::lock_guard<std::mutex> lk(stripes_[stripe_of(key)].mu);
+    for (Table* t = head_.load(std::memory_order_acquire); t != nullptr; t = t->older) {
+      std::uint64_t mask = t->mask;
+      std::uint64_t i = key & mask;
+      for (std::uint64_t probes = 0; probes <= mask; ++probes, i = (i + 1) & mask) {
+        std::uint64_t ctrl = t->slots[i].ctrl.load(std::memory_order_acquire);
+        std::uint64_t state = ctrl & kStateMask;
+        if (state == kEmpty) break;
+        if (state == kFull && t->slots[i].key.load(std::memory_order_relaxed) == key) {
+          t->slots[i].ctrl.store(kTomb, std::memory_order_release);
+          live_.fetch_sub(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Live (inserted minus erased) entries. Exact when quiesced.
+  std::size_t size() const { return live_.load(std::memory_order_relaxed); }
+
+  /// Approximate heap footprint across the table chain.
+  std::size_t bytes() const {
+    std::size_t b = 0;
+    for (const Table* t = head_.load(std::memory_order_acquire); t != nullptr; t = t->older)
+      b += sizeof(Table) + (t->mask + 1) * sizeof(Slot);
+    return b;
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = 0;
+  static constexpr std::uint64_t kTomb = 1;
+  static constexpr std::uint64_t kReserved = 2;
+  static constexpr std::uint64_t kFull = 3;
+  static constexpr std::uint64_t kStateMask = 3;
+  static constexpr std::size_t kStripes = 16;
+
+  struct alignas(16) Slot {
+    std::atomic<std::uint64_t> ctrl{kEmpty};
+    std::atomic<std::uint64_t> key{0};
+  };
+
+  struct Table {
+    explicit Table(std::uint64_t capacity)
+        : mask(capacity - 1), slots(std::make_unique<Slot[]>(capacity)) {}
+    std::uint64_t mask;
+    std::atomic<std::uint64_t> used{0};  ///< claimed slots (FULL + RESERVED + TOMB)
+    Table* older = nullptr;
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  struct alignas(64) Stripe {
+    std::mutex mu;
+  };
+
+  static std::size_t stripe_of(Hash64 key) {
+    return static_cast<std::size_t>((key >> 7) ^ key) % kStripes;
+  }
+
+  static std::uint64_t round_up_pow2(std::uint64_t v) {
+    std::uint64_t p = 64;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  /// Claim an empty probe slot in `t` and publish key→value. Returns false
+  /// if the probe sequence exhausted the table (caller grows and retries).
+  bool try_claim(Table* t, Hash64 key, std::uint32_t value) {
+    std::uint64_t mask = t->mask;
+    std::uint64_t i = key & mask;
+    for (std::uint64_t probes = 0; probes <= mask; ++probes, i = (i + 1) & mask) {
+      std::uint64_t ctrl = t->slots[i].ctrl.load(std::memory_order_acquire);
+      if ((ctrl & kStateMask) != kEmpty) continue;  // FULL/TOMB/RESERVED: probe on
+      // Race different-key writers for the empty slot.
+      if (t->slots[i].ctrl.compare_exchange_strong(ctrl, kReserved, std::memory_order_acq_rel,
+                                                   std::memory_order_acquire)) {
+        t->slots[i].key.store(key, std::memory_order_relaxed);
+        t->slots[i].ctrl.store((std::uint64_t{value} << 2) | kFull, std::memory_order_release);
+        t->used.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // Lost the claim; the slot is now RESERVED/FULL with some other key.
+    }
+    return false;
+  }
+
+  void maybe_grow(Table* t) {
+    std::uint64_t cap = t->mask + 1;
+    if (t->used.load(std::memory_order_relaxed) * 10 > cap * 7) grow(t);
+  }
+
+  /// Install a table of twice `seen`'s capacity in front of the chain, if
+  /// nobody else already has. Taking growth_mu_ while holding a stripe lock
+  /// is safe: stripe locks are never acquired under growth_mu_.
+  void grow(Table* seen) {
+    std::lock_guard<std::mutex> lk(growth_mu_);
+    Table* head = head_.load(std::memory_order_acquire);
+    if (head != seen) return;  // someone grew while we waited
+    Table* bigger = new Table((head->mask + 1) * 2);
+    bigger->older = head;
+    head_.store(bigger, std::memory_order_release);
+  }
+
+  std::atomic<Table*> head_{nullptr};
+  std::atomic<std::uint64_t> live_{0};
+  std::mutex growth_mu_;
+  Stripe stripes_[kStripes];
+};
+
+}  // namespace lmc::concurrent

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "mc/clock.hpp"
 #include "mc/parallel_local_mc.hpp"
@@ -90,6 +91,8 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
   stop_ = false;
   base_elapsed_s_ = 0.0;
   cur_round_ = 0;
+  segment_id_ = 0;
+  pipeline_dropped_ = 0;
 
   CheckerEpoch ep;
   ep.nodes = nodes;
@@ -237,9 +240,14 @@ const std::vector<Message>& LocalModelChecker::initial_in_flight() const {
   return epochs_.empty() ? empty : epochs_.front().msgs;
 }
 
-bool LocalModelChecker::collect_tasks(std::vector<Task>& tasks) {
-  tasks.clear();
+// One cursor-scan generation (Fig. 9): publish, in deterministic scan
+// order, every (message, state) pair and internal-event task the store and
+// I+ grew since the last scan. Runs on the applier only, between consume
+// streams — publication order is therefore a pure function of the
+// exploration, independent of thread count.
+std::uint64_t LocalModelChecker::publish_round(Pipeline& pipe) {
   const std::uint32_t bound = expand_bound();
+  std::uint64_t published = 0;
 
   // Network events: each message in I+ on every not-yet-tried state of its
   // destination (the per-message cursor of §4.2).
@@ -255,89 +263,125 @@ bool LocalModelChecker::collect_tasks(std::vector<Task>& tasks) {
         ++stats_.history_skips;
         continue;
       }
-      tasks.push_back(Task{true, i, d, idx});
+      pipe.publish(Task{true, i, d, idx});
+      ++published;
     }
     e.next_state = limit;
   }
 
-  // Internal events: scan states added since the last round.
+  // Internal events: scan states added since the last generation.
   for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
     const std::uint32_t limit = store_.size(n);
     for (std::uint32_t idx = internal_scan_[n]; idx < limit; ++idx) {
       if (store_.rec(n, idx).depth >= bound) continue;
-      tasks.push_back(Task{false, 0, n, idx});
+      pipe.publish(Task{false, 0, n, idx});
+      ++published;
     }
     internal_scan_[n] = limit;
   }
-  return !tasks.empty();
+  return published;
 }
 
-void LocalModelChecker::execute_tasks(const std::vector<Task>& tasks,
-                                      std::vector<std::vector<Exec>>& results) {
-  results.assign(tasks.size(), {});
-  ExecCache* cache = opt_.exec_cache;
-  obs::TraceSink* const tsink = opt_.trace;
-  pool_run(tasks.size(), [&](std::size_t i) {
-    const Task& t = tasks[i];
-    const NodeStateRec& rec = store_.rec(t.node, t.state_idx);
-    if (t.is_message) {
-      const MonotonicNetwork::Entry& e = net_.at(t.net_idx);
+// The pipeline worker body: run the handler(s) of one task against
+// immutable published data (the record's blob/hash and the I+ entry's
+// msg/hash are write-once; the applier only ever mutates OTHER fields).
+// With an exec cache attached the worker probes with the counter-free
+// peek() and skips execution on a hit — the applier finalizes the cached
+// verdict (and the hit/miss counters) authoritatively at consume time, so
+// counters and results never depend on worker timing.
+std::vector<LocalModelChecker::Exec> LocalModelChecker::execute_task(const Task& t) {
+  std::vector<Exec> out;
+  ExecCache* const cache = opt_.exec_cache;
+  const bool timing = opt_.trace != nullptr;
+  const NodeStateRec& rec = store_.rec(t.node, t.state_idx);
+  if (t.is_message) {
+    const MonotonicNetwork::Entry& e = std::as_const(net_).at(t.net_idx);
+    Exec ex;
+    ex.is_message = true;
+    ex.ev_hash = e.hash;
+    ex.node = t.node;
+    ex.pred_idx = t.state_idx;
+    const double tr0 = timing ? now_s() : 0.0;
+    if (cache != nullptr && cache->peek(e.hash, rec.hash)) {
+      ex.peek_hit = true;
+    } else {
+      ex.result = exec_message(cfg_, t.node, rec.blob, e.msg);
+      if (opt_.audit_validity) {
+        const AuditReport rep = audit_message(cfg_, t.node, rec.blob, e.msg, ex.result);
+        audits_performed_.fetch_add(1, std::memory_order_relaxed);
+        if (!rep.ok) throw ModelValidityError(t.node, rep.detail);
+      }
+    }
+    if (timing) ex.exec_s = now_s() - tr0;
+    out.push_back(std::move(ex));
+  } else {
+    for (const InternalEvent& ev : internal_events_of(cfg_, t.node, rec.blob)) {
       Exec ex;
-      ex.is_message = true;
-      ex.ev_hash = e.hash;
+      ex.is_message = false;
+      ex.ev_hash = ev.hash(t.node);
       ex.node = t.node;
       ex.pred_idx = t.state_idx;
-      const double tr0 = tsink != nullptr ? now_s() : 0.0;
-      if (cache != nullptr && cache->lookup(e.hash, rec.hash, ex.result)) {
-        ex.cached = true;
+      ex.ev = ev;
+      const double tr0 = timing ? now_s() : 0.0;
+      if (cache != nullptr && cache->peek(ex.ev_hash, rec.hash)) {
+        ex.peek_hit = true;
       } else {
-        ex.result = exec_message(cfg_, t.node, rec.blob, e.msg);
+        ex.result = exec_internal(cfg_, t.node, rec.blob, ev);
         if (opt_.audit_validity) {
-          const AuditReport rep = audit_message(cfg_, t.node, rec.blob, e.msg, ex.result);
+          const AuditReport rep = audit_internal(cfg_, t.node, rec.blob, ev, ex.result);
           audits_performed_.fetch_add(1, std::memory_order_relaxed);
           if (!rep.ok) throw ModelValidityError(t.node, rep.detail);
         }
-        if (cache != nullptr) cache->insert(e.hash, rec.hash, ex.result);
       }
-      if (tsink != nullptr)
-        tsink->record_worker(tev(EventType::kHandlerRun, obs::Phase::kExplore, cur_round_,
-                                 /*is_message=*/1, ex.ev_hash, ex.cached ? 1 : 0,
-                                 now_s() - tr0, t.node, i));
-      results[i].push_back(std::move(ex));
-    } else {
-      for (const InternalEvent& ev : internal_events_of(cfg_, t.node, rec.blob)) {
-        Exec ex;
-        ex.is_message = false;
-        ex.ev_hash = ev.hash(t.node);
-        ex.node = t.node;
-        ex.pred_idx = t.state_idx;
-        ex.ev = ev;
-        const double tr0 = tsink != nullptr ? now_s() : 0.0;
-        if (cache != nullptr && cache->lookup(ex.ev_hash, rec.hash, ex.result)) {
-          ex.cached = true;
-        } else {
-          ex.result = exec_internal(cfg_, t.node, rec.blob, ev);
-          if (opt_.audit_validity) {
-            const AuditReport rep = audit_internal(cfg_, t.node, rec.blob, ev, ex.result);
-            audits_performed_.fetch_add(1, std::memory_order_relaxed);
-            if (!rep.ok) throw ModelValidityError(t.node, rep.detail);
-          }
-          if (cache != nullptr) cache->insert(ex.ev_hash, rec.hash, ex.result);
-        }
-        if (tsink != nullptr)
-          tsink->record_worker(tev(EventType::kHandlerRun, obs::Phase::kExplore, cur_round_,
-                                   /*is_message=*/0, ex.ev_hash, ex.cached ? 1 : 0,
-                                   now_s() - tr0, t.node, i));
-        results[i].push_back(std::move(ex));
-      }
+      if (timing) ex.exec_s = now_s() - tr0;
+      out.push_back(std::move(ex));
     }
-  });
-  // Bracketed drain point: workers are idle again, so the lane buffers merge
-  // into the master stream here, sorted by the deterministic task index.
-  if (tsink != nullptr) tsink->drain_workers();
+  }
+  return out;
 }
 
-void LocalModelChecker::apply_exec(const Exec& e) {
+void LocalModelChecker::apply_exec(Exec& e, std::uint64_t seq) {
+  // Finalize the exec-cache verdict authoritatively on the applier, in
+  // consume order: within a run every (event, state) pair executes at most
+  // once (cursor discipline), so this lookup hits exactly when an EARLIER
+  // run inserted the pair — the same verdict a serial run computes — and
+  // the hit/miss counters are bumped exactly once per pair. The worker's
+  // speculative peek() only decided whether to bother executing.
+  if (ExecCache* const cache = opt_.exec_cache; cache != nullptr) {
+    const NodeStateRec& pred0 = store_.rec(e.node, e.pred_idx);
+    ExecResult replay;
+    if (cache->lookup(e.ev_hash, pred0.hash, replay)) {
+      e.cached = true;
+      e.result = std::move(replay);
+    } else {
+      if (e.peek_hit) {
+        // The worker's peek saw the pair but a generation rotation evicted
+        // it before consumption: execute here (rare; still audited).
+        const double tr0 = opt_.trace != nullptr ? now_s() : 0.0;
+        if (e.is_message) {
+          const Message* m = net_.find(e.ev_hash);
+          e.result = exec_message(cfg_, e.node, pred0.blob, *m);
+          if (opt_.audit_validity) {
+            const AuditReport rep = audit_message(cfg_, e.node, pred0.blob, *m, e.result);
+            audits_performed_.fetch_add(1, std::memory_order_relaxed);
+            if (!rep.ok) throw ModelValidityError(e.node, rep.detail);
+          }
+        } else {
+          e.result = exec_internal(cfg_, e.node, pred0.blob, e.ev);
+          if (opt_.audit_validity) {
+            const AuditReport rep = audit_internal(cfg_, e.node, pred0.blob, e.ev, e.result);
+            audits_performed_.fetch_add(1, std::memory_order_relaxed);
+            if (!rep.ok) throw ModelValidityError(e.node, rep.detail);
+          }
+        }
+        if (opt_.trace != nullptr) e.exec_s = now_s() - tr0;
+      }
+      cache->insert(e.ev_hash, pred0.hash, e.result);
+    }
+  }
+  LMC_TRACE(opt_.trace, record(tev(EventType::kHandlerRun, obs::Phase::kExplore, cur_round_,
+                                   e.is_message ? 1 : 0, e.ev_hash, e.cached ? 1 : 0,
+                                   e.exec_s, e.node, seq)));
   // A cached replay is not a handler execution: it is exactly the work the
   // warm start avoided. Everything downstream treats it identically.
   if (e.cached)
@@ -492,7 +536,18 @@ void LocalModelChecker::check_one_combination(std::vector<std::uint32_t>& combo)
 void LocalModelChecker::pool_run(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (opt_.num_threads > 1 && n > 1) {
     if (!pool_) pool_ = std::make_unique<WorkerPool>(opt_.num_threads);
-    pool_->run(n, fn);
+    const std::uint64_t pre = pool_->dropped_exceptions();
+    try {
+      pool_->run(n, fn);
+    } catch (...) {
+      // run() rethrows only the FIRST worker exception; any others the pool
+      // counted for this fan-out would otherwise vanish — surface them.
+      const std::uint64_t dropped = pool_->dropped_exceptions() - pre;
+      if (dropped > 0)
+        LMC_TRACE(opt_.trace, record(tev(EventType::kWorkerError, obs::Phase::kRun, cur_round_,
+                                         dropped, /*source=*/1, 0)));
+      throw;
+    }
   } else {
     for (std::size_t i = 0; i < n; ++i) fn(i);
   }
@@ -957,11 +1012,19 @@ void LocalModelChecker::finalize_stats() {
   stats_.elapsed_s = base_elapsed_s_ + (now_s() - run_t0_);
 }
 
+// Cooperative safepoint: called after every consumed task group, not just
+// between generations, so `checkpoint_every_s` is honored even while a
+// generation of slow handlers is in flight. Unconsumed published tasks
+// (whose cursors already advanced at publish time) are materialized as
+// `pending` for the image — exactly what a budget stop serializes — and a
+// resume re-executes them in publication order.
 void LocalModelChecker::maybe_auto_checkpoint() {
   if (opt_.checkpoint_every_s <= 0.0 || opt_.checkpoint_path.empty() || stop_) return;
   const double now = now_s();
   if (now - last_checkpoint_s_ < opt_.checkpoint_every_s) return;
   last_checkpoint_s_ = now;
+  const bool backlog = pipe_ != nullptr && pipe_->have_pending();
+  if (backlog) pending_tasks_ = pipe_->backlog_tasks();
   ++stats_.checkpoints_written;  // before encoding: the file must carry it
   finalize_stats();
   bool ok = true;
@@ -975,41 +1038,28 @@ void LocalModelChecker::maybe_auto_checkpoint() {
     ++stats_.checkpoint_failures;
     ok = false;
   }
+  if (backlog) pending_tasks_.clear();  // the live pipeline still owns them
   LMC_TRACE(opt_.trace, record(tev(EventType::kCheckpointSave, obs::Phase::kCheckpoint,
                                    cur_round_, ok ? 1 : 0, stats_.checkpoints_written, 0,
                                    now_s() - now)));
 }
 
-// Apply one round's executions. Budget stops happen at task-group
-// boundaries ONLY: the tail of the round (whose cursors already advanced at
-// collect time) is captured in pending_tasks_, so a checkpoint taken after
-// the stop resumes by re-executing exactly those tasks, in order — the
-// resumed exploration is indistinguishable from an uninterrupted one. A
-// confirmed-violation stop (stop_on_confirmed) drops the remainder of its
-// own group, matching the non-checkpoint semantics.
-void LocalModelChecker::apply_round(const std::vector<Task>& tasks,
-                                    const std::vector<std::vector<Exec>>& results) {
-  for (std::size_t g = 0; g < results.size(); ++g) {
-    for (const Exec& e : results[g]) {
-      if (stop_) break;
-      apply_exec(e);
-    }
-    if (!stop_ && budget_exceeded()) {
-      stats_.completed = false;
-      stop_ = true;
-    }
-    if (stop_) {
-      pending_tasks_.assign(tasks.begin() + static_cast<std::ptrdiff_t>(g) + 1, tasks.end());
-      break;
-    }
-  }
-}
-
-void LocalModelChecker::run_rounds() {
+// The phase-1 driver: a work-stealing stream replacing the old
+// execute-all-then-apply-all round barrier. Each generation's tasks are
+// published in deterministic cursor-scan order; workers (and the applier,
+// when it reaches an unclaimed slot) execute handlers concurrently while
+// the applier consumes results strictly in publication order — so every
+// checker-state mutation, stop decision and trace event happens on the
+// applier in an order independent of thread count. Budget stops happen at
+// task-group boundaries ONLY: the unconsumed backlog (whose cursors already
+// advanced at publish time) is captured in pending_tasks_, so a checkpoint
+// taken after the stop resumes by re-executing exactly those tasks, in
+// order — the resumed exploration is indistinguishable from an
+// uninterrupted one. A confirmed-violation stop (stop_on_confirmed) drops
+// the remainder of its own group, matching the historical semantics.
+void LocalModelChecker::explore_stream() {
   last_checkpoint_s_ = now_s();
   stats_.completed = true;
-  std::vector<Task> tasks;
-  std::vector<std::vector<Exec>> results;
 
   auto run_end_ev = [&] {
     LMC_TRACE(opt_.trace, record(tev(EventType::kRunEnd, obs::Phase::kRun, cur_round_,
@@ -1028,26 +1078,66 @@ void LocalModelChecker::run_rounds() {
     return;
   }
 
-  auto round = [&] {
+  Pipeline pipe(opt_.num_threads > 1 ? opt_.num_threads - 1 : 0,
+                [this](const Task& t) { return execute_task(t); });
+  pipe_ = &pipe;
+  struct PipeGuard {  // exceptions unwind through here; the dtor joins
+    LocalModelChecker* mc;
+    ~PipeGuard() { mc->pipe_ = nullptr; }
+  } guard{this};
+
+  // Consume everything currently published, in publication order.
+  auto stream_round = [&](std::uint64_t published) {
     ++cur_round_;
     LMC_TRACE(opt_.trace, record(tev(EventType::kRoundBegin, obs::Phase::kRun, cur_round_,
-                                     tasks.size(), 0, 0)));
+                                     published, 0, 0)));
     const double t0 = now_s();
-    execute_tasks(tasks, results);
-    apply_round(tasks, results);
+    std::uint64_t seq = 0;
+    while (pipe.have_pending()) {
+      Pipeline::Slot& slot = pipe.front();
+      if (slot.error) {
+        // A worker exception aborts the run at its publication position.
+        // Later READY slots may hold further exceptions that will never be
+        // rethrown — count and trace them instead of losing them silently.
+        pipe.stop_and_join();
+        const std::uint64_t others = pipe.count_dropped_errors() - 1;
+        if (others > 0) {
+          pipeline_dropped_ += others;
+          LMC_TRACE(opt_.trace, record(tev(EventType::kWorkerError, obs::Phase::kRun,
+                                           cur_round_, others, /*source=*/0, 0)));
+        }
+        std::rethrow_exception(slot.error);
+      }
+      for (Exec& e : slot.execs) {
+        if (stop_) break;
+        apply_exec(e, seq);
+      }
+      pipe.pop();
+      ++seq;
+      if (!stop_ && budget_exceeded()) {
+        stats_.completed = false;
+        stop_ = true;
+      }
+      if (stop_) {
+        pending_tasks_ = pipe.backlog_tasks();
+        break;
+      }
+      maybe_auto_checkpoint();  // cooperative safepoint (slow-handler fix)
+    }
     refresh_memory_stats();
     LMC_TRACE(opt_.trace, record(tev(EventType::kRoundEnd, obs::Phase::kRun, cur_round_,
-                                     tasks.size(), stats_.node_states, net_.size(),
+                                     published, stats_.node_states, net_.size(),
                                      now_s() - t0)));
-    metrics_sample("round", tasks.size(), /*force=*/false);
+    metrics_sample("round", published, /*force=*/false);
   };
 
-  // Resume path: finish the round that was interrupted (its cursors had
-  // already advanced past these tasks when the checkpoint was taken).
+  // Resume path: finish the generation that was interrupted (its cursors
+  // had already advanced past these tasks when the checkpoint was taken).
   if (!pending_tasks_.empty() && !stop_) {
-    tasks = std::move(pending_tasks_);
+    std::vector<Task> pend = std::move(pending_tasks_);
     pending_tasks_.clear();
-    round();
+    for (const Task& t : pend) pipe.publish(t);
+    stream_round(pend.size());
   }
 
   while (!stop_) {
@@ -1055,10 +1145,12 @@ void LocalModelChecker::run_rounds() {
       stats_.completed = false;
       break;
     }
-    if (!collect_tasks(tasks)) break;  // fixpoint: exploration exhausted
-    round();
+    const std::uint64_t published = publish_round(pipe);
+    if (published == 0) break;  // fixpoint: exploration exhausted
+    stream_round(published);
     maybe_auto_checkpoint();
   }
+  pipe.stop_and_join();
   // Phase 2: re-verify the combinations the quick pass could not decide.
   if (!stop_) process_deferred();
   if (stop_ && !violations_.empty()) stats_.completed = false;
@@ -1070,12 +1162,13 @@ void LocalModelChecker::run(const std::vector<Blob>& nodes,
                             const std::vector<Message>& in_flight) {
   run_t0_ = now_s();
   deadline_ = run_t0_ + opt_.time_budget_s;
+  segment_id_ = 0;  // a fresh run starts trace segment 0
   LMC_TRACE(opt_.trace, record(tev(EventType::kRunBegin, obs::Phase::kRun, 0, /*mode=*/0, 0,
-                                   opt_.num_threads)));
+                                   opt_.num_threads, 0.0, TraceEvent::kNoNode, segment_id_)));
   init_run(nodes, in_flight);
   metrics_sample("begin", 0, /*force=*/true);
   check_snapshot_combination(epochs_.front().roots);
-  run_rounds();
+  explore_stream();
 }
 
 void LocalModelChecker::run_from_initial() { run(initial_states(cfg_), {}); }
@@ -1091,10 +1184,11 @@ void LocalModelChecker::run_warm(const std::vector<Blob>& nodes,
   base_elapsed_s_ = stats_.elapsed_s;        // wall clock accumulates
   stop_ = false;
   LMC_TRACE(opt_.trace, record(tev(EventType::kRunBegin, obs::Phase::kRun, cur_round_,
-                                   /*mode=*/1, stats_.transitions, opt_.num_threads)));
+                                   /*mode=*/1, stats_.transitions, opt_.num_threads, 0.0,
+                                   TraceEvent::kNoNode, segment_id_)));
   merge_snapshot(nodes, in_flight);
   check_snapshot_combination(epochs_.back().roots);
-  run_rounds();
+  explore_stream();
 }
 
 void LocalModelChecker::run_resumed(const std::string& path) {
@@ -1103,9 +1197,14 @@ void LocalModelChecker::run_resumed(const std::string& path) {
   // Whatever wall clock the interrupted run already consumed counts against
   // the budget (inf - x == inf keeps unbounded runs unbounded).
   deadline_ = run_t0_ + (opt_.time_budget_s - base_elapsed_s_);
+  // This process's trace is a NEW segment of the checkpointed run: bump the
+  // segment id (the checkpoint stores the id of the segment that wrote it)
+  // and continue round numbering from the checkpoint's round.
+  ++segment_id_;
   LMC_TRACE(opt_.trace, record(tev(EventType::kRunBegin, obs::Phase::kRun, cur_round_,
-                                   /*mode=*/2, stats_.transitions, opt_.num_threads)));
-  run_rounds();
+                                   /*mode=*/2, stats_.transitions, opt_.num_threads, 0.0,
+                                   TraceEvent::kNoNode, segment_id_)));
+  explore_stream();
 }
 
 // --- persistence -----------------------------------------------------------
@@ -1114,8 +1213,10 @@ CheckerImage LocalModelChecker::make_image() const {
   CheckerImage img;
   img.num_nodes = cfg_.num_nodes;
   img.store = store_;
-  img.net_entries.assign(net_.entries().begin(), net_.entries().end());
+  img.net_entries = net_.snapshot_entries();
   img.net_suppressed = net_.suppressed();
+  img.segment_id = segment_id_;
+  img.base_round = cur_round_;
   img.events = events_;
   img.epochs = epochs_;
   img.node_gens.resize(cfg_.num_nodes);
@@ -1196,7 +1297,11 @@ void LocalModelChecker::load_checkpoint_bytes(const Blob& data) {
   }
   clear_feas_cache();
   combo_probe_ = 0;
-  cur_round_ = 0;  // trace/metrics round attribution restarts per segment
+  // Trace continuity across resumes: rounds continue from the checkpoint's
+  // counter, and the segment id is restored as-is (run_resumed bumps it for
+  // the NEW segment; a bare load must round-trip byte-identically).
+  cur_round_ = img.base_round;
+  segment_id_ = img.segment_id;
   stop_ = false;
   initialized_ = true;
   base_elapsed_s_ = stats_.elapsed_s;

@@ -4,12 +4,18 @@
 //  * LS_n — the set of traversed local states of each node n, and
 //  * I+   — one shared, monotonically growing network of every message any
 //           transition ever generated.
-// Exploration proceeds in rounds (Fig. 9): every message in I+ is executed
+// Exploration follows Fig. 9's fixpoint: every message in I+ is executed
 // on every not-yet-tried state of its destination node, and every state's
-// enabled internal events are executed once. New states record predecessor
-// pointers (event hash + generated-message hashes). System states are
-// materialized only transiently, to check the invariant; a preliminary
-// violation is confirmed by SoundnessVerifier before being reported.
+// enabled internal events are executed once. The cursor scans that discover
+// this work publish tasks in deterministic order into a work-stealing
+// pipeline (mc/concurrent/pipeline.hpp): workers execute the pure handler
+// part concurrently while the applier consumes results in publication order
+// — there is no round barrier serializing handler execution, and the
+// exploration is byte-identical at any thread count (DESIGN.md §12). New
+// states record predecessor pointers (event hash + generated-message
+// hashes). System states are materialized only transiently, to check the
+// invariant; a preliminary violation is confirmed by SoundnessVerifier
+// before being reported.
 //
 // Variants (Figures 10-13):
 //  * LMC-GEN: use_projection = false — every combination containing the new
@@ -32,6 +38,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "mc/concurrent/pipeline.hpp"
 #include "mc/invariant.hpp"
 #include "mc/local_store.hpp"
 #include "mc/parallel_local_mc.hpp"
@@ -75,15 +82,18 @@ struct LocalMcOptions {
   enum class AssertPolicy { DiscardState, IgnoreViolation };
   AssertPolicy assert_policy = AssertPolicy::DiscardState;
 
-  /// Threads for the parallel phases (1 = sequential): handler execution
-  /// within a round, the combination sweep per new node state (LMC-GEN
-  /// Cartesian shards / LMC-OPT projection-pair shards), soundness
-  /// verification of the sweep's preliminary violations, and the phase-2
-  /// deferred drain. All results are merged in deterministic enumeration
-  /// order on the calling thread, so exploration, confirmed violations and
-  /// witness schedules are identical for any thread count. Invariants must
+  /// Threads for the parallel phases (1 = sequential): phase-1 handler
+  /// execution (a work-stealing pipeline of num_threads - 1 workers plus
+  /// the applier — tasks are published in deterministic cursor-scan order
+  /// and their results consumed in exactly that order), the combination
+  /// sweep per new node state (LMC-GEN Cartesian shards / LMC-OPT
+  /// projection-pair shards), soundness verification of the sweep's
+  /// preliminary violations, and the phase-2 deferred drain. All results
+  /// merge in deterministic publication/enumeration order on the calling
+  /// thread, so exploration, confirmed violations, witness schedules and
+  /// checkpoints are byte-identical for any thread count. Invariants must
   /// be thread-safe for concurrent const use (pure predicates are). The
-  /// pool is lazily created, kept across rounds, and never serialized.
+  /// pools are lazily created, kept across rounds, and never serialized.
   unsigned num_threads = 1;
 
   /// Safety cap on combinations materialized per new node state (GEN).
@@ -91,7 +101,10 @@ struct LocalMcOptions {
 
   /// Auto-checkpointing: when both are set, the checker saves its full
   /// state to `checkpoint_path` (atomically) every `checkpoint_every_s`
-  /// wall seconds, at clean round boundaries. 0 disables.
+  /// wall seconds, at cooperative safepoints between task groups — the
+  /// interval is honored even inside a long generation of slow handlers
+  /// (unconsumed published tasks are serialized as `pending`, exactly like
+  /// a budget stop). 0 disables.
   double checkpoint_every_s = 0.0;
   std::string checkpoint_path;
 
@@ -110,9 +123,12 @@ struct LocalMcOptions {
   /// test, no event is allocated. The trace's identity content is a pure
   /// function of the exploration — attaching a sink never perturbs results,
   /// and the same run traces identically at any num_threads (DESIGN.md §10).
-  /// The sink is runtime-only state: it is never serialized to checkpoints,
-  /// and a resumed run's trace covers only its own segment (kRunBegin
-  /// carries the carried-over transition count).
+  /// The sink is runtime-only state: it is never serialized to checkpoints.
+  /// A resumed run's trace covers only its own segment, but stays stitchable
+  /// to the original's: kRunBegin carries the segment id in `seq` (0 for a
+  /// fresh run, incremented per resume) plus the carried-over transition
+  /// count, and round numbering continues from the checkpoint's round
+  /// instead of restarting at 0.
   obs::TraceSink* trace = nullptr;
 
   /// Heartbeat metrics (obs/metrics.hpp). nullptr disables. The checker
@@ -177,6 +193,13 @@ class LocalModelChecker {
   /// Handler executions audited under audit_validity. Runtime-only (NOT in
   /// LocalMcStats: that struct is pinned by the checkpoint format).
   std::uint64_t audits_performed() const { return audits_performed_.load(std::memory_order_relaxed); }
+  /// Worker exceptions beyond the first (rethrown) one of a failing fan-out
+  /// — counted instead of silently lost, across both the phase-1 pipeline
+  /// and the phase-2 WorkerPool. Runtime-only (NOT in LocalMcStats); also
+  /// surfaced as kWorkerError trace events and in lmc_report.
+  std::uint64_t worker_exceptions_dropped() const {
+    return pipeline_dropped_ + (pool_ ? pool_->dropped_exceptions() : 0);
+  }
   const std::vector<LocalViolation>& violations() const { return violations_; }
   /// First confirmed violation, or nullptr.
   const LocalViolation* first_confirmed() const;
@@ -201,20 +224,25 @@ class LocalModelChecker {
   struct Exec {
     bool is_message = false;
     bool cached = false;  ///< result replayed from opt_.exec_cache, not executed
+    /// Worker-side peek() saw the pair in the cache and skipped execution;
+    /// the applier fetches (or, if a rotation evicted it meanwhile,
+    /// re-executes) the result at consume time — see apply_exec.
+    bool peek_hit = false;
     Hash64 ev_hash = 0;
     NodeId node = 0;
     std::uint32_t pred_idx = 0;
     ExecResult result;
-    InternalEvent ev;  ///< internal tasks: the executed event
+    InternalEvent ev;      ///< internal tasks: the executed event
+    double exec_s = 0.0;   ///< worker-measured handler seconds (tracing only)
   };
+  using Pipeline = concurrent::ExplorePipeline<Task, Exec>;
 
   void init_run(const std::vector<Blob>& nodes, const std::vector<Message>& in_flight);
   void merge_snapshot(const std::vector<Blob>& nodes, const std::vector<Message>& in_flight);
-  void run_rounds();
-  void apply_round(const std::vector<Task>& tasks, const std::vector<std::vector<Exec>>& results);
-  bool collect_tasks(std::vector<Task>& tasks);
-  void execute_tasks(const std::vector<Task>& tasks, std::vector<std::vector<Exec>>& results);
-  void apply_exec(const Exec& e);
+  void explore_stream();
+  std::uint64_t publish_round(Pipeline& pipe);
+  std::vector<Exec> execute_task(const Task& t);
+  void apply_exec(Exec& e, std::uint64_t seq);
   void check_snapshot_combination(const std::vector<std::uint32_t>& roots);
   void check_combinations(NodeId n, std::uint32_t idx);
   void check_one_combination(std::vector<std::uint32_t>& combo);
@@ -275,6 +303,12 @@ class LocalModelChecker {
   /// Runtime-only worker pool — deliberately NOT part of CheckerImage /
   /// checkpoints (persist/FORMAT.md): thread state is not exploration state.
   std::unique_ptr<WorkerPool> pool_;
+  /// The live phase-1 pipeline while explore_stream runs (for safepoint
+  /// checkpoints to materialize the backlog); null otherwise. Runtime-only.
+  Pipeline* pipe_ = nullptr;
+  /// Secondary pipeline-worker exceptions accounted at an aborting consume
+  /// (see worker_exceptions_dropped()).
+  std::uint64_t pipeline_dropped_ = 0;
 
   LocalMcStats stats_;
   /// audit_validity counter; atomic because audits run on pool workers.
@@ -290,9 +324,13 @@ class LocalModelChecker {
   double base_elapsed_s_ = 0.0;       ///< elapsed_s carried over from prior runs
   double run_t0_ = 0.0;               ///< wall start of the current run segment
   double last_checkpoint_s_ = 0.0;
-  /// Round counter for trace/metrics attribution. Runtime-only (NOT in
-  /// checkpoints): a resumed segment's trace numbers rounds from 0 again.
+  /// Round (task-generation) counter for trace/metrics attribution. Stamped
+  /// into checkpoints (kSecSegment) so a resumed segment's trace continues
+  /// the original numbering instead of restarting at 0.
   std::uint32_t cur_round_ = 0;
+  /// Trace segment id: 0 for a fresh run, +1 per resume (kRunBegin.seq).
+  /// Stamped into checkpoints alongside the round counter.
+  std::uint64_t segment_id_ = 0;
   void metrics_sample(const char* where, std::uint64_t frontier, bool force);
 
   /// Message hashes each node's recorded transitions can generate; feeds

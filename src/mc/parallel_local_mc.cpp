@@ -25,7 +25,13 @@ void WorkerPool::drain(const std::function<void(std::size_t)>& fn, std::size_t n
       fn(i);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      } else {
+        // Only the first exception crosses run(); losing the rest silently
+        // would hide real failures, so at least account for them.
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
       failed_.store(true, std::memory_order_relaxed);
     }
   }

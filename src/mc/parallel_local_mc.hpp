@@ -25,6 +25,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -58,6 +59,12 @@ class WorkerPool {
   /// do not call run() from inside fn.
   void run(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Exceptions thrown by workers AFTER the first one of a run() was already
+  /// captured. run() rethrows only the first; the rest used to vanish
+  /// silently — now they are counted here (cumulative across runs) so the
+  /// checker can surface the loss in reports (kWorkerError trace events).
+  std::uint64_t dropped_exceptions() const { return dropped_.load(std::memory_order_relaxed); }
+
  private:
   void worker_loop();
   void drain(const std::function<void(std::size_t)>& fn, std::size_t n);
@@ -74,6 +81,7 @@ class WorkerPool {
   std::exception_ptr first_error_;                         // guarded by mu_
   std::atomic<std::size_t> next_{0};
   std::atomic<bool> failed_{false};
+  std::atomic<std::uint64_t> dropped_{0};  ///< secondary exceptions (see accessor)
 };
 
 /// One-shot convenience: run fn(0..n-1) over `threads` lanes. threads <= 1

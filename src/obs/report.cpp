@@ -97,6 +97,10 @@ ReportSummary summarize(const std::vector<TraceEvent>& events) {
         if (ev.a != 0) ++s.checkpoints;
         s.checkpoint_s += ev.dur;
         break;
+      case EventType::kWorkerError:
+        ++s.worker_errors;
+        s.worker_exceptions_dropped += ev.a;
+        break;
       case EventType::kWarmMerge:
       case EventType::kOnlinePeriod:
         break;
@@ -138,6 +142,10 @@ void print_report(const ReportSummary& s, std::FILE* out) {
                s.soundness_jobs, s.verdicts[kVerdictSound], s.verdicts[kVerdictUnsound],
                s.verdicts[kVerdictDefer], s.verdicts[kVerdictFeasSkip],
                s.verdicts[kVerdictSkipped], s.schedules);
+  if (s.worker_errors > 0)
+    std::fprintf(out, "worker errors: %" PRIu64 " event(s), %" PRIu64
+                 " secondary exception(s) dropped (first of each fan-out rethrown)\n",
+                 s.worker_errors, s.worker_exceptions_dropped);
 
   std::fprintf(out, "where did time go (elapsed %.4fs):\n", s.elapsed_s);
   phase_row(out, "handler execution", s.handler_exec_s, s.elapsed_s,
@@ -180,6 +188,8 @@ std::string report_bench_json(const ReportSummary& s, const std::string& case_la
   rec.metric("soundness_deferred", s.deferrals);
   rec.metric("exec_cache_hits", s.exec_cached);
   rec.metric("exec_cache_misses", s.exec_uncached);
+  rec.metric("worker_errors", s.worker_errors);
+  rec.metric("worker_exceptions_dropped", s.worker_exceptions_dropped);
   rec.metric("elapsed_s", s.elapsed_s);
   rec.metric("handler_exec_s", s.handler_exec_s);
   rec.metric("sweep_s", s.sweep_s);

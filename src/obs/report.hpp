@@ -37,6 +37,8 @@ struct ReportSummary {
   std::uint64_t checkpoints = 0;        ///< kCheckpointSave events with a=ok
   std::uint64_t exec_cached = 0;        ///< kHandlerRun events with c=1
   std::uint64_t exec_uncached = 0;      ///< kHandlerRun events with c=0
+  std::uint64_t worker_errors = 0;      ///< kWorkerError events
+  std::uint64_t worker_exceptions_dropped = 0;  ///< sum of kWorkerError a
   std::uint32_t rounds = 0;             ///< max round seen
   std::uint64_t run_begins = 0, run_ends = 0;
   std::uint64_t base_transitions = 0;   ///< from the first kRunBegin (resume/warm)

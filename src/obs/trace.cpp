@@ -43,6 +43,7 @@ const char* to_string(EventType t) {
     case EventType::kCheckpointSave: return "checkpoint_save";
     case EventType::kWarmMerge: return "warm_merge";
     case EventType::kOnlinePeriod: return "online_period";
+    case EventType::kWorkerError: return "worker_error";
   }
   return "unknown";
 }
@@ -160,7 +161,7 @@ bool parse_jsonl_line(const std::string& line, TraceEvent& ev) {
 
   ev = TraceEvent{};
   bool type_ok = false;
-  for (int t = 0; t <= static_cast<int>(EventType::kOnlinePeriod); ++t) {
+  for (int t = 0; t <= static_cast<int>(EventType::kWorkerError); ++t) {
     if (type->str == to_string(static_cast<EventType>(t))) {
       ev.type = static_cast<EventType>(t);
       type_ok = true;

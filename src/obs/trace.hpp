@@ -62,6 +62,7 @@ enum class EventType : std::uint8_t {
   kCheckpointSave = 13,  ///< a=ok, b=checkpoints_written so far; dur=save wall s
   kWarmMerge = 14,       ///< a=new roots, b=root hits, c=msgs reused
   kOnlinePeriod = 15,    ///< a=period idx, b=transitions, c=found; dur=checker wall s
+  kWorkerError = 16,     ///< a=secondary worker exceptions dropped, b=source (0 pipeline, 1 pool)
 };
 
 /// Verdict kinds carried by kSoundnessRun / kSoundnessVerdict `a`.

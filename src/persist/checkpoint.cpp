@@ -235,6 +235,13 @@ Blob enc_pending(const CheckerImage& img) {
   return std::move(w).take();
 }
 
+Blob enc_segment(const CheckerImage& img) {
+  Writer w;
+  w.u64(img.segment_id);
+  w.u32(img.base_round);
+  return std::move(w).take();
+}
+
 // --- section decoders (with structural validation) -------------------------
 
 void dec_epochs(Reader& r, CheckerImage& img) {
@@ -438,6 +445,12 @@ void dec_pending(Reader& r, CheckerImage& img) {
   r.expect_exhausted();
 }
 
+void dec_segment(Reader& r, CheckerImage& img) {
+  img.segment_id = r.u64();
+  img.base_round = r.u32();
+  r.expect_exhausted();
+}
+
 }  // namespace
 
 // --- container -------------------------------------------------------------
@@ -530,6 +543,7 @@ Blob encode_checkpoint(const CheckerImage& img) {
   w.add_section(kSecDeferred, enc_deferred(img));
   w.add_section(kSecViolations, enc_violations(img));
   w.add_section(kSecPending, enc_pending(img));
+  w.add_section(kSecSegment, enc_segment(img));
   return std::move(w).finish();
 }
 
@@ -583,6 +597,12 @@ CheckerImage decode_checkpoint(const Blob& data) {
       Reader s = r.open(kSecPending);
       dec_pending(s, img);
     }
+    // Section 12 is absent in files written before it existed; the stamps
+    // default to 0 (the values a fresh run would carry).
+    if (r.has(kSecSegment)) {
+      Reader s = r.open(kSecSegment);
+      dec_segment(s, img);
+    }
   } catch (const SerializeError& e) {
     fail(std::string("malformed section: ") + e.what());
   }
@@ -612,6 +632,16 @@ CheckpointInfo inspect_checkpoint(const Blob& data) {
       m.expect_exhausted();
     } catch (const SerializeError& e) {
       fail(std::string("malformed meta section: ") + e.what());
+    }
+  }
+  if (r.has(kSecSegment)) {
+    try {
+      Reader s = r.open(kSecSegment);
+      info.segment_id = s.u64();
+      info.base_round = s.u32();
+      s.expect_exhausted();
+    } catch (const SerializeError& e) {
+      fail(std::string("malformed segment section: ") + e.what());
     }
   }
   return info;

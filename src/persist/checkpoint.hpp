@@ -59,6 +59,7 @@ enum SectionId : std::uint32_t {
   kSecDeferred = 9,     ///< phase-2 soundness queue
   kSecViolations = 10,  ///< violations recorded so far
   kSecPending = 11,     ///< collected-but-unapplied tasks of the stopped round
+  kSecSegment = 12,     ///< trace segment id + base round (resume continuity)
 };
 
 /// Assembles header | sections | checksum.
@@ -138,6 +139,12 @@ struct CheckerImage {
   std::vector<DeferredCombo> deferred;
   std::vector<LocalViolation> violations;
   std::vector<PendingTask> pending;
+  /// Trace-continuity stamps (kSecSegment): the id of the trace segment
+  /// that wrote the checkpoint and its round counter, so a resumed run
+  /// numbers its segment/rounds as a continuation instead of restarting at
+  /// 0. Absent in pre-section-12 files; both default to 0.
+  std::uint64_t segment_id = 0;
+  std::uint32_t base_round = 0;
 };
 
 /// Canonical encoding (sorted unordered containers; stable section order).
@@ -162,6 +169,9 @@ struct CheckpointInfo {
   std::uint64_t transitions = 0;
   std::uint64_t confirmed_violations = 0;
   std::uint64_t pending_tasks = 0;
+  // From kSecSegment (0/0 for pre-section-12 files and straight runs):
+  std::uint64_t segment_id = 0;
+  std::uint32_t base_round = 0;
 };
 CheckpointInfo inspect_checkpoint(const Blob& data);
 

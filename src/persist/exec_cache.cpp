@@ -24,51 +24,85 @@ void check(bool ok, const char* what) {
 
 bool ExecCache::lookup(Hash64 ev, Hash64 state, ExecResult& out) const {
   const Key k{ev, state};
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = young_.find(k);
-  if (it == young_.end()) {
-    it = old_.find(k);
-    if (it == old_.end()) {
-      ++misses_;
+  Shard& s = shards_[shard_of(k)];
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.young.find(k);
+  if (it == s.young.end()) {
+    it = s.old.find(k);
+    if (it == s.old.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   out = it->second;
   return true;
 }
 
-void ExecCache::insert(Hash64 ev, Hash64 state, const ExecResult& r) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (young_.count(Key{ev, state}) != 0 || old_.count(Key{ev, state}) != 0) return;
-  if (young_.size() >= half()) {
-    old_ = std::move(young_);
-    young_.clear();
+bool ExecCache::peek(Hash64 ev, Hash64 state) const {
+  const Key k{ev, state};
+  Shard& s = shards_[shard_of(k)];
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.young.count(k) != 0 || s.old.count(k) != 0;
+}
+
+void ExecCache::rotate_locked_all() {
+  std::unique_lock<std::mutex> locks[kShards];
+  for (std::size_t i = 0; i < kShards; ++i)
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
+  // Re-check under the full lock set: a racing inserter may have rotated
+  // while we were acquiring.
+  if (young_count_.load(std::memory_order_relaxed) < half()) return;
+  for (Shard& s : shards_) {
+    s.old = std::move(s.young);
+    s.young.clear();
   }
-  young_.emplace(Key{ev, state}, r);
+  young_count_.store(0, std::memory_order_relaxed);
+}
+
+void ExecCache::insert(Hash64 ev, Hash64 state, const ExecResult& r) {
+  const Key k{ev, state};
+  Shard& s = shards_[shard_of(k)];
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.young.count(k) != 0 || s.old.count(k) != 0) return;  // first insert wins
+    if (young_count_.load(std::memory_order_relaxed) < half()) {
+      s.young.emplace(k, r);
+      young_count_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // The young generation is full: rotate (needs every shard lock, so our
+  // shard lock was released first), then insert into the fresh generation.
+  rotate_locked_all();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.young.count(k) != 0 || s.old.count(k) != 0) return;
+  s.young.emplace(k, r);
+  young_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t ExecCache::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return young_.size() + old_.size();
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    n += s.young.size() + s.old.size();
+  }
+  return n;
 }
 
-std::uint64_t ExecCache::hits() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return hits_;
-}
+std::uint64_t ExecCache::hits() const { return hits_.load(std::memory_order_relaxed); }
 
-std::uint64_t ExecCache::misses() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return misses_;
-}
+std::uint64_t ExecCache::misses() const { return misses_.load(std::memory_order_relaxed); }
 
 Blob ExecCache::encode() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> locks[kShards];
+  for (std::size_t i = 0; i < kShards; ++i)
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
   std::vector<const std::pair<const Key, ExecResult>*> sorted;
-  sorted.reserve(young_.size() + old_.size());
-  for (const auto& kv : young_) sorted.push_back(&kv);
-  for (const auto& kv : old_) sorted.push_back(&kv);
+  for (const Shard& s : shards_) {
+    for (const auto& kv : s.young) sorted.push_back(&kv);
+    for (const auto& kv : s.old) sorted.push_back(&kv);
+  }
   std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
     return a->first.ev != b->first.ev ? a->first.ev < b->first.ev
                                       : a->first.state < b->first.state;
@@ -129,10 +163,17 @@ void ExecCache::decode(const Blob& data) {
 
   // Loaded entries all land in the young generation: a load is a fresh
   // start, and they should survive at least one rotation of new inserts.
-  std::lock_guard<std::mutex> lk(mu_);
-  young_ = std::move(map);
-  old_.clear();
-  hits_ = misses_ = 0;
+  std::unique_lock<std::mutex> locks[kShards];
+  for (std::size_t i = 0; i < kShards; ++i)
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
+  for (Shard& s : shards_) {
+    s.young.clear();
+    s.old.clear();
+  }
+  for (auto& kv : map) shards_[shard_of(kv.first)].young.emplace(kv.first, std::move(kv.second));
+  young_count_.store(map.size(), std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 void ExecCache::save(const std::string& path) const { write_checkpoint_file(path, encode()); }

@@ -20,11 +20,19 @@
 // restarting per snapshot on the §5.5 workload. The cache keeps each
 // period's search space exactly the cold one and removes only true re-work.
 //
+// The map is sharded 16 ways by key hash so the work-stealing phase-1
+// workers can `peek()` concurrently with the applier's authoritative
+// `lookup()`/`insert()` without a single hot mutex (DESIGN.md §12). Hit and
+// miss counters are atomics bumped ONLY by lookup() — peek() is counter-free
+// speculation, so the counters stay exactly what a single-threaded run
+// reports.
+//
 // The cache serializes with the same discipline as checkpoints (magic,
 // version, canonical entry order, trailing whole-file checksum, atomic
 // write), so warm starts can survive process restarts.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -47,7 +55,15 @@ class ExecCache {
       : max_entries_(max_entries) {}
 
   /// True (and fills `out`) if (ev, state) was executed before. Thread-safe.
+  /// Bumps the hit/miss counters — the applier's authoritative path.
   bool lookup(Hash64 ev, Hash64 state, ExecResult& out) const;
+
+  /// Presence check WITHOUT counter effects or result extraction: the
+  /// speculative worker-side probe. A true return may go stale by the time
+  /// the applier consumes (generation rotation) — the applier re-executes
+  /// in that case; a false return is always safe (the worker executed).
+  bool peek(Hash64 ev, Hash64 state) const;
+
   void insert(Hash64 ev, Hash64 state, const ExecResult& r);
 
   std::size_t size() const;
@@ -79,25 +95,39 @@ class ExecCache {
 
   using Map = std::unordered_map<Key, ExecResult, KeyHash>;
 
+  static constexpr std::size_t kShards = 16;
+
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    Map young;
+    Map old;
+  };
+
+  static std::size_t shard_of(const Key& k) { return KeyHash{}(k) & (kShards - 1); }
+
   std::size_t half() const { return max_entries_ / 2 > 0 ? max_entries_ / 2 : 1; }
+
+  /// Rotate under ALL shard locks (taken in index order; the caller holds
+  /// none): young becomes old globally, the previous old generation drops.
+  void rotate_locked_all();
 
   // Eviction is generational, not insert-until-full. A budget-truncated
   // checker round executes (and therefore inserts) far more pairs than it
   // applies — a single period can flood the cap many times over, and with
   // insert-until-full the FIRST period's flood permanently starves every
   // later period, which is exactly backwards: cross-period reuse comes from
-  // the MOST RECENT period's entries. Inserts go to `young_`; when it
-  // reaches half the cap it becomes `old_` (dropping the previous old
-  // generation) — so the newest half-cap of entries always survives into
-  // the next period. Lookups never mutate the maps (no hit promotion: a
-  // period draining hits out of the old generation must not trigger the
-  // rotation that would destroy it). Keys are disjoint between the maps.
+  // the MOST RECENT period's entries. Inserts go to the young generation;
+  // when it reaches half the cap (summed across shards) it becomes old
+  // (dropping the previous old generation) — so the newest half-cap of
+  // entries always survives into the next period. Lookups never mutate the
+  // maps (no hit promotion: a period draining hits out of the old
+  // generation must not trigger the rotation that would destroy it). Keys
+  // are disjoint between the generations.
   std::size_t max_entries_;
-  mutable std::mutex mu_;
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t misses_ = 0;
-  mutable Map young_;
-  mutable Map old_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> young_count_{0};
+  mutable Shard shards_[kShards];
 };
 
 }  // namespace lmc

@@ -31,6 +31,7 @@ const char* section_name(std::uint32_t id) {
     case kSecDeferred: return "deferred";
     case kSecViolations: return "violations";
     case kSecPending: return "pending";
+    case kSecSegment: return "segment";
     default: return "?";
   }
 }
@@ -48,6 +49,8 @@ int cmd_inspect_json(const std::string& path) {
   rec.metric("events", info.event_count);
   rec.metric("epochs", info.epoch_count);
   rec.metric("pending_tasks", info.pending_tasks);
+  rec.metric("segment_id", info.segment_id);
+  rec.metric("base_round", static_cast<std::uint64_t>(info.base_round));
   rec.metric("transitions", img.stats.transitions);
   rec.metric("system_states", img.stats.system_states);
   rec.metric("prelim_violations", img.stats.prelim_violations);
@@ -81,6 +84,8 @@ int cmd_inspect(const std::string& path) {
   std::printf("  transitions: %" PRIu64 "\n", info.transitions);
   std::printf("  confirmed:   %" PRIu64 "\n", info.confirmed_violations);
   std::printf("  pending:     %" PRIu64 " task(s) of an interrupted round\n", info.pending_tasks);
+  std::printf("  segment:     %" PRIu64 " (rounds continue from %u on resume)\n", info.segment_id,
+              info.base_round);
   std::printf("  sections:\n");
   for (const auto& s : info.sections)
     std::printf("    %-12s id=%-3u %10zu bytes\n", section_name(s.id), s.id, s.len);

@@ -62,14 +62,14 @@ TEST(FuzzCorpus, AllSeedsConclusiveAndAgreeing) {
   EXPECT_GT(opt_runs, 0u);
 }
 
-// Thread-count determinism (satellite of the PR 2 merge protocol): the same
-// generated protocol explored with 1 and 8 phase-2 threads must leave the
-// checker in a byte-identical state — stores, I+, violations, witnesses and
-// counters — once wall-clock stats are zeroed.
+/// Thread-count determinism over the ENTIRE frozen corpus: the same
+// generated protocol explored with 1 and 8 threads — which now covers the
+// work-stealing phase-1 pipeline as well as the phase-2 sweep/soundness
+// pools — must leave the checker in a byte-identical state: stores, I+,
+// violations, witnesses and counters, once wall-clock stats are zeroed.
 TEST(FuzzCorpus, ThreadCountByteIdentical) {
-  const std::uint64_t seeds[] = {12, 14, 36, 97, 664};  // all violation-bearing
   std::uint64_t total_confirmed = 0;
-  for (std::uint64_t seed : seeds) {
+  for (std::uint64_t seed : corpus_seeds()) {
     dfuzz::GeneratedProtocol p = dfuzz::instantiate(dfuzz::generate_spec(seed));
     Blob base;
     std::size_t base_violations = 0;

@@ -105,7 +105,7 @@ TEST(MonotonicNetwork, RestoreRebuildsIndexAndCursors) {
   orig.add(mk(1, 0, 7));  // suppressed
   orig.at(1).next_state = 4;
 
-  std::vector<MonotonicNetwork::Entry> entries(orig.entries().begin(), orig.entries().end());
+  std::vector<MonotonicNetwork::Entry> entries = orig.snapshot_entries();
   MonotonicNetwork net = MonotonicNetwork::restore(std::move(entries), orig.suppressed());
   EXPECT_EQ(net.size(), 2u);
   EXPECT_EQ(net.suppressed(), 1u);

@@ -147,6 +147,31 @@ TEST(ObsTrace, JsonlRoundTripIsExact) {
   EXPECT_EQ(ev.dur, back.dur);
 }
 
+TEST(ObsTrace, WorkerErrorRoundTripAndReportAggregation) {
+  TraceEvent ev;
+  ev.type = EventType::kWorkerError;
+  ev.phase = obs::Phase::kExplore;
+  ev.round = 3;
+  ev.a = 2;  // secondary exceptions dropped
+  ev.b = 0;  // source: phase-1 pipeline
+  const std::string line = obs::to_jsonl_line(ev);
+  std::string err;
+  EXPECT_TRUE(obs::validate_obs_line(line, &err)) << err;
+  TraceEvent back;
+  ASSERT_TRUE(obs::parse_jsonl_line(line, back));
+  EXPECT_EQ(back.type, EventType::kWorkerError);
+  EXPECT_EQ(obs::identity(ev), obs::identity(back));
+
+  // lmc_report surfaces both the event count and the summed drop count.
+  TraceEvent pool_ev;
+  pool_ev.type = EventType::kWorkerError;
+  pool_ev.a = 1;
+  pool_ev.b = 1;  // source: WorkerPool
+  const obs::ReportSummary s = obs::summarize({ev, pool_ev});
+  EXPECT_EQ(s.worker_errors, 2u);
+  EXPECT_EQ(s.worker_exceptions_dropped, 3u);
+}
+
 // --- metrics ----------------------------------------------------------------
 
 TEST(ObsMetrics, IntervalGatingAndRates) {

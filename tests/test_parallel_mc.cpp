@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstdio>
 #include <stdexcept>
+#include <thread>
 
 #include "mc/local_mc.hpp"
 #include "mc/parallel_local_mc.hpp"
@@ -72,6 +73,27 @@ TEST(WorkerPool, ExceptionShortCircuitsRemainingTasks) {
                std::runtime_error);
   // Once the first exception lands, the remaining indices are abandoned.
   EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(WorkerPool, SecondaryExceptionsAreCountedNotLost) {
+  // When several workers throw in one fan-out, only the first exception
+  // crosses run(); the rest must be COUNTED instead of vanishing. The
+  // barrier guarantees both tasks are mid-flight before either throws.
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.dropped_exceptions(), 0u);
+  std::atomic<int> at_barrier{0};
+  auto both_throw = [&](std::size_t i) {
+    at_barrier.fetch_add(1);
+    while (at_barrier.load() < 2) std::this_thread::yield();
+    throw std::runtime_error("worker " + std::to_string(i) + " failed");
+  };
+  EXPECT_THROW(pool.run(2, both_throw), std::runtime_error);
+  EXPECT_EQ(pool.dropped_exceptions(), 1u) << "one rethrown, one counted";
+
+  // The counter accumulates across jobs on the same pool.
+  at_barrier.store(0);
+  EXPECT_THROW(pool.run(2, both_throw), std::runtime_error);
+  EXPECT_EQ(pool.dropped_exceptions(), 2u);
 }
 
 TEST(ParallelFor, PropagatesExceptionsInsteadOfTerminating) {
@@ -449,6 +471,57 @@ TEST(AssertSends, DiscardStateKeepsSentMessagesInIplus) {
   // feasible schedule delivers the relay: the violation must stay unsound.
   EXPECT_EQ(mc.stats().confirmed_violations, 0u);
   EXPECT_TRUE(mc.violations().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Phase-1 pipeline exception accounting: two handlers rendezvous and then
+// both throw. The checker rethrows the first (in consume order) and counts
+// the other in worker_exceptions_dropped() instead of losing it.
+
+std::atomic<int> g_throw_barrier{0};
+
+class ThrowingPairNode final : public StateMachine {
+ public:
+  explicit ThrowingPairNode(NodeId self) : self_(self) {}
+  void handle_message(const Message&, Context&) override {}
+  std::vector<InternalEvent> enabled_internal_events() const override {
+    if (!fired_) return {InternalEvent{kEvFire, {}}};
+    return {};
+  }
+  void handle_internal(const InternalEvent&, Context&) override {
+    fired_ = true;
+    g_throw_barrier.fetch_add(1);
+    while (g_throw_barrier.load() < 2) std::this_thread::yield();
+    throw std::runtime_error("handler exploded");
+  }
+  void serialize(Writer& w) const override {
+    w.u32(self_);
+    w.u32(fired_ ? 1 : 0);
+  }
+  void deserialize(Reader& r) override {
+    self_ = r.u32();
+    fired_ = r.u32() != 0;
+  }
+
+ private:
+  NodeId self_ = 0;
+  bool fired_ = false;
+};
+
+TEST(ParallelDeterminism, PipelineCountsSecondaryHandlerExceptions) {
+  g_throw_barrier.store(0);
+  SystemConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.factory = [](NodeId self, std::uint32_t) {
+    return std::make_unique<ThrowingPairNode>(self);
+  };
+  LocalMcOptions opt;
+  opt.num_threads = 4;
+  LocalModelChecker mc(cfg, nullptr, opt);
+  EXPECT_EQ(mc.worker_exceptions_dropped(), 0u);
+  EXPECT_THROW(mc.run_from_initial(), std::runtime_error);
+  EXPECT_EQ(mc.worker_exceptions_dropped(), 1u)
+      << "the second handler's exception must be counted, not lost";
 }
 
 TEST(AssertSends, IgnoreViolationConfirmsTheSameViolation) {

@@ -4,14 +4,17 @@
 // have (same states, transitions, violations).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <unordered_set>
 
 #include "mc/local_mc.hpp"
 #include "mc/replay.hpp"
+#include "obs/trace.hpp"
 #include "persist/checkpoint.hpp"
 #include "persist/exec_cache.hpp"
 #include "protocols/paxos.hpp"
@@ -188,7 +191,7 @@ TEST(Persist, InspectReportsCounters) {
   EXPECT_EQ(info.event_count, mc.events().size());
   EXPECT_EQ(info.epoch_count, 1u);
   EXPECT_EQ(info.transitions, mc.stats().transitions);
-  EXPECT_EQ(info.sections.size(), 11u);
+  EXPECT_EQ(info.sections.size(), 12u);
 }
 
 TEST(Persist, RejectsCorruptedInput) {
@@ -385,6 +388,136 @@ TEST(Persist, InterruptedResumeFindsSameWidsViolation) {
   ReplayResult rep = replay_schedule(cfg, c.initial_nodes(), c.initial_in_flight(), v->witness,
                                      c.events(), v->state_hashes);
   EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+// A node that only absorbs kMsgWork messages, slowly: drives the
+// inside-a-round checkpoint-interval regression test below.
+constexpr std::uint32_t kMsgWork = 9;
+
+class SlowSinkNode final : public StateMachine {
+ public:
+  void handle_message(const Message& m, Context& ctx) override {
+    ctx.local_assert(m.type == kMsgWork, "slow: unknown message");
+    std::this_thread::sleep_for(std::chrono::microseconds(1500));
+    Reader r(m.payload);
+    sum_ += r.u32();
+    ++seen_;
+  }
+  std::vector<InternalEvent> enabled_internal_events() const override { return {}; }
+  void handle_internal(const InternalEvent&, Context& ctx) override {
+    ctx.local_assert(false, "slow: no internal events");
+  }
+  void serialize(Writer& w) const override {
+    w.u32(seen_);
+    w.u32(sum_);
+  }
+  void deserialize(Reader& r) override {
+    seen_ = r.u32();
+    sum_ = r.u32();
+  }
+
+ private:
+  std::uint32_t seen_ = 0;
+  std::uint32_t sum_ = 0;
+};
+
+TEST(Persist, SlowGenerationHonorsCheckpointInterval) {
+  // checkpoint_every_s must be honored INSIDE a long generation of slow
+  // handlers, not only at round boundaries: 40 ~1.5ms handlers land in one
+  // round, so with a 5ms interval several checkpoints must be written at
+  // the cooperative safepoints between task groups (the old round-barrier
+  // loop wrote exactly one, after the round finished).
+  SystemConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.factory = [](NodeId, std::uint32_t) { return std::make_unique<SlowSinkNode>(); };
+  LocalMcOptions opt;
+  opt.max_chain_depth = 1;  // each message is delivered to the root state only
+  opt.checkpoint_every_s = 0.005;
+  opt.checkpoint_path = temp_path("ckpt_slow_gen.lmcckpt");
+  LocalModelChecker mc(cfg, nullptr, opt);
+
+  std::vector<Message> flight;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    Writer w;
+    w.u32(i);
+    flight.push_back(Message{1, 0, kMsgWork, std::move(w).take()});
+  }
+  mc.run(initial_states(cfg), flight);
+  EXPECT_TRUE(mc.stats().completed);
+  EXPECT_EQ(mc.stats().transitions, 40u);
+  EXPECT_GE(mc.stats().checkpoints_written, 3u)
+      << "the interval must fire at safepoints inside the round";
+  // The file on disk is a valid checkpoint of this system.
+  const CheckerImage img = decode_checkpoint(read_checkpoint_file(opt.checkpoint_path));
+  EXPECT_EQ(img.num_nodes, cfg.num_nodes);
+}
+
+TEST(Persist, ResumedTraceContinuesSegmentAndRounds) {
+  // Satellite of the segment section (FORMAT.md id 12): a resumed run's
+  // trace must be stitchable to the original's — kRunBegin carries the
+  // bumped segment id, and round numbering continues from the checkpoint's
+  // round instead of restarting at 0.
+  SystemConfig cfg = counter_cfg(3, 3);
+  PingLimitInvariant inv(1000);
+  LocalMcOptions full;
+  full.stop_on_confirmed = false;
+
+  LocalModelChecker a(cfg, &inv, full);
+  a.run_from_initial();
+  ASSERT_TRUE(a.stats().completed);
+  ASSERT_GT(a.stats().transitions, 4u);
+
+  obs::TraceSink first_seg;
+  LocalMcOptions half = full;
+  half.max_transitions = a.stats().transitions / 2;
+  half.trace = &first_seg;
+  LocalModelChecker b(cfg, &inv, half);
+  b.run_from_initial();
+  ASSERT_FALSE(b.stats().completed);
+
+  const CheckerImage img = decode_checkpoint(b.checkpoint_bytes());
+  EXPECT_EQ(img.segment_id, 0u) << "a straight run is segment 0";
+  ASSERT_GT(img.base_round, 0u);
+
+  const std::string path = temp_path("ckpt_trace_seg.lmcckpt");
+  b.save_checkpoint(path);
+
+  obs::TraceSink second_seg;
+  LocalMcOptions resume = full;
+  resume.trace = &second_seg;
+  LocalModelChecker c(cfg, &inv, resume);
+  c.run_resumed(path);
+  EXPECT_TRUE(c.stats().completed);
+
+  auto run_begin = [](const obs::TraceSink& s) {
+    for (const obs::TraceEvent& ev : s.events())
+      if (ev.type == obs::EventType::kRunBegin) return ev;
+    ADD_FAILURE() << "no kRunBegin in trace";
+    return obs::TraceEvent{};
+  };
+  const obs::TraceEvent b0 = run_begin(first_seg);
+  EXPECT_EQ(b0.a, 0u) << "mode: fresh";
+  EXPECT_EQ(b0.seq, 0u) << "fresh run is segment 0";
+  EXPECT_EQ(b0.round, 0u);
+  const obs::TraceEvent b1 = run_begin(second_seg);
+  EXPECT_EQ(b1.a, 2u) << "mode: resume";
+  EXPECT_EQ(b1.seq, 1u) << "resume bumps the segment id";
+  EXPECT_EQ(b1.round, img.base_round);
+
+  // The resumed segment's first round is base_round + 1 (the replayed
+  // pending tail of the interrupted round), never 0.
+  std::uint32_t first_round = 0;
+  for (const obs::TraceEvent& ev : second_seg.events())
+    if (ev.type == obs::EventType::kRoundBegin) {
+      first_round = ev.round;
+      break;
+    }
+  EXPECT_EQ(first_round, img.base_round + 1);
+
+  // Re-saving the resumed checker stamps the bumped segment id, and the
+  // exploration is exactly the uninterrupted one.
+  EXPECT_EQ(decode_checkpoint(c.checkpoint_bytes()).segment_id, 1u);
+  expect_equal(fingerprint(a, cfg.num_nodes), fingerprint(c, cfg.num_nodes));
 }
 
 TEST(Persist, ExecCacheReplaysIdenticalExploration) {

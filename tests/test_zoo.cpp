@@ -14,6 +14,7 @@
 #include "dfuzz/oracle.hpp"
 #include "dsl/interp.hpp"
 #include "dsl/loader.hpp"
+#include "mc/local_mc.hpp"
 
 namespace lmc::dsl {
 namespace {
@@ -89,6 +90,34 @@ TEST(Zoo, BaseConfigsPassDiffOracleAndMatchExpectations) {
   EXPECT_EQ(confirmed_by_file["twophase_early_commit.lmc"], 4u);
   EXPECT_EQ(confirmed_by_file["chain_repl_ack_early.lmc"], 2u);
   EXPECT_EQ(confirmed_by_file["gossip_split_brain.lmc"], 3u);
+}
+
+TEST(Zoo, ThreadCountByteIdenticalAcrossTheZoo) {
+  // Work-stealing phase 1 (DESIGN.md §12): every zoo spec explored with 1
+  // and 8 threads must leave the checker byte-identical once wall-clock
+  // stats (and the resume segment stamp) are normalized away.
+  for (const std::string& file : zoo_files()) {
+    SCOPED_TRACE(file);
+    LoadResult r = load_file(file);
+    ASSERT_TRUE(r.ok()) << r.diags.to_string();
+    CompiledProtocol p = instantiate(*r.spec);
+
+    Blob base;
+    for (unsigned threads : {1u, 8u}) {
+      LocalMcOptions opt;
+      opt.stop_on_confirmed = false;
+      opt.num_threads = threads;
+      opt.time_budget_s = 300;
+      LocalModelChecker mc(p.cfg, p.invariant.get(), opt);
+      mc.run_from_initial();
+      ASSERT_TRUE(mc.stats().completed) << threads << " threads";
+      Blob norm = dfuzz::normalized_checkpoint_bytes(mc.checkpoint_bytes());
+      if (threads == 1)
+        base = std::move(norm);
+      else
+        EXPECT_EQ(base, norm) << "checker state diverged at " << threads << " threads";
+    }
+  }
 }
 
 }  // namespace
