@@ -2,8 +2,14 @@
 //
 //   lmc_fuzz [--seed S] [--runs N] [--max-nodes K] [--threads T]
 //            [--lmc-threads L] [--time-budget SEC] [--audit-every K]
-//            [--out-dir DIR] [--verbose]
+//            [--symmetry] [--symmetric-specs] [--out-dir DIR] [--verbose]
 //   lmc_fuzz --repro FILE           re-run the oracle on a dumped spec
+//
+// --symmetry adds a per-seed reduced-vs-unreduced differential: LMC re-runs
+// with SymmetryMode::kAuto and the confirmed-violation sets must agree up to
+// within-class permutation (witnesses replayed). --symmetric-specs swaps the
+// generator for generate_symmetric_spec (driver nodes + one replicated role
+// class) so the reduction actually activates on most seeds.
 //
 // Seeds S..S+N-1 each generate one random protocol and push it through the
 // DiffOracle (global baseline vs LMC, witness replay, resume round-trip,
@@ -47,6 +53,8 @@ struct Args {
   double time_budget_s = 20.0;
   std::uint32_t audit_every = 0;
   bool audit_validity = false;
+  bool check_symmetry = false;   ///< per-seed reduced-vs-unreduced differential
+  bool symmetric_specs = false;  ///< generate via generate_symmetric_spec
   std::string artifact_dir = ".";
   std::string repro_file;
   std::string trace_dir;  ///< when set, per-seed "lmc-trace/1" JSONL files land here
@@ -57,8 +65,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: lmc_fuzz [--seed S] [--runs N] [--max-nodes K] [--threads T]\n"
                "                [--lmc-threads L] [--time-budget SEC] [--audit-every K]\n"
-               "                [--audit-validity] [--out-dir DIR] [--trace-dir DIR]\n"
-               "                [--verbose]\n"
+               "                [--audit-validity] [--symmetry] [--symmetric-specs]\n"
+               "                [--out-dir DIR] [--trace-dir DIR] [--verbose]\n"
                "       lmc_fuzz --repro FILE\n");
   return 2;
 }
@@ -86,6 +94,10 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.audit_every = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--audit-validity") {
       a.audit_validity = true;
+    } else if (arg == "--symmetry") {
+      a.check_symmetry = true;
+    } else if (arg == "--symmetric-specs") {
+      a.symmetric_specs = true;
     } else if ((arg == "--out-dir" || arg == "--artifact-dir") && (v = next())) {
       a.artifact_dir = v;
     } else if (arg == "--trace-dir" && (v = next())) {
@@ -106,6 +118,7 @@ OracleOptions oracle_options(const Args& a) {
   opt.lmc_time_budget_s = a.time_budget_s;
   opt.audit_every = a.audit_every;
   opt.audit_validity = a.audit_validity;
+  opt.check_symmetry = a.check_symmetry;
   return opt;
 }
 
@@ -168,13 +181,16 @@ int main(int argc, char** argv) {
     GenLimits lim;
     lim.max_nodes = args.max_nodes;
     const OracleOptions oopt = oracle_options(args);
+    auto gen = [&](std::uint64_t s) {
+      return args.symmetric_specs ? generate_symmetric_spec(s, lim) : generate_spec(s, lim);
+    };
 
     std::vector<SeedResult> results(args.runs);
     WorkerPool pool(args.threads);
     pool.run(args.runs, [&](std::size_t i) {
       const std::uint64_t seed = args.seed + i;
       try {
-        GeneratedProtocol p = instantiate(generate_spec(seed, lim));
+        GeneratedProtocol p = instantiate(gen(seed));
         if (args.trace_dir.empty()) {
           results[i].report = DiffOracle(oopt).check(p.cfg, p.invariant.get());
         } else {
@@ -196,7 +212,7 @@ int main(int argc, char** argv) {
     std::uint64_t ok = 0, inconclusive = 0, failed = 0, errored = 0, with_bugs = 0;
     std::uint64_t gmc_states = 0, gmc_transitions = 0, lmc_transitions = 0, confirmed = 0,
                   replayed = 0, resumes = 0, opts = 0, audited = 0, handler_audits = 0,
-                  model_invalid = 0;
+                  model_invalid = 0, syms = 0, sym_orbits = 0;
     std::vector<std::uint64_t> failed_seeds;
     for (std::size_t i = 0; i < results.size(); ++i) {
       const std::uint64_t seed = args.seed + i;
@@ -216,6 +232,8 @@ int main(int argc, char** argv) {
       handler_audits += rep.handler_audits;
       resumes += rep.resume_checked ? 1 : 0;
       opts += rep.opt_checked ? 1 : 0;
+      syms += rep.sym_checked ? 1 : 0;
+      sym_orbits += rep.sym_orbits;
       if (rep.gmc_violation_tuples > 0) ++with_bugs;
       if (!rep.conclusive) {
         ++inconclusive;
@@ -239,7 +257,7 @@ int main(int argc, char** argv) {
     // Shrink serially after the sweep: failures are rare and a stable
     // artifact should not depend on worker scheduling.
     for (std::uint64_t seed : failed_seeds) {
-      const ProtoSpec original = generate_spec(seed, lim);
+      const ProtoSpec original = gen(seed);
       const OracleFailure kind = results[seed - args.seed].report.failure;
       std::printf("shrinking seed %" PRIu64 " [%s]...\n", seed, to_string(kind));
       ShrinkResult shrunk = shrink_spec(original, kind, oopt);
@@ -256,6 +274,9 @@ int main(int argc, char** argv) {
     std::printf("  witnesses replayed: %" PRIu64 "; resume round-trips: %" PRIu64
                 "; OPT runs: %" PRIu64 "; tuples audited: %" PRIu64 "\n",
                 replayed, resumes, opts, audited);
+    if (args.check_symmetry)
+      std::printf("  symmetry-reduced runs: %" PRIu64 " (%" PRIu64 " orbits materialized)\n",
+                  syms, sym_orbits);
     if (args.audit_validity)
       std::printf("  handler executions audited: %" PRIu64 " (%" PRIu64 " validity failure(s))\n",
                   handler_audits, model_invalid);
@@ -277,6 +298,8 @@ int main(int argc, char** argv) {
     rec.metric("witnesses_replayed", replayed);
     rec.metric("resume_round_trips", resumes);
     rec.metric("opt_runs", opts);
+    rec.metric("sym_runs", syms);
+    rec.metric("sym_orbits", sym_orbits);
     rec.emit();
     return (failed > 0 || errored > 0) ? 1 : 0;
   } catch (const std::exception& e) {

@@ -11,6 +11,7 @@
 #include "mc/global_mc.hpp"
 #include "mc/local_mc.hpp"
 #include "mc/replay.hpp"
+#include "mc/symmetry/role_group.hpp"
 #include "persist/checkpoint.hpp"
 #include "runtime/audit.hpp"
 #include "runtime/hash.hpp"
@@ -39,6 +40,8 @@ const char* to_string(OracleFailure f) {
     case OracleFailure::OptViolationMissed: return "opt-violation-missed";
     case OracleFailure::OptSpuriousViolation: return "opt-spurious-violation";
     case OracleFailure::ModelInvalid: return "model-invalid";
+    case OracleFailure::SymmetryViolationMismatch: return "symmetry-violation-mismatch";
+    case OracleFailure::SymmetryReplayFailed: return "symmetry-witness-replay-failed";
   }
   return "?";
 }
@@ -333,6 +336,62 @@ OracleReport DiffOracle::check(const SystemConfig& cfg, const Invariant* invaria
           if (!r.ok)
             fail(OracleFailure::WitnessReplayFailed,
                  "OPT witness for " + tuple_str(v.state_hashes) + " failed to replay: " + r.error);
+        }
+      }
+    }
+  }
+
+  // --- symmetry reduction differential ---------------------------------------
+  // The unreduced GEN run above is the reference: re-run with the reduction
+  // on and demand the confirmed sets agree up to within-class permutation.
+  if (opt_.check_symmetry && invariant != nullptr) {
+    LocalMcOptions sopt = lopt;
+    sopt.trace = nullptr;
+    sopt.symmetry.mode = symmetry::SymmetryMode::kAuto;
+    LocalModelChecker s(cfg, invariant, sopt);
+    s.run_from_initial();
+    const std::vector<std::vector<NodeId>> classes = s.symmetry_classes();
+    if (!s.stats().completed) {
+      rep.conclusive = false;
+      if (rep.detail.empty()) rep.detail = "symmetry run hit a budget; reduction not judged";
+    } else if (!classes.empty()) {
+      // classes empty = the reduction never activated (no replicated roles,
+      // or the invariant is order-sensitive): nothing to compare, the run
+      // was just the unreduced search again.
+      rep.sym_checked = true;
+      rep.sym_orbits = s.symmetry_stats().orbits;
+      rep.sym_confirmed = s.stats().confirmed_violations;
+      std::unordered_map<Hash64, std::vector<Hash64>> base_keys, sym_keys;
+      for (const LocalViolation& v : l.violations())
+        if (v.confirmed)
+          base_keys.emplace(symmetry::canonical_key(v.state_hashes, classes), v.state_hashes);
+      for (const LocalViolation& v : s.violations())
+        if (v.confirmed)
+          sym_keys.emplace(symmetry::canonical_key(v.state_hashes, classes), v.state_hashes);
+      for (const auto& [k, tuple] : base_keys)
+        if (!sym_keys.count(k))
+          fail(OracleFailure::SymmetryViolationMismatch,
+               "violation " + tuple_str(tuple) +
+                   " confirmed by the unreduced run has no permutation-equivalent " +
+                   "counterpart in the reduced run");
+      for (const auto& [k, tuple] : sym_keys)
+        if (!base_keys.count(k))
+          fail(OracleFailure::SymmetryViolationMismatch,
+               "reduced run confirmed " + tuple_str(tuple) +
+                   " with no permutation-equivalent counterpart in the unreduced run");
+      // The reduced run reports CONCRETE assignments (de-canonicalized in
+      // the drain): each witness must replay through the real handlers to
+      // exactly the claimed per-node states.
+      if (opt_.check_replay) {
+        for (const LocalViolation& v : s.violations()) {
+          if (!v.confirmed) continue;
+          ReplayResult r = replay_schedule(cfg, s.initial_nodes(), s.initial_in_flight(),
+                                           v.witness, s.events(), v.state_hashes);
+          ++rep.witnesses_replayed;
+          if (!r.ok)
+            fail(OracleFailure::SymmetryReplayFailed,
+                 "symmetry witness for " + tuple_str(v.state_hashes) +
+                     " failed to replay: " + r.error);
         }
       }
     }

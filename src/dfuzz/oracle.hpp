@@ -47,6 +47,13 @@ struct OracleOptions {
   bool check_resume = true;  ///< mid-run checkpoint/resume round-trip
   bool check_replay = true;  ///< witness replay of every confirmed violation
 
+  /// Re-run LMC with symmetry reduction (SymmetryMode::kAuto) and demand the
+  /// confirmed-violation set match the unreduced run up to within-class
+  /// permutation (symmetry::canonical_key), with every de-canonicalized
+  /// witness replaying through the real handlers. Silently skipped when the
+  /// reduction does not activate (no classes / ordered invariant).
+  bool check_symmetry = false;
+
   /// Sampled soundness audit: every k-th globally reached system state
   /// (sorted by tuple hash) must verify sound and replay. 0 disables —
   /// the audit is the old hand-written cross-check, quadratic-ish in
@@ -86,6 +93,8 @@ enum class OracleFailure {
   OptViolationMissed,    ///< OPT found nothing where the global search found a bug
   OptSpuriousViolation,  ///< OPT confirmed where the global search found nothing
   ModelInvalid,          ///< ModelValidityAuditor rejected a handler execution
+  SymmetryViolationMismatch,  ///< reduced/unreduced confirmed sets differ mod permutation
+  SymmetryReplayFailed,       ///< a reduced run's de-canonicalized witness failed to replay
 };
 
 const char* to_string(OracleFailure f);
@@ -117,6 +126,9 @@ struct OracleReport {
   std::uint64_t handler_audits = 0;  ///< handler executions audited (audit_validity)
   bool resume_checked = false;
   bool opt_checked = false;
+  bool sym_checked = false;        ///< symmetry run completed with the reduction ACTIVE
+  std::uint64_t sym_orbits = 0;    ///< canonical combinations the reduced run materialized
+  std::uint64_t sym_confirmed = 0; ///< confirmed violations in the reduced run
 };
 
 class DiffOracle {

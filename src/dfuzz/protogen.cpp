@@ -232,6 +232,104 @@ ProtoSpec generate_spec(std::uint64_t seed, const GenLimits& lim) {
   return spec;
 }
 
+ProtoSpec generate_symmetric_spec(std::uint64_t seed, const GenLimits& lim) {
+  Rng rng(seed);
+  ProtoSpec spec;
+  spec.seed = seed;
+  // Partition the nodes into drivers [0, drivers) and one replicated class
+  // [drivers, num_nodes). At least one driver, at least two members.
+  const std::uint32_t max_n = lim.max_nodes < 3 ? 3 : lim.max_nodes;
+  const std::uint32_t drivers = rng.range(1, max_n - 2);
+  const std::uint32_t members = rng.range(2, max_n - drivers);
+  spec.num_nodes = drivers + members;
+  spec.num_states = rng.range(2, lim.max_states < 2 ? 2 : lim.max_states);
+  spec.num_msg_types = rng.range(1, lim.max_msg_types < 1 ? 1 : lim.max_msg_types);
+
+  std::uint32_t tag = 0;
+
+  // Driver internal rules. The first one always guards the initial state
+  // and broadcasts into the class (otherwise nothing reaches the members
+  // and the seed is wasted). A broadcast shares ONE tag across the member
+  // copies — contents stay distinct via dst, and every member's consumed
+  // digest matches, which is what lets their blobs coincide.
+  const std::uint32_t n_drv =
+      rng.range(1, lim.max_internal_rules < 1 ? 1 : lim.max_internal_rules);
+  for (std::uint32_t i = 0; i < n_drv; ++i) {
+    InternalRule r;
+    r.node = static_cast<NodeId>(rng.range(0, drivers - 1));
+    r.guard_state = i == 0 ? 0 : rng.range(0, spec.num_states - 1);
+    r.action.goto_state = rng.range(r.guard_state, spec.num_states - 1);
+    const std::uint32_t sends = i == 0 ? 1 : rng.range(0, lim.max_sends);
+    for (std::uint32_t s = 0; s < sends; ++s) {
+      const std::uint32_t type = rng.range(0, spec.num_msg_types - 1);
+      if (i == 0 || rng.chance(70)) {
+        const std::uint32_t t = tag++;
+        for (std::uint32_t m = drivers; m < spec.num_nodes; ++m)
+          r.action.sends.push_back(SendAction{static_cast<NodeId>(m), type, t});
+      } else {
+        r.action.sends.push_back(
+            SendAction{static_cast<NodeId>(rng.range(0, drivers - 1)), type, tag++});
+      }
+    }
+    r.action.fail_assert = i != 0 && rng.chance(lim.assert_pct);
+    spec.internals.push_back(std::move(r));
+  }
+
+  // Replicated member rules: each template is stamped out identically for
+  // every member (template-major, so local rule positions line up). Replies
+  // to drivers carry PER-MEMBER tags: behaviour is still symmetric (tags
+  // never guard anything) but the receiving driver's digest distinguishes
+  // senders, keeping the delivery history a function of the driver's blob.
+  const std::uint32_t n_msg_tpl = rng.range(1, 2);
+  for (std::uint32_t t = 0; t < n_msg_tpl; ++t) {
+    const std::uint32_t type = t == 0 ? spec.internals[0].action.sends[0].type
+                                      : rng.range(0, spec.num_msg_types - 1);
+    const std::uint32_t guard = t == 0 ? 0 : rng.range(0, spec.num_states - 2);
+    const std::uint32_t target = rng.range(guard + 1, spec.num_states - 1);
+    const std::uint32_t replies = rng.range(0, 1);
+    const NodeId reply_dst = static_cast<NodeId>(rng.range(0, drivers - 1));
+    const std::uint32_t reply_type = rng.range(0, spec.num_msg_types - 1);
+    const bool fail = rng.chance(lim.assert_pct);
+    for (std::uint32_t m = drivers; m < spec.num_nodes; ++m) {
+      MsgRule r;
+      r.node = static_cast<NodeId>(m);
+      r.type = type;
+      r.guard_state = guard;
+      r.action.goto_state = target;
+      if (replies != 0)
+        r.action.sends.push_back(SendAction{reply_dst, reply_type, tag + (m - drivers)});
+      r.action.fail_assert = fail;
+      spec.msg_rules.push_back(std::move(r));
+    }
+    if (replies != 0) tag += members;
+  }
+  if (rng.chance(50)) {
+    // One replicated fire-once internal rule for the class.
+    const std::uint32_t guard = rng.range(0, spec.num_states - 1);
+    const std::uint32_t target = rng.range(guard, spec.num_states - 1);
+    const std::uint32_t pokes = rng.range(0, 1);
+    const NodeId poke_dst = static_cast<NodeId>(rng.range(0, drivers - 1));
+    const std::uint32_t poke_type = rng.range(0, spec.num_msg_types - 1);
+    for (std::uint32_t m = drivers; m < spec.num_nodes; ++m) {
+      InternalRule r;
+      r.node = static_cast<NodeId>(m);
+      r.guard_state = guard;
+      r.action.goto_state = target;
+      if (pokes != 0)
+        r.action.sends.push_back(SendAction{poke_dst, poke_type, tag + (m - drivers)});
+      spec.internals.push_back(std::move(r));
+    }
+    if (pokes != 0) tag += members;
+  }
+
+  spec.invariant.state_a = rng.range(1, spec.num_states - 1);
+  spec.invariant.state_b = rng.range(1, spec.num_states - 1);
+  // Never project: the GEN system-state path is the one symmetry reduction
+  // hooks into (projection combos are arrangement-dependent).
+  spec.invariant.use_projection = false;
+  return spec;
+}
+
 // --- interpreter node ------------------------------------------------------
 
 void GenNode::apply(const RuleAction& a, Context& ctx) {
@@ -263,11 +361,18 @@ void GenNode::handle_message(const Message& m, Context& ctx) {
 }
 
 std::vector<InternalEvent> GenNode::enabled_internal_events() const {
+  // Event kind = GLOBAL rule index (event identity must be unambiguous
+  // across nodes); the fired_ bit = the rule's position among self_'s OWN
+  // rules, so mirrored nodes whose rules sit at different global offsets
+  // still produce identical blobs (symmetry-class alignment).
   std::vector<InternalEvent> evs;
+  std::uint32_t local = 0;
   for (std::size_t i = 0; i < spec_->internals.size(); ++i) {
     const InternalRule& r = spec_->internals[i];
-    if (r.node != self_ || r.guard_state != state_) continue;
-    if (fired_ & (1u << i)) continue;
+    if (r.node != self_) continue;
+    const std::uint32_t bit = local++;
+    if (r.guard_state != state_) continue;
+    if (fired_ & (1u << bit)) continue;
     evs.push_back(InternalEvent{static_cast<std::uint32_t>(i) + 1, {}});
   }
   return evs;
@@ -280,11 +385,14 @@ void GenNode::handle_internal(const InternalEvent& ev, Context& ctx) {
     return;
   }
   const InternalRule& r = spec_->internals[idx];
-  if (r.node != self_ || r.guard_state != state_ || (fired_ & (1u << idx)) != 0) {
+  std::uint32_t bit = 0;
+  for (std::size_t k = 0; k < idx; ++k)
+    if (spec_->internals[k].node == self_) ++bit;
+  if (r.node != self_ || r.guard_state != state_ || (fired_ & (1u << bit)) != 0) {
     ctx.local_assert(false, "dfuzz: internal rule not enabled");
     return;
   }
-  fired_ |= 1u << idx;
+  fired_ |= 1u << bit;
   apply(r.action, ctx);
 }
 
@@ -350,12 +458,37 @@ bool GenInvariant::projections_conflict(const Projection& a, const Projection& b
 
 // --- instantiation ---------------------------------------------------------
 
+std::vector<std::vector<NodeId>> infer_symmetric_roles(const ProtoSpec& spec) {
+  std::vector<symmetry::NodeSig> sigs(spec.num_nodes);
+  auto sig_action = [](symmetry::RuleSig& sig, const RuleAction& a) {
+    sig.goto_state = a.goto_state;
+    sig.fail_assert = a.fail_assert;
+    for (const SendAction& s : a.sends)
+      sig.sends.push_back(symmetry::SigSend{/*to_sender=*/false, s.dst, s.type});
+  };
+  for (const InternalRule& r : spec.internals) {
+    symmetry::RuleSig sig;
+    sig.guard = r.guard_state;
+    sig_action(sig, r.action);
+    sigs[r.node].internals.push_back(std::move(sig));
+  }
+  for (const MsgRule& r : spec.msg_rules) {
+    symmetry::RuleSig sig;
+    sig.trigger = r.type;
+    sig.guard = r.guard_state;
+    sig_action(sig, r.action);
+    sigs[r.node].msgs.push_back(std::move(sig));
+  }
+  return symmetry::infer_classes(sigs);
+}
+
 GeneratedProtocol instantiate(const ProtoSpec& spec) {
   if (std::string err = validate_spec(spec); !err.empty())
     throw std::invalid_argument("dfuzz: invalid ProtoSpec: " + err);
   GeneratedProtocol p;
   p.spec = std::make_shared<const ProtoSpec>(spec);
   p.cfg.num_nodes = spec.num_nodes;
+  p.cfg.symmetric_roles = infer_symmetric_roles(spec);
   std::shared_ptr<const ProtoSpec> shared = p.spec;
   p.cfg.factory = [shared](NodeId self, std::uint32_t) {
     return std::make_unique<GenNode>(self, shared);

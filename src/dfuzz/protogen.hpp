@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "mc/invariant.hpp"
+#include "mc/symmetry/role_group.hpp"
 #include "runtime/state_machine.hpp"
 
 namespace lmc::dfuzz {
@@ -127,6 +128,17 @@ struct GenLimits {
 /// protocol on any platform/toolchain.
 ProtoSpec generate_spec(std::uint64_t seed, const GenLimits& lim = {});
 
+/// Symmetric-roles generator (separate from the FROZEN generate_spec — the
+/// 53-seed corpus must keep regenerating byte-identically): a few driver
+/// nodes plus one replicated class of >= 2 members with identical rule
+/// tables. Driver broadcasts into the class share one payload tag per
+/// surface send (class members then reach byte-identical states); member
+/// replies to drivers carry per-member tags (the driver's digest keeps
+/// senders apart — no history aliasing). Members never message each other.
+/// The invariant never projects, so the checker's GEN path runs and
+/// symmetry reduction can activate.
+ProtoSpec generate_symmetric_spec(std::uint64_t seed, const GenLimits& lim = {});
+
 /// Interpreter node. State = (current state, fired-internal-rule bitmask,
 /// consumed-message digest). The digest — an order-insensitive XOR over the
 /// tags of the messages a rule actually consumed — makes the delivery
@@ -153,7 +165,7 @@ class GenNode final : public StateMachine {
   NodeId self_;
   std::shared_ptr<const ProtoSpec> spec_;
   std::uint32_t state_ = 0;
-  std::uint32_t fired_ = 0;   ///< bitmask over spec_->internals
+  std::uint32_t fired_ = 0;   ///< bitmask over self_'s OWN internal rules, in table order
   std::uint64_t digest_ = 0;  ///< XOR of mix64(tag) per consumed message
 };
 
@@ -164,6 +176,9 @@ class GenInvariant final : public Invariant {
 
   std::string name() const override;
   bool holds(const SystemConfig& cfg, const SystemStateView& sys) const override;
+  /// Mutual exclusion scans unordered node pairs — invariant under any node
+  /// permutation, so any class decomposition is admissible.
+  bool symmetric_under(const std::vector<std::vector<NodeId>>&) const override { return true; }
   bool has_projection() const override { return spec_->invariant.use_projection; }
   Projection project(const SystemConfig& cfg, NodeId n, const Blob& state) const override;
   bool projections_conflict(const Projection& a, const Projection& b) const override;
@@ -181,7 +196,13 @@ struct GeneratedProtocol {
 };
 
 /// Throws std::invalid_argument when validate_spec rejects the spec.
+/// Fills `cfg.symmetric_roles` via infer_symmetric_roles so
+/// `SymmetryMode::kAuto` works on generated protocols out of the box.
 GeneratedProtocol instantiate(const ProtoSpec& spec);
+
+/// Maximal classes of nodes whose rule tables are automorphic under id
+/// swaps (tags ignored; see symmetry::infer_classes).
+std::vector<std::vector<NodeId>> infer_symmetric_roles(const ProtoSpec& spec);
 
 /// Decode the `state` field of a serialized GenNode.
 std::uint32_t gen_state_of(const Blob& state);

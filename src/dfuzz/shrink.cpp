@@ -6,17 +6,29 @@ namespace lmc::dfuzz {
 
 namespace {
 
-/// Drop every rule owned by — and every send addressed to — node `gone`.
-/// Only the highest node id is ever removed, so no renumbering is needed.
+/// Remove node `gone` entirely: every rule it owns and every send addressed
+/// to it are dropped, and all higher node ids (rule owners and send
+/// destinations) shift down by one so the id space stays dense. ANY node can
+/// be removed, not just the highest — a divergence carried by a middle node
+/// must not survive shrinking merely because a higher-numbered bystander is
+/// load-bearing.
 void drop_node(ProtoSpec& s, NodeId gone) {
-  s.num_nodes = gone;
-  std::erase_if(s.internals, [gone](const InternalRule& r) { return r.node >= gone; });
-  std::erase_if(s.msg_rules, [gone](const MsgRule& r) { return r.node >= gone; });
+  s.num_nodes -= 1;
+  std::erase_if(s.internals, [gone](const InternalRule& r) { return r.node == gone; });
+  std::erase_if(s.msg_rules, [gone](const MsgRule& r) { return r.node == gone; });
   auto scrub = [gone](RuleAction& a) {
-    std::erase_if(a.sends, [gone](const SendAction& sa) { return sa.dst >= gone; });
+    std::erase_if(a.sends, [gone](const SendAction& sa) { return sa.dst == gone; });
+    for (SendAction& sa : a.sends)
+      if (sa.dst > gone) --sa.dst;
   };
-  for (InternalRule& r : s.internals) scrub(r.action);
-  for (MsgRule& r : s.msg_rules) scrub(r.action);
+  for (InternalRule& r : s.internals) {
+    if (r.node > gone) --r.node;
+    scrub(r.action);
+  }
+  for (MsgRule& r : s.msg_rules) {
+    if (r.node > gone) --r.node;
+    scrub(r.action);
+  }
 }
 
 }  // namespace
@@ -100,15 +112,18 @@ ShrinkResult shrink_spec(const ProtoSpec& spec, OracleFailure failure, const Ora
     clear_asserts([](ProtoSpec& s) -> auto& { return s.internals; });
     clear_asserts([](ProtoSpec& s) -> auto& { return s.msg_rules; });
 
-    while (out.spec.num_nodes > 2) {
+    // Try removing each node in turn (not break-at-first-failure: node 0
+    // being load-bearing must not shield node 3 from removal). A successful
+    // drop retries the SAME index — it now names the next candidate.
+    for (NodeId n = 0; out.spec.num_nodes > 2 && n < out.spec.num_nodes;) {
       ProtoSpec cand = out.spec;
-      drop_node(cand, cand.num_nodes - 1);
+      drop_node(cand, n);
       if (still_fails(cand)) {
         out.spec = std::move(cand);
         ++out.removed;
         progress = true;
       } else {
-        break;
+        ++n;
       }
     }
   }

@@ -23,7 +23,8 @@ struct ShrinkResult {
 /// an inconclusive or differently-failing reduction is rejected, so the
 /// artifact always reproduces the reported bug. Reduction passes: drop
 /// message rules, drop internal rules, drop individual sends, clear
-/// injected asserts, drop the highest node (with its rules and traffic).
+/// injected asserts, drop ANY single node (its rules and traffic go with
+/// it; higher node ids are renumbered down to keep the id space dense).
 /// `max_attempts` bounds the total oracle invocations.
 ShrinkResult shrink_spec(const ProtoSpec& spec, OracleFailure failure, const OracleOptions& opt,
                          std::uint64_t max_attempts = 400);

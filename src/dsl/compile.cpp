@@ -6,6 +6,8 @@
 #include <tuple>
 #include <utility>
 
+#include "dsl/interp.hpp"
+
 namespace lmc::dsl {
 
 namespace {
@@ -90,7 +92,39 @@ class Compiler {
     // A pre-existing parse error also voids the result: the AST may be a
     // fragment and this elaboration ran on half a protocol.
     if (!pre_ok || !diags_.ok()) return std::nullopt;
+    check_role_symmetry();
     return std::move(spec_);
+  }
+
+ private:
+  /// DSL10 (warning, never an error — asymmetric roles like a replication
+  /// chain are perfectly legal): a role declared with >= 2 members *looks*
+  /// like a claim of interchangeability, so flag it when the elaborated
+  /// rule tables say otherwise and symmetry reduction would not treat the
+  /// members as one class.
+  void check_role_symmetry() {
+    std::vector<std::vector<NodeId>> classes;
+    bool inferred = false;
+    for (const ast::RoleDecl& r : p_.roles) {
+      auto it = roles_.find(r.name);
+      if (it == roles_.end() || it->second.size() < 2) continue;
+      if (!inferred) {
+        classes = infer_symmetric_roles(spec_);
+        inferred = true;
+      }
+      const bool covered = std::any_of(classes.begin(), classes.end(), [&](const auto& c) {
+        return std::all_of(it->second.begin(), it->second.end(), [&](NodeId m) {
+          return std::find(c.begin(), c.end(), m) != c.end();
+        });
+      });
+      if (!covered)
+        diags_.warning(r.loc,
+                       "role '" + r.name + "' groups " + std::to_string(it->second.size()) +
+                           " nodes, but their elaborated rule tables are not interchangeable "
+                           "under id swaps — symmetry reduction (--symmetry) will not treat "
+                           "them as one class",
+                       "DSL10");
+    }
   }
 
  private:
@@ -199,7 +233,9 @@ class Compiler {
       action.goto_state = *target;
       action.fail_assert = h.fail_assert;
       action.assert_msg = h.assert_msg;
-      std::vector<std::size_t> auto_sends;  ///< indices into action.sends lacking a tag
+      /// (send index into action.sends, surface-send ordinal) pairs for
+      /// sends lacking an explicit tag.
+      std::vector<std::pair<std::size_t, std::size_t>> auto_sends;
       bool bad = false;
       for (const ast::SendAct& s : h.sends) {
         auto type = msg_of(s.msg, s.loc);
@@ -207,13 +243,21 @@ class Compiler {
           bad = true;
           continue;
         }
+        // Every elaborated copy of one surface send shares one auto tag
+        // (ordinal by first appearance): mirrored handlers at different
+        // nodes then emit byte-identical payloads, which is what lets
+        // symmetry reduction align class members' states. Within one copy
+        // the destinations are distinct and across copies the source
+        // differs, so sharing cannot create duplicate message content.
+        std::size_t ast_ord = 0;
+        if (!s.tag) ast_ord = ast_ord_.emplace(&s, ast_ord_.size()).first->second;
         for (SpecSend send : resolve_dst(s, node, h.is_message, bad)) {
           send.type = *type;
           if (s.tag) {
             send.tag = *s.tag;
             check_explicit_tag(node, send, s.loc);
           } else {
-            auto_sends.push_back(action.sends.size());
+            auto_sends.push_back({action.sends.size(), ast_ord});
           }
           action.sends.push_back(send);
         }
@@ -235,8 +279,8 @@ class Compiler {
         r.type = *trigger_type;
         r.guard_state = *guard;
         r.action = std::move(action);
-        for (std::size_t si : auto_sends)
-          auto_tags_.push_back({/*is_internal=*/false, spec_.msg_rules.size(), si});
+        for (const auto& [si, ao] : auto_sends)
+          auto_tags_.push_back({/*is_internal=*/false, spec_.msg_rules.size(), si, ao});
         spec_.msg_rules.push_back(std::move(r));
       } else {
         if (!int_labels_.insert({node, h.trigger}).second) {
@@ -253,8 +297,8 @@ class Compiler {
         r.guard_state = *guard;
         r.action = std::move(action);
         r.label = h.trigger;
-        for (std::size_t si : auto_sends)
-          auto_tags_.push_back({/*is_internal=*/true, spec_.internals.size(), si});
+        for (const auto& [si, ao] : auto_sends)
+          auto_tags_.push_back({/*is_internal=*/true, spec_.internals.size(), si, ao});
         spec_.internals.push_back(std::move(r));
       }
     }
@@ -340,7 +384,8 @@ class Compiler {
   }
 
   /// Duplicate-content check for EXPLICIT tags (auto tags are allocated
-  /// above every explicit tag and mutually distinct, so they cannot
+  /// above every explicit tag, distinct across surface sends, and shared
+  /// only between copies with distinct (src, dst), so they cannot
   /// collide). Identical (src, dst, message, tag) from two rules can put
   /// two indistinguishable messages in flight; the model's network is a set
   /// with duplicate limit 0, so the second would silently vanish.
@@ -359,20 +404,21 @@ class Compiler {
                  "DSL07");
   }
 
-  /// Tags left implicit get values above every explicit tag, in final table
-  /// order — deterministic, and guaranteed collision-free.
+  /// Tags left implicit get values above every explicit tag: one tag per
+  /// surface send (first-appearance order), shared by all its elaborated
+  /// copies — deterministic, collision-free, and symmetric across nodes.
   void assign_auto_tags() {
-    std::uint32_t next = 0;
+    std::uint32_t base = 0;
     auto consider = [&](const SpecAction& a) {
       for (const SpecSend& s : a.sends)
-        if (s.tag >= next) next = s.tag + 1;
+        if (s.tag >= base) base = s.tag + 1;
     };
     for (const SpecInternalRule& r : spec_.internals) consider(r.action);
     for (const SpecMsgRule& r : spec_.msg_rules) consider(r.action);
     for (const AutoTag& at : auto_tags_) {
       SpecAction& a =
           at.is_internal ? spec_.internals[at.rule].action : spec_.msg_rules[at.rule].action;
-      a.sends[at.send].tag = next++;
+      a.sends[at.send].tag = base + static_cast<std::uint32_t>(at.ast);
     }
   }
 
@@ -416,6 +462,7 @@ class Compiler {
     bool is_internal;
     std::size_t rule;
     std::size_t send;
+    std::size_t ast;  ///< surface-send ordinal (shared tag per AST send)
   };
 
   const ast::Protocol& p_;
@@ -431,6 +478,7 @@ class Compiler {
       explicit_tags_;
   std::set<std::pair<std::uint32_t, std::uint32_t>> dsl07_reported_;
   std::vector<AutoTag> auto_tags_;
+  std::map<const ast::SendAct*, std::size_t> ast_ord_;  ///< surface send -> ordinal
   SrcLoc overflow_loc_;
 };
 

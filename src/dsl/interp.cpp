@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "mc/symmetry/role_group.hpp"
 #include "runtime/hash.hpp"
 
 namespace lmc::dsl {
@@ -42,12 +43,17 @@ void DslNode::apply(const SpecAction& a, Context& ctx, NodeId sender, bool have_
 void DslNode::handle_message(const Message& m, Context& ctx) {
   for (const SpecMsgRule& r : spec_->msg_rules) {
     if (r.node != self_ || r.type != m.type || r.guard_state != state_) continue;
-    // Fold the consumed message's full identity into the digest BEFORE
-    // applying: a matched delivery always changes the blob (strict state
-    // progress already guarantees that, the digest additionally separates
+    // Fold the consumed message's identity into the digest BEFORE applying:
+    // a matched delivery always changes the blob (strict state progress
+    // already guarantees that, the digest additionally separates
     // same-progress paths that consumed different messages or the same
-    // message from different senders).
-    digest_ ^= mix64(m.hash() + 0x6d4f);
+    // message from different senders — src IS folded, the seed-664 lesson).
+    // The destination is deliberately NOT folded: it equals self_ for every
+    // delivered message, so it adds no information but would bake the
+    // node's own id into the blob and defeat symmetry-class blob alignment.
+    Hash64 d = hash_combine(static_cast<Hash64>(m.src), static_cast<Hash64>(m.type));
+    d = hash_combine(d, hash_bytes(m.payload.data(), m.payload.size()));
+    digest_ ^= mix64(d + 0x6d4f);
     apply(r.action, ctx, m.src, /*have_sender=*/true);
     return;
   }
@@ -56,11 +62,18 @@ void DslNode::handle_message(const Message& m, Context& ctx) {
 }
 
 std::vector<InternalEvent> DslNode::enabled_internal_events() const {
+  // The event kind stays the GLOBAL rule index (event identity must be
+  // unambiguous across nodes), but the fired_ bit is the rule's position
+  // among self_'s own rules — so two nodes with mirrored rule tables at
+  // different global offsets still produce identical blobs.
   std::vector<InternalEvent> evs;
+  std::uint32_t local = 0;
   for (std::size_t i = 0; i < spec_->internals.size(); ++i) {
     const SpecInternalRule& r = spec_->internals[i];
-    if (r.node != self_ || r.guard_state != state_) continue;
-    if ((fired_ & (1u << i)) != 0) continue;
+    if (r.node != self_) continue;
+    const std::uint32_t bit = local++;
+    if (r.guard_state != state_) continue;
+    if ((fired_ & (1u << bit)) != 0) continue;
     evs.push_back(InternalEvent{static_cast<std::uint32_t>(i) + 1, {}});
   }
   return evs;
@@ -73,11 +86,14 @@ void DslNode::handle_internal(const InternalEvent& ev, Context& ctx) {
     return;
   }
   const SpecInternalRule& r = spec_->internals[idx];
-  if (r.node != self_ || r.guard_state != state_ || (fired_ & (1u << idx)) != 0) {
+  std::uint32_t bit = 0;
+  for (std::size_t k = 0; k < idx; ++k)
+    if (spec_->internals[k].node == self_) ++bit;
+  if (r.node != self_ || r.guard_state != state_ || (fired_ & (1u << bit)) != 0) {
     ctx.local_assert(false, "dsl: internal rule not enabled");
     return;
   }
-  fired_ |= 1u << idx;
+  fired_ |= 1u << bit;
   apply(r.action, ctx, 0, /*have_sender=*/false);
 }
 
@@ -125,6 +141,16 @@ std::string DslInvariant::first_violated(const SystemStateView& sys) const {
 
 bool DslInvariant::holds(const SystemConfig&, const SystemStateView& sys) const {
   return first_violated(sys).empty();
+}
+
+bool DslInvariant::symmetric_under(const std::vector<std::vector<NodeId>>&) const {
+  // `never A with B` scans unordered node pairs — invariant under any
+  // permutation. `never A before B` compares node POSITIONS, so permuting
+  // ids changes the verdict: reject symmetry outright when any invariant
+  // is ordered.
+  for (const SpecInvariant& inv : spec_->invariants)
+    if (inv.before) return false;
+  return true;
 }
 
 bool DslInvariant::has_projection() const {
@@ -179,12 +205,37 @@ bool DslInvariant::projections_conflict(const Projection& a, const Projection& b
 
 // --- instantiation ----------------------------------------------------------
 
+std::vector<std::vector<NodeId>> infer_symmetric_roles(const DslSpec& spec) {
+  std::vector<symmetry::NodeSig> sigs(spec.num_nodes);
+  auto sig_action = [](symmetry::RuleSig& sig, const SpecAction& a) {
+    sig.goto_state = a.goto_state;
+    sig.fail_assert = a.fail_assert;
+    for (const SpecSend& s : a.sends)
+      sig.sends.push_back(symmetry::SigSend{s.to_sender, s.dst, s.type});
+  };
+  for (const SpecInternalRule& r : spec.internals) {
+    symmetry::RuleSig sig;
+    sig.guard = r.guard_state;
+    sig_action(sig, r.action);
+    sigs[r.node].internals.push_back(std::move(sig));
+  }
+  for (const SpecMsgRule& r : spec.msg_rules) {
+    symmetry::RuleSig sig;
+    sig.trigger = r.type;
+    sig.guard = r.guard_state;
+    sig_action(sig, r.action);
+    sigs[r.node].msgs.push_back(std::move(sig));
+  }
+  return symmetry::infer_classes(sigs);
+}
+
 CompiledProtocol instantiate(const DslSpec& spec) {
   if (std::string err = validate(spec); !err.empty())
     throw std::invalid_argument("dsl: invalid spec '" + spec.name + "': " + err);
   CompiledProtocol p;
   p.spec = std::make_shared<const DslSpec>(spec);
   p.cfg.num_nodes = spec.num_nodes;
+  p.cfg.symmetric_roles = infer_symmetric_roles(spec);
   std::shared_ptr<const DslSpec> shared = p.spec;
   p.cfg.factory = [shared](NodeId self, std::uint32_t) {
     return std::make_unique<DslNode>(self, shared);

@@ -40,8 +40,8 @@ class DslNode final : public StateMachine {
   NodeId self_;
   std::shared_ptr<const DslSpec> spec_;
   std::uint32_t state_ = 0;
-  std::uint32_t fired_ = 0;   ///< bitmask over spec_->internals
-  std::uint64_t digest_ = 0;  ///< XOR of mix64(message identity) per consumed message
+  std::uint32_t fired_ = 0;   ///< bitmask over self_'s OWN internal rules, in table order
+  std::uint64_t digest_ = 0;  ///< XOR of mix64(src,type,payload) per consumed message
 };
 
 /// The conjunction of the spec's named invariants. Each one is pairwise
@@ -56,6 +56,7 @@ class DslInvariant final : public Invariant {
 
   std::string name() const override;
   bool holds(const SystemConfig& cfg, const SystemStateView& sys) const override;
+  bool symmetric_under(const std::vector<std::vector<NodeId>>& classes) const override;
   bool has_projection() const override;
   Projection project(const SystemConfig& cfg, NodeId n, const Blob& state) const override;
   bool projections_conflict(const Projection& a, const Projection& b) const override;
@@ -76,7 +77,16 @@ struct CompiledProtocol {
 };
 
 /// Throws std::invalid_argument when dsl::validate rejects the spec.
+/// Fills `cfg.symmetric_roles` with the inferred interchangeability classes
+/// (see infer_symmetric_roles) so `SymmetryMode::kAuto` works out of the box.
 CompiledProtocol instantiate(const DslSpec& spec);
+
+/// Maximal classes of nodes whose rule tables are automorphic under id
+/// swaps (symmetry::infer_classes over the spec's elaborated rules). Tags
+/// are ignored — the reduction is unconditionally sound, so over-merging
+/// only costs effectiveness, and shared per-AST-send auto tags make
+/// mirrored handlers compare equal.
+std::vector<std::vector<NodeId>> infer_symmetric_roles(const DslSpec& spec);
 
 /// Decode the `state` field of a serialized DslNode.
 std::uint32_t dsl_state_of(const Blob& state);

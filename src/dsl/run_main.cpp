@@ -5,6 +5,8 @@
 //     --emit             print the canonical fully-elaborated .lmc text
 //     --oracle           base run through the full DiffOracle (LMC vs global
 //                        baseline, witness replay, resume round-trip, OPT path)
+//     --symmetry         oracle only: add the reduced-vs-unreduced differential
+//                        (confirmed sets must match up to role permutation)
 //     --scenario NAME    run only the named scenario from the spec
 //     --no-scenarios     base run only
 //     --nodes N          override the protocol's node count
@@ -61,13 +63,14 @@ struct Args {
   bool check_only = false;
   bool emit = false;
   bool oracle = false;
+  bool symmetry = false;  ///< --oracle only: reduced-vs-unreduced differential
   bool no_scenarios = false;
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: lmc_run [--check] [--emit] [--oracle] [--scenario NAME]\n"
-               "               [--no-scenarios] [--nodes N] [--threads T]\n"
+               "usage: lmc_run [--check] [--emit] [--oracle] [--symmetry]\n"
+               "               [--scenario NAME] [--no-scenarios] [--nodes N] [--threads T]\n"
                "               [--time-budget SEC] [--audit-every K] [--audit-validity]\n"
                "               [--trace FILE] SPEC.lmc\n");
   return 2;
@@ -84,6 +87,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.emit = true;
     } else if (arg == "--oracle") {
       a.oracle = true;
+    } else if (arg == "--symmetry") {
+      a.symmetry = true;
     } else if (arg == "--no-scenarios") {
       a.no_scenarios = true;
     } else if (arg == "--audit-validity") {
@@ -105,6 +110,13 @@ bool parse_args(int argc, char** argv, Args& a) {
     } else {
       return false;
     }
+  }
+  // --symmetry rides on the oracle's unreduced reference run; the plain
+  // diff path compares EXACT violation sets against the global baseline,
+  // which a reduced run intentionally does not reproduce.
+  if (a.symmetry && !a.oracle) {
+    std::fprintf(stderr, "error: --symmetry requires --oracle\n");
+    return false;
   }
   return !a.spec_path.empty();
 }
@@ -272,6 +284,7 @@ int main(int argc, char** argv) {
       oopt.lmc_time_budget_s = args.time_budget_s;
       oopt.audit_every = args.audit_every;
       oopt.audit_validity = args.audit_validity;
+      oopt.check_symmetry = args.symmetry;
       oopt.trace = trace_ptr;
       dfuzz::OracleReport rep = dfuzz::DiffOracle(oopt).check(base.cfg, base.invariant.get());
       tot.gmc_states += rep.gmc_states;
@@ -284,9 +297,14 @@ int main(int argc, char** argv) {
         std::printf("  base oracle: inconclusive (%s)\n", rep.detail.c_str());
       } else if (rep.ok) {
         std::printf("  base oracle: agree — %" PRIu64 " global states, %" PRIu64
-                    " confirmed violation(s), %" PRIu64 " witness(es) replayed%s\n",
+                    " confirmed violation(s), %" PRIu64 " witness(es) replayed%s%s\n",
                     rep.gmc_states, rep.lmc_confirmed, rep.witnesses_replayed,
-                    rep.opt_checked ? ", OPT path checked" : "");
+                    rep.opt_checked ? ", OPT path checked" : "",
+                    rep.sym_checked ? ", symmetry reduction checked" : "");
+        if (rep.sym_checked)
+          std::printf("  symmetry: %" PRIu64 " orbit(s) materialized, %" PRIu64
+                      " confirmed in the reduced run\n",
+                      rep.sym_orbits, rep.sym_confirmed);
       } else {
         ++tot.disagreements;
         ok = false;

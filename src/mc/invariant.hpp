@@ -54,6 +54,15 @@ class Invariant {
   /// e.g. RandTree disjointness).
   virtual bool projection_self_violates(const Projection& /*p*/) const { return false; }
 
+  /// Whether the predicate is invariant under permuting node *positions*
+  /// within each of `classes` (i.e. holds() reads the view through the
+  /// node index only symmetrically for those positions). Symmetry
+  /// reduction (src/mc/symmetry/) refuses to activate a class unless the
+  /// invariant vouches for it, so the default is conservative.
+  virtual bool symmetric_under(const std::vector<std::vector<NodeId>>& /*classes*/) const {
+    return false;
+  }
+
   /// Two projections together imply a possible violation. Default: some key
   /// present in both with different values.
   virtual bool projections_conflict(const Projection& a, const Projection& b) const {

@@ -130,7 +130,52 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
     }
   }
   epochs_.push_back(std::move(ep));
+  resolve_symmetry();
   initialized_ = true;
+}
+
+// Decide whether the symmetry reduction is active for this run and build
+// the canonicalizer (DESIGN.md §13). Every condition here is about either
+// profitability or keeping the orbit abstraction exact:
+//  * the invariant must vouch for each class (symmetric_under) — otherwise
+//    a non-representative orbit member could violate while the canonical
+//    representative does not, and the sweep would miss it;
+//  * the projection sweep (LMC-OPT) is excluded: it enumerates conflicting
+//    projection PAIRS, not whole combinations, so "orbit of a combination"
+//    is not the unit it works in;
+//  * max_total_depth must be unbounded: the total-depth filter sums member
+//    depths, and two arrangements of one orbit can have different depth
+//    sums when members reached equal states at different depths — a finite
+//    filter would make orbit membership arrangement-dependent. Bound
+//    exploration with max_chain_depth instead (bench_symmetry does).
+void LocalModelChecker::resolve_symmetry() {
+  canon_.reset();
+  sym_stats_ = symmetry::SymmetryStats{};
+  const symmetry::SymmetryOptions& so = opt_.symmetry;
+  if (so.mode == symmetry::SymmetryMode::kOff || invariant_ == nullptr) return;
+  if (!opt_.enable_system_states) return;
+  if (opt_.use_projection && invariant_->has_projection()) return;
+  if (opt_.max_total_depth != std::numeric_limits<std::uint32_t>::max()) return;
+  std::vector<std::vector<NodeId>> classes = symmetry::normalize_classes(
+      so.mode == symmetry::SymmetryMode::kExplicit ? so.classes : cfg_.symmetric_roles,
+      cfg_.num_nodes);
+  // Per-class filtering is sound: invariance under each class's permutations
+  // implies invariance under the product group they generate.
+  std::vector<std::vector<NodeId>> kept;
+  for (auto& c : classes) {
+    if (c.size() > 64) continue;  // universe member masks are one word
+    if (invariant_->symmetric_under({c})) kept.push_back(std::move(c));
+  }
+  if (kept.empty()) return;
+  canon_ = std::make_unique<symmetry::Canonicalizer>(std::move(kept), cfg_.num_nodes);
+  sym_stats_.active = 1;
+  sym_stats_.classes = static_cast<std::uint32_t>(canon_->classes().size());
+  // Seed the universes from whatever the store already holds: the epoch
+  // roots on a fresh run, the full store on checkpoint load.
+  for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
+    const std::uint32_t cnt = store_.size(n);
+    for (std::uint32_t i = 0; i < cnt; ++i) canon_->add_state(n, store_.rec(n, i).hash);
+  }
 }
 
 // Warm start: fold a new live snapshot into the existing stores. Snapshot
@@ -160,6 +205,7 @@ void LocalModelChecker::merge_snapshot(const std::vector<Blob>& nodes,
       rec.hash = h;
       rec.depth = 0;
       idx = store_.add(n, std::move(rec));
+      if (canon_ != nullptr) canon_->add_state(n, h);
       ++stats_.node_states;
       ++stats_.warm_new_roots;
       fresh.emplace_back(n, idx);
@@ -472,6 +518,7 @@ void LocalModelChecker::apply_exec(Exec& e, std::uint64_t seq) {
   rec.preds.push_back(Pred{e.pred_idx, e.is_message, e.ev_hash, std::move(gen)});
   ++pred_edges_[e.node];
   const std::uint32_t idx = store_.add(e.node, std::move(rec));
+  if (canon_ != nullptr) canon_->add_state(e.node, h2);
   ++stats_.node_states;
   stats_.max_chain_depth_reached = std::max(stats_.max_chain_depth_reached, pred.depth + 1);
   apply_ev(0);
@@ -603,6 +650,10 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
     Kind kind = Kind::Skipped;
     SoundnessResult res;
     double secs = 0.0;
+    /// Verifier invocations this job consumed (symmetry jobs aggregate one
+    /// per expanded assignment; plain jobs are exactly one call).
+    std::uint64_t calls = 1;
+    std::uint64_t tried = 0;  ///< symmetry jobs: concrete assignments expanded
   };
   std::vector<Outcome> out(jobs.size());
   const std::vector<EpochSeed> seeds = epoch_seeds();
@@ -616,6 +667,82 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
     Outcome& o = out[i];
     if (hard_budget_exceeded()) return;  // stays Skipped
     const Deferred& d = jobs[i];
+    if (d.sym && canon_ != nullptr) {
+      // Orbit representative from the symmetry sweep: the orbit violates
+      // the invariant (position-symmetric within classes), but only SOME
+      // arrangements of its members may be jointly reachable. Expand every
+      // concrete assignment in deterministic order against the frozen
+      // stores and confirm the first sound one — this is where witnesses
+      // get de-canonicalized back to concrete node ids. The worker owns
+      // slot i, so writing the winning assignment into jobs[i] is safe.
+      const auto& classes = canon_->classes();
+      std::vector<std::vector<std::uint32_t>> counts(classes.size());
+      for (std::size_t c = 0; c < classes.size(); ++c) {
+        counts[c].assign(canon_->universe(c).entries().size(), 0);
+        for (NodeId m : classes[c])
+          ++counts[c][canon_->universe(c).find(store_.rec(m, d.combo[m]).hash)];
+      }
+      std::vector<std::uint32_t> combo = d.combo;
+      bool found = false, any_truncated = false, budget_hit = false;
+      std::uint64_t tried = 0, feas_skipped = 0, calls = 0, seqs = 0;
+      double secs = 0.0;
+      auto try_combo = [&]() -> bool {
+        if (hard_budget_exceeded()) {
+          budget_hit = true;
+          return false;
+        }
+        ++tried;
+        for (NodeId k = 0; k < cfg_.num_nodes; ++k)
+          if (!member_feasible(k, combo[k])) {
+            ++feas_skipped;
+            return true;  // next assignment
+          }
+        const double t0 = now_s();
+        SoundnessVerifier verifier = SoundnessVerifier::with_epochs(store_, seeds, opt_.soundness);
+        SoundnessResult res = verifier.verify(combo, nullptr);
+        secs += now_s() - t0;
+        ++calls;
+        seqs += res.schedules_checked;
+        if (res.truncated) any_truncated = true;
+        if (res.sound) {
+          found = true;
+          o.res = std::move(res);
+          jobs[i].combo = combo;
+          return false;
+        }
+        return true;
+      };
+      auto expand = [&](auto&& self, std::size_t c) -> bool {
+        if (c == classes.size()) return try_combo();
+        return canon_->for_each_assignment(
+            c, counts[c], [&](const std::vector<std::size_t>& pick) {
+              for (std::size_t p = 0; p < pick.size(); ++p) {
+                const NodeId m = classes[c][p];
+                combo[m] = store_.find(m, canon_->universe(c).entries()[pick[p]].hash);
+              }
+              return self(self, c + 1);
+            });
+      };
+      expand(expand, 0);
+      o.secs = secs;
+      o.calls = calls;
+      o.tried = tried;
+      o.res.schedules_checked = seqs;
+      if (budget_hit && !found) return;  // stays Skipped
+      if (found)
+        o.kind = Kind::Sound;
+      else if (calls == 0)
+        o.kind = Kind::FeasSkip;  // every arrangement failed the pre-check
+      else {
+        o.kind = Kind::Unsound;
+        o.res.truncated = any_truncated;
+      }
+      if (tsink != nullptr)
+        tsink->record_worker(tev(EventType::kSoundnessRun, tphase, cur_round_,
+                                 static_cast<std::uint64_t>(o.kind), 0, phase2 ? 1 : 0, o.secs,
+                                 TraceEvent::kNoNode, i));
+      return;
+    }
     // Per-member pre-check: a combination whose members cannot
     // individually be reached even with maximal help from the other
     // nodes is unsound — skip the joint search entirely (cached; kills
@@ -662,6 +789,7 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
       ++stats_.deferred_processed;
     else
       ++stats_.prelim_violations;
+    if (jobs[i].sym) sym_stats_.assignments_tried += o.tried;
     // During exploration, every non-sound verdict is PROVISIONAL: the store
     // is still growing, and a predecessor edge recorded later (another
     // message reaching an already-deduplicated state) can turn an unsound
@@ -693,7 +821,7 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
       ++stats_.feasibility_skips;
       continue;
     }
-    ++stats_.soundness_calls;
+    stats_.soundness_calls += o.calls;
     stats_.soundness_s += o.secs;
     stats_.sequences_checked += o.res.schedules_checked;
     verdict_ev(o.secs);
@@ -766,6 +894,25 @@ void LocalModelChecker::check_snapshot_combination(const std::vector<std::uint32
   const double t0 = now_s();
   const std::uint64_t pre_ss = stats_.system_states;
   const std::uint64_t pre_pv = stats_.prelim_violations;
+  if (canon_ != nullptr) {
+    // Route the live combination through the orbit machinery, so its orbit
+    // is marked seen and later sweeps do not re-count it.
+    const auto& classes = canon_->classes();
+    std::vector<std::vector<std::uint32_t>> counts(classes.size());
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      counts[c].assign(canon_->universe(c).entries().size(), 0);
+      for (NodeId m : classes[c])
+        ++counts[c][canon_->universe(c).find(store_.rec(m, roots[m]).hash)];
+    }
+    SymSweepCtx ctx{opt_.max_system_states_per_step, false};
+    sym_consider(combo, counts, ctx);
+    const double dt = now_s() - t0;
+    stats_.system_state_s += dt;
+    LMC_TRACE(opt_.trace, record(tev(EventType::kComboSweep, obs::Phase::kSweep, cur_round_,
+                                     /*site=*/2, stats_.system_states - pre_ss,
+                                     stats_.prelim_violations - pre_pv, dt)));
+    return;
+  }
   if (opt_.use_projection && invariant_->has_projection()) {
     // LMC-OPT materializes a system state only when projections flag a
     // possible violation (keeps "OPT creates zero system states" exact on
@@ -788,6 +935,12 @@ void LocalModelChecker::check_combinations(NodeId n, std::uint32_t idx) {
   // violations in enumeration order; phase B verifies them in parallel and
   // merges the outcomes in that same order, so the full round is
   // deterministic regardless of thread count.
+  if (canon_ != nullptr) {
+    // Symmetry reduction: canonical enumeration + always-defer verification
+    // (sweep_sym queues violating orbits straight onto deferred_).
+    sweep_sym(n, idx);
+    return;
+  }
   std::vector<Deferred> prelims;
   if (opt_.use_projection && invariant_->has_projection())
     sweep_opt(n, idx, prelims);
@@ -970,6 +1123,118 @@ void LocalModelChecker::sweep_opt(NodeId n, std::uint32_t idx, std::vector<Defer
     if (hit[i]) emit(cands[i].m, cands[i].j, /*pair=*/true);
 }
 
+bool LocalModelChecker::sym_consider(std::vector<std::uint32_t>& combo,
+                                     const std::vector<std::vector<std::uint32_t>>& counts,
+                                     SymSweepCtx& ctx) {
+  // Same budget-probe discipline as the unreduced sweeps.
+  if ((++combo_probe_ & 0xff) == 0 && hard_budget_exceeded()) {
+    stats_.completed = false;
+    stop_ = true;
+    return false;
+  }
+  const auto& classes = canon_->classes();
+  std::vector<std::pair<NodeId, Hash64>> fixed;
+  fixed.reserve(canon_->free_nodes().size());
+  for (NodeId m : canon_->free_nodes()) fixed.emplace_back(m, store_.rec(m, combo[m]).hash);
+  const Hash64 key = canon_->orbit_key(fixed, counts);
+  if (canon_->seen_or_mark(key)) {
+    ++sym_stats_.orbit_hits;
+    return true;
+  }
+  if (ctx.cap == 0) {
+    if (!ctx.cap_noted) {
+      ++stats_.combo_truncated;
+      ctx.cap_noted = true;
+    }
+    return false;
+  }
+  --ctx.cap;
+  ++stats_.system_states;  // counts ORBITS while the reduction is active
+  ++stats_.invariant_checks;
+  ++sym_stats_.orbits;
+  sym_stats_.represented = symmetry::sat_add(sym_stats_.represented, canon_->orbit_size(counts));
+
+  // Deterministic representative: lexicographically first perfect
+  // assignment per class. The invariant is position-symmetric within each
+  // class (activation requirement), so the representative's verdict is the
+  // whole orbit's verdict.
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const std::vector<std::size_t> pick = canon_->first_assignment(c, counts[c]);
+    for (std::size_t p = 0; p < pick.size(); ++p) {
+      const NodeId m = classes[c][p];
+      combo[m] = store_.find(m, canon_->universe(c).entries()[pick[p]].hash);
+    }
+  }
+  std::uint64_t depth_sum = 0;
+  for (NodeId i = 0; i < cfg_.num_nodes; ++i) depth_sum += store_.rec(i, combo[i]).depth;
+  stats_.max_total_depth_reached = std::max<std::uint32_t>(
+      stats_.max_total_depth_reached, static_cast<std::uint32_t>(depth_sum));
+  if (!combo_violates(combo)) return true;
+
+  // Always-defer: a mid-run quick verdict on one arrangement would be both
+  // provisional (the store is still growing) and arrangement-sensitive; the
+  // phase-2 drain expands the whole orbit against the frozen store instead.
+  ++stats_.prelim_violations;
+  if (opt_.enable_soundness) {
+    if (deferred_.size() < opt_.soundness.max_deferred) {
+      Deferred d;
+      d.combo = combo;
+      d.sym = true;
+      deferred_.push_back(std::move(d));
+      ++stats_.soundness_deferred;
+      ++sym_stats_.orbit_defers;
+    } else {
+      ++stats_.deferred_dropped;
+    }
+  }
+  return true;
+}
+
+void LocalModelChecker::sweep_sym(NodeId n, std::uint32_t idx) {
+  // Canonical counterpart of sweep_gen: cross every realizable multiset of
+  // each class universe with the full store product over non-class nodes,
+  // forcing the new state (n, idx) into its own dimension. Runs inline on
+  // the applier: the orbit seen-set already de-duplicates across arrivals,
+  // and a single writer keeps it deterministic at any thread count.
+  const auto& classes = canon_->classes();
+  const auto& free_nodes = canon_->free_nodes();
+  const std::int32_t nc = canon_->class_of(n);
+  std::ptrdiff_t forced = -1;
+  if (nc >= 0) {
+    const std::size_t e =
+        canon_->universe(static_cast<std::size_t>(nc)).find(store_.rec(n, idx).hash);
+    forced = static_cast<std::ptrdiff_t>(e);
+  }
+
+  std::vector<std::vector<std::uint32_t>> counts(classes.size());
+  std::vector<std::uint32_t> combo(cfg_.num_nodes, 0);
+  SymSweepCtx ctx{opt_.max_system_states_per_step, false};
+
+  auto rec_classes = [&](auto&& self, std::size_t c) -> bool {
+    if (c == classes.size()) return sym_consider(combo, counts, ctx);
+    const std::ptrdiff_t f = (static_cast<std::int32_t>(c) == nc) ? forced : -1;
+    return canon_->for_each_multiset(c, f, [&](const std::vector<std::uint32_t>& cnt) {
+      counts[c] = cnt;
+      return self(self, c + 1);
+    });
+  };
+  auto rec_free = [&](auto&& self, std::size_t k) -> bool {
+    if (k == free_nodes.size()) return rec_classes(rec_classes, 0);
+    const NodeId m = free_nodes[k];
+    if (m == n) {
+      combo[m] = idx;
+      return self(self, k + 1);
+    }
+    const std::uint32_t lim = store_.size(m);
+    for (std::uint32_t j = 0; j < lim; ++j) {
+      combo[m] = j;
+      if (!self(self, k + 1)) return false;
+    }
+    return true;
+  };
+  rec_free(rec_free, 0);
+}
+
 void LocalModelChecker::metrics_sample(const char* where, std::uint64_t frontier, bool force) {
   obs::MetricsSink* const ms = opt_.metrics;
   if (ms == nullptr) return;
@@ -987,6 +1252,8 @@ void LocalModelChecker::metrics_sample(const char* where, std::uint64_t frontier
   snap.combos = stats_.system_states;
   snap.prelim = stats_.prelim_violations;
   snap.confirmed = stats_.confirmed_violations;
+  snap.sym_orbits = sym_stats_.orbits;
+  snap.sym_orbit_hits = sym_stats_.orbit_hits;
   const double elapsed = base_elapsed_s_ + (now_s() - run_t0_);
   snap.sweep_s = stats_.system_state_s;
   snap.soundness_wall_s = stats_.soundness_wall_s;
@@ -1233,7 +1500,13 @@ CheckerImage LocalModelChecker::make_image() const {
     dc.combo = d.combo;
     dc.fixed.assign(d.fixed.begin(), d.fixed.end());
     dc.has_mask = d.has_mask;
+    dc.sym = d.sym;
     img.deferred.push_back(std::move(dc));
+  }
+  if (canon_ != nullptr) {
+    img.has_symmetry = true;
+    img.sym_stats = sym_stats_;
+    img.sym_seen = canon_->seen_sorted();
   }
   img.violations = violations_;
   img.pending.reserve(pending_tasks_.size());
@@ -1272,6 +1545,7 @@ void LocalModelChecker::load_checkpoint_bytes(const Blob& data) {
     d.combo = dc.combo;
     d.fixed.assign(dc.fixed.begin(), dc.fixed.end());
     d.has_mask = dc.has_mask;
+    d.sym = dc.sym;
     deferred_.push_back(std::move(d));
   }
   violations_ = std::move(img.violations);
@@ -1294,6 +1568,19 @@ void LocalModelChecker::load_checkpoint_bytes(const Blob& data) {
         proj_[n].push_back(std::move(p));
       }
     }
+  }
+  // Re-resolve the reduction against the restored store, then restore the
+  // orbit seen-set so already-counted orbits are not re-processed. Options
+  // must agree with the writing run: a symmetry-mode mismatch would splice
+  // two incompatible enumeration disciplines into one exploration.
+  resolve_symmetry();
+  if ((canon_ != nullptr) != img.has_symmetry)
+    throw CheckpointError("checkpoint symmetry mode mismatch (file " +
+                          std::string(img.has_symmetry ? "on" : "off") + ", options resolve to " +
+                          std::string(canon_ != nullptr ? "on" : "off") + ")");
+  if (canon_ != nullptr) {
+    canon_->restore_seen(img.sym_seen);
+    sym_stats_ = img.sym_stats;
   }
   clear_feas_cache();
   combo_probe_ = 0;

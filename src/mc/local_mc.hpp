@@ -44,6 +44,7 @@
 #include "mc/parallel_local_mc.hpp"
 #include "mc/soundness.hpp"
 #include "mc/stats.hpp"
+#include "mc/symmetry/canonicalizer.hpp"
 #include "net/monotonic_network.hpp"
 #include "persist/checkpoint.hpp"
 #include "runtime/state_machine.hpp"
@@ -145,6 +146,19 @@ struct LocalMcOptions {
   bool audit_validity = false;
 
   SoundnessOptions soundness;
+
+  /// Symmetry reduction over replicated roles (src/mc/symmetry/, DESIGN.md
+  /// §13). Defaults off, so every existing byte-identity gate is untouched.
+  /// When it resolves to active (see the activation conditions on
+  /// `LocalModelChecker::symmetry_classes`), the combination sweep
+  /// enumerates one canonical representative per orbit of within-class
+  /// permutations, `stats().system_states` counts orbits instead of ordered
+  /// combinations, and every violating orbit is confirmed in the phase-2
+  /// drain by expanding its concrete member assignments — so confirmed
+  /// violations agree with the unreduced checker up to role permutation
+  /// even for wrong class hints. kExplicit with malformed classes
+  /// (overlapping / out of range) throws std::invalid_argument from run*().
+  symmetry::SymmetryOptions symmetry;
 };
 
 class LocalModelChecker {
@@ -203,6 +217,20 @@ class LocalModelChecker {
   const std::vector<LocalViolation>& violations() const { return violations_; }
   /// First confirmed violation, or nullptr.
   const LocalViolation* first_confirmed() const;
+
+  /// The symmetry classes the run resolved to (empty when the reduction is
+  /// inactive). Activation requires symmetry.mode != kOff AND an invariant
+  /// that vouches for the classes (Invariant::symmetric_under) AND the GEN
+  /// sweep (use_projection with a projecting invariant is excluded) AND an
+  /// unbounded max_total_depth (a finite total-depth filter is arrangement-
+  /// dependent, which would break the orbit abstraction) AND at least one
+  /// surviving class of 2..64 members.
+  std::vector<std::vector<NodeId>> symmetry_classes() const {
+    return canon_ != nullptr ? canon_->classes() : std::vector<std::vector<NodeId>>{};
+  }
+  /// Reduction counters (zero when inactive). Runtime + checkpoint section
+  /// 13 — deliberately NOT part of LocalMcStats (pinned layout).
+  const symmetry::SymmetryStats& symmetry_stats() const { return sym_stats_; }
 
   const LocalStore& store() const { return store_; }
   const MonotonicNetwork& iplus() const { return net_; }
@@ -274,11 +302,15 @@ class LocalModelChecker {
   void process_deferred();
 
   /// A combination awaiting (or deferred for) soundness verification —
-  /// also the work item of the parallel verification phases.
+  /// also the work item of the parallel verification phases. `sym` marks an
+  /// orbit representative from the symmetry sweep: the phase-2 drain
+  /// expands all concrete member assignments of its orbit and confirms the
+  /// first sound one (de-canonicalization).
   struct Deferred {
     std::vector<std::uint32_t> combo;
     std::vector<bool> fixed;
     bool has_mask = false;
+    bool sym = false;
   };
   std::vector<Deferred> deferred_;
 
@@ -292,6 +324,25 @@ class LocalModelChecker {
   // violations and witness schedules are identical for any thread count.
   void sweep_gen(NodeId n, std::uint32_t idx, std::vector<Deferred>& prelims);
   void sweep_opt(NodeId n, std::uint32_t idx, std::vector<Deferred>& prelims);
+  // --- symmetry reduction (src/mc/symmetry/, DESIGN.md §13) ---------------
+  /// Resolve LocalMcOptions::symmetry against the invariant/config and seed
+  /// the per-class universes from the current store. Called from init_run
+  /// and load_checkpoint_bytes; leaves canon_ null when inactive.
+  void resolve_symmetry();
+  /// Orbit-canonical replacement for sweep_gen: enumerate only canonical
+  /// combinations (multisets over each class universe, concrete states at
+  /// non-class nodes) containing the new state (n, idx). Runs inline on the
+  /// applier — the orbit seen-set is single-writer by design.
+  void sweep_sym(NodeId n, std::uint32_t idx);
+  struct SymSweepCtx {
+    std::uint64_t cap = 0;  ///< remaining max_system_states_per_step budget
+    bool cap_noted = false;
+  };
+  /// Process one canonical candidate: orbit-hash dedup, stats, invariant
+  /// check on the deterministic representative, defer-on-violation.
+  /// Returns false when the sweep must stop (budget / cap).
+  bool sym_consider(std::vector<std::uint32_t>& combo,
+                    const std::vector<std::vector<std::uint32_t>>& counts, SymSweepCtx& ctx);
   /// Verify `jobs` in parallel, merge outcomes in order. phase2 = the
   /// deferred drain (full caps, no feasibility pre-check, no re-deferral).
   void verify_prelims(std::vector<Deferred> jobs, bool phase2);
@@ -309,6 +360,11 @@ class LocalModelChecker {
   /// Secondary pipeline-worker exceptions accounted at an aborting consume
   /// (see worker_exceptions_dropped()).
   std::uint64_t pipeline_dropped_ = 0;
+
+  /// Resolved symmetry context (classes, universes, orbit seen-set); null
+  /// when the reduction is inactive. Rebuilt by resolve_symmetry.
+  std::unique_ptr<symmetry::Canonicalizer> canon_;
+  symmetry::SymmetryStats sym_stats_;
 
   LocalMcStats stats_;
   /// audit_validity counter; atomic because audits run on pool workers.

@@ -1,0 +1,142 @@
+#include "mc/symmetry/role_group.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace lmc::symmetry {
+
+namespace {
+
+/// nodes[x] with every send destination renamed through the transposition
+/// (a b), sends sorted so they compare as multisets.
+std::vector<RuleSig> renamed_rules(const std::vector<RuleSig>& rules, NodeId a, NodeId b) {
+  std::vector<RuleSig> out = rules;
+  for (RuleSig& r : out) {
+    for (SigSend& s : r.sends) {
+      if (s.to_sender) {
+        s.dst = 0;
+      } else if (s.dst == a) {
+        s.dst = b;
+      } else if (s.dst == b) {
+        s.dst = a;
+      }
+    }
+    std::sort(r.sends.begin(), r.sends.end());
+  }
+  return out;
+}
+
+std::vector<RuleSig> sorted_sends(const std::vector<RuleSig>& rules) {
+  std::vector<RuleSig> out = rules;
+  for (RuleSig& r : out) {
+    for (SigSend& s : r.sends)
+      if (s.to_sender) s.dst = 0;
+    std::sort(r.sends.begin(), r.sends.end());
+  }
+  return out;
+}
+
+/// Is the transposition (a b) an automorphism of the rule table? Node x's
+/// table must equal the table of (a b)(x) with destinations renamed, rule
+/// by rule (table order is identity), sends as multisets.
+bool swap_is_automorphism(const std::vector<NodeSig>& nodes, NodeId a, NodeId b) {
+  const auto n = static_cast<NodeId>(nodes.size());
+  for (NodeId x = 0; x < n; ++x) {
+    const NodeId y = x == a ? b : x == b ? a : x;
+    if (sorted_sends(nodes[x].internals) != renamed_rules(nodes[y].internals, a, b)) return false;
+    if (sorted_sends(nodes[x].msgs) != renamed_rules(nodes[y].msgs, a, b)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> infer_classes(const std::vector<NodeSig>& nodes) {
+  const auto n = static_cast<NodeId>(nodes.size());
+  std::vector<NodeId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](NodeId x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (find(a) == find(b)) continue;
+      if (swap_is_automorphism(nodes, a, b)) parent[find(b)] = find(a);
+    }
+
+  std::vector<std::vector<NodeId>> groups(n);
+  for (NodeId x = 0; x < n; ++x) groups[find(x)].push_back(x);
+  std::vector<std::vector<NodeId>> out;
+  for (auto& g : groups)
+    if (g.size() >= 2) out.push_back(std::move(g));
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return out;
+}
+
+std::vector<std::vector<NodeId>> normalize_classes(std::vector<std::vector<NodeId>> classes,
+                                                   std::uint32_t num_nodes) {
+  std::vector<std::vector<NodeId>> out;
+  std::vector<bool> used(num_nodes, false);
+  for (auto& c : classes) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    for (NodeId m : c) {
+      if (m >= num_nodes) throw std::invalid_argument("symmetry class member out of range");
+      if (used[m]) throw std::invalid_argument("symmetry classes overlap");
+      used[m] = true;
+    }
+    if (c.size() >= 2) out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return out;
+}
+
+std::uint64_t multiset_orbit_size(const std::vector<std::uint32_t>& mults) {
+  // c! / prod(mult_k!) computed as a product of binomials C(remaining, mult)
+  // so intermediates stay integral; saturate on overflow.
+  std::uint32_t remaining = 0;
+  for (std::uint32_t m : mults) remaining += m;
+  std::uint64_t total = 1;
+  for (std::uint32_t m : mults) {
+    // C(remaining, m)
+    std::uint64_t binom = 1;
+    for (std::uint32_t i = 1; i <= m; ++i) {
+      // binom = binom * (remaining - m + i) / i — exact at every step.
+      const std::uint64_t num = remaining - m + i;
+      if (binom > UINT64_MAX / num) return UINT64_MAX;
+      binom = binom * num / i;
+    }
+    if (binom != 0 && total > UINT64_MAX / binom) return UINT64_MAX;
+    total *= binom;
+    remaining -= m;
+  }
+  return total;
+}
+
+Hash64 canonical_key(const std::vector<Hash64>& per_node,
+                     const std::vector<std::vector<NodeId>>& classes) {
+  std::vector<bool> in_class(per_node.size(), false);
+  for (const auto& c : classes)
+    for (NodeId m : c)
+      if (m < per_node.size()) in_class[m] = true;
+
+  Hash64 h = 0x517cc1b727220a95ULL;
+  for (std::size_t n = 0; n < per_node.size(); ++n)
+    if (!in_class[n]) h = hash_combine(h, hash_combine(static_cast<Hash64>(n), per_node[n]));
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    std::vector<Hash64> members;
+    members.reserve(classes[c].size());
+    for (NodeId m : classes[c])
+      if (m < per_node.size()) members.push_back(per_node[m]);
+    std::sort(members.begin(), members.end());
+    h = hash_combine(h, static_cast<Hash64>(c));
+    for (Hash64 v : members) h = hash_combine(h, v);
+  }
+  return h;
+}
+
+}  // namespace lmc::symmetry

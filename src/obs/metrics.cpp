@@ -76,6 +76,8 @@ std::string to_jsonl_line(const MetricsRecord& rec) {
   out += ",\"combos\":" + std::to_string(s.combos);
   out += ",\"prelim\":" + std::to_string(s.prelim);
   out += ",\"confirmed\":" + std::to_string(s.confirmed);
+  out += ",\"sym_orbits\":" + std::to_string(s.sym_orbits);
+  out += ",\"sym_orbit_hits\":" + std::to_string(s.sym_orbit_hits);
   out += ",\"explore_s\":" + json_double(s.explore_s);
   out += ",\"sweep_s\":" + json_double(s.sweep_s);
   out += ",\"soundness_wall_s\":" + json_double(s.soundness_wall_s);
@@ -114,6 +116,8 @@ bool parse_jsonl_line(const std::string& line, MetricsRecord& rec) {
   rec.snap.combos = u64("combos");
   rec.snap.prelim = u64("prelim");
   rec.snap.confirmed = u64("confirmed");
+  rec.snap.sym_orbits = u64("sym_orbits");
+  rec.snap.sym_orbit_hits = u64("sym_orbit_hits");
   rec.snap.explore_s = dbl("explore_s");
   rec.snap.sweep_s = dbl("sweep_s");
   rec.snap.soundness_wall_s = dbl("soundness_wall_s");

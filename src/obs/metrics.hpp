@@ -35,6 +35,8 @@ struct MetricsSnapshot {
   std::uint64_t combos = 0;         ///< combinations checked so far
   std::uint64_t prelim = 0;         ///< preliminary violations so far
   std::uint64_t confirmed = 0;      ///< confirmed violations so far
+  std::uint64_t sym_orbits = 0;     ///< canonical orbits materialized (0 = reduction off)
+  std::uint64_t sym_orbit_hits = 0; ///< orbit seen-set hits
   double explore_s = 0.0;           ///< per-phase wall seconds so far…
   double sweep_s = 0.0;
   double soundness_wall_s = 0.0;

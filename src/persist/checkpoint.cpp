@@ -200,7 +200,21 @@ Blob enc_deferred(const CheckerImage& img) {
     w.u32(static_cast<std::uint32_t>(d.fixed.size()));
     for (std::uint8_t f : d.fixed) w.u8(f);
     w.b(d.has_mask);
+    w.b(d.sym);  // v4
   }
+  return std::move(w).take();
+}
+
+Blob enc_symmetry(const CheckerImage& img) {
+  Writer w;
+  w.u64(img.sym_stats.orbits);
+  w.u64(img.sym_stats.orbit_hits);
+  w.u64(img.sym_stats.represented);
+  w.u64(img.sym_stats.assignments_tried);
+  w.u64(img.sym_stats.orbit_defers);
+  w.u32(img.sym_stats.classes);
+  w.u8(img.sym_stats.active);
+  write_u64_vec(w, img.sym_seen);
   return std::move(w).take();
 }
 
@@ -384,7 +398,7 @@ void dec_stats(Reader& r, LocalMcStats& s, std::uint32_t version) {
   r.expect_exhausted();
 }
 
-void dec_deferred(Reader& r, CheckerImage& img) {
+void dec_deferred(Reader& r, CheckerImage& img, std::uint32_t version) {
   std::uint32_t n = r.u32();
   img.deferred.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -394,6 +408,7 @@ void dec_deferred(Reader& r, CheckerImage& img) {
     d.fixed.reserve(fn);
     for (std::uint32_t k = 0; k < fn; ++k) d.fixed.push_back(r.u8());
     d.has_mask = r.b();
+    d.sym = version >= 4 ? r.b() : false;
     check(d.combo.size() == img.num_nodes, "deferred combo size mismatch");
     check(!d.has_mask || d.fixed.size() == img.num_nodes, "deferred mask size mismatch");
     for (NodeId k = 0; k < img.num_nodes; ++k)
@@ -448,6 +463,20 @@ void dec_pending(Reader& r, CheckerImage& img) {
 void dec_segment(Reader& r, CheckerImage& img) {
   img.segment_id = r.u64();
   img.base_round = r.u32();
+  r.expect_exhausted();
+}
+
+void dec_symmetry(Reader& r, CheckerImage& img) {
+  img.has_symmetry = true;
+  img.sym_stats.orbits = r.u64();
+  img.sym_stats.orbit_hits = r.u64();
+  img.sym_stats.represented = r.u64();
+  img.sym_stats.assignments_tried = r.u64();
+  img.sym_stats.orbit_defers = r.u64();
+  img.sym_stats.classes = r.u32();
+  img.sym_stats.active = r.u8();
+  img.sym_seen = read_u64_vec(r);
+  check(std::is_sorted(img.sym_seen.begin(), img.sym_seen.end()), "orbit seen-set not sorted");
   r.expect_exhausted();
 }
 
@@ -544,6 +573,7 @@ Blob encode_checkpoint(const CheckerImage& img) {
   w.add_section(kSecViolations, enc_violations(img));
   w.add_section(kSecPending, enc_pending(img));
   w.add_section(kSecSegment, enc_segment(img));
+  if (img.has_symmetry) w.add_section(kSecSymmetry, enc_symmetry(img));
   return std::move(w).finish();
 }
 
@@ -587,7 +617,7 @@ CheckerImage decode_checkpoint(const Blob& data) {
     }
     {
       Reader s = r.open(kSecDeferred);
-      dec_deferred(s, img);
+      dec_deferred(s, img, r.version());
     }
     {
       Reader s = r.open(kSecViolations);
@@ -602,6 +632,11 @@ CheckerImage decode_checkpoint(const Blob& data) {
     if (r.has(kSecSegment)) {
       Reader s = r.open(kSecSegment);
       dec_segment(s, img);
+    }
+    // Section 13 exists only in files written by symmetry-active runs.
+    if (r.has(kSecSymmetry)) {
+      Reader s = r.open(kSecSymmetry);
+      dec_symmetry(s, img);
     }
   } catch (const SerializeError& e) {
     fail(std::string("malformed section: ") + e.what());
@@ -642,6 +677,22 @@ CheckpointInfo inspect_checkpoint(const Blob& data) {
       s.expect_exhausted();
     } catch (const SerializeError& e) {
       fail(std::string("malformed segment section: ") + e.what());
+    }
+  }
+  if (r.has(kSecSymmetry)) {
+    try {
+      Reader s = r.open(kSecSymmetry);
+      info.has_symmetry = true;
+      info.sym_orbits = s.u64();
+      s.u64();  // orbit_hits
+      info.sym_represented = s.u64();
+      s.u64();  // assignments_tried
+      s.u64();  // orbit_defers
+      info.sym_classes = s.u32();
+      s.u8();  // active
+      info.sym_seen = s.u32();
+    } catch (const SerializeError& e) {
+      fail(std::string("malformed symmetry section: ") + e.what());
     }
   }
   return info;

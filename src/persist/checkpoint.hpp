@@ -26,6 +26,7 @@
 
 #include "mc/local_store.hpp"
 #include "mc/stats.hpp"
+#include "mc/symmetry/role_group.hpp"
 #include "net/monotonic_network.hpp"
 #include "runtime/serialize.hpp"
 
@@ -40,9 +41,10 @@ class CheckpointError : public std::runtime_error {
 inline constexpr char kCheckpointMagic[8] = {'L', 'M', 'C', 'C', 'K', 'P', 'T', '\n'};
 // v2: +checkpoint_failures, +deferred_s
 // v3: deferred_dropped bool -> u64 counter (in place), +soundness_wall_s.
-// Writers always emit the current version; the reader accepts v2 files and
-// widens/defaults the changed stats fields on decode (kMinCheckpointVersion).
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+// v4: +DeferredCombo.sym byte, +kSecSymmetry (optional orbit-cache section).
+// Writers always emit the current version; the reader accepts older files
+// and widens/defaults the changed fields on decode (kMinCheckpointVersion).
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 inline constexpr std::uint32_t kMinCheckpointVersion = 2;
 
 /// Section ids of the container format. Ids are stable across versions;
@@ -60,6 +62,7 @@ enum SectionId : std::uint32_t {
   kSecViolations = 10,  ///< violations recorded so far
   kSecPending = 11,     ///< collected-but-unapplied tasks of the stopped round
   kSecSegment = 12,     ///< trace segment id + base round (resume continuity)
+  kSecSymmetry = 13,    ///< orbit-cache summary (present iff symmetry active)
 };
 
 /// Assembles header | sections | checksum.
@@ -111,6 +114,9 @@ struct DeferredCombo {
   std::vector<std::uint32_t> combo;
   std::vector<std::uint8_t> fixed;
   bool has_mask = false;
+  /// The combo is a canonical orbit representative; phase-2 must expand its
+  /// class assignments when verifying (v4+; decodes to false from older files).
+  bool sym = false;
 };
 
 /// One collected-but-unapplied exploration task. Cursors advance when tasks
@@ -145,6 +151,13 @@ struct CheckerImage {
   /// 0. Absent in pre-section-12 files; both default to 0.
   std::uint64_t segment_id = 0;
   std::uint32_t base_round = 0;
+  /// Orbit-cache summary (kSecSymmetry): present only when the run that
+  /// wrote the checkpoint had symmetry reduction active. `sym_seen` is the
+  /// sorted orbit-hash seen-set; resuming with a different effective
+  /// symmetry mode is rejected.
+  bool has_symmetry = false;
+  symmetry::SymmetryStats sym_stats;
+  std::vector<Hash64> sym_seen;
 };
 
 /// Canonical encoding (sorted unordered containers; stable section order).
@@ -172,6 +185,12 @@ struct CheckpointInfo {
   // From kSecSegment (0/0 for pre-section-12 files and straight runs):
   std::uint64_t segment_id = 0;
   std::uint32_t base_round = 0;
+  // From kSecSymmetry (absent unless the writing run had the reduction on):
+  bool has_symmetry = false;
+  std::uint64_t sym_orbits = 0;
+  std::uint64_t sym_represented = 0;
+  std::uint32_t sym_classes = 0;
+  std::uint64_t sym_seen = 0;
 };
 CheckpointInfo inspect_checkpoint(const Blob& data);
 

@@ -32,6 +32,7 @@ const char* section_name(std::uint32_t id) {
     case kSecViolations: return "violations";
     case kSecPending: return "pending";
     case kSecSegment: return "segment";
+    case kSecSymmetry: return "symmetry";
     default: return "?";
   }
 }
@@ -65,6 +66,11 @@ int cmd_inspect_json(const std::string& path) {
   rec.metric("soundness_wall_s", img.stats.soundness_wall_s);
   rec.metric("deferred_s", img.stats.deferred_s);
   rec.metric("completed", static_cast<std::uint64_t>(img.stats.completed ? 1 : 0));
+  if (info.has_symmetry) {
+    rec.metric("sym_orbits", info.sym_orbits);
+    rec.metric("sym_classes", static_cast<std::uint64_t>(info.sym_classes));
+    rec.metric("sym_represented", info.sym_represented);
+  }
   rec.emit();
   return 0;
 }
@@ -86,6 +92,10 @@ int cmd_inspect(const std::string& path) {
   std::printf("  pending:     %" PRIu64 " task(s) of an interrupted round\n", info.pending_tasks);
   std::printf("  segment:     %" PRIu64 " (rounds continue from %u on resume)\n", info.segment_id,
               info.base_round);
+  if (info.has_symmetry)
+    std::printf("  symmetry:    %" PRIu64 " orbit(s) over %u class(es), %" PRIu64
+                " ordered combination(s) represented, %" PRIu64 " seen-set entries\n",
+                info.sym_orbits, info.sym_classes, info.sym_represented, info.sym_seen);
   std::printf("  sections:\n");
   for (const auto& s : info.sections)
     std::printf("    %-12s id=%-3u %10zu bytes\n", section_name(s.id), s.id, s.len);

@@ -63,6 +63,14 @@ void PaxosNode::deserialize(Reader& r) {
 SystemConfig make_config(std::uint32_t n, CoreOptions core_opt, DriverConfig driver) {
   SystemConfig cfg;
   cfg.num_nodes = n;
+  // Non-proposers are interchangeable: a PaxosNode's id reaches its state
+  // and messages only through proposals (value = id, ballots seeded by id),
+  // so nodes that never propose behave identically under id swaps. Proposers
+  // are excluded — their proposed values ARE their ids.
+  std::vector<NodeId> replicas;
+  for (NodeId i = 0; i < n; ++i)
+    if (driver.proposers.count(i) == 0) replicas.push_back(i);
+  if (replicas.size() >= 2) cfg.symmetric_roles.push_back(std::move(replicas));
   cfg.factory = [core_opt, driver](NodeId self, std::uint32_t num) {
     return std::make_unique<PaxosNode>(self, num, core_opt, driver);
   };

@@ -86,6 +86,9 @@ class AgreementInvariant final : public Invariant {
 
   std::string name() const override { return "paxos.agreement"; }
   bool holds(const SystemConfig& cfg, const SystemStateView& sys) const override;
+  /// Agreement only aggregates chosen maps over all nodes — invariant under
+  /// any node permutation, so any class decomposition is fine.
+  bool symmetric_under(const std::vector<std::vector<NodeId>>&) const override { return true; }
   bool has_projection() const override { return true; }
   Projection project(const SystemConfig& cfg, NodeId n, const Blob& state) const override;
 

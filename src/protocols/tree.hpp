@@ -71,6 +71,15 @@ class CausalDeliveryInvariant final : public Invariant {
   std::string name() const override { return "tree.causal_delivery"; }
   bool holds(const SystemConfig& cfg, const SystemStateView& sys) const override;
 
+  /// The verdict reads only the origin's and the target's status, so any
+  /// permutation fixing those two nodes leaves it unchanged.
+  bool symmetric_under(const std::vector<std::vector<NodeId>>& classes) const override {
+    for (const auto& c : classes)
+      for (NodeId m : c)
+        if (m == topo_->origin || m == topo_->target) return false;
+    return true;
+  }
+
   bool has_projection() const override { return true; }
   Projection project(const SystemConfig& cfg, NodeId n, const Blob& state) const override;
   bool projections_conflict(const Projection& a, const Projection& b) const override;

@@ -51,6 +51,13 @@ struct SystemConfig {
   std::uint32_t num_nodes = 0;
   MachineFactory factory;
 
+  /// Classes of interchangeable nodes ("replicated roles"): within one
+  /// class, permuting node ids yields behaviourally identical systems.
+  /// Consumed by `LocalMcOptions::symmetry` mode `kAuto` (src/mc/symmetry/).
+  /// Purely advisory — a wrong hint costs reduction effectiveness, never
+  /// soundness, because orbit verification re-checks concrete assignments.
+  std::vector<std::vector<NodeId>> symmetric_roles;
+
   std::unique_ptr<StateMachine> make(NodeId n) const { return factory(n, num_nodes); }
 };
 

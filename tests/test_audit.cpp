@@ -56,7 +56,7 @@ class BaseMachine : public StateMachine {
 
 template <class M>
 SystemConfig two_node_config() {
-  return SystemConfig{2, [](NodeId self, std::uint32_t) { return std::make_unique<M>(self); }};
+  return SystemConfig{2, [](NodeId self, std::uint32_t) { return std::make_unique<M>(self); }, {}};
 }
 
 /// The delivery produced by BaseMachine's kick, addressed to node 1.

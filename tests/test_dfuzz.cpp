@@ -202,6 +202,45 @@ TEST(Shrink, MinimizesWhilePreservingFailureClass) {
   EXPECT_GT(res.removed, 0u);  // seed 3 carries rules irrelevant to the bug
 }
 
+// Regression: node removal must reach MIDDLE nodes. The divergence here is
+// carried by nodes 0 and 3 (each can reach s1, so the invariant's two-node
+// coincidence is realizable); nodes 1 and 2 are pure bystanders chattering
+// at each other. The old shrinker only ever peeled the HIGHEST node and
+// stopped at the first failure — node 3 being load-bearing left the
+// bystanders in the artifact forever. The rewritten pass tries every node
+// and renumbers, so the artifact must land at exactly the two culprits.
+TEST(Shrink, RemovesMiddleBystanderNodes) {
+  dfuzz::ProtoSpec spec;
+  spec.seed = 0;
+  spec.num_nodes = 4;
+  spec.num_states = 2;
+  spec.num_msg_types = 1;
+  spec.internals.push_back({0, 0, {1, {}, false}});
+  spec.internals.push_back({3, 0, {1, {}, false}});
+  spec.internals.push_back({1, 0, {0, {{2, 0, 11}}, false}});
+  spec.internals.push_back({2, 0, {0, {{1, 0, 12}}, false}});
+  spec.invariant = {1, 1, false};
+  ASSERT_EQ(dfuzz::validate_spec(spec), "");
+
+  dfuzz::OracleOptions opt;
+  opt.check_resume = false;
+  opt.check_opt = false;
+  opt.soundness.max_schedules = 0;  // cripple soundness: see test above
+  opt.soundness.quick_expansions = 0;
+
+  dfuzz::GeneratedProtocol p = dfuzz::instantiate(spec);
+  dfuzz::OracleReport rep = dfuzz::DiffOracle(opt).check(p.cfg, p.invariant.get());
+  ASSERT_TRUE(rep.conclusive) << rep.detail;
+  ASSERT_EQ(rep.failure, dfuzz::OracleFailure::GmcViolationMissing) << rep.detail;
+
+  dfuzz::ShrinkResult res = dfuzz::shrink_spec(spec, rep.failure, opt);
+  EXPECT_EQ(res.spec.num_nodes, 2u) << "bystander nodes 1 and 2 survived shrinking";
+  EXPECT_EQ(res.spec.internals.size(), 2u);
+  EXPECT_EQ(dfuzz::validate_spec(res.spec), "");
+  EXPECT_TRUE(res.report.conclusive);
+  EXPECT_EQ(res.report.failure, dfuzz::OracleFailure::GmcViolationMissing);
+}
+
 // --- regression: premature mid-run unsoundness verdicts --------------------
 
 // Digest-less interpreter reproducing the seed-97 divergence shape: node 1

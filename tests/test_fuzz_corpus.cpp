@@ -97,5 +97,37 @@ TEST(FuzzCorpus, ThreadCountByteIdentical) {
   EXPECT_GT(total_confirmed, 0u);  // the determinism seeds must exercise violations
 }
 
+// Same gate with the symmetry reduction requested (DESIGN.md §13): orbit
+// bookkeeping lives on the applier and the checkpoint's symmetry section is
+// part of the normalized bytes, so a reduced run must also be byte-identical
+// at any thread count. kAuto activates only where infer_symmetric_roles
+// finds replicated roles — on the other seeds this doubles as a no-op gate.
+TEST(FuzzCorpus, ThreadCountByteIdenticalWithSymmetry) {
+  std::uint64_t active_runs = 0;
+  for (std::uint64_t seed : corpus_seeds()) {
+    dfuzz::GeneratedProtocol p = dfuzz::instantiate(dfuzz::generate_spec(seed));
+    Blob base;
+    for (unsigned threads : {1u, 8u}) {
+      LocalMcOptions opt;
+      opt.stop_on_confirmed = false;
+      opt.use_projection = false;
+      opt.num_threads = threads;
+      opt.time_budget_s = 120;
+      opt.symmetry.mode = symmetry::SymmetryMode::kAuto;
+      LocalModelChecker mc(p.cfg, p.invariant.get(), opt);
+      mc.run_from_initial();
+      ASSERT_TRUE(mc.stats().completed) << "seed " << seed << " threads " << threads;
+      if (threads == 1 && mc.symmetry_stats().active != 0) ++active_runs;
+      Blob norm = dfuzz::normalized_checkpoint_bytes(mc.checkpoint_bytes());
+      if (threads == 1)
+        base = std::move(norm);
+      else
+        EXPECT_EQ(base, norm) << "seed " << seed << ": reduced checker state diverged at "
+                              << threads << " threads";
+    }
+  }
+  EXPECT_GT(active_runs, 0u) << "no corpus seed activated the reduction; the gate is vacuous";
+}
+
 }  // namespace
 }  // namespace lmc

@@ -427,7 +427,7 @@ TEST(ObsCheckpoint, VersionsOutsideTheWindowAreRejected) {
   auto put_u64 = [](Blob& blob, std::size_t off, std::uint64_t v) {
     for (std::size_t i = 0; i < 8; ++i) blob[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
   };
-  for (std::uint32_t bad : {1u, 4u}) {
+  for (std::uint32_t bad : {kMinCheckpointVersion - 1, kCheckpointVersion + 1}) {
     Blob m = b;
     put_u32(m, sizeof(kCheckpointMagic), bad);  // version field follows the magic
     put_u64(m, m.size() - 8, hash_bytes(m.data(), m.size() - 8));  // keep checksum valid

@@ -120,5 +120,60 @@ TEST(Zoo, ThreadCountByteIdenticalAcrossTheZoo) {
   }
 }
 
+TEST(Zoo, SymmetryDifferentialAcrossTheZoo) {
+  // Reduced-vs-unreduced differential over every zoo spec: the oracle
+  // re-runs LMC with the reduction on and demands the confirmed sets agree
+  // up to role permutation, with the reduced witnesses replayed. Specs
+  // whose roles are not interchangeable exercise the silent-no-op path.
+  std::uint64_t sym_checked = 0;
+  for (const std::string& file : zoo_files()) {
+    SCOPED_TRACE(file);
+    LoadResult r = load_file(file);
+    ASSERT_TRUE(r.ok()) << r.diags.to_string();
+    CompiledProtocol p = instantiate(*r.spec);
+
+    dfuzz::OracleOptions opt;
+    opt.check_symmetry = true;
+    dfuzz::OracleReport rep = dfuzz::DiffOracle(opt).check(p.cfg, p.invariant.get());
+    ASSERT_TRUE(rep.conclusive) << rep.detail;
+    ASSERT_TRUE(rep.ok) << dfuzz::to_string(rep.failure) << ": " << rep.detail;
+    if (rep.sym_checked) ++sym_checked;
+  }
+  EXPECT_GT(sym_checked, 0u) << "no zoo spec activated the reduction; the gate is vacuous";
+}
+
+TEST(Zoo, ThreadCountByteIdenticalWithSymmetry) {
+  // The same gate with the symmetry reduction on (DESIGN.md §13). kAuto
+  // activates wherever the compiler inferred interchangeable roles and the
+  // spec's invariants are unordered; elsewhere it must behave as a no-op —
+  // either way the normalized checkpoint must not depend on thread count.
+  std::uint64_t active_specs = 0;
+  for (const std::string& file : zoo_files()) {
+    SCOPED_TRACE(file);
+    LoadResult r = load_file(file);
+    ASSERT_TRUE(r.ok()) << r.diags.to_string();
+    CompiledProtocol p = instantiate(*r.spec);
+
+    Blob base;
+    for (unsigned threads : {1u, 8u}) {
+      LocalMcOptions opt;
+      opt.stop_on_confirmed = false;
+      opt.num_threads = threads;
+      opt.time_budget_s = 300;
+      opt.symmetry.mode = symmetry::SymmetryMode::kAuto;
+      LocalModelChecker mc(p.cfg, p.invariant.get(), opt);
+      mc.run_from_initial();
+      ASSERT_TRUE(mc.stats().completed) << threads << " threads";
+      if (threads == 1 && mc.symmetry_stats().active != 0) ++active_specs;
+      Blob norm = dfuzz::normalized_checkpoint_bytes(mc.checkpoint_bytes());
+      if (threads == 1)
+        base = std::move(norm);
+      else
+        EXPECT_EQ(base, norm) << "reduced checker state diverged at " << threads << " threads";
+    }
+  }
+  EXPECT_GT(active_specs, 0u) << "no zoo spec activated the reduction; the gate is vacuous";
+}
+
 }  // namespace
 }  // namespace lmc::dsl
