@@ -1,0 +1,62 @@
+#include "analyze/independence/auditor.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "runtime/hash.hpp"
+
+namespace lmc::indep {
+
+namespace {
+
+ExecResult step(const SystemConfig& cfg, NodeId node, const Blob& state, const AuditEvent& e) {
+  return e.is_message ? exec_message(cfg, node, state, e.msg)
+                      : exec_internal(cfg, node, state, e.ev);
+}
+
+std::string describe(const AuditEvent& e) {
+  return e.is_message ? "message type " + std::to_string(e.msg.type)
+                      : "internal kind " + std::to_string(e.ev.kind);
+}
+
+struct OrderOutcome {
+  Blob final_state;
+  std::vector<Hash64> sent;  ///< sorted multiset over both steps
+  bool asserted = false;
+};
+
+OrderOutcome run_order(const SystemConfig& cfg, NodeId node, const Blob& pre,
+                       const AuditEvent& first, const AuditEvent& second) {
+  OrderOutcome out;
+  ExecResult r1 = step(cfg, node, pre, first);
+  ExecResult r2 = step(cfg, node, r1.state, second);
+  out.final_state = std::move(r2.state);
+  for (const Message& m : r1.sent) out.sent.push_back(m.hash());
+  for (const Message& m : r2.sent) out.sent.push_back(m.hash());
+  std::sort(out.sent.begin(), out.sent.end());
+  out.asserted = r1.assert_failed || r2.assert_failed;
+  return out;
+}
+
+}  // namespace
+
+void audit_commutation(const SystemConfig& cfg, NodeId node, const Blob& pre,
+                       const AuditEvent& a, const AuditEvent& b) {
+  const OrderOutcome ab = run_order(cfg, node, pre, a, b);
+  const OrderOutcome ba = run_order(cfg, node, pre, b, a);
+  const std::string pair = describe(a) + " / " + describe(b) + " on node " + std::to_string(node);
+  if (ab.final_state != ba.final_state)
+    throw PorAuditError("por audit: claimed-independent pair " + pair +
+                        " reaches different successor states depending on order — the "
+                        "registered footprints are wrong");
+  if (ab.sent != ba.sent)
+    throw PorAuditError("por audit: claimed-independent pair " + pair +
+                        " sends different message multisets depending on order — the "
+                        "registered footprints are wrong");
+  if (ab.asserted != ba.asserted)
+    throw PorAuditError("por audit: claimed-independent pair " + pair +
+                        " diverges on assert outcome depending on order — the registered "
+                        "footprints are wrong");
+}
+
+}  // namespace lmc::indep

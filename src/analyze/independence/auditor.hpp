@@ -1,0 +1,36 @@
+// Runtime commutation auditor: the dynamic check that keeps the static
+// independence relation honest (the lmc_lint / ModelValidityAuditor
+// pattern). At a prune decision the checker claims "delivering m after
+// e_pred reaches exactly the state that delivering e_pred after m reaches";
+// the auditor re-executes BOTH orders from the serialized pre-state and
+// throws if the final state bytes, the combined sent multiset, or the
+// assert outcomes differ. A divergence means the registered footprints are
+// wrong — a metadata bug that would otherwise silently cost soundness.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "runtime/state_machine.hpp"
+
+namespace lmc::indep {
+
+/// A claimed-independent pair diverged under re-execution.
+class PorAuditError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One event of an audited pair.
+struct AuditEvent {
+  bool is_message = false;
+  Message msg;       ///< valid iff is_message
+  InternalEvent ev;  ///< valid iff !is_message
+};
+
+/// Execute a-then-b and b-then-a from `pre` on `node`; throw PorAuditError
+/// naming the divergent aspect, or return silently when the orders agree.
+void audit_commutation(const SystemConfig& cfg, NodeId node, const Blob& pre,
+                       const AuditEvent& a, const AuditEvent& b);
+
+}  // namespace lmc::indep

@@ -1,0 +1,251 @@
+#include "analyze/independence/independence.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace lmc::indep {
+
+namespace {
+
+const std::vector<analyze::RuleInfo> kIndepRules = {
+    {"IN01", "pair with disjoint footprints kept dependent: assertion inputs outside the read set"},
+    {"IN02", "declared-independent pair the static checker cannot confirm (admitted, audited)"},
+    {"IN03", "node without complete handler footprints: all its pairs conservatively dependent"},
+};
+
+/// All rules of one event key, aggregated: the key fires iff ANY of its
+/// rules fires, so its effective footprint is the union.
+struct KeyAgg {
+  bool is_message = false;
+  std::uint32_t key = 0;
+  std::string label;
+  bool any_table = false, any_field = false;
+  bool asserts = false;
+  std::set<std::string> reads;
+  std::map<std::string, MergeKind> writes;  ///< kNone on intra-key conflict
+  std::set<std::uint32_t> guards, gotos;
+};
+
+enum class Verdict { kIndependent, kDependent, kUnclassifiableAssert };
+
+bool disjoint(const std::set<std::uint32_t>& a, const std::set<std::uint32_t>& b) {
+  for (std::uint32_t x : a)
+    if (b.count(x)) return false;
+  return true;
+}
+
+bool field_structurally_disjoint(const KeyAgg& a, const KeyAgg& b) {
+  for (const auto& [f, m] : a.writes) {
+    if (b.reads.count(f)) return false;
+    auto it = b.writes.find(f);
+    if (it != b.writes.end()) {
+      // Shared written field: both sides must use the same commutative
+      // merge, and neither may read it (covered by the read checks).
+      if (m == MergeKind::kNone || it->second != m) return false;
+      if (a.reads.count(f)) return false;
+    }
+  }
+  for (const auto& [f, m] : b.writes)
+    if (a.reads.count(f)) return false;
+  return true;
+}
+
+Verdict classify(const KeyAgg& a, const KeyAgg& b) {
+  const bool a_table = a.any_table && !a.any_field;
+  const bool b_table = b.any_table && !b.any_field;
+  const bool a_field = a.any_field && !a.any_table;
+  const bool b_field = b.any_field && !b.any_table;
+  if (a_table && b_table) {
+    // At most one of the two keys can match at any control state, and a
+    // non-matching delivery is a pure no-op — but only when no rule of the
+    // pair can fire an assert (an asserting rule sends before it discards,
+    // so "no-op at every non-guard state" must cover assert rows too; the
+    // aggregated guard sets do).
+    if (!disjoint(a.guards, b.guards) || !disjoint(a.gotos, b.guards) ||
+        !disjoint(b.gotos, a.guards))
+      return Verdict::kDependent;
+    if (a.asserts || b.asserts) return Verdict::kUnclassifiableAssert;
+    return Verdict::kIndependent;
+  }
+  if (a_field && b_field) {
+    if (!field_structurally_disjoint(a, b)) return Verdict::kDependent;
+    if (a.asserts || b.asserts) return Verdict::kUnclassifiableAssert;
+    return Verdict::kIndependent;
+  }
+  // Mixed or contradictory flavors: nothing to reason with.
+  return Verdict::kDependent;
+}
+
+}  // namespace
+
+// --- IndependenceRelation ----------------------------------------------------
+
+void IndependenceRelation::add(NodeId node, std::uint64_t a, std::uint64_t b) {
+  if (node >= per_node_.size()) per_node_.resize(node + 1);
+  if (a > b) std::swap(a, b);
+  per_node_[node].emplace_back(a, b);
+  sealed_ = false;
+}
+
+void IndependenceRelation::seal() {
+  Hash64 d = mix64(0x706f72u);  // "por"
+  for (std::size_t n = 0; n < per_node_.size(); ++n) {
+    auto& v = per_node_[n];
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    for (const auto& [a, b] : v) {
+      d = hash_combine(d, n);
+      d = hash_combine(d, a);
+      d = hash_combine(d, b);
+    }
+  }
+  digest_ = d;
+  sealed_ = true;
+}
+
+bool IndependenceRelation::independent(NodeId node, std::uint64_t a, std::uint64_t b) const {
+  if (node >= per_node_.size()) return false;
+  if (a > b) std::swap(a, b);
+  const auto& v = per_node_[node];
+  return std::binary_search(v.begin(), v.end(), std::make_pair(a, b));
+}
+
+std::uint64_t IndependenceRelation::size() const {
+  std::uint64_t n = 0;
+  for (const auto& v : per_node_) n += v.size();
+  return n;
+}
+
+// --- checker -----------------------------------------------------------------
+
+const std::vector<analyze::RuleInfo>& indep_rules() { return kIndepRules; }
+
+AnalysisResult analyze_independence(const ProtocolFootprints* footprints,
+                                    std::uint32_t num_nodes, const std::string& source_name) {
+  AnalysisResult res;
+  res.relation = IndependenceRelation(num_nodes);
+  const std::string file = source_name.empty() ? "<protocol>" : source_name;
+
+  if (footprints == nullptr) {
+    res.nodes_without_metadata = num_nodes;
+    res.diagnostics.push_back(
+        {"IN03", file, 1, 1,
+         "protocol registers no handler footprints: every handler pair is conservatively "
+         "dependent and partial-order reduction stays off"});
+    res.relation.seal();
+    return res;
+  }
+
+  // Deduplicate IN01 across nodes: symmetric protocols repeat the same rule
+  // table on every node.
+  std::map<std::string, std::pair<NodeId, std::uint32_t>> in01;  // text -> (first node, extra)
+
+  std::set<NodeId> described;
+  for (const NodeFootprints& nf : footprints->nodes) {
+    if (nf.node >= num_nodes) continue;
+    if (!nf.complete) continue;
+    described.insert(nf.node);
+
+    std::map<std::uint64_t, KeyAgg> keys;
+    for (const RuleFootprint& r : nf.rules) {
+      KeyAgg& agg = keys[event_key(r.is_message, r.key)];
+      agg.is_message = r.is_message;
+      agg.key = r.key;
+      if (agg.label.empty()) agg.label = r.label.empty() ? "?" : r.label;
+      // A rule declaring nothing at all is a null handler (e.g. a message
+      // type with no row at this node — a guaranteed no-op delivery); it
+      // joins the table flavor with empty guard/goto sets, disjoint from
+      // everything.
+      const bool null_rule = r.guard_states.empty() && r.reads.empty() && r.writes.empty() &&
+                             !r.sends && !r.asserts;
+      if (!r.guard_states.empty() || null_rule) {
+        agg.any_table = true;
+        agg.guards.insert(r.guard_states.begin(), r.guard_states.end());
+        agg.gotos.insert(r.goto_states.begin(), r.goto_states.end());
+      } else {
+        agg.any_field = true;
+        agg.reads.insert(r.reads.begin(), r.reads.end());
+        for (const FieldAccess& w : r.writes) {
+          auto [it, inserted] = agg.writes.emplace(w.field, w.merge);
+          if (!inserted && it->second != w.merge) it->second = MergeKind::kNone;
+        }
+      }
+      agg.asserts = agg.asserts || r.asserts;
+    }
+
+    std::set<std::pair<std::uint64_t, std::uint64_t>> node_pairs;
+    for (auto ia = keys.begin(); ia != keys.end(); ++ia) {
+      for (auto ib = std::next(ia); ib != keys.end(); ++ib) {
+        switch (classify(ia->second, ib->second)) {
+          case Verdict::kIndependent:
+            res.relation.add(nf.node, ia->first, ib->first);
+            node_pairs.emplace(ia->first, ib->first);
+            ++res.derived_pairs;
+            break;
+          case Verdict::kUnclassifiableAssert: {
+            ++res.unclassifiable;
+            const std::string msg =
+                "rules '" + ia->second.label + "' and '" + ib->second.label +
+                "' have disjoint footprints but carry assertion inputs outside their read "
+                "sets; the pair stays dependent (drop the assert or fold its inputs into "
+                "`reads` to unlock the reduction)";
+            auto [it, inserted] = in01.emplace(msg, std::make_pair(nf.node, 0u));
+            if (!inserted) ++it->second.second;
+            break;
+          }
+          case Verdict::kDependent:
+            break;
+        }
+      }
+    }
+
+    for (const DeclaredPair& dp : nf.declared_independent) {
+      const std::uint64_t ka = event_key(dp.a_is_message, dp.a_key);
+      const std::uint64_t kb = event_key(dp.b_is_message, dp.b_key);
+      if (node_pairs.count(std::minmax(ka, kb))) continue;  // already derived
+      bool statically_confirmed = false;
+      auto fa = keys.find(ka);
+      auto fb = keys.find(kb);
+      if (ka != kb && fa != keys.end() && fb != keys.end())
+        statically_confirmed = classify(fa->second, fb->second) == Verdict::kIndependent;
+      res.relation.add(nf.node, ka, kb);
+      ++res.declared_pairs;
+      if (!statically_confirmed) {
+        res.diagnostics.push_back(
+            {"IN02", file, 1, 1,
+             "declared-independent pair (" + (fa != keys.end() ? fa->second.label : "?") + ", " +
+                 (fb != keys.end() ? fb->second.label : "?") + ") on node " +
+                 std::to_string(nf.node) + " cannot be confirmed statically (" + dp.why +
+                 "); it is admitted on the author's word and remains subject to the runtime "
+                 "commutation auditor"});
+      }
+    }
+  }
+
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (described.count(n)) continue;
+    ++res.nodes_without_metadata;
+    res.diagnostics.push_back(
+        {"IN03", file, 1, 1,
+         "node " + std::to_string(n) +
+             " has no complete handler footprints: all its handler pairs are conservatively "
+             "dependent"});
+  }
+
+  for (const auto& [msg, site] : in01) {
+    std::string full = msg + " (node " + std::to_string(site.first) +
+                       (site.second > 0 ? " and " + std::to_string(site.second) + " more" : "") +
+                       ")";
+    res.diagnostics.push_back({"IN01", file, 1, 1, std::move(full)});
+  }
+
+  std::sort(res.diagnostics.begin(), res.diagnostics.end(),
+            [](const analyze::Diagnostic& a, const analyze::Diagnostic& b) {
+              return std::tie(a.rule, a.message) < std::tie(b.rule, b.message);
+            });
+  res.relation.seal();
+  return res;
+}
+
+}  // namespace lmc::indep

@@ -26,6 +26,13 @@ const std::vector<RuleInfo> kRules = {
     {"TH01", "threading/synchronization primitive in a handler"},
     {"SR01", "field mutated in a handler but missing from serialize()"},
     {"SR02", "field referenced in serialize() xor deserialize()"},
+    // The IN rules fire from the footprint-based independence checker
+    // (analyze/independence/, surfaced by lmc_indep), never from the token
+    // scan — they are listed here so the shared emitters and --list-rules
+    // present one stable rule namespace.
+    {"IN01", "pair with disjoint footprints kept dependent: assertion inputs outside the read set"},
+    {"IN02", "declared-independent pair the static checker cannot confirm (admitted, audited)"},
+    {"IN03", "node without complete handler footprints: all its pairs conservatively dependent"},
 };
 
 // Entropy calls (fire when followed by '('; `std::time(...)` included).

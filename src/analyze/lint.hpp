@@ -31,6 +31,15 @@
 //                                   from serialize()
 //   SR02 serialize-asymmetry        field in serialize() xor deserialize()
 //
+// The IN01–IN03 rules share this namespace but fire from the footprint-based
+// independence checker (analyze/independence/, CLI: lmc_indep), not from the
+// token scan:
+//   IN01 indep-unclassifiable-pair  disjoint footprints left dependent
+//                                   because of out-of-read-set assert inputs
+//   IN02 indep-declared-unverifiable DeclaredPair admitted on the author's
+//                                   word (runtime-audited), not confirmed
+//   IN03 indep-missing-metadata     node without complete footprints
+//
 // Suppression: a comment `// lmc-lint-disable(ID)` (or `(ID1,ID2)`, or
 // `(*)`) on the diagnosed line or the line above; `lmc-lint-disable-file(ID)`
 // anywhere in the file suppresses for the whole file. Suppressions are

@@ -1,6 +1,6 @@
 // lmc_lint CLI: model-validity lint over protocol sources.
 //
-//   lmc_lint [--json] [--list-rules] <file-or-dir>...
+//   lmc_lint [--json|--sarif] [--list-rules] <file-or-dir>...
 //
 // Directories are scanned recursively for .cpp/.cc/.hpp/.h. Exit status:
 // 0 = clean, 1 = violations found, 2 = usage or I/O error.
@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analyze/lint.hpp"
+#include "analyze/sarif.hpp"
 
 namespace fs = std::filesystem;
 
@@ -23,8 +24,9 @@ bool is_source_file(const fs::path& p) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: lmc_lint [--json] [--list-rules] <file-or-dir>...\n"
+               "usage: lmc_lint [--json|--sarif] [--list-rules] <file-or-dir>...\n"
                "  --json        emit one JSON object instead of gcc-style lines\n"
+               "  --sarif       emit a SARIF 2.1.0 log instead of gcc-style lines\n"
                "  --list-rules  print the rule table and exit\n");
   return 2;
 }
@@ -33,11 +35,14 @@ int usage() {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool sarif = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
     } else if (arg == "--list-rules") {
       for (const auto& r : lmc::analyze::all_rules())
         std::printf("%s  %s\n", r.id, r.summary);
@@ -79,7 +84,11 @@ int main(int argc, char** argv) {
   }
 
   const lmc::analyze::LintResult res = linter.run();
-  if (json) {
+  if (sarif) {
+    std::fputs(lmc::analyze::to_sarif(res, "lmc_lint", lmc::analyze::all_rules()).c_str(),
+               stdout);
+    std::fputc('\n', stdout);
+  } else if (json) {
     std::fputs(lmc::analyze::to_json(res).c_str(), stdout);
     std::fputc('\n', stdout);
   } else {

@@ -1,0 +1,67 @@
+#include "analyze/sarif.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace lmc::analyze {
+
+namespace {
+
+void esc(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string to_sarif(const LintResult& r, const std::string& tool_name,
+                     const std::vector<RuleInfo>& rules) {
+  std::ostringstream os;
+  os << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+        "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":";
+  esc(os, tool_name);
+  os << ",\"rules\":[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"id\":";
+    esc(os, rules[i].id);
+    os << ",\"shortDescription\":{\"text\":";
+    esc(os, rules[i].summary);
+    os << "}}";
+  }
+  os << "]}},\"results\":[";
+  for (std::size_t i = 0; i < r.diagnostics.size(); ++i) {
+    const Diagnostic& d = r.diagnostics[i];
+    if (i) os << ",";
+    os << "{\"ruleId\":";
+    esc(os, d.rule);
+    os << ",\"level\":\"warning\",\"message\":{\"text\":";
+    esc(os, d.message);
+    os << "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":";
+    esc(os, d.file);
+    // SARIF regions are 1-based; diagnostics without a precise position
+    // (e.g. the per-protocol IN rules) clamp to 1:1.
+    os << "},\"region\":{\"startLine\":" << (d.line > 0 ? d.line : 1)
+       << ",\"startColumn\":" << (d.col > 0 ? d.col : 1) << "}}}]}";
+  }
+  os << "]}]}";
+  return std::move(os).str();
+}
+
+}  // namespace lmc::analyze

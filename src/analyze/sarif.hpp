@@ -1,0 +1,19 @@
+// SARIF 2.1.0 emitter shared by lmc_lint and lmc_indep (--sarif). Minimal
+// static-analysis profile: one run, the tool's rule table, one result per
+// diagnostic with a physical location. Enough for code-scanning UIs and the
+// CI artifact upload; deliberately nothing more.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/lint.hpp"
+
+namespace lmc::analyze {
+
+/// Render `r` as a SARIF 2.1.0 log. `tool_name` names the driver;
+/// `rules` is the driver's full rule table (fired or not).
+std::string to_sarif(const LintResult& r, const std::string& tool_name,
+                     const std::vector<RuleInfo>& rules);
+
+}  // namespace lmc::analyze

@@ -2,14 +2,18 @@
 //
 //   lmc_fuzz [--seed S] [--runs N] [--max-nodes K] [--threads T]
 //            [--lmc-threads L] [--time-budget SEC] [--audit-every K]
-//            [--symmetry] [--symmetric-specs] [--out-dir DIR] [--verbose]
+//            [--symmetry] [--symmetric-specs] [--por] [--out-dir DIR] [--verbose]
 //   lmc_fuzz --repro FILE           re-run the oracle on a dumped spec
 //
 // --symmetry adds a per-seed reduced-vs-unreduced differential: LMC re-runs
 // with SymmetryMode::kAuto and the confirmed-violation sets must agree up to
 // within-class permutation (witnesses replayed). --symmetric-specs swaps the
 // generator for generate_symmetric_spec (driver nodes + one replicated role
-// class) so the reduction actually activates on most seeds.
+// class) so the reduction actually activates on most seeds. --por adds the
+// partial-order-reduction differential: LMC re-runs with PorMode::kOn (the
+// runtime commutation auditor checking every prune decision) and the
+// confirmed sets must be exactly equal, with a 1-vs-8-thread checkpoint
+// byte-identity check on top.
 //
 // Seeds S..S+N-1 each generate one random protocol and push it through the
 // DiffOracle (global baseline vs LMC, witness replay, resume round-trip,
@@ -54,6 +58,7 @@ struct Args {
   std::uint32_t audit_every = 0;
   bool audit_validity = false;
   bool check_symmetry = false;   ///< per-seed reduced-vs-unreduced differential
+  bool check_por = false;        ///< per-seed POR-reduced-vs-unreduced differential
   bool symmetric_specs = false;  ///< generate via generate_symmetric_spec
   std::string artifact_dir = ".";
   std::string repro_file;
@@ -65,7 +70,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: lmc_fuzz [--seed S] [--runs N] [--max-nodes K] [--threads T]\n"
                "                [--lmc-threads L] [--time-budget SEC] [--audit-every K]\n"
-               "                [--audit-validity] [--symmetry] [--symmetric-specs]\n"
+               "                [--audit-validity] [--symmetry] [--symmetric-specs] [--por]\n"
                "                [--out-dir DIR] [--trace-dir DIR] [--verbose]\n"
                "       lmc_fuzz --repro FILE\n");
   return 2;
@@ -96,6 +101,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.audit_validity = true;
     } else if (arg == "--symmetry") {
       a.check_symmetry = true;
+    } else if (arg == "--por") {
+      a.check_por = true;
     } else if (arg == "--symmetric-specs") {
       a.symmetric_specs = true;
     } else if ((arg == "--out-dir" || arg == "--artifact-dir") && (v = next())) {
@@ -119,6 +126,7 @@ OracleOptions oracle_options(const Args& a) {
   opt.audit_every = a.audit_every;
   opt.audit_validity = a.audit_validity;
   opt.check_symmetry = a.check_symmetry;
+  opt.check_por = a.check_por;
   return opt;
 }
 
@@ -212,7 +220,8 @@ int main(int argc, char** argv) {
     std::uint64_t ok = 0, inconclusive = 0, failed = 0, errored = 0, with_bugs = 0;
     std::uint64_t gmc_states = 0, gmc_transitions = 0, lmc_transitions = 0, confirmed = 0,
                   replayed = 0, resumes = 0, opts = 0, audited = 0, handler_audits = 0,
-                  model_invalid = 0, syms = 0, sym_orbits = 0;
+                  model_invalid = 0, syms = 0, sym_orbits = 0, pors = 0, por_pruned = 0,
+                  por_audits = 0;
     std::vector<std::uint64_t> failed_seeds;
     for (std::size_t i = 0; i < results.size(); ++i) {
       const std::uint64_t seed = args.seed + i;
@@ -234,6 +243,9 @@ int main(int argc, char** argv) {
       opts += rep.opt_checked ? 1 : 0;
       syms += rep.sym_checked ? 1 : 0;
       sym_orbits += rep.sym_orbits;
+      pors += rep.por_checked ? 1 : 0;
+      por_pruned += rep.por_pruned;
+      por_audits += rep.por_audits;
       if (rep.gmc_violation_tuples > 0) ++with_bugs;
       if (!rep.conclusive) {
         ++inconclusive;
@@ -277,6 +289,10 @@ int main(int argc, char** argv) {
     if (args.check_symmetry)
       std::printf("  symmetry-reduced runs: %" PRIu64 " (%" PRIu64 " orbits materialized)\n",
                   syms, sym_orbits);
+    if (args.check_por)
+      std::printf("  POR-reduced runs: %" PRIu64 " (%" PRIu64 " deliveries pruned, %" PRIu64
+                  " commutation audits)\n",
+                  pors, por_pruned, por_audits);
     if (args.audit_validity)
       std::printf("  handler executions audited: %" PRIu64 " (%" PRIu64 " validity failure(s))\n",
                   handler_audits, model_invalid);
@@ -300,6 +316,9 @@ int main(int argc, char** argv) {
     rec.metric("opt_runs", opts);
     rec.metric("sym_runs", syms);
     rec.metric("sym_orbits", sym_orbits);
+    rec.metric("por_runs", pors);
+    rec.metric("por_pruned", por_pruned);
+    rec.metric("por_audits", por_audits);
     rec.emit();
     return (failed > 0 || errored > 0) ? 1 : 0;
   } catch (const std::exception& e) {

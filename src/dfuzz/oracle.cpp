@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analyze/independence/auditor.hpp"
 #include "mc/global_mc.hpp"
 #include "mc/local_mc.hpp"
 #include "mc/replay.hpp"
@@ -42,6 +43,10 @@ const char* to_string(OracleFailure f) {
     case OracleFailure::ModelInvalid: return "model-invalid";
     case OracleFailure::SymmetryViolationMismatch: return "symmetry-violation-mismatch";
     case OracleFailure::SymmetryReplayFailed: return "symmetry-witness-replay-failed";
+    case OracleFailure::PorViolationMismatch: return "por-violation-mismatch";
+    case OracleFailure::PorReplayFailed: return "por-witness-replay-failed";
+    case OracleFailure::PorThreadMismatch: return "por-thread-mismatch";
+    case OracleFailure::PorAuditFailed: return "por-audit-failed";
   }
   return "?";
 }
@@ -90,6 +95,10 @@ Blob normalized_checkpoint_bytes(const Blob& checkpoint) {
   // not exploration state.
   img.segment_id = 0;
   img.base_round = 0;
+  // The commutation-audit counter tracks the audit SETTING, not the
+  // exploration: an audited and an unaudited run of the same search differ
+  // only here.
+  img.por_stats.audits = 0;
   return encode_checkpoint(img);
 }
 
@@ -392,6 +401,88 @@ OracleReport DiffOracle::check(const SystemConfig& cfg, const Invariant* invaria
             fail(OracleFailure::SymmetryReplayFailed,
                  "symmetry witness for " + tuple_str(v.state_hashes) +
                      " failed to replay: " + r.error);
+        }
+      }
+    }
+  }
+
+  // --- partial-order reduction differential ----------------------------------
+  // The unreduced GEN run above is again the reference. POR claims only to
+  // skip REDUNDANT interleavings — the set of confirmed violations must be
+  // exactly equal (no permutation slack, unlike symmetry), every reduced-run
+  // witness must replay through the real handlers, and because prune
+  // decisions happen at publish time on the deterministic thread, a
+  // 1-thread and an 8-thread reduced run must explore byte-identically.
+  if (opt_.check_por && invariant != nullptr) {
+    LocalMcOptions popt = lopt;
+    popt.trace = nullptr;
+    popt.por.mode = indep::PorMode::kOn;
+    popt.por.audit = true;
+    popt.por.audit_every = 1;
+    LocalModelChecker p(cfg, invariant, popt);
+    bool audit_threw = false;
+    try {
+      p.run_from_initial();
+    } catch (const indep::PorAuditError& e) {
+      audit_threw = true;
+      fail(OracleFailure::PorAuditFailed,
+           std::string("commutation auditor refuted a claimed-independent pair: ") + e.what());
+    }
+    if (!audit_threw) {
+      if (!p.stats().completed) {
+        rep.conclusive = false;
+        if (rep.detail.empty()) rep.detail = "POR run hit a budget; reduction not judged";
+      } else if (p.por_stats().active != 0) {
+        // active == 0 = the reduction never resolved on (no footprints or an
+        // empty relation): the run was just the unreduced search again.
+        rep.por_checked = true;
+        rep.por_relation_pairs = p.por_stats().relation_pairs;
+        rep.por_pruned = p.por_stats().pairs_pruned;
+        rep.por_audits = p.por_stats().audits;
+        rep.por_confirmed = p.stats().confirmed_violations;
+        std::unordered_map<Hash64, std::vector<Hash64>> base_t, por_t;
+        for (const LocalViolation& v : l.violations())
+          if (v.confirmed) base_t.emplace(tuple_hash(v.state_hashes), v.state_hashes);
+        for (const LocalViolation& v : p.violations())
+          if (v.confirmed) por_t.emplace(tuple_hash(v.state_hashes), v.state_hashes);
+        for (const auto& [k, tuple] : base_t)
+          if (!por_t.count(k))
+            fail(OracleFailure::PorViolationMismatch,
+                 "violation " + tuple_str(tuple) +
+                     " confirmed by the unreduced run is missing from the POR run");
+        for (const auto& [k, tuple] : por_t)
+          if (!base_t.count(k))
+            fail(OracleFailure::PorViolationMismatch,
+                 "POR run confirmed " + tuple_str(tuple) +
+                     " which the unreduced run did not");
+        if (opt_.check_replay) {
+          for (const LocalViolation& v : p.violations()) {
+            if (!v.confirmed) continue;
+            ReplayResult r = replay_schedule(cfg, p.initial_nodes(), p.initial_in_flight(),
+                                             v.witness, p.events(), v.state_hashes);
+            ++rep.witnesses_replayed;
+            if (!r.ok)
+              fail(OracleFailure::PorReplayFailed,
+                   "POR witness for " + tuple_str(v.state_hashes) +
+                       " failed to replay: " + r.error);
+          }
+        }
+        // Thread-count identity under pruning (the auditor stays off here:
+        // it only adds checks, never changes exploration, and one audited
+        // run already covered every prune decision).
+        LocalMcOptions p8opt = popt;
+        p8opt.por.audit = false;
+        p8opt.num_threads = 8;
+        LocalModelChecker p8(cfg, invariant, p8opt);
+        p8.run_from_initial();
+        if (!p8.stats().completed) {
+          rep.conclusive = false;
+          if (rep.detail.empty())
+            rep.detail = "8-thread POR run hit a budget; thread identity not judged";
+        } else if (normalized_checkpoint_bytes(p8.checkpoint_bytes()) !=
+                   normalized_checkpoint_bytes(p.checkpoint_bytes())) {
+          fail(OracleFailure::PorThreadMismatch,
+               "1-thread and 8-thread POR runs produced different normalized checkpoints");
         }
       }
     }

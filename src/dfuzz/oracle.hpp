@@ -54,6 +54,17 @@ struct OracleOptions {
   /// reduction does not activate (no classes / ordered invariant).
   bool check_symmetry = false;
 
+  /// Re-run LMC with partial-order reduction (PorMode::kOn, the runtime
+  /// commutation auditor on at every prune decision) and demand the
+  /// confirmed-violation set EXACTLY equal the unreduced run's — POR claims
+  /// to skip redundant interleavings only, so unlike symmetry there is no
+  /// permutation slack. Every reduced-run witness must replay, and a
+  /// 1-thread and an 8-thread reduced run must produce byte-identical
+  /// normalized checkpoints. Silently skipped when the reduction does not
+  /// activate (no footprints / empty relation / bounded total or chain
+  /// depth — pruning shifts recorded depths, so bounds would truncate).
+  bool check_por = false;
+
   /// Sampled soundness audit: every k-th globally reached system state
   /// (sorted by tuple hash) must verify sound and replay. 0 disables —
   /// the audit is the old hand-written cross-check, quadratic-ish in
@@ -95,6 +106,10 @@ enum class OracleFailure {
   ModelInvalid,          ///< ModelValidityAuditor rejected a handler execution
   SymmetryViolationMismatch,  ///< reduced/unreduced confirmed sets differ mod permutation
   SymmetryReplayFailed,       ///< a reduced run's de-canonicalized witness failed to replay
+  PorViolationMismatch,  ///< POR-reduced confirmed set differs from the unreduced run's
+  PorReplayFailed,       ///< a POR run's witness failed to replay
+  PorThreadMismatch,     ///< 1-thread and 8-thread POR runs explored differently
+  PorAuditFailed,        ///< runtime commutation auditor caught a divergent pair
 };
 
 const char* to_string(OracleFailure f);
@@ -129,6 +144,11 @@ struct OracleReport {
   bool sym_checked = false;        ///< symmetry run completed with the reduction ACTIVE
   std::uint64_t sym_orbits = 0;    ///< canonical combinations the reduced run materialized
   std::uint64_t sym_confirmed = 0; ///< confirmed violations in the reduced run
+  bool por_checked = false;          ///< POR run completed with the reduction ACTIVE
+  std::uint64_t por_relation_pairs = 0;  ///< static independence pairs resolved
+  std::uint64_t por_pruned = 0;      ///< deliveries the reduced run pruned
+  std::uint64_t por_audits = 0;      ///< runtime commutation audits executed
+  std::uint64_t por_confirmed = 0;   ///< confirmed violations in the reduced run
 };
 
 class DiffOracle {

@@ -482,6 +482,58 @@ std::vector<std::vector<NodeId>> infer_symmetric_roles(const ProtoSpec& spec) {
   return symmetry::infer_classes(sigs);
 }
 
+// Footprint extraction, the exact mirror of dsl::extract_footprints: every
+// generated rule is a guarded state transition (table flavor); the internal
+// kind convention is global rule index + 1; message types with no rule at a
+// node are null handlers (guaranteed no-op deliveries).
+std::shared_ptr<const ProtocolFootprints> extract_footprints(const ProtoSpec& spec) {
+  auto fp = std::make_shared<ProtocolFootprints>();
+  fp->nodes.resize(spec.num_nodes);
+  for (NodeId n = 0; n < spec.num_nodes; ++n) {
+    NodeFootprints& nf = fp->nodes[n];
+    nf.node = n;
+    nf.complete = true;
+    for (std::size_t i = 0; i < spec.internals.size(); ++i) {
+      const InternalRule& r = spec.internals[i];
+      if (r.node != n) continue;
+      RuleFootprint rf;
+      rf.is_message = false;
+      rf.key = static_cast<std::uint32_t>(i) + 1;
+      rf.label = "internal#" + std::to_string(i);
+      rf.guard_states.push_back(r.guard_state);
+      rf.goto_states.push_back(r.action.goto_state);
+      rf.fire_once = true;
+      rf.sends = !r.action.sends.empty();
+      rf.asserts = r.action.fail_assert;
+      nf.rules.push_back(std::move(rf));
+    }
+    for (std::uint32_t t = 0; t < spec.num_msg_types; ++t) {
+      bool any = false;
+      for (const MsgRule& r : spec.msg_rules) {
+        if (r.node != n || r.type != t) continue;
+        any = true;
+        RuleFootprint rf;
+        rf.is_message = true;
+        rf.key = t;
+        rf.label = "msg#" + std::to_string(t);
+        rf.guard_states.push_back(r.guard_state);
+        rf.goto_states.push_back(r.action.goto_state);
+        rf.sends = !r.action.sends.empty();
+        rf.asserts = r.action.fail_assert;
+        nf.rules.push_back(std::move(rf));
+      }
+      if (!any) {
+        RuleFootprint rf;
+        rf.is_message = true;
+        rf.key = t;
+        rf.label = "msg#" + std::to_string(t);
+        nf.rules.push_back(std::move(rf));
+      }
+    }
+  }
+  return fp;
+}
+
 GeneratedProtocol instantiate(const ProtoSpec& spec) {
   if (std::string err = validate_spec(spec); !err.empty())
     throw std::invalid_argument("dfuzz: invalid ProtoSpec: " + err);
@@ -489,6 +541,7 @@ GeneratedProtocol instantiate(const ProtoSpec& spec) {
   p.spec = std::make_shared<const ProtoSpec>(spec);
   p.cfg.num_nodes = spec.num_nodes;
   p.cfg.symmetric_roles = infer_symmetric_roles(spec);
+  p.cfg.footprints = extract_footprints(spec);
   std::shared_ptr<const ProtoSpec> shared = p.spec;
   p.cfg.factory = [shared](NodeId self, std::uint32_t) {
     return std::make_unique<GenNode>(self, shared);

@@ -229,6 +229,59 @@ std::vector<std::vector<NodeId>> infer_symmetric_roles(const DslSpec& spec) {
   return symmetry::infer_classes(sigs);
 }
 
+// Footprint extraction (runtime/footprint.hpp): every elaborated rule is a
+// guarded state transition, so the table flavor captures it exactly. The
+// internal-event key convention matches enabled_internal_events(): global
+// rule index + 1. Message types with no row at a node get a null-handler
+// entry — a delivery of that type is a guaranteed no-op there.
+std::shared_ptr<const ProtocolFootprints> extract_footprints(const DslSpec& spec) {
+  auto fp = std::make_shared<ProtocolFootprints>();
+  fp->nodes.resize(spec.num_nodes);
+  for (NodeId n = 0; n < spec.num_nodes; ++n) {
+    NodeFootprints& nf = fp->nodes[n];
+    nf.node = n;
+    nf.complete = true;
+    for (std::size_t i = 0; i < spec.internals.size(); ++i) {
+      const SpecInternalRule& r = spec.internals[i];
+      if (r.node != n) continue;
+      RuleFootprint rf;
+      rf.is_message = false;
+      rf.key = static_cast<std::uint32_t>(i) + 1;
+      rf.label = r.label.empty() ? "internal#" + std::to_string(i) : r.label;
+      rf.guard_states.push_back(r.guard_state);
+      rf.goto_states.push_back(r.action.goto_state);
+      rf.fire_once = true;
+      rf.sends = !r.action.sends.empty();
+      rf.asserts = r.action.fail_assert;
+      nf.rules.push_back(std::move(rf));
+    }
+    for (std::uint32_t t = 0; t < spec.messages.size(); ++t) {
+      bool any = false;
+      for (const SpecMsgRule& r : spec.msg_rules) {
+        if (r.node != n || r.type != t) continue;
+        any = true;
+        RuleFootprint rf;
+        rf.is_message = true;
+        rf.key = t;
+        rf.label = spec.messages[t];
+        rf.guard_states.push_back(r.guard_state);
+        rf.goto_states.push_back(r.action.goto_state);
+        rf.sends = !r.action.sends.empty();
+        rf.asserts = r.action.fail_assert;
+        nf.rules.push_back(std::move(rf));
+      }
+      if (!any) {
+        RuleFootprint rf;
+        rf.is_message = true;
+        rf.key = t;
+        rf.label = spec.messages[t];
+        nf.rules.push_back(std::move(rf));
+      }
+    }
+  }
+  return fp;
+}
+
 CompiledProtocol instantiate(const DslSpec& spec) {
   if (std::string err = validate(spec); !err.empty())
     throw std::invalid_argument("dsl: invalid spec '" + spec.name + "': " + err);
@@ -236,6 +289,7 @@ CompiledProtocol instantiate(const DslSpec& spec) {
   p.spec = std::make_shared<const DslSpec>(spec);
   p.cfg.num_nodes = spec.num_nodes;
   p.cfg.symmetric_roles = infer_symmetric_roles(spec);
+  p.cfg.footprints = extract_footprints(spec);
   std::shared_ptr<const DslSpec> shared = p.spec;
   p.cfg.factory = [shared](NodeId self, std::uint32_t) {
     return std::make_unique<DslNode>(self, shared);

@@ -7,6 +7,10 @@
 //                        baseline, witness replay, resume round-trip, OPT path)
 //     --symmetry         oracle only: add the reduced-vs-unreduced differential
 //                        (confirmed sets must match up to role permutation)
+//     --por              oracle only: add the partial-order-reduction
+//                        differential (exactly equal confirmed sets, every
+//                        prune decision runtime-audited, 1-vs-8-thread
+//                        checkpoint byte identity)
 //     --scenario NAME    run only the named scenario from the spec
 //     --no-scenarios     base run only
 //     --nodes N          override the protocol's node count
@@ -64,12 +68,13 @@ struct Args {
   bool emit = false;
   bool oracle = false;
   bool symmetry = false;  ///< --oracle only: reduced-vs-unreduced differential
+  bool por = false;       ///< --oracle only: POR-reduced-vs-unreduced differential
   bool no_scenarios = false;
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: lmc_run [--check] [--emit] [--oracle] [--symmetry]\n"
+               "usage: lmc_run [--check] [--emit] [--oracle] [--symmetry] [--por]\n"
                "               [--scenario NAME] [--no-scenarios] [--nodes N] [--threads T]\n"
                "               [--time-budget SEC] [--audit-every K] [--audit-validity]\n"
                "               [--trace FILE] SPEC.lmc\n");
@@ -89,6 +94,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.oracle = true;
     } else if (arg == "--symmetry") {
       a.symmetry = true;
+    } else if (arg == "--por") {
+      a.por = true;
     } else if (arg == "--no-scenarios") {
       a.no_scenarios = true;
     } else if (arg == "--audit-validity") {
@@ -116,6 +123,10 @@ bool parse_args(int argc, char** argv, Args& a) {
   // which a reduced run intentionally does not reproduce.
   if (a.symmetry && !a.oracle) {
     std::fprintf(stderr, "error: --symmetry requires --oracle\n");
+    return false;
+  }
+  if (a.por && !a.oracle) {
+    std::fprintf(stderr, "error: --por requires --oracle\n");
     return false;
   }
   return !a.spec_path.empty();
@@ -285,6 +296,7 @@ int main(int argc, char** argv) {
       oopt.audit_every = args.audit_every;
       oopt.audit_validity = args.audit_validity;
       oopt.check_symmetry = args.symmetry;
+      oopt.check_por = args.por;
       oopt.trace = trace_ptr;
       dfuzz::OracleReport rep = dfuzz::DiffOracle(oopt).check(base.cfg, base.invariant.get());
       tot.gmc_states += rep.gmc_states;
@@ -305,6 +317,12 @@ int main(int argc, char** argv) {
           std::printf("  symmetry: %" PRIu64 " orbit(s) materialized, %" PRIu64
                       " confirmed in the reduced run\n",
                       rep.sym_orbits, rep.sym_confirmed);
+        if (rep.por_checked)
+          std::printf("  por: %" PRIu64 " independent pair(s), %" PRIu64
+                      " delivery(ies) pruned, %" PRIu64 " commutation audit(s), %" PRIu64
+                      " confirmed in the reduced run\n",
+                      rep.por_relation_pairs, rep.por_pruned, rep.por_audits,
+                      rep.por_confirmed);
       } else {
         ++tot.disagreements;
         ok = false;

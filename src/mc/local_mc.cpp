@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "analyze/independence/auditor.hpp"
 #include "mc/clock.hpp"
 #include "mc/parallel_local_mc.hpp"
 #include "obs/metrics.hpp"
@@ -83,6 +84,9 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
   mapped_.assign(cfg_.num_nodes, {});
   node_gens_.assign(cfg_.num_nodes, {});
   pred_edges_.assign(cfg_.num_nodes, 0);
+  por_fwd_.assign(cfg_.num_nodes, {});
+  por_deferred_.clear();
+  por_audit_ctr_ = 0;
   clear_feas_cache();
   deferred_.clear();
   pending_tasks_.clear();
@@ -131,6 +135,7 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
   }
   epochs_.push_back(std::move(ep));
   resolve_symmetry();
+  resolve_por();
   initialized_ = true;
 }
 
@@ -176,6 +181,44 @@ void LocalModelChecker::resolve_symmetry() {
     const std::uint32_t cnt = store_.size(n);
     for (std::uint32_t i = 0; i < cnt; ++i) canon_->add_state(n, store_.rec(n, i).hash);
   }
+}
+
+// Decide whether the partial-order reduction is active for this run. The
+// conditions:
+//  * registered footprints (SystemConfig::footprints) — the relation is
+//    derived from them; no metadata, no reduction;
+//  * max_total_depth AND max_chain_depth unbounded: recorded depths are
+//    path-dependent, and pruning a first-discovery edge can re-record a
+//    state one level deeper via its covering path. Under a depth bound that
+//    shift silently truncates the state's expansion (observed empirically:
+//    bound-frontier states lose children), and the total-depth filter sums
+//    recorded depths, so either bound makes the reduced run diverge from
+//    the unreduced one. Sleep-set pruning is exact only for exhaustive
+//    exploration of the (finite) reachable space (DESIGN.md §14);
+//  * a non-empty derived relation — an empty relation can never prune, and
+//    resolving to "off" keeps checkpoint mode-matching deterministic.
+void LocalModelChecker::resolve_por() {
+  por_rel_.reset();
+  por_loop_sends_ok_ = false;
+  por_stats_ = indep::PorStats{};
+  if (opt_.por.mode != indep::PorMode::kOn) return;
+  if (cfg_.footprints == nullptr) return;
+  if (opt_.max_total_depth != std::numeric_limits<std::uint32_t>::max()) return;
+  if (opt_.max_chain_depth != std::numeric_limits<std::uint32_t>::max()) return;
+  indep::AnalysisResult res =
+      indep::analyze_independence(cfg_.footprints.get(), cfg_.num_nodes, "");
+  if (res.relation.size() == 0) return;
+  por_rel_ = std::make_unique<indep::IndependenceRelation>(std::move(res.relation));
+  por_loop_sends_ok_ = true;
+  for (const NodeFootprints& nf : cfg_.footprints->nodes)
+    for (const RuleFootprint& rf : nf.rules)
+      for (const FieldAccess& w : rf.writes)
+        if (w.merge != MergeKind::kNone) por_loop_sends_ok_ = false;
+  por_stats_.active = 1;
+  por_stats_.relation_pairs = por_rel_->size();
+  LMC_TRACE(opt_.trace, record(tev(EventType::kPorResolve, obs::Phase::kRun, cur_round_,
+                                   por_stats_.relation_pairs, por_rel_->digest(),
+                                   res.unclassifiable)));
 }
 
 // Warm start: fold a new live snapshot into the existing stores. Snapshot
@@ -294,6 +337,28 @@ const std::vector<Message>& LocalModelChecker::initial_in_flight() const {
 std::uint64_t LocalModelChecker::publish_round(Pipeline& pipe) {
   const std::uint32_t bound = expand_bound();
   std::uint64_t published = 0;
+  std::uint64_t round_pruned = 0;
+
+  // POR pairs deferred by the previous generation: their pred records (if
+  // any) were applied by the stream in between, so decide them for real now
+  // — prune or publish, never a second deferral.
+  if (!por_deferred_.empty()) {
+    std::vector<Task> retry;
+    retry.swap(por_deferred_);
+    for (const Task& t : retry) {
+      const MonotonicNetwork::Entry& e = std::as_const(net_).at(t.net_idx);
+      const NodeStateRec& rec = store_.rec(t.node, t.state_idx);
+      if (por_rel_ != nullptr &&
+          try_prune_por(e, t.node, t.state_idx, rec, /*allow_defer=*/false) ==
+              PruneVerdict::kPrune) {
+        ++por_stats_.pairs_pruned;
+        ++round_pruned;
+        continue;
+      }
+      pipe.publish(t);
+      ++published;
+    }
+  }
 
   // Network events: each message in I+ on every not-yet-tried state of its
   // destination (the per-message cursor of §4.2).
@@ -309,11 +374,28 @@ std::uint64_t LocalModelChecker::publish_round(Pipeline& pipe) {
         ++stats_.history_skips;
         continue;
       }
+      if (por_rel_ != nullptr) {
+        const PruneVerdict v = try_prune_por(e, d, idx, rec, /*allow_defer=*/true);
+        if (v == PruneVerdict::kPrune) {
+          ++por_stats_.pairs_pruned;
+          ++round_pruned;
+          continue;
+        }
+        if (v == PruneVerdict::kDefer) {
+          por_deferred_.push_back(Task{true, i, d, idx});
+          ++por_stats_.deferrals;
+          continue;
+        }
+      }
       pipe.publish(Task{true, i, d, idx});
       ++published;
     }
     e.next_state = limit;
   }
+  if (round_pruned > 0)
+    LMC_TRACE(opt_.trace, record(tev(EventType::kPorPrune, obs::Phase::kExplore, cur_round_,
+                                     round_pruned, por_stats_.pairs_pruned,
+                                     por_stats_.conservative_skips)));
 
   // Internal events: scan states added since the last generation.
   for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
@@ -326,6 +408,135 @@ std::uint64_t LocalModelChecker::publish_round(Pipeline& pipe) {
     internal_scan_[n] = limit;
   }
   return published;
+}
+
+// DESIGN.md §14: decide at publish time whether delivering message e to
+// state s (= rec) can be skipped. Justification shape: an incoming edge
+// `a` of s from predecessor p such that (1) the static relation declares a
+// and the message independent at this node, and (2) the recorded outcome
+// of delivering the SAME message at p proves the commuted path covers
+// everything (m, s) would contribute:
+//  * kNoop — m matched nothing at p, and by independence matches nothing
+//    at s either: (m, s) is a silent no-op, prune unconditionally;
+//  * kSucc(q) — the diamond closes through q: exec(q, a) = exec(s, m) and
+//    the sends coincide, so the successor and its traffic are reached via
+//    (a, q). Requires (i) a executable at q — for message edges a must not
+//    sit in q's recorded history (histories are first-path, never merged);
+//    (ii) q.depth <= s.depth, keeping the covering path at least as shallow
+//    as the pruned one (POR only activates with unbounded depth, so this is
+//    defense-in-depth, not load-bearing); (iii) for message edges the
+//    tie-break e.hash < a.hash — justifying hashes along any chain of
+//    prunes strictly increase, so one member of every commuting clique
+//    always executes. Internal edges need no tie-break: internal tasks are
+//    never pruned;
+//  * kLoopSends — m self-looped at p but sent. Prunable only under the
+//    all-kNone guard (por_loop_sends_ok_): with no commutative merges,
+//    independence forces a's writes disjoint from m's reads AND writes, so
+//    m reads the same values at s, performs the same (state-preserving)
+//    assignments, and re-sends byte-identical messages the monotone I+
+//    dedups — (m, s) contributes nothing. No successor is created, so the
+//    tie-break/history/depth conditions of kSucc do not apply;
+//  * kPruned — (m, p) was itself pruned: the classic sleep-set propagation
+//    step. m "sleeps" across the independent edge a — inductively exec(p, m)
+//    is covered by whichever record grounded p's prune, and the commuted
+//    edge a from that covering state reaches exec(s, m), so (m, s) is
+//    covered too. The chain is well-founded: every kPruned record consulted
+//    was created strictly earlier, so it traces back to a grounded
+//    kNoop/kSucc/kLoopSends record for the SAME message. Guarded by
+//    p.depth < s.depth (p is a minimal-depth pred), the same
+//    defense-in-depth shallowness condition as kSucc's;
+//  * kDiscard — conservative skip: the delivery at p was discarded;
+//    nothing proves (m, s) redundant;
+//  * missing record — on the pair's FIRST consideration this usually means
+//    (m, p) is published in the current generation and its outcome is still
+//    in flight: defer (m, s) one generation and decide it at the top of the
+//    next publish_round, by which time the stream has applied the record.
+//    On the deferred retry a still-missing record (the pred pair was
+//    history-skipped or out of depth) is a conservative skip.
+// A successful prune records itself as kPruned so later states (and resumed
+// runs, via checkpoint section 14) can propagate the decision.
+// All inputs (rec.preds, events_, por_fwd_) are applier-written state
+// frozen between generations, so decisions are deterministic and
+// thread-count independent, and a resumed run reproduces them exactly.
+LocalModelChecker::PruneVerdict LocalModelChecker::try_prune_por(const MonotonicNetwork::Entry& e,
+                                                                 NodeId d, std::uint32_t rec_idx,
+                                                                 const NodeStateRec& rec,
+                                                                 bool allow_defer) {
+  const std::uint64_t mkey = indep::event_key(true, e.msg.type);
+  bool record_in_flight = false;
+  for (const Pred& pr : rec.preds) {
+    auto eit = events_.find(pr.ev_hash);
+    if (eit == events_.end()) {
+      ++por_stats_.conservative_skips;
+      continue;
+    }
+    const EventRecord& er = eit->second;
+    const std::uint64_t pkey = er.is_message ? indep::event_key(true, er.msg.type)
+                                             : indep::event_key(false, er.ev.kind);
+    if (!por_rel_->independent(d, mkey, pkey)) continue;
+    auto fit = por_fwd_[d].find(FwdKey{pr.pred_idx, e.hash});
+    if (fit == por_fwd_[d].end()) {
+      if (allow_defer)
+        record_in_flight = true;  // counted as a skip only on the final pass
+      else
+        ++por_stats_.conservative_skips;
+      continue;
+    }
+    bool prune = false;
+    switch (fit->second.outcome) {
+      case FwdOutcome::kNoop:
+        prune = true;
+        break;
+      case FwdOutcome::kSucc: {
+        const NodeStateRec& q = store_.rec(d, fit->second.succ);
+        const bool hash_ok = !pr.is_message || e.hash < pr.ev_hash;
+        const bool hist_ok = !pr.is_message || !history_contains(q.history, pr.ev_hash);
+        prune = hash_ok && hist_ok && q.depth <= rec.depth;
+        break;
+      }
+      case FwdOutcome::kLoopSends:
+        prune = por_loop_sends_ok_;
+        if (!prune) ++por_stats_.conservative_skips;
+        break;
+      case FwdOutcome::kPruned:
+        prune = store_.rec(d, pr.pred_idx).depth < rec.depth;
+        if (!prune) ++por_stats_.conservative_skips;
+        break;
+      case FwdOutcome::kDiscard:
+        ++por_stats_.conservative_skips;
+        break;
+    }
+    if (!prune) continue;
+    if (opt_.por.audit) {
+      // Sampled runtime cross-check: execute both orders of (a, m) from the
+      // serialized predecessor state and compare successor bytes and sent
+      // sequences. A divergence means the registered footprints are wrong —
+      // the prune we were about to take is unsound — so the auditor throws
+      // out of run*() rather than let the reduced run silently differ.
+      const std::uint32_t every = opt_.por.audit_every == 0 ? 1 : opt_.por.audit_every;
+      if (por_audit_ctr_++ % every == 0) {
+        indep::AuditEvent a;
+        a.is_message = er.is_message;
+        if (er.is_message)
+          a.msg = er.msg;
+        else
+          a.ev = er.ev;
+        indep::AuditEvent b;
+        b.is_message = true;
+        b.msg = e.msg;
+        indep::audit_commutation(cfg_, d, store_.rec(d, pr.pred_idx).blob, a, b);
+        ++por_stats_.audits;
+      }
+    }
+    record_fwd(d, rec_idx, e.hash, FwdOutcome::kPruned, 0);
+    return PruneVerdict::kPrune;
+  }
+  return record_in_flight ? PruneVerdict::kDefer : PruneVerdict::kPublish;
+}
+
+void LocalModelChecker::record_fwd(NodeId n, std::uint32_t pred_idx, Hash64 ev_hash,
+                                   FwdOutcome out, std::uint32_t succ) {
+  por_fwd_[n].emplace(FwdKey{pred_idx, ev_hash}, FwdRec{out, succ});
 }
 
 // The pipeline worker body: run the handler(s) of one task against
@@ -471,6 +682,8 @@ void LocalModelChecker::apply_exec(Exec& e, std::uint64_t seq) {
     // either way; no predecessor edge generates them, so soundness
     // verification will not schedule deliveries that depend on them.
     if (opt_.assert_policy == LocalMcOptions::AssertPolicy::DiscardState) {
+      if (por_rel_ != nullptr && e.is_message)
+        record_fwd(e.node, e.pred_idx, e.ev_hash, FwdOutcome::kDiscard, 0);
       apply_ev(3);
       return;
     }
@@ -490,6 +703,9 @@ void LocalModelChecker::apply_exec(Exec& e, std::uint64_t seq) {
     // No-op transition. If it generated messages (a stateless relay), keep
     // it as a self-loop so soundness verification can account for the
     // generation (see NodeStateRec::self_loops).
+    if (por_rel_ != nullptr && e.is_message)
+      record_fwd(e.node, e.pred_idx, e.ev_hash,
+                 gen.empty() ? FwdOutcome::kNoop : FwdOutcome::kLoopSends, 0);
     if (!gen.empty()) {
       pred.self_loops.push_back(Pred{e.pred_idx, e.is_message, e.ev_hash, std::move(gen)});
       ++pred_edges_[e.node];
@@ -502,6 +718,8 @@ void LocalModelChecker::apply_exec(Exec& e, std::uint64_t seq) {
   if (existing != UINT32_MAX) {
     // Known state reached by a new path: extend its predecessor set. The
     // history is intentionally not merged (paper's simplification).
+    if (por_rel_ != nullptr && e.is_message)
+      record_fwd(e.node, e.pred_idx, e.ev_hash, FwdOutcome::kSucc, existing);
     store_.rec(e.node, existing)
         .preds.push_back(Pred{e.pred_idx, e.is_message, e.ev_hash, std::move(gen)});
     ++pred_edges_[e.node];
@@ -518,6 +736,8 @@ void LocalModelChecker::apply_exec(Exec& e, std::uint64_t seq) {
   rec.preds.push_back(Pred{e.pred_idx, e.is_message, e.ev_hash, std::move(gen)});
   ++pred_edges_[e.node];
   const std::uint32_t idx = store_.add(e.node, std::move(rec));
+  if (por_rel_ != nullptr && e.is_message)
+    record_fwd(e.node, e.pred_idx, e.ev_hash, FwdOutcome::kSucc, idx);
   if (canon_ != nullptr) canon_->add_state(e.node, h2);
   ++stats_.node_states;
   stats_.max_chain_depth_reached = std::max(stats_.max_chain_depth_reached, pred.depth + 1);
@@ -1413,7 +1633,9 @@ void LocalModelChecker::explore_stream() {
       break;
     }
     const std::uint64_t published = publish_round(pipe);
-    if (published == 0) break;  // fixpoint: exploration exhausted
+    // Fixpoint: exploration exhausted — but deferred POR pairs still count
+    // as pending work (the next generation decides them without deferring).
+    if (published == 0 && por_deferred_.empty()) break;
     stream_round(published);
     maybe_auto_checkpoint();
   }
@@ -1508,6 +1730,33 @@ CheckerImage LocalModelChecker::make_image() const {
     img.sym_stats = sym_stats_;
     img.sym_seen = canon_->seen_sorted();
   }
+  if (por_rel_ != nullptr) {
+    img.has_por = true;
+    img.por_digest = por_rel_->digest();
+    img.por_stats = por_stats_;
+    // Only kNoop/kDiscard/kPruned outcomes are serialized: kSucc/kLoopSends
+    // are rebuilt from preds/self_loops on load. Sorted for canonical bytes.
+    img.por_entries.resize(cfg_.num_nodes);
+    for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
+      for (const auto& [k, r] : por_fwd_[n]) {
+        std::uint8_t code = 0;
+        switch (r.outcome) {
+          case FwdOutcome::kNoop: code = 0; break;
+          case FwdOutcome::kDiscard: code = 1; break;
+          case FwdOutcome::kPruned: code = 2; break;
+          default: continue;
+        }
+        img.por_entries[n].push_back(PorFwdEntry{k.pred_idx, k.ev_hash, code});
+      }
+      std::sort(img.por_entries[n].begin(), img.por_entries[n].end(),
+                [](const PorFwdEntry& a, const PorFwdEntry& b) {
+                  return std::tie(a.pred_idx, a.ev_hash) < std::tie(b.pred_idx, b.ev_hash);
+                });
+    }
+    img.por_deferred.reserve(por_deferred_.size());
+    for (const Task& t : por_deferred_)
+      img.por_deferred.push_back(PendingTask{true, t.net_idx, t.node, t.state_idx});
+  }
   img.violations = violations_;
   img.pending.reserve(pending_tasks_.size());
   for (const Task& t : pending_tasks_)
@@ -1581,6 +1830,48 @@ void LocalModelChecker::load_checkpoint_bytes(const Blob& data) {
   if (canon_ != nullptr) {
     canon_->restore_seen(img.sym_seen);
     sym_stats_ = img.sym_stats;
+  }
+  // Re-resolve the reduction, then rebuild the forward map: kSucc from pred
+  // edges, kLoopSends from self-loops, and the persisted kNoop/kDiscard/
+  // kPruned entries (section 14) on top — the result is byte-for-byte the
+  // map the writing run held, so resumed prune decisions replay identically. Mode
+  // and relation digest must agree with the writer for the same reason a
+  // symmetry mismatch throws: splicing differently-pruned explorations is
+  // not the run the checkpoint describes.
+  resolve_por();
+  if ((por_rel_ != nullptr) != img.has_por)
+    throw CheckpointError("checkpoint por mode mismatch (file " +
+                          std::string(img.has_por ? "on" : "off") + ", options resolve to " +
+                          std::string(por_rel_ != nullptr ? "on" : "off") + ")");
+  por_fwd_.assign(cfg_.num_nodes, {});
+  por_deferred_.clear();
+  por_audit_ctr_ = 0;
+  if (por_rel_ != nullptr) {
+    if (img.por_digest != por_rel_->digest())
+      throw CheckpointError("checkpoint por relation digest mismatch: the file was written "
+                            "with different handler footprints");
+    for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
+      const std::uint32_t count = store_.size(n);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const NodeStateRec& r = store_.rec(n, i);
+        for (const Pred& p : r.preds)
+          if (p.is_message) record_fwd(n, p.pred_idx, p.ev_hash, FwdOutcome::kSucc, i);
+        for (const Pred& p : r.self_loops)
+          if (p.is_message) record_fwd(n, p.pred_idx, p.ev_hash, FwdOutcome::kLoopSends, 0);
+      }
+      if (n < img.por_entries.size())
+        for (const PorFwdEntry& pe : img.por_entries[n])
+          record_fwd(n, pe.pred_idx, pe.ev_hash,
+                     pe.outcome == 2   ? FwdOutcome::kPruned
+                     : pe.outcome == 1 ? FwdOutcome::kDiscard
+                                       : FwdOutcome::kNoop,
+                     0);
+    }
+    por_deferred_.reserve(img.por_deferred.size());
+    for (const PendingTask& t : img.por_deferred)
+      por_deferred_.push_back(
+          Task{true, static_cast<std::size_t>(t.net_idx), t.node, t.state_idx});
+    por_stats_ = img.por_stats;
   }
   clear_feas_cache();
   combo_probe_ = 0;

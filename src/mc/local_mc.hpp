@@ -38,6 +38,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analyze/independence/independence.hpp"
 #include "mc/concurrent/pipeline.hpp"
 #include "mc/invariant.hpp"
 #include "mc/local_store.hpp"
@@ -47,6 +48,7 @@
 #include "mc/symmetry/canonicalizer.hpp"
 #include "net/monotonic_network.hpp"
 #include "persist/checkpoint.hpp"
+#include "runtime/hash.hpp"
 #include "runtime/state_machine.hpp"
 
 namespace lmc {
@@ -159,6 +161,18 @@ struct LocalMcOptions {
   /// even for wrong class hints. kExplicit with malformed classes
   /// (overlapping / out of range) throws std::invalid_argument from run*().
   symmetry::SymmetryOptions symmetry;
+
+  /// Sleep-set-style partial-order reduction driven by the static
+  /// independence relation (analyze/independence/, DESIGN.md §14). Defaults
+  /// off, so every existing byte-identity gate is untouched. Activation
+  /// additionally requires registered handler footprints
+  /// (SystemConfig::footprints), unbounded max_total_depth AND
+  /// max_chain_depth (recorded depths are path-dependent under pruning —
+  /// see resolve_por) and a non-empty derived relation;
+  /// otherwise the run silently stays unreduced (PorStats::active == 0).
+  /// Composes with `symmetry`: POR thins phase-1 deliveries, symmetry
+  /// collapses the combination sweep — independent mechanisms.
+  indep::PorOptions por;
 };
 
 class LocalModelChecker {
@@ -231,6 +245,13 @@ class LocalModelChecker {
   /// Reduction counters (zero when inactive). Runtime + checkpoint section
   /// 13 — deliberately NOT part of LocalMcStats (pinned layout).
   const symmetry::SymmetryStats& symmetry_stats() const { return sym_stats_; }
+
+  /// Partial-order reduction counters (PorStats::active == 0 when the
+  /// reduction did not resolve). Runtime + checkpoint section 14 —
+  /// deliberately NOT part of LocalMcStats (pinned layout).
+  const indep::PorStats& por_stats() const { return por_stats_; }
+  /// The independence relation driving the reduction; null when inactive.
+  const indep::IndependenceRelation* por_relation() const { return por_rel_.get(); }
 
   const LocalStore& store() const { return store_; }
   const MonotonicNetwork& iplus() const { return net_; }
@@ -365,6 +386,68 @@ class LocalModelChecker {
   /// when the reduction is inactive. Rebuilt by resolve_symmetry.
   std::unique_ptr<symmetry::Canonicalizer> canon_;
   symmetry::SymmetryStats sym_stats_;
+
+  // --- partial-order reduction (analyze/independence/, DESIGN.md §14) -----
+  /// Outcome of one historical message delivery at (node, pred state): the
+  /// justification database of the publish-time prune rule.
+  enum class FwdOutcome : std::uint8_t {
+    kSucc = 0,       ///< delivery produced/rediscovered a successor state
+    kNoop = 1,       ///< silent no-op: no state change, no sends
+    kLoopSends = 2,  ///< self-loop that sent (duplicate/stale re-send)
+    kDiscard = 3,    ///< assert-discarded delivery
+    kPruned = 4,     ///< the pair itself was pruned — sleep-set seed
+  };
+  struct FwdKey {
+    std::uint32_t pred_idx = 0;
+    Hash64 ev_hash = 0;
+    bool operator==(const FwdKey&) const = default;
+  };
+  struct FwdKeyHash {
+    std::size_t operator()(const FwdKey& k) const {
+      return static_cast<std::size_t>(mix64(k.ev_hash ^ (static_cast<Hash64>(k.pred_idx) + 1)));
+    }
+  };
+  struct FwdRec {
+    FwdOutcome outcome = FwdOutcome::kSucc;
+    std::uint32_t succ = 0;  ///< kSucc only: successor index in LS_n
+  };
+  /// Resolve LocalMcOptions::por against the config (footprints registered,
+  /// unbounded max_total_depth, non-empty derived relation). Called after
+  /// resolve_symmetry from init_run and load_checkpoint_bytes; leaves
+  /// por_rel_ null when inactive.
+  void resolve_por();
+  /// Verdict of the publish-time prune rule: publish the pair, prune it, or
+  /// (first pass only) hold it one generation because an independent pred
+  /// edge's forward record is still in flight in the current stream.
+  enum class PruneVerdict : std::uint8_t { kPublish = 0, kPrune = 1, kDefer = 2 };
+  /// The publish-time prune rule (DESIGN.md §14). Applier-only; mutates
+  /// only POR statistics, and may run the sampled commutation auditor,
+  /// which throws indep::PorAuditError on divergence. `allow_defer` is set
+  /// on a pair's first consideration and cleared on its deferred retry.
+  PruneVerdict try_prune_por(const MonotonicNetwork::Entry& e, NodeId d, std::uint32_t rec_idx,
+                             const NodeStateRec& rec, bool allow_defer);
+  void record_fwd(NodeId n, std::uint32_t pred_idx, Hash64 ev_hash, FwdOutcome out,
+                  std::uint32_t succ);
+  std::unique_ptr<indep::IndependenceRelation> por_rel_;  ///< null = POR inactive
+  /// True iff every registered footprint write is a plain MergeKind::kNone
+  /// assignment. Under that guard a kLoopSends record also justifies a
+  /// prune: independence then implies fully disjoint write sets, so the
+  /// message still self-loops after the pred edge and re-sends byte-
+  /// identical traffic that the monotone I+ dedups (DESIGN.md §14).
+  /// Derived from the config in resolve_por — never persisted.
+  bool por_loop_sends_ok_ = false;
+  indep::PorStats por_stats_;
+  /// Per node: delivery outcomes keyed by (pred state idx, message hash).
+  /// kSucc/kLoopSends are reconstructible from preds/self_loops on
+  /// checkpoint load; kNoop/kDiscard/kPruned leave no store trace and are
+  /// persisted in checkpoint section 14.
+  std::vector<std::unordered_map<FwdKey, FwdRec, FwdKeyHash>> por_fwd_;
+  /// Message pairs deferred one generation (PruneVerdict::kDefer): decided
+  /// for real at the top of the next publish_round, after the stream that
+  /// carries their pred records has been applied. Serialized in checkpoint
+  /// section 14 — cursors have already advanced past these pairs.
+  std::vector<Task> por_deferred_;
+  std::uint64_t por_audit_ctr_ = 0;  ///< audit_every sampling counter
 
   LocalMcStats stats_;
   /// audit_validity counter; atomic because audits run on pool workers.

@@ -101,6 +101,16 @@ ReportSummary summarize(const std::vector<TraceEvent>& events) {
         ++s.worker_errors;
         s.worker_exceptions_dropped += ev.a;
         break;
+      case EventType::kPorPrune:
+        ++s.por_prune_rounds;
+        s.por_pruned = ev.b;
+        s.por_conservative = ev.c;
+        break;
+      case EventType::kPorResolve:
+        s.por_active = true;
+        s.por_relation_pairs = ev.a;
+        s.por_unclassifiable = ev.c;
+        break;
       case EventType::kWarmMerge:
       case EventType::kOnlinePeriod:
         break;
@@ -146,6 +156,12 @@ void print_report(const ReportSummary& s, std::FILE* out) {
     std::fprintf(out, "worker errors: %" PRIu64 " event(s), %" PRIu64
                  " secondary exception(s) dropped (first of each fan-out rethrown)\n",
                  s.worker_errors, s.worker_exceptions_dropped);
+  if (s.por_active)
+    std::fprintf(out, "POR: %" PRIu64 " independent pair(s) (%" PRIu64
+                 " unclassifiable); %" PRIu64 " delivery(ies) pruned over %" PRIu64
+                 " round(s), %" PRIu64 " conservative skip(s)\n",
+                 s.por_relation_pairs, s.por_unclassifiable, s.por_pruned,
+                 s.por_prune_rounds, s.por_conservative);
 
   std::fprintf(out, "where did time go (elapsed %.4fs):\n", s.elapsed_s);
   phase_row(out, "handler execution", s.handler_exec_s, s.elapsed_s,
@@ -190,6 +206,13 @@ std::string report_bench_json(const ReportSummary& s, const std::string& case_la
   rec.metric("exec_cache_misses", s.exec_uncached);
   rec.metric("worker_errors", s.worker_errors);
   rec.metric("worker_exceptions_dropped", s.worker_exceptions_dropped);
+  if (s.por_active) {
+    rec.metric("por_relation_pairs", s.por_relation_pairs);
+    rec.metric("por_unclassifiable", s.por_unclassifiable);
+    rec.metric("por_pruned", s.por_pruned);
+    rec.metric("por_conservative", s.por_conservative);
+    rec.metric("por_prune_rounds", s.por_prune_rounds);
+  }
   rec.metric("elapsed_s", s.elapsed_s);
   rec.metric("handler_exec_s", s.handler_exec_s);
   rec.metric("sweep_s", s.sweep_s);

@@ -39,6 +39,12 @@ struct ReportSummary {
   std::uint64_t exec_uncached = 0;      ///< kHandlerRun events with c=0
   std::uint64_t worker_errors = 0;      ///< kWorkerError events
   std::uint64_t worker_exceptions_dropped = 0;  ///< sum of kWorkerError a
+  bool por_active = false;              ///< any kPorResolve seen
+  std::uint64_t por_relation_pairs = 0; ///< from the last kPorResolve `a`
+  std::uint64_t por_unclassifiable = 0; ///< from the last kPorResolve `c`
+  std::uint64_t por_pruned = 0;         ///< from the last kPorPrune `b` (cumulative)
+  std::uint64_t por_conservative = 0;   ///< from the last kPorPrune `c` (cumulative)
+  std::uint64_t por_prune_rounds = 0;   ///< kPorPrune events (rounds that pruned)
   std::uint32_t rounds = 0;             ///< max round seen
   std::uint64_t run_begins = 0, run_ends = 0;
   std::uint64_t base_transitions = 0;   ///< from the first kRunBegin (resume/warm)

@@ -44,6 +44,8 @@ const char* to_string(EventType t) {
     case EventType::kWarmMerge: return "warm_merge";
     case EventType::kOnlinePeriod: return "online_period";
     case EventType::kWorkerError: return "worker_error";
+    case EventType::kPorPrune: return "por_prune";
+    case EventType::kPorResolve: return "por_resolve";
   }
   return "unknown";
 }
@@ -161,7 +163,7 @@ bool parse_jsonl_line(const std::string& line, TraceEvent& ev) {
 
   ev = TraceEvent{};
   bool type_ok = false;
-  for (int t = 0; t <= static_cast<int>(EventType::kWorkerError); ++t) {
+  for (int t = 0; t <= static_cast<int>(EventType::kPorResolve); ++t) {
     if (type->str == to_string(static_cast<EventType>(t))) {
       ev.type = static_cast<EventType>(t);
       type_ok = true;

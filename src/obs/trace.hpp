@@ -63,6 +63,8 @@ enum class EventType : std::uint8_t {
   kWarmMerge = 14,       ///< a=new roots, b=root hits, c=msgs reused
   kOnlinePeriod = 15,    ///< a=period idx, b=transitions, c=found; dur=checker wall s
   kWorkerError = 16,     ///< a=secondary worker exceptions dropped, b=source (0 pipeline, 1 pool)
+  kPorPrune = 17,        ///< a=deliveries pruned this round, b=cumulative pruned, c=conservative skips
+  kPorResolve = 18,      ///< a=independence-relation pairs, b=relation digest, c=unclassifiable pairs
 };
 
 /// Verdict kinds carried by kSoundnessRun / kSoundnessVerdict `a`.

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdio>
 #include <cstring>
+#include <tuple>
 
 namespace lmc {
 
@@ -215,6 +216,34 @@ Blob enc_symmetry(const CheckerImage& img) {
   w.u32(img.sym_stats.classes);
   w.u8(img.sym_stats.active);
   write_u64_vec(w, img.sym_seen);
+  return std::move(w).take();
+}
+
+Blob enc_por(const CheckerImage& img) {
+  Writer w;
+  w.u64(img.por_digest);
+  w.u8(img.por_stats.active);
+  w.u64(img.por_stats.relation_pairs);
+  w.u64(img.por_stats.pairs_pruned);
+  w.u64(img.por_stats.conservative_skips);
+  w.u64(img.por_stats.deferrals);
+  w.u64(img.por_stats.audits);
+  w.u32(static_cast<std::uint32_t>(img.por_entries.size()));
+  for (const std::vector<PorFwdEntry>& per_node : img.por_entries) {
+    w.u32(static_cast<std::uint32_t>(per_node.size()));
+    for (const PorFwdEntry& e : per_node) {
+      w.u32(e.pred_idx);
+      w.u64(e.ev_hash);
+      w.u8(e.outcome);
+    }
+  }
+  // Deferred pairs awaiting their one-generation retry (always messages).
+  w.u32(static_cast<std::uint32_t>(img.por_deferred.size()));
+  for (const PendingTask& t : img.por_deferred) {
+    w.u64(t.net_idx);
+    w.u32(t.node);
+    w.u32(t.state_idx);
+  }
   return std::move(w).take();
 }
 
@@ -480,6 +509,55 @@ void dec_symmetry(Reader& r, CheckerImage& img) {
   r.expect_exhausted();
 }
 
+void dec_por(Reader& r, CheckerImage& img) {
+  img.has_por = true;
+  img.por_digest = r.u64();
+  img.por_stats.active = r.u8();
+  img.por_stats.relation_pairs = r.u64();
+  img.por_stats.pairs_pruned = r.u64();
+  img.por_stats.conservative_skips = r.u64();
+  img.por_stats.deferrals = r.u64();
+  img.por_stats.audits = r.u64();
+  const std::uint32_t n = r.u32();
+  check(n == img.num_nodes, "por node count mismatch");
+  img.por_entries.assign(n, {});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t cnt = r.u32();
+    std::vector<PorFwdEntry>& per_node = img.por_entries[i];
+    per_node.reserve(cnt);
+    for (std::uint32_t j = 0; j < cnt; ++j) {
+      PorFwdEntry e;
+      e.pred_idx = r.u32();
+      e.ev_hash = r.u64();
+      e.outcome = r.u8();
+      check(e.outcome <= 2, "por entry outcome out of range");
+      check(e.pred_idx < img.store.size(static_cast<NodeId>(i)),
+            "por entry pred state out of range");
+      per_node.push_back(e);
+    }
+    check(std::is_sorted(per_node.begin(), per_node.end(),
+                         [](const PorFwdEntry& a, const PorFwdEntry& b) {
+                           return std::tie(a.pred_idx, a.ev_hash) <
+                                  std::tie(b.pred_idx, b.ev_hash);
+                         }),
+          "por entries not sorted");
+  }
+  const std::uint32_t dn = r.u32();
+  img.por_deferred.reserve(dn);
+  for (std::uint32_t j = 0; j < dn; ++j) {
+    PendingTask t;
+    t.is_message = true;
+    t.net_idx = r.u64();
+    t.node = static_cast<NodeId>(r.u32());
+    t.state_idx = r.u32();
+    check(t.node < img.num_nodes, "por deferred node out of range");
+    check(t.net_idx < img.net_entries.size(), "por deferred message out of range");
+    check(t.state_idx < img.store.size(t.node), "por deferred state out of range");
+    img.por_deferred.push_back(t);
+  }
+  r.expect_exhausted();
+}
+
 }  // namespace
 
 // --- container -------------------------------------------------------------
@@ -574,6 +652,7 @@ Blob encode_checkpoint(const CheckerImage& img) {
   w.add_section(kSecPending, enc_pending(img));
   w.add_section(kSecSegment, enc_segment(img));
   if (img.has_symmetry) w.add_section(kSecSymmetry, enc_symmetry(img));
+  if (img.has_por) w.add_section(kSecPor, enc_por(img));
   return std::move(w).finish();
 }
 
@@ -638,6 +717,11 @@ CheckerImage decode_checkpoint(const Blob& data) {
       Reader s = r.open(kSecSymmetry);
       dec_symmetry(s, img);
     }
+    // Section 14 exists only in files written by POR-active runs (v5+).
+    if (r.has(kSecPor)) {
+      Reader s = r.open(kSecPor);
+      dec_por(s, img);
+    }
   } catch (const SerializeError& e) {
     fail(std::string("malformed section: ") + e.what());
   }
@@ -693,6 +777,38 @@ CheckpointInfo inspect_checkpoint(const Blob& data) {
       info.sym_seen = s.u32();
     } catch (const SerializeError& e) {
       fail(std::string("malformed symmetry section: ") + e.what());
+    }
+  }
+  if (r.has(kSecPor)) {
+    try {
+      Reader s = r.open(kSecPor);
+      info.has_por = true;
+      info.por_digest = s.u64();
+      s.u8();  // active
+      info.por_relation_pairs = s.u64();
+      info.por_pruned = s.u64();
+      info.por_conservative = s.u64();
+      s.u64();  // deferrals (cumulative counter; the pending list follows)
+      info.por_audits = s.u64();
+      const std::uint32_t n = s.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t cnt = s.u32();
+        info.por_entries += cnt;
+        for (std::uint32_t j = 0; j < cnt; ++j) {
+          s.u32();
+          s.u64();
+          s.u8();
+        }
+      }
+      info.por_deferred = s.u32();
+      for (std::uint64_t j = 0; j < info.por_deferred; ++j) {
+        s.u64();
+        s.u32();
+        s.u32();
+      }
+      s.expect_exhausted();
+    } catch (const SerializeError& e) {
+      fail(std::string("malformed por section: ") + e.what());
     }
   }
   return info;

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/independence/independence.hpp"
 #include "mc/local_store.hpp"
 #include "mc/stats.hpp"
 #include "mc/symmetry/role_group.hpp"
@@ -42,9 +43,11 @@ inline constexpr char kCheckpointMagic[8] = {'L', 'M', 'C', 'C', 'K', 'P', 'T', 
 // v2: +checkpoint_failures, +deferred_s
 // v3: deferred_dropped bool -> u64 counter (in place), +soundness_wall_s.
 // v4: +DeferredCombo.sym byte, +kSecSymmetry (optional orbit-cache section).
+// v5: +kSecPor (optional partial-order-reduction section: relation digest,
+//     PorStats, per-node kNoop/kDiscard forward-map entries).
 // Writers always emit the current version; the reader accepts older files
 // and widens/defaults the changed fields on decode (kMinCheckpointVersion).
-inline constexpr std::uint32_t kCheckpointVersion = 4;
+inline constexpr std::uint32_t kCheckpointVersion = 5;
 inline constexpr std::uint32_t kMinCheckpointVersion = 2;
 
 /// Section ids of the container format. Ids are stable across versions;
@@ -63,6 +66,7 @@ enum SectionId : std::uint32_t {
   kSecPending = 11,     ///< collected-but-unapplied tasks of the stopped round
   kSecSegment = 12,     ///< trace segment id + base round (resume continuity)
   kSecSymmetry = 13,    ///< orbit-cache summary (present iff symmetry active)
+  kSecPor = 14,         ///< partial-order reduction (present iff POR active)
 };
 
 /// Assembles header | sections | checksum.
@@ -119,6 +123,17 @@ struct DeferredCombo {
   bool sym = false;
 };
 
+/// One non-reconstructible forward-map entry of the partial-order reduction
+/// (kSecPor): the delivery of message `ev_hash` at state `pred_idx` was a
+/// silent no-op (outcome 0), an assert-discard (outcome 1), or was itself
+/// pruned (outcome 2) — outcomes that leave no trace in the pred graph but
+/// justify (or block) later prunes, so a resumed run decides identically.
+struct PorFwdEntry {
+  std::uint32_t pred_idx = 0;
+  Hash64 ev_hash = 0;
+  std::uint8_t outcome = 0;
+};
+
 /// One collected-but-unapplied exploration task. Cursors advance when tasks
 /// are collected, so a round interrupted by a budget stop must persist its
 /// tail — resuming re-executes exactly these, in order, before collecting.
@@ -158,6 +173,20 @@ struct CheckerImage {
   bool has_symmetry = false;
   symmetry::SymmetryStats sym_stats;
   std::vector<Hash64> sym_seen;
+  /// Partial-order reduction (kSecPor, v5+): present only when the writing
+  /// run pruned with an independence relation. `por_digest` pins the
+  /// relation the prune decisions were taken under (resuming under a
+  /// different one is rejected); `por_entries` holds, per node and sorted
+  /// by (pred_idx, ev_hash), the kNoop (0) / kDiscard (1) / kPruned (2)
+  /// delivery outcomes that cannot be rebuilt from the pred graph.
+  bool has_por = false;
+  Hash64 por_digest = 0;
+  indep::PorStats por_stats;
+  std::vector<std::vector<PorFwdEntry>> por_entries;
+  /// Message pairs the pruner deferred one generation whose retry had not
+  /// happened when the checkpoint was taken (cursors already advanced past
+  /// them, so losing them would lose exploration).
+  std::vector<PendingTask> por_deferred;
 };
 
 /// Canonical encoding (sorted unordered containers; stable section order).
@@ -191,6 +220,15 @@ struct CheckpointInfo {
   std::uint64_t sym_represented = 0;
   std::uint32_t sym_classes = 0;
   std::uint64_t sym_seen = 0;
+  // From kSecPor (absent unless the writing run had the reduction on):
+  bool has_por = false;
+  Hash64 por_digest = 0;
+  std::uint64_t por_relation_pairs = 0;
+  std::uint64_t por_pruned = 0;
+  std::uint64_t por_conservative = 0;
+  std::uint64_t por_audits = 0;
+  std::uint64_t por_entries = 0;   ///< persisted kNoop/kDiscard/kPruned records
+  std::uint64_t por_deferred = 0;  ///< deferred pairs awaiting their retry
 };
 CheckpointInfo inspect_checkpoint(const Blob& data);
 

@@ -33,7 +33,8 @@ const char* section_name(std::uint32_t id) {
     case kSecPending: return "pending";
     case kSecSegment: return "segment";
     case kSecSymmetry: return "symmetry";
-    default: return "?";
+    case kSecPor: return "por";
+    default: return nullptr;  // unknown (future) section — caller warns
   }
 }
 
@@ -71,6 +72,14 @@ int cmd_inspect_json(const std::string& path) {
     rec.metric("sym_classes", static_cast<std::uint64_t>(info.sym_classes));
     rec.metric("sym_represented", info.sym_represented);
   }
+  if (info.has_por) {
+    rec.metric("por_relation_pairs", info.por_relation_pairs);
+    rec.metric("por_pruned", info.por_pruned);
+    rec.metric("por_conservative", info.por_conservative);
+    rec.metric("por_audits", info.por_audits);
+    rec.metric("por_entries", info.por_entries);
+    rec.metric("por_deferred", info.por_deferred);
+  }
   rec.emit();
   return 0;
 }
@@ -96,9 +105,22 @@ int cmd_inspect(const std::string& path) {
     std::printf("  symmetry:    %" PRIu64 " orbit(s) over %u class(es), %" PRIu64
                 " ordered combination(s) represented, %" PRIu64 " seen-set entries\n",
                 info.sym_orbits, info.sym_classes, info.sym_represented, info.sym_seen);
+  if (info.has_por)
+    std::printf("  por:         relation %" PRIu64 " pair(s) (digest %016" PRIx64 "), %" PRIu64
+                " pruned, %" PRIu64 " conservative, %" PRIu64 " audit(s), %" PRIu64
+                " persisted forward record(s), %" PRIu64 " deferred pair(s)\n",
+                info.por_relation_pairs, info.por_digest, info.por_pruned, info.por_conservative,
+                info.por_audits, info.por_entries, info.por_deferred);
   std::printf("  sections:\n");
-  for (const auto& s : info.sections)
-    std::printf("    %-12s id=%-3u %10zu bytes\n", section_name(s.id), s.id, s.len);
+  for (const auto& s : info.sections) {
+    const char* name = section_name(s.id);
+    std::printf("    %-12s id=%-3u %10zu bytes\n", name != nullptr ? name : "?", s.id, s.len);
+    if (name == nullptr)
+      std::fprintf(stderr,
+                   "warning: %s: unknown section id=%u (%zu bytes) — written by a newer "
+                   "lmc version; its contents are ignored here\n",
+                   path.c_str(), s.id, s.len);
+  }
   return 0;
 }
 

@@ -60,9 +60,76 @@ void PaxosNode::deserialize(Reader& r) {
   core_.deserialize(r);
 }
 
+namespace {
+
+// Hand-audited field footprints for PaxosNode, keyed by the serialized field
+// groups (initialized_/proposals_made_ plus PaxosCore's four maps). Audited
+// invariants, policed by the runtime commutation auditor:
+//  - message handlers silently drop pre-init deliveries (no assert), so
+//    initialized_ sits in the READ set and `asserts` stays false;
+//  - on_prepare/on_accept touch only acceptor_; on_prepare_response only
+//    proposer_; on_learn only learner_ + chosen_;
+//  - PrepareResponse is NOT independent of itself (the promises-majority
+//    threshold makes delivery order visible), and self-pairs are never
+//    derived, so no DeclaredPair appears here.
+// The kNone merge is deliberate: no pair below shares a written field, so
+// commutativity comes from disjointness alone.
+std::shared_ptr<const ProtocolFootprints> paxos_footprints(std::uint32_t n,
+                                                           const CoreOptions& core_opt) {
+  auto msg = [&](std::uint32_t rel, const char* label, std::vector<std::string> reads,
+                 std::vector<std::string> writes, bool sends) {
+    RuleFootprint rf;
+    rf.is_message = true;
+    rf.key = core_opt.type_base + rel;
+    rf.label = label;
+    rf.reads = std::move(reads);
+    for (std::string& w : writes) rf.writes.push_back({std::move(w), MergeKind::kNone});
+    rf.sends = sends;
+    return rf;
+  };
+  auto internal = [&](std::uint32_t kind, const char* label, std::vector<std::string> reads,
+                      std::vector<std::string> writes, bool sends) {
+    RuleFootprint rf;
+    rf.is_message = false;
+    rf.key = kind;
+    rf.label = label;
+    rf.reads = std::move(reads);
+    for (std::string& w : writes) rf.writes.push_back({std::move(w), MergeKind::kNone});
+    rf.sends = sends;
+    rf.asserts = true;  // local_assert inputs (double-init / pre-init propose)
+    return rf;
+  };
+  auto fp = std::make_shared<ProtocolFootprints>();
+  fp->nodes.resize(n);
+  for (NodeId i = 0; i < n; ++i) {
+    NodeFootprints& nf = fp->nodes[i];
+    nf.node = i;
+    nf.complete = true;
+    nf.rules.push_back(msg(kPrepare, "Prepare", {"initialized_", "acceptor_"}, {"acceptor_"},
+                           /*sends=*/true));
+    nf.rules.push_back(msg(kPrepareResponse, "PrepareResponse", {"initialized_", "proposer_"},
+                           {"proposer_"}, /*sends=*/true));
+    nf.rules.push_back(msg(kAccept, "Accept", {"initialized_", "acceptor_"}, {"acceptor_"},
+                           /*sends=*/true));
+    nf.rules.push_back(msg(kLearn, "Learn", {"initialized_", "learner_", "chosen_"},
+                           {"learner_", "chosen_"}, /*sends=*/false));
+    nf.rules.push_back(internal(kEvInit, "EvInit", {"initialized_"}, {"initialized_"},
+                                /*sends=*/false));
+    // pick_index() scans every slot map, so EvPropose reads all of them.
+    nf.rules.push_back(internal(
+        kEvPropose, "EvPropose",
+        {"initialized_", "proposals_made_", "proposer_", "acceptor_", "learner_", "chosen_"},
+        {"proposals_made_", "proposer_"}, /*sends=*/true));
+  }
+  return fp;
+}
+
+}  // namespace
+
 SystemConfig make_config(std::uint32_t n, CoreOptions core_opt, DriverConfig driver) {
   SystemConfig cfg;
   cfg.num_nodes = n;
+  cfg.footprints = paxos_footprints(n, core_opt);
   // Non-proposers are interchangeable: a PaxosNode's id reaches its state
   // and messages only through proposals (value = id, ballots seeded by id),
   // so nodes that never propose behave identically under id swaps. Proposers

@@ -1,0 +1,97 @@
+// Handler footprints: the static read/write interface of every elaborated
+// handler rule, registered by whatever elaborated the protocol (the DSL
+// compiler, ProtoGen, or a hand-written make_config). This is the input of
+// the static commutation checker (analyze/independence): two rules commute
+// iff their footprints are disjoint under the monotonicity rules of the
+// completeness envelope — anything the checker cannot classify from the
+// data here is conservatively DEPENDENT.
+//
+// Two flavors, chosen per rule:
+//  * table flavor (DSL rule tables, ProtoGen specs): the rule is a guarded
+//    state transition — `guard_states` is the set of control states the
+//    rule fires in, `goto_states` the set it can move to. Rules of a
+//    table-flavor node read exactly their guard and write exactly their
+//    goto (plus the message digest, which is an order-independent XOR fold
+//    — see DESIGN.md §14 for why it may be omitted here).
+//  * field flavor (hand-written nodes): `reads` and `writes` name the node
+//    fields the handler's behaviour depends on / may modify. The contract
+//    is semantic, not syntactic: `reads` must cover every input of the
+//    handler's state updates, sends AND assertion outcomes; `writes` every
+//    field it can modify. A write may carry a MergeKind when the update is
+//    a commutative fold — two writers of the same field commute only if
+//    both declare the same non-kNone merge and neither reads the field.
+//
+// `asserts` flags a handler with assertion inputs NOT captured by `reads`
+// (or, for table rules, an injected fail_assert): such a rule is never
+// classified independent; the checker reports the near-miss as IN01.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace lmc {
+
+/// How a field write folds into the previous value. Anything but kNone
+/// promises a commutative, order-independent merge.
+enum class MergeKind : std::uint8_t {
+  kNone = 0,       ///< plain assignment / arbitrary mutation
+  kSetInsert = 1,  ///< set/map insert keyed by message identity
+  kMaxFold = 2,    ///< x = max(x, v)
+  kXorFold = 3,    ///< x ^= v
+  kOrMask = 4,     ///< x |= v
+};
+
+struct FieldAccess {
+  std::string field;
+  MergeKind merge = MergeKind::kNone;
+};
+
+/// Footprint of one elaborated handler rule. Several rules may share an
+/// event key (e.g. a DSL message type with one row per guard state); the
+/// checker aggregates them per key.
+struct RuleFootprint {
+  bool is_message = false;  ///< message rule vs internal-event rule
+  std::uint32_t key = 0;    ///< message type, or internal-event kind
+  std::string label;        ///< rule name for diagnostics ("on_learn", "r3")
+
+  // Field flavor:
+  std::vector<std::string> reads;
+  std::vector<FieldAccess> writes;
+  bool sends = false;    ///< may emit messages (send targets are read-determined)
+  bool asserts = false;  ///< assertion inputs beyond `reads` — unclassifiable
+
+  // Table flavor (non-empty guard_states selects this flavor):
+  std::vector<std::uint32_t> guard_states;
+  std::vector<std::uint32_t> goto_states;
+  bool fire_once = false;  ///< internal rule guarded by its own fired bit
+};
+
+/// A pair the protocol author vouches for. Declared pairs are admitted to
+/// the relation even when the static checker cannot confirm them — they
+/// are flagged IN02 and remain subject to the runtime commutation auditor.
+struct DeclaredPair {
+  bool a_is_message = false;
+  std::uint32_t a_key = 0;
+  bool b_is_message = false;
+  std::uint32_t b_key = 0;
+  std::string why;  ///< one-line justification, echoed in diagnostics
+};
+
+struct NodeFootprints {
+  NodeId node = 0;
+  /// True iff `rules` covers every handler the node can run. A node with
+  /// incomplete (or absent) footprints gets no independent pairs (IN03).
+  bool complete = false;
+  std::vector<RuleFootprint> rules;
+  std::vector<DeclaredPair> declared_independent;
+};
+
+/// Whole-system footprint registry, attached to SystemConfig::footprints.
+struct ProtocolFootprints {
+  std::vector<NodeFootprints> nodes;
+};
+
+}  // namespace lmc

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "runtime/context.hpp"
+#include "runtime/footprint.hpp"
 #include "runtime/message.hpp"
 #include "runtime/serialize.hpp"
 #include "runtime/types.hpp"
@@ -57,6 +58,14 @@ struct SystemConfig {
   /// Purely advisory — a wrong hint costs reduction effectiveness, never
   /// soundness, because orbit verification re-checks concrete assignments.
   std::vector<std::vector<NodeId>> symmetric_roles;
+
+  /// Static handler footprints (runtime/footprint.hpp), filled by the
+  /// elaborator (DSL compiler, ProtoGen, hand-written make_config). Input
+  /// of the static commutation checker behind `LocalMcOptions::por`; a
+  /// config without footprints simply gets no partial-order reduction.
+  /// Wrong footprints CAN cost soundness — that is what the runtime
+  /// commutation auditor and the IN01–IN03 lint diagnostics police.
+  std::shared_ptr<const ProtocolFootprints> footprints;
 
   std::unique_ptr<StateMachine> make(NodeId n) const { return factory(n, num_nodes); }
 };

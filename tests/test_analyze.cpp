@@ -111,7 +111,11 @@ TEST(LintRules, EveryRuleHasAFiringFixture) {
       EXPECT_FALSE(d.message.empty()) << c.file;
     }
   }
-  for (const RuleInfo& ri : all_rules()) EXPECT_TRUE(covered.count(ri.id)) << ri.id;
+  // IN01-IN03 share the rule namespace but fire from the footprint-based
+  // independence checker, not the token scan; their firing fixtures are the
+  // .lmc specs under fixtures/indep/ pinned by tests/test_indep.cpp.
+  for (const RuleInfo& ri : all_rules())
+    if (std::string(ri.id).rfind("IN", 0) != 0) EXPECT_TRUE(covered.count(ri.id)) << ri.id;
   EXPECT_GE(all_rules().size(), 8u);
 }
 

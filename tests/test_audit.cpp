@@ -56,7 +56,10 @@ class BaseMachine : public StateMachine {
 
 template <class M>
 SystemConfig two_node_config() {
-  return SystemConfig{2, [](NodeId self, std::uint32_t) { return std::make_unique<M>(self); }, {}};
+  SystemConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.factory = [](NodeId self, std::uint32_t) { return std::make_unique<M>(self); };
+  return cfg;
 }
 
 /// The delivery produced by BaseMachine's kick, addressed to node 1.

@@ -1,0 +1,212 @@
+// Static handler-independence analysis (DESIGN.md §14): one pinned fixture
+// per IN rule firing, the dependent pair the checker must NOT admit, digest
+// determinism, the SARIF shape shared with lmc_lint, and the runtime
+// commutation auditor catching a deliberately false DeclaredPair.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "analyze/independence/auditor.hpp"
+#include "analyze/independence/independence.hpp"
+#include "analyze/sarif.hpp"
+#include "dsl/interp.hpp"
+#include "dsl/loader.hpp"
+#include "mc/local_mc.hpp"
+#include "protocols/paxos.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace lmc::indep {
+namespace {
+
+// Set by tests/CMakeLists.txt.
+const std::string kFixtureDir = LMC_INDEP_FIXTURE_DIR;
+
+dsl::CompiledProtocol load_fixture(const char* name) {
+  dsl::LoadResult r = dsl::load_file(kFixtureDir + "/" + name);
+  if (!r.ok()) throw std::runtime_error(r.diags.to_string());
+  return dsl::instantiate(*r.spec);
+}
+
+std::uint64_t count_rule(const AnalysisResult& a, const char* rule) {
+  return static_cast<std::uint64_t>(
+      std::count_if(a.diagnostics.begin(), a.diagnostics.end(),
+                    [&](const analyze::Diagnostic& d) { return d.rule == rule; }));
+}
+
+// --- IN rule firings --------------------------------------------------------
+
+TEST(IndepAnalysis, In01AssertPairStaysDependent) {
+  // A and B at the sink are disjoint on every checkable axis, but B carries
+  // an injected assert: the near-miss is reported as IN01 and the pair is
+  // conservatively kept dependent.
+  dsl::CompiledProtocol p = load_fixture("in01_assert_pair.lmc");
+  AnalysisResult a =
+      analyze_independence(p.cfg.footprints.get(), p.cfg.num_nodes, "in01_assert_pair.lmc");
+  EXPECT_EQ(count_rule(a, "IN01"), 1u);
+  EXPECT_EQ(a.unclassifiable, 1u);
+  // Message types A=0, B=1 — independent at the rule-less driver (both
+  // no-ops there), dependent at the sink where the assert lives.
+  EXPECT_TRUE(a.relation.independent(0, event_key(true, 0), event_key(true, 1)));
+  EXPECT_FALSE(a.relation.independent(1, event_key(true, 0), event_key(true, 1)));
+}
+
+TEST(IndepAnalysis, In02DeclaredPairAdmittedAndFlagged) {
+  // A field-flavor pair the static checker cannot confirm (same field
+  // written with plain assignment on both sides) vouched for by the author:
+  // admitted to the relation on the DeclaredPair, flagged IN02, and left to
+  // the runtime auditor.
+  ProtocolFootprints fp;
+  fp.nodes.resize(1);
+  NodeFootprints& nf = fp.nodes[0];
+  nf.node = 0;
+  nf.complete = true;
+  for (std::uint32_t key = 0; key < 2; ++key) {
+    RuleFootprint rf;
+    rf.is_message = true;
+    rf.key = key;
+    rf.label = key == 0 ? "on_a" : "on_b";
+    rf.writes.push_back({"shared", MergeKind::kNone});
+    nf.rules.push_back(std::move(rf));
+  }
+  nf.declared_independent.push_back({true, 0, true, 1, "author says the writes never alias"});
+  AnalysisResult a = analyze_independence(&fp, 1, "declared");
+  EXPECT_EQ(count_rule(a, "IN02"), 1u);
+  EXPECT_EQ(a.declared_pairs, 1u);
+  EXPECT_EQ(a.derived_pairs, 0u);
+  EXPECT_TRUE(a.relation.independent(0, event_key(true, 0), event_key(true, 1)));
+}
+
+TEST(IndepAnalysis, In03MissingMetadataMeansNoPairs) {
+  // Null registry: one summary IN03, empty relation.
+  AnalysisResult null_fp = analyze_independence(nullptr, 3, "bare");
+  EXPECT_GE(count_rule(null_fp, "IN03"), 1u);
+  EXPECT_EQ(null_fp.relation.size(), 0u);
+  EXPECT_EQ(null_fp.nodes_without_metadata, 3u);
+
+  // An incomplete node is just as opaque: disjoint rules, but `complete`
+  // is false, so nothing may be derived for that node.
+  ProtocolFootprints fp;
+  fp.nodes.resize(1);
+  fp.nodes[0].node = 0;
+  fp.nodes[0].complete = false;
+  for (std::uint32_t key = 0; key < 2; ++key) {
+    RuleFootprint rf;
+    rf.is_message = true;
+    rf.key = key;
+    rf.label = "r";
+    rf.guard_states.push_back(key);
+    rf.goto_states.push_back(key + 2);
+    fp.nodes[0].rules.push_back(std::move(rf));
+  }
+  AnalysisResult a = analyze_independence(&fp, 1, "incomplete");
+  EXPECT_GE(count_rule(a, "IN03"), 1u);
+  EXPECT_EQ(a.relation.size(), 0u);
+}
+
+// --- the dependent pair -----------------------------------------------------
+
+TEST(IndepAnalysis, RacingGuardPairIsNotIndependent) {
+  // A and B consume the same idle guard at the sink — order-dependent by
+  // construction. The checker must keep the pair dependent, and must not
+  // report IN01 (it is not a near-miss, just dependent).
+  dsl::CompiledProtocol p = load_fixture("dependent_pair.lmc");
+  AnalysisResult a =
+      analyze_independence(p.cfg.footprints.get(), p.cfg.num_nodes, "dependent_pair.lmc");
+  EXPECT_FALSE(a.relation.independent(1, event_key(true, 0), event_key(true, 1)));
+  EXPECT_EQ(count_rule(a, "IN01"), 0u);
+  EXPECT_EQ(count_rule(a, "IN02"), 0u);
+  EXPECT_EQ(count_rule(a, "IN03"), 0u);
+}
+
+TEST(IndepAnalysis, SelfPairsAreNeverDerived) {
+  // Two messages of one type can race on the same counter even when the
+  // type's footprint is self-disjoint — self-pairs only enter via
+  // DeclaredPair.
+  auto fp = paxos::make_config(3, paxos::CoreOptions{}, paxos::DriverConfig{}).footprints;
+  ASSERT_NE(fp, nullptr);
+  AnalysisResult a = analyze_independence(fp.get(), 3, "paxos");
+  for (std::uint32_t t = 0; t < 4; ++t)
+    EXPECT_FALSE(a.relation.independent(0, event_key(true, t), event_key(true, t)));
+}
+
+// --- digest determinism -----------------------------------------------------
+
+TEST(IndepAnalysis, DigestIsDeterministicAndOrderInsensitive) {
+  dsl::CompiledProtocol p = load_fixture("dependent_pair.lmc");
+  AnalysisResult a = analyze_independence(p.cfg.footprints.get(), p.cfg.num_nodes, "x");
+  AnalysisResult b = analyze_independence(p.cfg.footprints.get(), p.cfg.num_nodes, "x");
+  EXPECT_NE(a.relation.digest(), 0u);
+  EXPECT_EQ(a.relation.digest(), b.relation.digest());
+
+  IndependenceRelation fwd(2), rev(2);
+  fwd.add(0, event_key(true, 0), event_key(true, 1));
+  fwd.add(1, event_key(false, 1), event_key(true, 2));
+  fwd.seal();
+  rev.add(1, event_key(true, 2), event_key(false, 1));  // swapped + reordered
+  rev.add(0, event_key(true, 1), event_key(true, 0));
+  rev.seal();
+  EXPECT_EQ(fwd.digest(), rev.digest());
+  EXPECT_EQ(fwd.size(), 2u);
+}
+
+// --- SARIF shape ------------------------------------------------------------
+
+TEST(IndepAnalysis, SarifCarriesRulesAndFirings) {
+  dsl::CompiledProtocol p = load_fixture("in01_assert_pair.lmc");
+  AnalysisResult a =
+      analyze_independence(p.cfg.footprints.get(), p.cfg.num_nodes, "in01_assert_pair.lmc");
+  analyze::LintResult lint;
+  lint.diagnostics = a.diagnostics;
+  const std::string s = analyze::to_sarif(lint, "lmc_indep", indep_rules());
+  EXPECT_NE(s.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"lmc_indep\""), std::string::npos);
+  for (const char* id : {"IN01", "IN02", "IN03"})
+    EXPECT_NE(s.find(std::string("\"id\":\"") + id + "\""), std::string::npos) << id;
+  EXPECT_NE(s.find("in01_assert_pair.lmc"), std::string::npos);
+  EXPECT_NE(s.find("\"ruleId\":\"IN01\""), std::string::npos);
+}
+
+// --- runtime commutation auditor --------------------------------------------
+
+TEST(IndepAuditor, FalseDeclaredPairIsCaughtAtPruneTime) {
+  // divergence_pair.lmc: A-then-B lands in a_first, B-then-A in b_first. A
+  // false DeclaredPair admits the racing pair to the relation; the pruner
+  // claims a commuted twin covers one of the orders, and the auditor's
+  // re-execution of both orders from the serialized pre-state must catch
+  // the divergence before the unsound prune stands.
+  dsl::CompiledProtocol p = load_fixture("divergence_pair.lmc");
+  auto forged = std::make_shared<ProtocolFootprints>(*p.cfg.footprints);
+  forged->nodes[1].declared_independent.push_back(
+      {true, 0, true, 1, "forged: the guards actually race"});
+  p.cfg.footprints = forged;
+
+  LocalMcOptions opt;
+  opt.stop_on_confirmed = false;
+  opt.por.mode = PorMode::kOn;
+  opt.por.audit = true;
+  LocalModelChecker mc(p.cfg, p.invariant.get(), opt);
+  EXPECT_THROW(mc.run_from_initial(), PorAuditError);
+}
+
+TEST(IndepAuditor, DivergentOrdersThrowDirectly) {
+  // Unit-level: drive audit_commutation with the racing pair's own
+  // messages and the real pre-state; both orders disagree on the final
+  // state bytes.
+  dsl::CompiledProtocol p = load_fixture("divergence_pair.lmc");
+  const Blob pre = machine_to_blob(*p.cfg.make(1));
+  AuditEvent a, b;
+  a.is_message = true;
+  a.msg.type = 0;  // A
+  a.msg.src = 0;
+  a.msg.dst = 1;
+  b.is_message = true;
+  b.msg.type = 1;  // B
+  b.msg.src = 0;
+  b.msg.dst = 1;
+  EXPECT_THROW(audit_commutation(p.cfg, 1, pre, a, b), PorAuditError);
+}
+
+}  // namespace
+}  // namespace lmc::indep
