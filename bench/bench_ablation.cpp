@@ -11,7 +11,8 @@
 using namespace lmc;
 using namespace lmc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_ablation");
   auto inv = paxos::make_agreement_invariant();
   const double budget = env_f("LMC_BENCH_BUDGET_S", 60.0);
 
@@ -25,6 +26,7 @@ int main() {
     opt.use_projection = true;
     opt.enable_system_states = false;  // isolate exploration
     opt.num_threads = t;
+    opt.profile = prof.sink();
     LocalModelChecker mc(cfg2, inv.get(), opt);
     mc.run_from_initial();
     std::printf("%8u %12.3f %14llu %14llu\n", t, mc.stats().elapsed_s,
@@ -40,7 +42,8 @@ int main() {
   std::printf("%-10s %12s %16s %14s\n", "policy", "elapsed_s", "system states", "inv checks");
   SystemConfig cfg1 = one_proposal_paxos();
   for (bool projection : {false, true}) {
-    LocalMcStats s = run_lmc(cfg1, inv.get(), 1u << 30, budget, projection);
+    LocalMcStats s =
+        run_lmc(cfg1, inv.get(), 1u << 30, budget, projection, true, true, prof.sink());
     std::printf("%-10s %12.4f %16llu %14llu\n", projection ? "OPT" : "GEN", s.elapsed_s,
                 static_cast<unsigned long long>(s.system_states),
                 static_cast<unsigned long long>(s.invariant_checks));
@@ -63,6 +66,7 @@ int main() {
     opt.use_projection = true;
     opt.enable_system_states = mode >= 1;
     opt.enable_soundness = mode >= 2;
+    opt.profile = prof.sink();
     LocalModelChecker mc(bug_cfg, inv.get(), opt);
     mc.run_from_initial();
     const char* name = mode == 0 ? "explore" : (mode == 1 ? "+system-states" : "+soundness");

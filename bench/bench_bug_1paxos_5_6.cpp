@@ -13,7 +13,8 @@
 using namespace lmc;
 using namespace lmc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_bug_1paxos_5_6");
   onepaxos::Options live_o;
   live_o.bug_postincrement_init = true;
   live_o.max_proposals = 3;
@@ -39,6 +40,7 @@ int main() {
   opt.mc.max_total_depth = 12;
   opt.mc.use_projection = true;
   opt.mc.time_budget_s = env_f("LMC_BENCH_BUDGET_S", 15.0);
+  opt.mc.profile = prof.sink();
 
   CrystalBall cb(mc_cfg, inv.get(), live, opt);
   CrystalBallResult res = cb.run();

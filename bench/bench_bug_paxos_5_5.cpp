@@ -15,7 +15,8 @@
 using namespace lmc;
 using namespace lmc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_bug_paxos_5_5");
   paxos::DriverConfig live_d;
   live_d.proposers = {0, 1, 2};
   live_d.max_proposals = 3;
@@ -42,6 +43,7 @@ int main() {
   opt.mc.max_total_depth = 16;
   opt.mc.use_projection = true;
   opt.mc.time_budget_s = env_f("LMC_BENCH_BUDGET_S", 15.0);
+  opt.mc.profile = prof.sink();
 
   CrystalBall cb(mc_cfg, inv.get(), live, opt);
   CrystalBallResult res = cb.run();

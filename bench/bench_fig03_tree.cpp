@@ -10,7 +10,8 @@
 using namespace lmc;
 using namespace lmc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_fig03_tree");
   tree::Topology topo = tree::fig2_topology();
   SystemConfig cfg = tree::make_config(topo);
   tree::CausalDeliveryInvariant inv(topo);
@@ -20,7 +21,9 @@ int main() {
   GlobalModelChecker g(cfg, &inv, gopt);
   g.run_from_initial();
 
-  LocalModelChecker l(cfg, &inv, {});
+  LocalMcOptions lopt;
+  lopt.profile = prof.sink();
+  LocalModelChecker l(cfg, &inv, lopt);
   l.run_from_initial();
 
   std::printf("# Figures 3/4: the 5-node tree example\n");

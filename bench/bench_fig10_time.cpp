@@ -10,7 +10,8 @@
 using namespace lmc;
 using namespace lmc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_fig10_time");
   SystemConfig cfg = one_proposal_paxos();
   auto inv = paxos::make_agreement_invariant();
   const double budget = env_f("LMC_BENCH_BUDGET_S", 60.0);
@@ -23,9 +24,11 @@ int main() {
     r.depth = d;
     GlobalMcStats g = run_bdfs(cfg, inv.get(), d, budget);
     if (g.completed) r.bdfs = g.elapsed_s;
-    LocalMcStats lg = run_lmc(cfg, inv.get(), d, budget, /*projection=*/false);
+    LocalMcStats lg = run_lmc(cfg, inv.get(), d, budget, /*projection=*/false, true, true,
+                              prof.sink());
     if (lg.completed) r.gen = lg.elapsed_s;
-    LocalMcStats lo = run_lmc(cfg, inv.get(), d, budget, /*projection=*/true);
+    LocalMcStats lo = run_lmc(cfg, inv.get(), d, budget, /*projection=*/true, true, true,
+                              prof.sink());
     if (lo.completed) r.opt = lo.elapsed_s;
     print_row(r, " %13.4f");
   }

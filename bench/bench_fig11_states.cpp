@@ -9,7 +9,8 @@
 using namespace lmc;
 using namespace lmc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_fig11_states");
   SystemConfig cfg = one_proposal_paxos();
   auto inv = paxos::make_agreement_invariant();
   const double budget = env_f("LMC_BENCH_BUDGET_S", 60.0);
@@ -22,8 +23,8 @@ int main() {
   LocalMcStats lg{}, lo{};
   for (std::uint32_t d = 1; d <= max_depth; ++d) {
     g = run_bdfs(cfg, inv.get(), d, budget);
-    lg = run_lmc(cfg, inv.get(), d, budget, false);
-    lo = run_lmc(cfg, inv.get(), d, budget, true);
+    lg = run_lmc(cfg, inv.get(), d, budget, false, true, true, prof.sink());
+    lo = run_lmc(cfg, inv.get(), d, budget, true, true, true, prof.sink());
     std::printf("%8u %14llu %18llu %18llu %12llu\n", d,
                 static_cast<unsigned long long>(g.unique_states),
                 static_cast<unsigned long long>(lg.system_states),

@@ -9,7 +9,8 @@
 using namespace lmc;
 using namespace lmc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_fig12_memory");
   SystemConfig cfg = one_proposal_paxos();
   auto inv = paxos::make_agreement_invariant();
   const double budget = env_f("LMC_BENCH_BUDGET_S", 60.0);
@@ -21,9 +22,9 @@ int main() {
   LocalMcStats lg{}, lo{}, ll{};
   for (std::uint32_t d = 1; d <= max_depth; ++d) {
     g = run_bdfs(cfg, inv.get(), d, budget);
-    lg = run_lmc(cfg, inv.get(), d, budget, false);
-    lo = run_lmc(cfg, inv.get(), d, budget, true);
-    ll = run_lmc(cfg, inv.get(), d, budget, true, /*system_states=*/false);
+    lg = run_lmc(cfg, inv.get(), d, budget, false, true, true, prof.sink());
+    lo = run_lmc(cfg, inv.get(), d, budget, true, true, true, prof.sink());
+    ll = run_lmc(cfg, inv.get(), d, budget, true, /*system_states=*/false, true, prof.sink());
     std::printf("%8u %12.1f %12.1f %12.1f %12.1f\n", d, g.peak_bytes / 1024.0,
                 lg.stored_bytes / 1024.0, lo.stored_bytes / 1024.0, ll.stored_bytes / 1024.0);
   }

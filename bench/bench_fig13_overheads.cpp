@@ -52,7 +52,8 @@ std::vector<Blob> build_live_state(const SystemConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_fig13_overheads");
   paxos::DriverConfig d;
   d.proposers = {0, 1};
   d.max_proposals = 1;
@@ -75,6 +76,7 @@ int main() {
       opt.use_projection = true;
       opt.enable_system_states = system_states;
       opt.enable_soundness = soundness;
+      opt.profile = prof.sink();
       LocalModelChecker mc(cfg, inv.get(), opt);
       mc.run(live, {});
       return mc.stats();

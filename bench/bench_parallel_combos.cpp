@@ -90,7 +90,8 @@ Fingerprint fingerprint(const LocalModelChecker& mc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_parallel_combos");
   SystemConfig cfg = paxos::make_config(3, paxos::CoreOptions{0, /*bug=*/true},
                                         paxos::DriverConfig{{0, 1}, 1});
   auto inv = paxos::make_agreement_invariant();
@@ -120,6 +121,7 @@ int main() {
     opt.stop_on_confirmed = false;  // full sweep: the parallel phase dominates
     opt.time_budget_s = budget;
     opt.num_threads = threads;
+    opt.profile = prof.sink();
     LocalModelChecker mc(cfg, inv.get(), opt);
     mc.run(live, {});
 

@@ -95,7 +95,8 @@ class HeavyRingNode final : public StateMachine {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_phase1_scaling");
   const double budget = env_f("LMC_BENCH_BUDGET_S", 300.0);
   const std::uint32_t max_threads = env_u("LMC_BENCH_THREADS", 8);
   const std::uint32_t work = env_u("LMC_BENCH_WORK", 20000);
@@ -121,6 +122,7 @@ int main() {
     opt.enable_system_states = false;  // LMC-explore: the run IS phase 1
     opt.time_budget_s = budget;
     opt.num_threads = threads;
+    opt.profile = prof.sink();
     LocalModelChecker mc(cfg, nullptr, opt);
     mc.run_from_initial();
 

@@ -48,7 +48,7 @@ struct Pair {
 };
 
 Pair run_pair(const SystemConfig& cfg, const Invariant* inv, double budget_s,
-              bool system_states) {
+              bool system_states, obs::ProfileSink* profile) {
   Pair p;
   for (int reduce = 0; reduce <= 1; ++reduce) {
     LocalMcOptions opt;
@@ -56,6 +56,7 @@ Pair run_pair(const SystemConfig& cfg, const Invariant* inv, double budget_s,
     opt.time_budget_s = budget_s;
     opt.enable_system_states = system_states;
     opt.symmetry.mode = symmetry::SymmetryMode::kAuto;
+    opt.profile = profile;
     if (reduce != 0) opt.por.mode = indep::PorMode::kOn;
     LocalModelChecker mc(cfg, inv, opt);
     mc.run_from_initial();
@@ -106,7 +107,8 @@ void print_row(const char* bench_case, std::uint32_t nodes, const Pair& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_por");
   const double budget = env_f("LMC_BENCH_BUDGET_S", 120.0);
   const char* zoo_env = std::getenv("LMC_ZOO_DIR");
   const std::string zoo_dir = zoo_env != nullptr ? zoo_env : "../examples/zoo";
@@ -124,7 +126,7 @@ int main() {
     d.proposers = {0};
     d.max_proposals = 1;
     SystemConfig cfg = paxos::make_config(n, paxos::CoreOptions{}, d);
-    Pair p = run_pair(cfg, inv.get(), budget, /*system_states=*/false);
+    Pair p = run_pair(cfg, inv.get(), budget, /*system_states=*/false, prof.sink());
     all_ok = all_ok && p.ok && p.por.active != 0;
     if (factor(p) > gate_best) gate_best = factor(p);
     print_row("paxos_por", n, p);
@@ -138,7 +140,7 @@ int main() {
     d.proposers = {0, 1};
     d.max_proposals = 1;
     SystemConfig cfg = paxos::make_config(3, paxos::CoreOptions{}, d);
-    Pair p = run_pair(cfg, inv.get(), budget, /*system_states=*/false);
+    Pair p = run_pair(cfg, inv.get(), budget, /*system_states=*/false, prof.sink());
     all_ok = all_ok && p.ok && p.por.active != 0;
     print_row("paxos_por2", 3, p);
     emit("paxos_por2", 3, p);
@@ -155,7 +157,7 @@ int main() {
       return 1;
     }
     dsl::CompiledProtocol zoo = dsl::instantiate(*r.spec);
-    Pair p = run_pair(zoo.cfg, zoo.invariant.get(), budget, /*system_states=*/true);
+    Pair p = run_pair(zoo.cfg, zoo.invariant.get(), budget, /*system_states=*/true, prof.sink());
     all_ok = all_ok && p.ok;
     print_row(name, zoo.cfg.num_nodes, p);
     emit(name, zoo.cfg.num_nodes, p);

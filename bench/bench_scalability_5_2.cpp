@@ -22,7 +22,8 @@
 using namespace lmc;
 using namespace lmc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_scalability_5_2");
   SystemConfig cfg = two_proposal_paxos();
   auto inv = paxos::make_agreement_invariant();
   const double budget = env_f("LMC_BENCH_BUDGET_S", 20.0);
@@ -35,8 +36,9 @@ int main() {
   std::uint32_t bdfs_reached = 0, explore_reached = 0, full_reached = 0;
   for (std::uint32_t d = 4; d <= max_depth; d += 2) {
     GlobalMcStats g = run_bdfs(cfg, inv.get(), d, budget);
-    LocalMcStats le = run_lmc(cfg, inv.get(), d, budget, true, /*system_states=*/false);
-    LocalMcStats lf = run_lmc(cfg, inv.get(), d, budget, true);
+    LocalMcStats le =
+        run_lmc(cfg, inv.get(), d, budget, true, /*system_states=*/false, true, prof.sink());
+    LocalMcStats lf = run_lmc(cfg, inv.get(), d, budget, true, true, true, prof.sink());
     if (g.completed) bdfs_reached = d;
     if (le.completed) explore_reached = d;
     if (lf.completed) full_reached = d;

@@ -9,13 +9,15 @@
 using namespace lmc;
 using namespace lmc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_tab_transitions");
   SystemConfig cfg = one_proposal_paxos();
   auto inv = paxos::make_agreement_invariant();
   const double budget = env_f("LMC_BENCH_BUDGET_S", 120.0);
 
   GlobalMcStats g = run_bdfs(cfg, inv.get(), 1u << 30, budget);
-  LocalMcStats l = run_lmc(cfg, inv.get(), 1u << 30, budget, /*projection=*/true);
+  LocalMcStats l =
+      run_lmc(cfg, inv.get(), 1u << 30, budget, /*projection=*/true, true, true, prof.sink());
 
   std::printf("# Transitions over the full one-proposal Paxos space (§5.1)\n");
   std::printf("%-12s %14s %14s %10s\n", "checker", "transitions", "states", "done");

@@ -9,12 +9,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mc/global_mc.hpp"
 #include "mc/local_mc.hpp"
 #include "obs/bench_schema.hpp"
+#include "obs/prof.hpp"
 #include "protocols/paxos.hpp"
 
 namespace lmc::bench {
@@ -87,17 +89,55 @@ inline GlobalMcStats run_bdfs(const SystemConfig& cfg, const Invariant* inv,
 /// Run LMC (GEN or OPT) to total depth `depth` with a budget.
 inline LocalMcStats run_lmc(const SystemConfig& cfg, const Invariant* inv, std::uint32_t depth,
                             double budget_s, bool use_projection,
-                            bool enable_system_states = true, bool enable_soundness = true) {
+                            bool enable_system_states = true, bool enable_soundness = true,
+                            obs::ProfileSink* profile = nullptr) {
   LocalMcOptions opt;
   opt.max_total_depth = depth;
   opt.time_budget_s = budget_s;
   opt.use_projection = use_projection;
   opt.enable_system_states = enable_system_states;
   opt.enable_soundness = enable_soundness;
+  opt.profile = profile;
   LocalModelChecker mc(cfg, inv, opt);
   mc.run_from_initial();
   return mc.stats();
 }
+
+/// Opt-in profiling for bench binaries: `--profile FILE` or
+/// `--profile-dir DIR` on the command line (or LMC_BENCH_PROFILE=FILE in the
+/// environment, for harnesses that cannot pass flags). One sink accumulates
+/// every checker run the binary performs and the "lmc-prof/1" JSONL is
+/// written at scope exit. sink() stays null when profiling was not
+/// requested, so the default bench run is exactly the pre-profiling binary.
+class BenchProfile {
+ public:
+  BenchProfile(int argc, char** argv, const char* bench_name) {
+    if (const char* env = std::getenv("LMC_BENCH_PROFILE"); env != nullptr && env[0] != '\0')
+      path_ = env;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--profile" && i + 1 < argc)
+        path_ = argv[++i];
+      else if (a == "--profile-dir" && i + 1 < argc)
+        path_ = std::string(argv[++i]) + "/" + bench_name + "_prof.jsonl";
+    }
+    if (!path_.empty()) sink_ = std::make_unique<obs::ProfileSink>();
+  }
+  ~BenchProfile() {
+    if (sink_ == nullptr) return;
+    try {
+      sink_->write_jsonl(path_);
+      std::fprintf(stderr, "# profile written: %s\n", path_.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "# profile write failed: %s\n", e.what());
+    }
+  }
+  obs::ProfileSink* sink() const { return sink_.get(); }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::ProfileSink> sink_;
+};
 
 /// The LocalMcStats core every unified bench record shares. Callers add
 /// their case-specific params/metrics on top and call rec.emit().

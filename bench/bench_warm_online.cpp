@@ -33,7 +33,7 @@ struct ModeResult {
 
 ModeResult run_mode(const char* mode, bool warm, const SystemConfig& live_cfg,
                     const SystemConfig& mc_cfg, const Invariant* inv, std::uint64_t seed,
-                    double budget_s) {
+                    double budget_s, obs::ProfileSink* profile) {
   LiveOptions lo;
   lo.seed = seed;
   lo.transport.drop_prob = 0.3;
@@ -48,6 +48,7 @@ ModeResult run_mode(const char* mode, bool warm, const SystemConfig& live_cfg,
   opt.mc.max_total_depth = 16;
   opt.mc.use_projection = true;
   opt.mc.time_budget_s = budget_s;
+  opt.mc.profile = profile;
   opt.warm_start = warm;
   opt.on_period = [mode](const CrystalBallPeriod& p) {
     JsonLine j;
@@ -92,7 +93,8 @@ ModeResult run_mode(const char* mode, bool warm, const SystemConfig& live_cfg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchProfile prof(argc, argv, "bench_warm_online");
   paxos::DriverConfig live_d;
   live_d.proposers = {0, 1, 2};
   live_d.max_proposals = 3;
@@ -108,8 +110,10 @@ int main() {
   const std::uint64_t seed = env_u("LMC_BENCH_SEED", 1);
   const double budget_s = env_f("LMC_BENCH_BUDGET_S", 3.0);
 
-  ModeResult cold = run_mode("cold", false, live_cfg, mc_cfg, inv.get(), seed, budget_s);
-  ModeResult warm = run_mode("warm", true, live_cfg, mc_cfg, inv.get(), seed, budget_s);
+  ModeResult cold = run_mode("cold", false, live_cfg, mc_cfg, inv.get(), seed, budget_s,
+                             prof.sink());
+  ModeResult warm = run_mode("warm", true, live_cfg, mc_cfg, inv.get(), seed, budget_s,
+                             prof.sink());
 
   const bool ok = cold.res.found && warm.res.found &&
                   warm.res.total_transitions < cold.res.total_transitions;

@@ -41,6 +41,7 @@
 #include "dfuzz/shrink.hpp"
 #include "mc/parallel_local_mc.hpp"
 #include "obs/bench_schema.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -62,7 +63,8 @@ struct Args {
   bool symmetric_specs = false;  ///< generate via generate_symmetric_spec
   std::string artifact_dir = ".";
   std::string repro_file;
-  std::string trace_dir;  ///< when set, per-seed "lmc-trace/1" JSONL files land here
+  std::string trace_dir;    ///< when set, per-seed "lmc-trace/1" JSONL files land here
+  std::string profile_dir;  ///< when set, per-seed "lmc-prof/1" JSONL files land here
   bool verbose = false;
 };
 
@@ -71,7 +73,8 @@ int usage() {
                "usage: lmc_fuzz [--seed S] [--runs N] [--max-nodes K] [--threads T]\n"
                "                [--lmc-threads L] [--time-budget SEC] [--audit-every K]\n"
                "                [--audit-validity] [--symmetry] [--symmetric-specs] [--por]\n"
-               "                [--out-dir DIR] [--trace-dir DIR] [--verbose]\n"
+               "                [--out-dir DIR] [--trace-dir DIR] [--profile-dir DIR]\n"
+               "                [--verbose]\n"
                "       lmc_fuzz --repro FILE\n");
   return 2;
 }
@@ -109,6 +112,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.artifact_dir = v;
     } else if (arg == "--trace-dir" && (v = next())) {
       a.trace_dir = v;
+    } else if (arg == "--profile-dir" && (v = next())) {
+      a.profile_dir = v;
     } else if (arg == "--repro" && (v = next())) {
       a.repro_file = v;
     } else {
@@ -199,17 +204,23 @@ int main(int argc, char** argv) {
       const std::uint64_t seed = args.seed + i;
       try {
         GeneratedProtocol p = instantiate(gen(seed));
-        if (args.trace_dir.empty()) {
+        if (args.trace_dir.empty() && args.profile_dir.empty()) {
           results[i].report = DiffOracle(oopt).check(p.cfg, p.invariant.get());
         } else {
-          // Per-seed sink and file: seeds fan out over workers, so the trace
+          // Per-seed sinks and files: seeds fan out over workers, so a sink
           // must not be shared across them.
           obs::TraceSink sink;
+          obs::ProfileSink prof;
           OracleOptions topt = oopt;
-          topt.trace = &sink;
+          if (!args.trace_dir.empty()) topt.trace = &sink;
+          if (!args.profile_dir.empty()) topt.profile = &prof;
           results[i].report = DiffOracle(topt).check(p.cfg, p.invariant.get());
-          sink.write_jsonl(args.trace_dir + "/dfuzz_trace_seed" + std::to_string(seed) +
-                           ".jsonl");
+          if (!args.trace_dir.empty())
+            sink.write_jsonl(args.trace_dir + "/dfuzz_trace_seed" + std::to_string(seed) +
+                             ".jsonl");
+          if (!args.profile_dir.empty())
+            prof.write_jsonl(args.profile_dir + "/dfuzz_prof_seed" + std::to_string(seed) +
+                             ".jsonl");
         }
       } catch (const std::exception& e) {
         results[i].error = e.what();

@@ -145,6 +145,7 @@ OracleReport DiffOracle::check(const SystemConfig& cfg, const Invariant* invaria
   lopt.soundness = opt_.soundness;
   lopt.audit_validity = opt_.audit_validity;
   lopt.trace = opt_.trace;
+  lopt.profile = opt_.profile;
   LocalModelChecker l(cfg, invariant, lopt);
   try {
     l.run_from_initial();
@@ -285,6 +286,7 @@ OracleReport DiffOracle::check(const SystemConfig& cfg, const Invariant* invaria
   if (opt_.check_resume && l.stats().transitions >= 4) {
     LocalMcOptions half = lopt;
     half.trace = nullptr;
+    half.profile = nullptr;
     half.max_transitions = l.stats().transitions / 2;
     LocalModelChecker interrupted(cfg, invariant, half);
     interrupted.run_from_initial();
@@ -293,6 +295,7 @@ OracleReport DiffOracle::check(const SystemConfig& cfg, const Invariant* invaria
 
     LocalMcOptions ropt = lopt;
     ropt.trace = nullptr;
+    ropt.profile = nullptr;
     LocalModelChecker resumed(cfg, invariant, ropt);
     resumed.run_resumed(path);
     std::remove(path.c_str());
@@ -311,6 +314,7 @@ OracleReport DiffOracle::check(const SystemConfig& cfg, const Invariant* invaria
   if (opt_.check_opt && invariant != nullptr && invariant->has_projection()) {
     LocalMcOptions oopt = lopt;
     oopt.trace = nullptr;
+    oopt.profile = nullptr;
     oopt.use_projection = true;
     LocalModelChecker o(cfg, invariant, oopt);
     o.run_from_initial();
@@ -356,6 +360,7 @@ OracleReport DiffOracle::check(const SystemConfig& cfg, const Invariant* invaria
   if (opt_.check_symmetry && invariant != nullptr) {
     LocalMcOptions sopt = lopt;
     sopt.trace = nullptr;
+    sopt.profile = nullptr;
     sopt.symmetry.mode = symmetry::SymmetryMode::kAuto;
     LocalModelChecker s(cfg, invariant, sopt);
     s.run_from_initial();
@@ -416,6 +421,7 @@ OracleReport DiffOracle::check(const SystemConfig& cfg, const Invariant* invaria
   if (opt_.check_por && invariant != nullptr) {
     LocalMcOptions popt = lopt;
     popt.trace = nullptr;
+    popt.profile = nullptr;
     popt.por.mode = indep::PorMode::kOn;
     popt.por.audit = true;
     popt.por.audit_every = 1;

@@ -30,6 +30,7 @@
 
 namespace lmc::obs {
 class TraceSink;
+class ProfileSink;
 }
 
 namespace lmc::dfuzz {
@@ -87,6 +88,10 @@ struct OracleOptions {
   /// (the interrupted/resumed and OPT re-runs stay untraced so one sink
   /// holds one coherent exploration). Not owned.
   obs::TraceSink* trace = nullptr;
+
+  /// Optional profile sink, same contract as `trace`: primary GEN-path run
+  /// only, so the profile describes one coherent exploration. Not owned.
+  obs::ProfileSink* profile = nullptr;
 
   SoundnessOptions soundness;
 };

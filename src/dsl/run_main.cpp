@@ -19,6 +19,8 @@
 //     --audit-every K    oracle: sampled soundness audit of reachable tuples
 //     --audit-validity   audit handler executions (ModelValidityAuditor)
 //     --trace FILE       write an "lmc-trace/1" JSONL of the base exploration
+//     --profile FILE     write an "lmc-prof/1" JSONL profile of the base
+//                        exploration (per-rule costs; lmc_report --profile)
 //
 // The base run explores from the protocol's initial states and enforces the
 // spec's expectation: `expect violation;` demands at least one confirmed
@@ -46,6 +48,7 @@
 #include "mc/local_mc.hpp"
 #include "mc/replay.hpp"
 #include "obs/bench_schema.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "online/live_runner.hpp"
 #include "runtime/audit.hpp"
@@ -59,6 +62,7 @@ struct Args {
   std::string spec_path;
   std::string scenario;
   std::string trace_file;
+  std::string profile_file;
   std::uint32_t nodes = 0;  ///< 0 = use the spec's count
   unsigned threads = 1;
   double time_budget_s = 30.0;
@@ -77,7 +81,7 @@ int usage() {
                "usage: lmc_run [--check] [--emit] [--oracle] [--symmetry] [--por]\n"
                "               [--scenario NAME] [--no-scenarios] [--nodes N] [--threads T]\n"
                "               [--time-budget SEC] [--audit-every K] [--audit-validity]\n"
-               "               [--trace FILE] SPEC.lmc\n");
+               "               [--trace FILE] [--profile FILE] SPEC.lmc\n");
   return 2;
 }
 
@@ -104,6 +108,8 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.scenario = v;
     } else if (arg == "--trace" && (v = next())) {
       a.trace_file = v;
+    } else if (arg == "--profile" && (v = next())) {
+      a.profile_file = v;
     } else if (arg == "--nodes" && (v = next())) {
       a.nodes = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--threads" && (v = next())) {
@@ -156,7 +162,8 @@ struct RunTotals {
 bool diff_check_from(const char* label, const SystemConfig& cfg,
                      const dsl::DslInvariant* inv, const std::vector<Blob>& nodes,
                      const std::vector<Message>& in_flight, const Args& args,
-                     obs::TraceSink* trace, RunTotals& tot, std::uint64_t* confirmed_out) {
+                     obs::TraceSink* trace, obs::ProfileSink* profile, RunTotals& tot,
+                     std::uint64_t* confirmed_out) {
   bool ok = true;
   auto fail = [&](const std::string& what) {
     if (ok) ++tot.disagreements;
@@ -184,6 +191,7 @@ bool diff_check_from(const char* label, const SystemConfig& cfg,
   lopt.time_budget_s = args.time_budget_s;
   lopt.audit_validity = args.audit_validity;
   lopt.trace = trace;
+  lopt.profile = profile;
   LocalModelChecker l(cfg, inv, lopt);
   try {
     l.run(nodes, in_flight);
@@ -284,6 +292,8 @@ int main(int argc, char** argv) {
     bool ok = true;
     obs::TraceSink trace;
     obs::TraceSink* trace_ptr = args.trace_file.empty() ? nullptr : &trace;
+    obs::ProfileSink prof;
+    obs::ProfileSink* prof_ptr = args.profile_file.empty() ? nullptr : &prof;
 
     // --- base run: from initial states, expectation enforced ----------------
     dsl::CompiledProtocol base = dsl::instantiate(spec);
@@ -298,6 +308,7 @@ int main(int argc, char** argv) {
       oopt.check_symmetry = args.symmetry;
       oopt.check_por = args.por;
       oopt.trace = trace_ptr;
+      oopt.profile = prof_ptr;
       dfuzz::OracleReport rep = dfuzz::DiffOracle(oopt).check(base.cfg, base.invariant.get());
       tot.gmc_states += rep.gmc_states;
       tot.lmc_transitions += rep.lmc_transitions;
@@ -332,7 +343,7 @@ int main(int argc, char** argv) {
     } else {
       std::vector<Blob> init = initial_states(base.cfg);
       ok = diff_check_from("base", base.cfg, base.invariant.get(), init, {}, args, trace_ptr,
-                           tot, &base_confirmed) &&
+                           prof_ptr, tot, &base_confirmed) &&
            ok;
     }
 
@@ -392,7 +403,7 @@ int main(int argc, char** argv) {
                       live.assert_failures());
         }
         ok = diff_check_from(sc.name.c_str(), p.cfg, p.invariant.get(), snap.nodes,
-                             snap.in_flight, args, nullptr, tot, nullptr) &&
+                             snap.in_flight, args, nullptr, nullptr, tot, nullptr) &&
              ok;
       }
       if (!args.scenario.empty() && !matched) {
@@ -403,6 +414,7 @@ int main(int argc, char** argv) {
     }
 
     if (trace_ptr != nullptr) trace.write_jsonl(args.trace_file);
+    if (prof_ptr != nullptr) prof.write_jsonl(args.profile_file);
 
     obs::BenchRecord rec("lmc_run", spec.name);
     rec.param("spec", args.spec_path);

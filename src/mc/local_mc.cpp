@@ -8,6 +8,7 @@
 #include "mc/clock.hpp"
 #include "mc/parallel_local_mc.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "persist/exec_cache.hpp"
 #include "runtime/audit.hpp"
@@ -106,6 +107,7 @@ void LocalModelChecker::init_run(const std::vector<Blob>& nodes,
     NodeStateRec rec;
     rec.blob = nodes[n];
     rec.hash = hash_blob(rec.blob);
+    LMC_PROF(opt_.profile, count(obs::Counter::kBytesHashed, rec.blob.size()));
     rec.depth = 0;
     const Hash64 root_hash = rec.hash;
     const std::uint32_t root_idx = store_.add(n, std::move(rec));
@@ -179,7 +181,10 @@ void LocalModelChecker::resolve_symmetry() {
   // roots on a fresh run, the full store on checkpoint load.
   for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
     const std::uint32_t cnt = store_.size(n);
-    for (std::uint32_t i = 0; i < cnt; ++i) canon_->add_state(n, store_.rec(n, i).hash);
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      canon_->add_state(n, store_.rec(n, i).hash);
+      LMC_PROF(opt_.profile, count(obs::Counter::kStatesCanonicalized));
+    }
   }
 }
 
@@ -241,6 +246,7 @@ void LocalModelChecker::merge_snapshot(const std::vector<Blob>& nodes,
   const bool projecting = invariant_ != nullptr && invariant_->has_projection();
   for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
     const Hash64 h = hash_blob(nodes[n]);
+    LMC_PROF(opt_.profile, count(obs::Counter::kBytesHashed, nodes[n].size()));
     std::uint32_t idx = store_.find(n, h);
     if (idx == UINT32_MAX) {
       NodeStateRec rec;
@@ -248,7 +254,10 @@ void LocalModelChecker::merge_snapshot(const std::vector<Blob>& nodes,
       rec.hash = h;
       rec.depth = 0;
       idx = store_.add(n, std::move(rec));
-      if (canon_ != nullptr) canon_->add_state(n, h);
+      if (canon_ != nullptr) {
+        canon_->add_state(n, h);
+        LMC_PROF(opt_.profile, count(obs::Counter::kStatesCanonicalized));
+      }
       ++stats_.node_states;
       ++stats_.warm_new_roots;
       fresh.emplace_back(n, idx);
@@ -294,6 +303,7 @@ void LocalModelChecker::merge_snapshot(const std::vector<Blob>& nodes,
       check_combinations(n, idx);
       const double dt = now_s() - t0;
       stats_.system_state_s += dt;
+      LMC_PROF(opt_.profile, phase_wall(obs::Phase::kSweep, dt));
       LMC_TRACE(opt_.trace, record(tev(EventType::kComboSweep, obs::Phase::kSweep, cur_round_,
                                        /*site=*/1, stats_.system_states - pre_ss,
                                        stats_.prelim_violations - pre_pv, dt, n)));
@@ -384,6 +394,7 @@ std::uint64_t LocalModelChecker::publish_round(Pipeline& pipe) {
         if (v == PruneVerdict::kDefer) {
           por_deferred_.push_back(Task{true, i, d, idx});
           ++por_stats_.deferrals;
+          LMC_PROF(opt_.profile, count(obs::Counter::kPorDeferrals));
           continue;
         }
       }
@@ -392,10 +403,12 @@ std::uint64_t LocalModelChecker::publish_round(Pipeline& pipe) {
     }
     e.next_state = limit;
   }
-  if (round_pruned > 0)
+  if (round_pruned > 0) {
+    LMC_PROF(opt_.profile, count(obs::Counter::kPorPrunes, round_pruned));
     LMC_TRACE(opt_.trace, record(tev(EventType::kPorPrune, obs::Phase::kExplore, cur_round_,
                                      round_pruned, por_stats_.pairs_pruned,
                                      por_stats_.conservative_skips)));
+  }
 
   // Internal events: scan states added since the last generation.
   for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
@@ -549,7 +562,7 @@ void LocalModelChecker::record_fwd(NodeId n, std::uint32_t pred_idx, Hash64 ev_h
 std::vector<LocalModelChecker::Exec> LocalModelChecker::execute_task(const Task& t) {
   std::vector<Exec> out;
   ExecCache* const cache = opt_.exec_cache;
-  const bool timing = opt_.trace != nullptr;
+  const bool timing = opt_.trace != nullptr || opt_.profile != nullptr;
   const NodeStateRec& rec = store_.rec(t.node, t.state_idx);
   if (t.is_message) {
     const MonotonicNetwork::Entry& e = std::as_const(net_).at(t.net_idx);
@@ -610,11 +623,19 @@ void LocalModelChecker::apply_exec(Exec& e, std::uint64_t seq) {
     if (cache->lookup(e.ev_hash, pred0.hash, replay)) {
       e.cached = true;
       e.result = std::move(replay);
+      if (obs::ProfileSink* const psink = opt_.profile; psink != nullptr) {
+        psink->count(obs::Counter::kExecCacheHits);
+        psink->count_shard(ExecCache::shard_index(e.ev_hash, pred0.hash), true);
+      }
     } else {
+      if (obs::ProfileSink* const psink = opt_.profile; psink != nullptr) {
+        psink->count(obs::Counter::kExecCacheMisses);
+        psink->count_shard(ExecCache::shard_index(e.ev_hash, pred0.hash), false);
+      }
       if (e.peek_hit) {
         // The worker's peek saw the pair but a generation rotation evicted
         // it before consumption: execute here (rare; still audited).
-        const double tr0 = opt_.trace != nullptr ? now_s() : 0.0;
+        const double tr0 = opt_.trace != nullptr || opt_.profile != nullptr ? now_s() : 0.0;
         if (e.is_message) {
           const Message* m = net_.find(e.ev_hash);
           e.result = exec_message(cfg_, e.node, pred0.blob, *m);
@@ -631,7 +652,7 @@ void LocalModelChecker::apply_exec(Exec& e, std::uint64_t seq) {
             if (!rep.ok) throw ModelValidityError(e.node, rep.detail);
           }
         }
-        if (opt_.trace != nullptr) e.exec_s = now_s() - tr0;
+        if (opt_.trace != nullptr || opt_.profile != nullptr) e.exec_s = now_s() - tr0;
       }
       cache->insert(e.ev_hash, pred0.hash, e.result);
     }
@@ -639,6 +660,30 @@ void LocalModelChecker::apply_exec(Exec& e, std::uint64_t seq) {
   LMC_TRACE(opt_.trace, record(tev(EventType::kHandlerRun, obs::Phase::kExplore, cur_round_,
                                    e.is_message ? 1 : 0, e.ev_hash, e.cached ? 1 : 0,
                                    e.exec_s, e.node, seq)));
+  // Per-rule cost attribution. All fields are computed from the Exec alone
+  // (identity: a pure function of the exploration); exec_s is worker wall
+  // time (attribution). hash_bytes anticipates the hash_blob below — zero
+  // when the assert policy will discard the state before it is hashed.
+  if (obs::ProfileSink* const psink = opt_.profile; psink != nullptr) {
+    obs::RuleKey rk;
+    rk.node = e.node;
+    rk.is_message = e.is_message ? 1 : 0;
+    if (e.is_message) {
+      const auto it = events_.find(e.ev_hash);
+      if (it != events_.end()) rk.kind = it->second.msg.type;
+    } else {
+      rk.kind = e.ev.kind;
+    }
+    std::uint64_t ser = e.result.state.size();
+    for (const Message& m : e.result.sent) ser += m.payload.size();
+    const bool discards = e.result.assert_failed &&
+                          opt_.assert_policy == LocalMcOptions::AssertPolicy::DiscardState;
+    const std::uint64_t hash_bytes = discards ? 0 : e.result.state.size();
+    psink->rule(rk, e.cached, ser, hash_bytes, e.exec_s);
+    psink->count(e.cached ? obs::Counter::kCachedReplays : obs::Counter::kHandlerRuns);
+    psink->count(obs::Counter::kBytesSerialized, ser);
+    psink->count(obs::Counter::kBytesHashed, hash_bytes);
+  }
   // A cached replay is not a handler execution: it is exactly the work the
   // warm start avoided. Everything downstream treats it identically.
   if (e.cached)
@@ -738,7 +783,10 @@ void LocalModelChecker::apply_exec(Exec& e, std::uint64_t seq) {
   const std::uint32_t idx = store_.add(e.node, std::move(rec));
   if (por_rel_ != nullptr && e.is_message)
     record_fwd(e.node, e.pred_idx, e.ev_hash, FwdOutcome::kSucc, idx);
-  if (canon_ != nullptr) canon_->add_state(e.node, h2);
+  if (canon_ != nullptr) {
+    canon_->add_state(e.node, h2);
+    LMC_PROF(opt_.profile, count(obs::Counter::kStatesCanonicalized));
+  }
   ++stats_.node_states;
   stats_.max_chain_depth_reached = std::max(stats_.max_chain_depth_reached, pred.depth + 1);
   apply_ev(0);
@@ -758,6 +806,7 @@ void LocalModelChecker::apply_exec(Exec& e, std::uint64_t seq) {
     check_combinations(e.node, idx);
     const double dt = now_s() - t0;
     stats_.system_state_s += dt;
+    LMC_PROF(opt_.profile, phase_wall(obs::Phase::kSweep, dt));
     LMC_TRACE(opt_.trace, record(tev(EventType::kComboSweep, obs::Phase::kSweep, cur_round_,
                                      /*site=*/0, stats_.system_states - pre_ss,
                                      stats_.prelim_violations - pre_pv, dt, e.node)));
@@ -878,6 +927,7 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
   std::vector<Outcome> out(jobs.size());
   const std::vector<EpochSeed> seeds = epoch_seeds();
   obs::TraceSink* const tsink = opt_.trace;
+  obs::ProfileSink* const psink = opt_.profile;
   const obs::Phase tphase = phase2 ? obs::Phase::kDrain : obs::Phase::kSoundness;
   const double wall_t0 = now_s();
 
@@ -961,6 +1011,10 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
         tsink->record_worker(tev(EventType::kSoundnessRun, tphase, cur_round_,
                                  static_cast<std::uint64_t>(o.kind), 0, phase2 ? 1 : 0, o.secs,
                                  TraceEvent::kNoNode, i));
+      if (psink != nullptr) {
+        psink->count_worker(obs::Counter::kSoundnessJobs);
+        psink->time_worker(tphase, o.secs);
+      }
       return;
     }
     // Per-member pre-check: a combination whose members cannot
@@ -989,8 +1043,13 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
       tsink->record_worker(tev(EventType::kSoundnessRun, tphase, cur_round_,
                                static_cast<std::uint64_t>(o.kind), 0, phase2 ? 1 : 0, o.secs,
                                TraceEvent::kNoNode, i));
+    if (psink != nullptr) {
+      psink->count_worker(obs::Counter::kSoundnessJobs);
+      psink->time_worker(tphase, o.secs);
+    }
   });
   if (tsink != nullptr) tsink->drain_workers();
+  if (psink != nullptr) psink->drain_workers();
 
   // Deterministic merge in enumeration/queue order: counters, the deferred
   // queue and confirmed violations come out identical for any thread count.
@@ -1070,6 +1129,7 @@ void LocalModelChecker::verify_prelims(std::vector<Deferred> jobs, bool phase2) 
   // counterpart to the AGGREGATE soundness_s summed across workers above.
   const double wall_dt = now_s() - wall_t0;
   stats_.soundness_wall_s += wall_dt;
+  LMC_PROF(psink, phase_wall(tphase, wall_dt));
   LMC_TRACE(tsink, record(tev(EventType::kSoundnessPhase, tphase, cur_round_, jobs.size(),
                               phase2 ? 1 : 0, 0, wall_dt)));
 }
@@ -1128,6 +1188,7 @@ void LocalModelChecker::check_snapshot_combination(const std::vector<std::uint32
     sym_consider(combo, counts, ctx);
     const double dt = now_s() - t0;
     stats_.system_state_s += dt;
+    LMC_PROF(opt_.profile, phase_wall(obs::Phase::kSweep, dt));
     LMC_TRACE(opt_.trace, record(tev(EventType::kComboSweep, obs::Phase::kSweep, cur_round_,
                                      /*site=*/2, stats_.system_states - pre_ss,
                                      stats_.prelim_violations - pre_pv, dt)));
@@ -1143,6 +1204,7 @@ void LocalModelChecker::check_snapshot_combination(const std::vector<std::uint32
   }
   const double dt = now_s() - t0;
   stats_.system_state_s += dt;
+  LMC_PROF(opt_.profile, phase_wall(obs::Phase::kSweep, dt));
   LMC_TRACE(opt_.trace, record(tev(EventType::kComboSweep, obs::Phase::kSweep, cur_round_,
                                    /*site=*/2, stats_.system_states - pre_ss,
                                    stats_.prelim_violations - pre_pv, dt)));
@@ -1359,6 +1421,7 @@ bool LocalModelChecker::sym_consider(std::vector<std::uint32_t>& combo,
   const Hash64 key = canon_->orbit_key(fixed, counts);
   if (canon_->seen_or_mark(key)) {
     ++sym_stats_.orbit_hits;
+    LMC_PROF(opt_.profile, count(obs::Counter::kOrbitCollapses));
     return true;
   }
   if (ctx.cap == 0) {
@@ -1474,6 +1537,9 @@ void LocalModelChecker::metrics_sample(const char* where, std::uint64_t frontier
   snap.confirmed = stats_.confirmed_violations;
   snap.sym_orbits = sym_stats_.orbits;
   snap.sym_orbit_hits = sym_stats_.orbit_hits;
+  snap.sym_represented = sym_stats_.represented;
+  snap.por_pruned = por_stats_.pairs_pruned;
+  snap.por_deferred = por_stats_.deferrals;
   const double elapsed = base_elapsed_s_ + (now_s() - run_t0_);
   snap.sweep_s = stats_.system_state_s;
   snap.soundness_wall_s = stats_.soundness_wall_s;
@@ -1552,6 +1618,10 @@ void LocalModelChecker::explore_stream() {
     LMC_TRACE(opt_.trace, record(tev(EventType::kRunEnd, obs::Phase::kRun, cur_round_,
                                      stats_.transitions, stats_.confirmed_violations,
                                      stats_.completed ? 1 : 0, stats_.elapsed_s)));
+    if (obs::ProfileSink* const psink = opt_.profile; psink != nullptr) {
+      psink->note_threads(opt_.num_threads);
+      psink->run_wall(stats_.elapsed_s);
+    }
     metrics_sample("end", 0, /*force=*/true);
   };
 

@@ -57,6 +57,7 @@ class ExecCache;
 
 namespace obs {
 class TraceSink;
+class ProfileSink;
 class MetricsSink;
 struct MetricsSnapshot;
 }  // namespace obs
@@ -133,6 +134,16 @@ struct LocalMcOptions {
   /// count, and round numbering continues from the checkpoint's round
   /// instead of restarting at 0.
   obs::TraceSink* trace = nullptr;
+
+  /// Deep performance profiling (obs/prof.hpp, DESIGN.md §15). nullptr (the
+  /// default) disables it at the cost of a null-pointer test per call site.
+  /// The profile's identity aggregates (typed counters, per-shard ExecCache
+  /// hits/misses, per-rule run/byte ledgers) are a pure function of the
+  /// exploration — byte-identical at any num_threads — while wall seconds
+  /// and time histograms are attribution. Like the trace sink it is
+  /// runtime-only state, never serialized to checkpoints, and attaching it
+  /// never perturbs exploration results.
+  obs::ProfileSink* profile = nullptr;
 
   /// Heartbeat metrics (obs/metrics.hpp). nullptr disables. The checker
   /// offers a snapshot at round boundaries and run book-ends; the sink's
@@ -282,7 +293,7 @@ class LocalModelChecker {
     std::uint32_t pred_idx = 0;
     ExecResult result;
     InternalEvent ev;      ///< internal tasks: the executed event
-    double exec_s = 0.0;   ///< worker-measured handler seconds (tracing only)
+    double exec_s = 0.0;   ///< worker-measured handler seconds (tracing/profiling only)
   };
   using Pipeline = concurrent::ExplorePipeline<Task, Exec>;
 

@@ -61,10 +61,9 @@ BaselineComparison compare_benches(
   for (const auto& [key, base_metrics] : baseline) {
     auto cur_it = current.find(key);
     if (cur_it == current.end()) {
-      for (const auto& [name, val] : base_metrics) {
-        (void)val;
-        cmp.only_baseline.push_back(key + " " + name);
-      }
+      // The whole case is absent from the current run (bench skipped or
+      // renamed) — one "missing" entry, not one only_baseline per metric.
+      cmp.missing_cases.push_back(key);
       continue;
     }
     for (const auto& [name, base_val] : base_metrics) {
@@ -114,12 +113,16 @@ std::size_t print_baseline_report(const BaselineComparison& cmp, double fail_ove
     std::fprintf(out, "  %-28s %14.6g -> %14.6g  (%+.1f%%)%s\n", r.metric.c_str(), r.base,
                  r.current, pct, regressed ? "  REGRESSION" : "");
   }
+  for (const std::string& s : cmp.missing_cases)
+    std::fprintf(out, "missing: %s (baseline case with no current record)\n", s.c_str());
   for (const std::string& s : cmp.only_baseline)
     std::fprintf(out, "only in baseline: %s\n", s.c_str());
   for (const std::string& s : cmp.only_current)
     std::fprintf(out, "new (no baseline): %s\n", s.c_str());
-  std::fprintf(out, "lmc_report --baseline: %zu metric(s) compared, %zu regression(s)\n",
-               cmp.rows.size(), regressions);
+  std::fprintf(out,
+               "lmc_report --baseline: %zu metric(s) compared, %zu missing case(s), "
+               "%zu regression(s)\n",
+               cmp.rows.size(), cmp.missing_cases.size(), regressions);
   return regressions;
 }
 

@@ -30,6 +30,7 @@ struct BaselineComparison {
     bool time_metric = false;  ///< metric name ends in "_s"
   };
   std::vector<Row> rows;                    ///< metrics present on both sides
+  std::vector<std::string> missing_cases;   ///< baseline keys with NO current record at all
   std::vector<std::string> only_baseline;   ///< "key metric" present only in the baseline
   std::vector<std::string> only_current;    ///< "key metric" new in the current run
 };
@@ -38,9 +39,12 @@ BaselineComparison compare_benches(
     const std::map<std::string, std::map<std::string, double>>& baseline,
     const std::map<std::string, std::map<std::string, double>>& current);
 
-/// Print the per-metric diff table. With fail_over_pct >= 0, a time metric
-/// whose current value exceeds base * (1 + pct/100) counts as a regression;
-/// returns the number of regressions (0 when fail_over_pct < 0).
+/// Print the per-metric diff table. Baseline cases that produced no current
+/// record at all are printed as "missing" lines and counted in the summary
+/// — informationally; a skipped bench must be visible but must not fail the
+/// gate. With fail_over_pct >= 0, a time metric whose current value exceeds
+/// base * (1 + pct/100) counts as a regression; returns the number of
+/// regressions (0 when fail_over_pct < 0).
 std::size_t print_baseline_report(const BaselineComparison& cmp, double fail_over_pct,
                                   std::FILE* out);
 

@@ -5,6 +5,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace lmc::obs {
@@ -120,6 +121,7 @@ bool validate_obs_line(const std::string& line, std::string* err) {
     if (!parse_jsonl_line(line, rec)) return fail("malformed lmc-metrics/1 record");
     return true;
   }
+  if (schema->str == "lmc-prof/1") return validate_prof_value(v, err);
   return fail("unknown schema \"" + schema->str + "\"");
 }
 

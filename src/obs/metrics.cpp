@@ -78,6 +78,9 @@ std::string to_jsonl_line(const MetricsRecord& rec) {
   out += ",\"confirmed\":" + std::to_string(s.confirmed);
   out += ",\"sym_orbits\":" + std::to_string(s.sym_orbits);
   out += ",\"sym_orbit_hits\":" + std::to_string(s.sym_orbit_hits);
+  out += ",\"sym_represented\":" + std::to_string(s.sym_represented);
+  out += ",\"por_pruned\":" + std::to_string(s.por_pruned);
+  out += ",\"por_deferred\":" + std::to_string(s.por_deferred);
   out += ",\"explore_s\":" + json_double(s.explore_s);
   out += ",\"sweep_s\":" + json_double(s.sweep_s);
   out += ",\"soundness_wall_s\":" + json_double(s.soundness_wall_s);
@@ -118,6 +121,9 @@ bool parse_jsonl_line(const std::string& line, MetricsRecord& rec) {
   rec.snap.confirmed = u64("confirmed");
   rec.snap.sym_orbits = u64("sym_orbits");
   rec.snap.sym_orbit_hits = u64("sym_orbit_hits");
+  rec.snap.sym_represented = u64("sym_represented");
+  rec.snap.por_pruned = u64("por_pruned");
+  rec.snap.por_deferred = u64("por_deferred");
   rec.snap.explore_s = dbl("explore_s");
   rec.snap.sweep_s = dbl("sweep_s");
   rec.snap.soundness_wall_s = dbl("soundness_wall_s");

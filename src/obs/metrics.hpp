@@ -37,6 +37,9 @@ struct MetricsSnapshot {
   std::uint64_t confirmed = 0;      ///< confirmed violations so far
   std::uint64_t sym_orbits = 0;     ///< canonical orbits materialized (0 = reduction off)
   std::uint64_t sym_orbit_hits = 0; ///< orbit seen-set hits
+  std::uint64_t sym_represented = 0;///< ordered combinations the orbits stand for
+  std::uint64_t por_pruned = 0;     ///< deliveries pruned by POR (0 = reduction off)
+  std::uint64_t por_deferred = 0;   ///< POR pairs deferred one generation
   double explore_s = 0.0;           ///< per-phase wall seconds so far…
   double sweep_s = 0.0;
   double soundness_wall_s = 0.0;

@@ -1,5 +1,6 @@
 #include "obs/report.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <stdexcept>
@@ -221,6 +222,92 @@ std::string report_bench_json(const ReportSummary& s, const std::string& case_la
   rec.metric("deferred_s", s.deferred_s);
   rec.metric("checkpoint_s", s.checkpoint_s);
   return rec.to_json();
+}
+
+void print_profile_report(const ProfileData& prof, std::size_t top_k, std::FILE* out) {
+  const double sweep = prof.phase_s[static_cast<std::size_t>(Phase::kSweep)];
+  const double soundness = prof.phase_s[static_cast<std::size_t>(Phase::kSoundness)];
+  const double drain = prof.phase_s[static_cast<std::size_t>(Phase::kDrain)];
+  // Explore wall is derived, not measured: what remains of the run after the
+  // deterministic sweep windows and the phase-2 drain (the metrics heartbeat
+  // uses the same formula). Phase-1 soundness walls sit inside the sweep
+  // windows, mirroring LocalMcStats.
+  const double explore = std::max(0.0, prof.run_wall_s - sweep - drain);
+  std::fprintf(out, "lmc_report --profile: %zu prof line(s), %u thread(s), run wall %.4fs\n",
+               prof.lines, prof.threads, prof.run_wall_s);
+  std::fprintf(out, "phase wall:\n");
+  phase_row(out, "explore", explore, prof.run_wall_s, "derived: run - sweep - drain");
+  phase_row(out, "combination sweep", sweep, prof.run_wall_s, "includes phase-1 soundness");
+  phase_row(out, "soundness", soundness, prof.run_wall_s, "wall (both phases)");
+  phase_row(out, "deferred drain", drain, prof.run_wall_s, "wall");
+
+  std::fprintf(out, "counters:\n");
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Counter::kCount); ++i)
+    std::fprintf(out, "  %-22s %14" PRIu64 "\n", to_string(static_cast<Counter>(i)),
+                 prof.counters[i]);
+
+  std::uint64_t hits = 0, misses = 0;
+  for (std::size_t i = 0; i < kProfShards; ++i) {
+    hits += prof.shard_hits[i];
+    misses += prof.shard_misses[i];
+  }
+  if (hits + misses > 0) {
+    std::fprintf(out, "ExecCache shards (%" PRIu64 " lookup(s), %.1f%% hit):\n", hits + misses,
+                 100.0 * static_cast<double>(hits) / static_cast<double>(hits + misses));
+    for (std::size_t i = 0; i < kProfShards; ++i) {
+      const std::uint64_t n = prof.shard_hits[i] + prof.shard_misses[i];
+      if (n == 0) continue;
+      std::fprintf(out, "  shard %2zu %10" PRIu64 " hit %10" PRIu64 " miss  (%.1f%%)\n", i,
+                   prof.shard_hits[i], prof.shard_misses[i],
+                   100.0 * static_cast<double>(prof.shard_hits[i]) / static_cast<double>(n));
+    }
+  }
+
+  std::vector<const ProfileData::Rule*> hot;
+  hot.reserve(prof.rules.size());
+  for (const auto& [key, rule] : prof.rules) hot.push_back(&rule);
+  std::sort(hot.begin(), hot.end(), [](const ProfileData::Rule* a, const ProfileData::Rule* b) {
+    if (a->exec_s != b->exec_s) return a->exec_s > b->exec_s;
+    return a->key < b->key;  // deterministic tie-break
+  });
+  if (top_k > 0 && hot.size() > top_k) hot.resize(top_k);
+  if (!hot.empty()) {
+    std::fprintf(out,
+                 "hottest rules (top %zu of %zu by handler wall; %% of explore wall):\n",
+                 hot.size(), prof.rules.size());
+    std::fprintf(out, "  %-26s %9s %9s %12s %7s %9s %9s\n", "rule", "runs", "cached", "exec_s",
+                 "%expl", "ser B/tr", "hash B/tr");
+    for (const ProfileData::Rule* r : hot) {
+      char label[64];
+      std::snprintf(label, sizeof label, "node %u %s kind %u", r->key.node,
+                    r->key.is_message != 0 ? "msg" : "int", r->key.kind);
+      const std::uint64_t applied = r->runs + r->cached;
+      const double pct = explore > 0.0 ? 100.0 * r->exec_s / explore : 0.0;
+      const double ser_per =
+          applied > 0 ? static_cast<double>(r->ser_bytes) / static_cast<double>(applied) : 0.0;
+      const double hash_per =
+          applied > 0 ? static_cast<double>(r->hash_bytes) / static_cast<double>(applied) : 0.0;
+      std::fprintf(out, "  %-26s %9" PRIu64 " %9" PRIu64 " %12.6f %6.1f%% %9.1f %9.1f\n", label,
+                   r->runs, r->cached, r->exec_s, pct, ser_per, hash_per);
+    }
+  }
+}
+
+void print_metrics_reductions(const std::vector<MetricsRecord>& records, std::FILE* out) {
+  if (records.empty()) return;
+  const MetricsSnapshot& s = records.back().snap;  // cumulative gauges: last wins
+  if (s.sym_orbits > 0) {
+    const std::uint64_t seen = s.sym_orbits + s.sym_orbit_hits;
+    std::fprintf(out,
+                 "symmetry: %" PRIu64 " orbit(s) (%" PRIu64 " seen-set hit(s)) standing for %"
+                 PRIu64 " ordered combination(s)%s\n",
+                 s.sym_orbits, s.sym_orbit_hits, s.sym_represented,
+                 seen > 0 && s.sym_represented > seen ? " — reduction active" : "");
+  }
+  if (s.por_pruned > 0 || s.por_deferred > 0)
+    std::fprintf(out, "POR (heartbeat): %" PRIu64 " delivery(ies) pruned, %" PRIu64
+                 " pair(s) deferred one generation\n",
+                 s.por_pruned, s.por_deferred);
 }
 
 }  // namespace lmc::obs

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace lmc::obs {
@@ -88,5 +90,18 @@ void print_report(const ReportSummary& s, std::FILE* out);
 
 /// The report's own "lmc-bench/1" record (bench="lmc_report", case=label).
 std::string report_bench_json(const ReportSummary& s, const std::string& case_label);
+
+/// Render a merged "lmc-prof/1" profile (lmc_report --profile): phase walls
+/// with the explore share derived as run_wall - sweep - drain (the same
+/// formula the metrics heartbeat uses), the typed counter registry, the
+/// per-shard ExecCache table, and the top_k hottest rules by handler wall
+/// seconds with per-transition serialize/hash byte costs.
+void print_profile_report(const ProfileData& prof, std::size_t top_k, std::FILE* out);
+
+/// Render the state-space-reduction gauges (symmetry orbits, POR prunes)
+/// from a heartbeat stream. The fields are cumulative, so only the last
+/// record is printed; no-op when `records` is empty or both reductions were
+/// off for the whole run.
+void print_metrics_reductions(const std::vector<MetricsRecord>& records, std::FILE* out);
 
 }  // namespace lmc::obs

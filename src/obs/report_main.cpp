@@ -2,16 +2,25 @@
 //
 //   lmc_report [--json] [--case LABEL] FILE...     analyze trace JSONL
 //   lmc_report --validate FILE...                  schema-check obs JSONL
+//   lmc_report --profile [--top K] FILE...         rank lmc-prof/1 rule costs
 //   lmc_report --baseline BASE.json [--baseline ...] [--fail-over PCT] FILE...
 //
 // Analysis mode ingests every "lmc-trace/1" line from the given files (in
 // order; other obs lines are skipped so mixed files work), prints the
-// per-phase / per-rule / per-worker breakdown, and with --json also emits a
-// machine-readable "lmc-bench/1" summary (stdout + $LMC_BENCH_JSON).
+// per-phase / per-rule / per-worker breakdown plus — when the files carry
+// "lmc-metrics/1" heartbeats — the final symmetry/POR reduction gauges, and
+// with --json also emits a machine-readable "lmc-bench/1" summary (stdout +
+// $LMC_BENCH_JSON).
 //
 // Validation mode checks every non-empty line of each file against the obs
-// schemas ("lmc-trace/1", "lmc-metrics/1", "lmc-bench/1") — CI runs it over
-// all artifacts a job produced. Exit: 0 ok, 1 invalid lines, 2 usage/IO.
+// schemas ("lmc-trace/1", "lmc-metrics/1", "lmc-bench/1", "lmc-prof/1") —
+// CI runs it over all artifacts a job produced. Exit: 0 ok, 1 invalid
+// lines, 2 usage/IO.
+//
+// Profile mode merges every "lmc-prof/1" line from the given files and
+// prints phase walls, the counter registry, the per-shard ExecCache table
+// and the top-K hottest rules (by handler wall seconds, as a share of the
+// derived explore wall, with per-transition serialize/hash byte costs).
 //
 // Baseline mode diffs the "lmc-bench/1" records in FILE... against the
 // frozen records in the --baseline file(s) (bench/baselines/BENCH_*.json),
@@ -21,12 +30,14 @@
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "obs/baseline.hpp"
 #include "obs/bench_schema.hpp"
+#include "obs/prof.hpp"
 #include "obs/report.hpp"
 
 namespace {
@@ -35,6 +46,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: lmc_report [--json] [--case LABEL] FILE...\n"
                "       lmc_report --validate FILE...\n"
+               "       lmc_report --profile [--top K] FILE...\n"
                "       lmc_report --baseline BASE.json [--fail-over PCT] FILE...\n");
   return 2;
 }
@@ -79,6 +91,24 @@ int run_validate(const std::vector<std::string>& files) {
   return bad > 0 ? 1 : 0;
 }
 
+int run_profile(const std::vector<std::string>& files, std::size_t top_k) {
+  lmc::obs::ProfileData prof;
+  for (const std::string& path : files) {
+    std::vector<std::string> lines;
+    if (!read_lines(path, lines)) {
+      std::fprintf(stderr, "lmc_report: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    for (const std::string& line : lines) lmc::obs::merge_prof_line(line, prof);
+  }
+  if (prof.lines == 0) {
+    std::fprintf(stderr, "lmc_report: no lmc-prof/1 lines found\n");
+    return 1;
+  }
+  lmc::obs::print_profile_report(prof, top_k, stdout);
+  return 0;
+}
+
 int run_baseline(const std::vector<std::string>& baselines, const std::vector<std::string>& files,
                  double fail_over_pct) {
   auto load = [](const std::vector<std::string>& paths, const char* what,
@@ -106,14 +136,19 @@ int run_baseline(const std::vector<std::string>& baselines, const std::vector<st
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool validate = false, json = false;
+  bool validate = false, json = false, profile = false;
   std::string case_label = "trace";
   std::vector<std::string> files, baselines;
   double fail_over_pct = -1.0;
+  std::size_t top_k = 20;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--validate") {
       validate = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--top" && i + 1 < argc) {
+      top_k = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--case" && i + 1 < argc) {
@@ -130,13 +165,21 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) return usage();
   if (validate) return run_validate(files);
+  if (profile) return run_profile(files, top_k);
   if (!baselines.empty()) return run_baseline(baselines, files, fail_over_pct);
 
   try {
     std::vector<lmc::obs::TraceEvent> events;
+    std::vector<lmc::obs::MetricsRecord> heartbeats;
     for (const std::string& path : files) {
       std::vector<lmc::obs::TraceEvent> part = lmc::obs::load_trace_file(path);
       events.insert(events.end(), part.begin(), part.end());
+      std::vector<std::string> lines;
+      if (read_lines(path, lines))
+        for (const std::string& line : lines) {
+          lmc::obs::MetricsRecord rec;
+          if (lmc::obs::parse_jsonl_line(line, rec)) heartbeats.push_back(std::move(rec));
+        }
     }
     if (events.empty()) {
       std::fprintf(stderr, "lmc_report: no lmc-trace/1 events found\n");
@@ -144,6 +187,7 @@ int main(int argc, char** argv) {
     }
     const lmc::obs::ReportSummary summary = lmc::obs::summarize(events);
     lmc::obs::print_report(summary, stdout);
+    lmc::obs::print_metrics_reductions(heartbeats, stdout);
     if (json) std::printf("%s\n", lmc::obs::report_bench_json(summary, case_label).c_str());
     return 0;
   } catch (const std::exception& e) {

@@ -70,6 +70,13 @@ class ExecCache {
   std::uint64_t hits() const;    ///< successful lookups since construction/load
   std::uint64_t misses() const;  ///< failed lookups
 
+  /// Shard a (event, state) pair lands in — exposed so the profiler can
+  /// attribute authoritative lookups per shard without re-deriving the
+  /// internal key hash.
+  static std::size_t shard_index(Hash64 ev, Hash64 state) {
+    return shard_of(Key{ev, state});
+  }
+
   /// Canonical serialization (entries sorted by key); decode verifies the
   /// trailing checksum first and throws CheckpointError on any corruption.
   Blob encode() const;

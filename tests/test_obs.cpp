@@ -1,8 +1,11 @@
-// Observability layer (DESIGN.md §10): trace determinism + non-perturbation
-// over the frozen fuzz corpus, counter-exact report reproduction, JSONL
-// round-trips, schema validation, the LMC_TRACE cost contract, and the
-// checkpoint v3 stats fields (deferred_dropped counter, soundness_wall_s)
-// including v2 read compatibility.
+// Observability layer (DESIGN.md §10, §15): trace determinism +
+// non-perturbation over the frozen fuzz corpus, counter-exact report
+// reproduction, JSONL round-trips, schema validation, the LMC_TRACE /
+// LMC_PROF cost contracts, the profiling identity contract (1-vs-8-thread
+// byte identity, checkpoint non-perturbation), the Chrome trace_event
+// export, baseline missing-case reporting, and the checkpoint v3 stats
+// fields (deferred_dropped counter, soundness_wall_s) including v2 read
+// compatibility.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -12,8 +15,11 @@
 #include "dfuzz/oracle.hpp"
 #include "dfuzz/protogen.hpp"
 #include "mc/local_mc.hpp"
+#include "obs/baseline.hpp"
 #include "obs/bench_schema.hpp"
+#include "obs/chrome.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "persist/checkpoint.hpp"
@@ -417,6 +423,213 @@ TEST(ObsCheckpoint, ReadsV2FilesWideningChangedStatsFields) {
   EXPECT_EQ(back.stats.completed, img.stats.completed);
   EXPECT_EQ(back.store.total_states(), img.store.total_states());
   EXPECT_EQ(back.net_entries.size(), img.net_entries.size());
+}
+
+// --- profiling (DESIGN.md §15) ---------------------------------------------
+
+TEST(ObsProf, LmcProfMacroDoesNotEvaluateArgsWhenOff) {
+  int evaluated = 0;
+  auto delta = [&evaluated] {
+    ++evaluated;
+    return std::uint64_t{1};
+  };
+  obs::ProfileSink* off = nullptr;
+  LMC_PROF(off, count(obs::Counter::kHandlerRuns, delta()));
+  EXPECT_EQ(evaluated, 0);
+  obs::ProfileSink on;
+  LMC_PROF(&on, count(obs::Counter::kHandlerRuns, delta()));
+  EXPECT_EQ(evaluated, 1);
+  EXPECT_EQ(on.counter(obs::Counter::kHandlerRuns), 1u);
+}
+
+TEST(ObsProf, TimeHistBucketsAreLog2Nanoseconds) {
+  obs::TimeHist h;
+  h.add(0.0);       // < 1ns -> bucket 0
+  h.add(1.5e-9);    // [1, 2) ns -> bucket 1
+  h.add(3e-9);      // [2, 4) ns -> bucket 2
+  h.add(1e-6);      // ~2^10 ns
+  EXPECT_EQ(h.samples(), 4u);
+  EXPECT_EQ(h.count[0], 1u);
+  EXPECT_EQ(h.count[1], 1u);
+  EXPECT_EQ(h.count[2], 1u);
+  obs::TimeHist other;
+  other.add(1.5e-9);
+  h.merge(other);
+  EXPECT_EQ(h.samples(), 5u);
+  EXPECT_EQ(h.count[1], 2u);
+}
+
+TEST(ObsProf, WorkerLanesFoldOnDrain) {
+  obs::ProfileSink sink;
+  sink.count_worker(obs::Counter::kSoundnessJobs, 5);
+  sink.time_worker(obs::Phase::kSoundness, 0.25);
+  // Worker-lane writes are invisible until the deterministic drain point.
+  EXPECT_EQ(sink.counter(obs::Counter::kSoundnessJobs), 0u);
+  sink.drain_workers();
+  EXPECT_EQ(sink.counter(obs::Counter::kSoundnessJobs), 5u);
+  EXPECT_EQ(sink.phase_seconds(obs::Phase::kSoundness), 0.25);
+  // Draining is move-out, not copy: a second drain adds nothing.
+  sink.drain_workers();
+  EXPECT_EQ(sink.counter(obs::Counter::kSoundnessJobs), 5u);
+}
+
+TEST(ObsProf, JsonlRoundTripValidatesAndMergesExactly) {
+  obs::ProfileSink sink;
+  sink.note_threads(4);
+  sink.run_wall(1.5);
+  sink.count(obs::Counter::kBytesHashed, 1000);
+  sink.count(obs::Counter::kHandlerRuns, 7);
+  sink.count_shard(3, /*hit=*/true);
+  sink.count_shard(3, /*hit=*/false);
+  sink.phase_wall(obs::Phase::kSweep, 0.5);
+  const obs::RuleKey key{2, 1, 9};
+  sink.rule(key, /*cached=*/false, /*ser_bytes=*/64, /*hash_bytes=*/32, /*exec_s=*/1e-6);
+  sink.rule(key, /*cached=*/true, /*ser_bytes=*/64, /*hash_bytes=*/0, /*exec_s=*/0.0);
+
+  const std::string jsonl = sink.to_jsonl();
+  obs::ProfileData data;
+  std::size_t start = 0;
+  std::string err;
+  while (start < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', start);
+    const std::string line = jsonl.substr(start, end - start);
+    EXPECT_TRUE(obs::validate_obs_line(line, &err)) << err;
+    EXPECT_TRUE(obs::merge_prof_line(line, data)) << line;
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  EXPECT_EQ(data.threads, 4u);
+  EXPECT_EQ(data.run_wall_s, 1.5);
+  EXPECT_EQ(data.counters[static_cast<std::size_t>(obs::Counter::kBytesHashed)], 1000u);
+  EXPECT_EQ(data.counters[static_cast<std::size_t>(obs::Counter::kHandlerRuns)], 7u);
+  EXPECT_EQ(data.shard_hits[3], 1u);
+  EXPECT_EQ(data.shard_misses[3], 1u);
+  EXPECT_EQ(data.phase_s[static_cast<std::size_t>(obs::Phase::kSweep)], 0.5);
+  ASSERT_EQ(data.rules.size(), 1u);
+  const obs::ProfileData::Rule& r = data.rules.begin()->second;
+  EXPECT_EQ(r.key, key);
+  EXPECT_EQ(r.runs, 1u);
+  EXPECT_EQ(r.cached, 1u);
+  EXPECT_EQ(r.ser_bytes, 128u);
+  EXPECT_EQ(r.hash_bytes, 32u);
+  EXPECT_EQ(r.samples, 1u);  // only the uncached execution is timed
+
+  // Non-prof lines are tolerated (mixed files); malformed prof lines fail
+  // schema validation.
+  EXPECT_FALSE(obs::merge_prof_line("{\"schema\":\"lmc-trace/1\"}", data));
+  EXPECT_FALSE(obs::validate_obs_line(
+      "{\"schema\":\"lmc-prof/1\",\"kind\":\"bogus\"}", &err));
+  EXPECT_FALSE(obs::validate_obs_line("{\"schema\":\"lmc-prof/1\"}", &err));
+}
+
+// The tentpole contract over a frozen-corpus slice: the profile's identity
+// aggregates are a pure function of the exploration — byte-identical at 1
+// vs 8 threads — and attaching a sink does not perturb the checker
+// (normalized checkpoint bytes identical profiling on vs off).
+TEST(ObsProfCorpus, IdentityByteIdentical1v8AndCheckpointUnperturbed) {
+  std::vector<std::uint64_t> slice;
+  for (std::uint64_t i = 1; i <= 10; ++i) slice.push_back(i);
+  slice.push_back(97);
+  slice.push_back(171);
+  slice.push_back(664);
+
+  std::uint64_t with_handler_runs = 0;
+  for (std::uint64_t seed : slice) {
+    dfuzz::GeneratedProtocol p = dfuzz::instantiate(dfuzz::generate_spec(seed));
+
+    LocalModelChecker plain(p.cfg, p.invariant.get(), corpus_options(1, nullptr));
+    plain.run_from_initial();
+    ASSERT_TRUE(plain.stats().completed) << "seed " << seed;
+    const Blob plain_bytes = dfuzz::normalized_checkpoint_bytes(plain.checkpoint_bytes());
+
+    std::string base_identity;
+    for (unsigned threads : {1u, 8u}) {
+      obs::ProfileSink prof;
+      LocalMcOptions opt = corpus_options(threads, nullptr);
+      opt.profile = &prof;
+      LocalModelChecker mc(p.cfg, p.invariant.get(), opt);
+      mc.run_from_initial();
+      ASSERT_TRUE(mc.stats().completed) << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(plain_bytes, dfuzz::normalized_checkpoint_bytes(mc.checkpoint_bytes()))
+          << "seed " << seed << ": profiling perturbed the run at " << threads << " threads";
+      if (prof.counter(obs::Counter::kHandlerRuns) > 0) ++with_handler_runs;
+      const std::string identity = prof.identity_text();
+      if (threads == 1)
+        base_identity = identity;
+      else
+        EXPECT_EQ(base_identity, identity)
+            << "seed " << seed << ": profile identity diverged at " << threads << " threads";
+    }
+  }
+  EXPECT_GT(with_handler_runs, 0u);
+}
+
+// --- Chrome trace_event export ----------------------------------------------
+
+TEST(ObsChrome, ExportValidatesAndBadDocsRejected) {
+  tree::Topology topo = tree::fig2_topology();
+  SystemConfig cfg = tree::make_config(topo);
+  tree::CausalDeliveryInvariant inv(topo);
+
+  obs::TraceSink trace;
+  obs::MetricsSink metrics(0.0);
+  obs::ProfileSink prof;
+  LocalMcOptions opt;
+  opt.trace = &trace;
+  opt.metrics = &metrics;
+  opt.profile = &prof;
+  LocalModelChecker mc(cfg, &inv, opt);
+  mc.run_from_initial();
+  ASSERT_FALSE(trace.events().empty());
+
+  obs::ProfileData pdata;
+  {
+    const std::string jsonl = prof.to_jsonl();
+    std::size_t start = 0;
+    while (start < jsonl.size()) {
+      const std::size_t end = jsonl.find('\n', start);
+      obs::merge_prof_line(jsonl.substr(start, end - start), pdata);
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+    ASSERT_GT(pdata.lines, 0u);
+  }
+
+  std::string err;
+  const std::string with_prof = obs::chrome_trace_json(trace.events(), metrics.records(), &pdata);
+  EXPECT_TRUE(obs::validate_chrome_trace(with_prof, &err)) << err;
+  const std::string without = obs::chrome_trace_json(trace.events(), metrics.records(), nullptr);
+  EXPECT_TRUE(obs::validate_chrome_trace(without, &err)) << err;
+
+  EXPECT_FALSE(obs::validate_chrome_trace("not json", &err));
+  EXPECT_FALSE(obs::validate_chrome_trace("{}", &err));                   // no traceEvents
+  EXPECT_FALSE(obs::validate_chrome_trace("{\"traceEvents\":{}}", &err)); // not an array
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      "{\"traceEvents\":[{\"name\":\"x\"}]}", &err));                     // entry missing ph/pid
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":1}]}", &err));             // non-meta missing ts
+}
+
+// --- baseline: missing cases are visible but never gate ----------------------
+
+TEST(ObsBaseline, MissingCasesReportedNotGating) {
+  std::map<std::string, std::map<std::string, double>> base, cur;
+  base["bench_a|case1|"] = {{"elapsed_s", 1.0}, {"transitions", 100.0}};
+  base["bench_a|case2|"] = {{"elapsed_s", 2.0}};  // whole case absent from current
+  cur["bench_a|case1|"] = {{"elapsed_s", 1.01}, {"transitions", 100.0}};
+
+  const obs::BaselineComparison cmp = obs::compare_benches(base, cur);
+  ASSERT_EQ(cmp.missing_cases.size(), 1u);
+  EXPECT_EQ(cmp.missing_cases[0], "bench_a|case2|");
+  EXPECT_EQ(cmp.rows.size(), 2u);  // case1's two metrics; case2 contributes no rows
+  EXPECT_TRUE(cmp.only_baseline.empty());
+
+  // A tight gate over the compared rows: the +1% time delta passes at 5%,
+  // and the missing case never counts as a regression.
+  EXPECT_EQ(obs::print_baseline_report(cmp, /*fail_over_pct=*/5.0, stdout), 0u);
+  // Sanity: the same gate at 0.5% flags the time metric — compared rows
+  // still gate exactly as before.
+  EXPECT_EQ(obs::print_baseline_report(cmp, /*fail_over_pct=*/0.5, stdout), 1u);
 }
 
 TEST(ObsCheckpoint, VersionsOutsideTheWindowAreRejected) {
